@@ -1,0 +1,42 @@
+"""Extension — model-modification attackers (the paper's future work).
+
+The paper assumes the stolen model is served unmodified and defers
+stronger attackers to future work.  This bench quantifies them: depth
+truncation, random leaf flipping and cost-complexity pruning, each
+sweeping strength and reporting the attacker's accuracy cost against
+the watermark damage.
+"""
+
+from conftest import BENCH, emit
+
+from repro.experiments import format_table, modification_table, pruning_table
+
+
+def _run():
+    modification = modification_table(
+        BENCH,
+        dataset="breast-cancer",
+        truncate_depths=(6, 4, 2),
+        flip_probabilities=(0.05, 0.15, 0.3),
+    )
+    pruning = pruning_table(BENCH, dataset="breast-cancer", alphas=(0.0, 1.0, 4.0))
+    return modification + pruning
+
+
+def test_extension_modification_attacks(benchmark):
+    rows = benchmark.pedantic(_run, rounds=1, iterations=1)
+    text = format_table(
+        ["Attack", "Strength", "Accuracy after", "WM match rate", "WM accepted"],
+        [
+            [r.attack, r.strength, r.accuracy, r.watermark_match_rate, r.watermark_accepted]
+            for r in rows
+        ],
+    )
+    emit("ext_modification_attacks", text)
+
+    for r in rows:
+        assert 0.0 <= r.watermark_match_rate <= 1.0
+    # The stronger the flip attack, the less of the watermark survives.
+    flips = [r for r in rows if r.attack == "flip"]
+    rates = [r.watermark_match_rate for r in flips]
+    assert rates == sorted(rates, reverse=True)

@@ -1,0 +1,44 @@
+"""Fig. 4 — forged trigger-set size vs distortion budget ε (MNIST2-6).
+
+The attacker tries random fake signatures and forges instances within
+an L∞ ball of each test point.  Paper shape: forging approaches the
+original trigger-set size only at large ε (>= 0.7), i.e. only with
+distortions large enough to be detected.
+"""
+
+from conftest import BENCH, emit
+
+from repro.experiments import forgery_epsilon_sweep, format_table
+
+EPSILONS = (0.05, 0.1, 0.15, 0.2, 0.3, 0.5, 0.7, 0.9)
+
+
+def _run():
+    return forgery_epsilon_sweep(
+        BENCH,
+        dataset="mnist26",
+        epsilons=EPSILONS,
+        n_signatures=2,
+        max_instances=30,
+        solver_budget=60_000,
+    )
+
+
+def test_fig4_forgery_vs_epsilon(benchmark):
+    rows = benchmark.pedantic(_run, rounds=1, iterations=1)
+    text = format_table(
+        ["eps", "|D'_trigger| (mean)", "|D'_trigger| (max)", "|D_trigger|", "mean s"],
+        [
+            [r.epsilon, r.mean_forged_size, r.max_forged_size, r.original_trigger_size, r.mean_seconds]
+            for r in rows
+        ],
+    )
+    emit("fig4_forgery_sweep", text)
+
+    # Monotone shape: more distortion budget never shrinks the forged set.
+    sizes = [r.mean_forged_size for r in rows]
+    assert all(b >= a - 1e-9 for a, b in zip(sizes, sizes[1:]))
+
+    # Paper shape: small eps forges (almost) nothing; large eps forges
+    # substantially more.
+    assert sizes[0] <= 0.6 * max(sizes[-1], 1.0)

@@ -1,0 +1,49 @@
+"""Theorem 1 — the 3SAT → watermark forgery reduction, constructively.
+
+Not a table in the paper, but the proof's machinery is executable:
+random 3CNF formulas are converted to ensembles and the forgery solver
+must agree with a brute-force 3SAT oracle, while solver effort grows
+with formula size (the empirical face of NP-hardness).
+"""
+
+import numpy as np
+from conftest import emit
+
+from repro.experiments import format_table
+from repro.hardness import (
+    brute_force_3sat,
+    forgery_problem_from_formula,
+    instance_to_assignment,
+    random_3cnf,
+)
+from repro.solver import solve_pattern_smt
+
+
+def _run():
+    rng = np.random.default_rng(0)
+    rows = []
+    for n_vars, n_clauses in [(6, 20), (8, 33), (10, 42), (12, 51)]:
+        agreements = 0
+        conflicts = []
+        trials = 12
+        for _ in range(trials):
+            formula = random_3cnf(n_vars, n_clauses, random_state=int(rng.integers(2**31 - 1)))
+            problem = forgery_problem_from_formula(formula)
+            outcome = solve_pattern_smt(problem)
+            truth = brute_force_3sat(formula) is not None
+            if outcome.is_sat == truth:
+                agreements += 1
+            if outcome.is_sat:
+                assert formula.evaluate(instance_to_assignment(outcome.instance))
+            conflicts.append(outcome.stats.get("conflicts", 0))
+        rows.append([n_vars, n_clauses, f"{agreements}/{trials}", float(np.mean(conflicts))])
+    return rows
+
+
+def test_theorem1_reduction_roundtrip(benchmark):
+    rows = benchmark.pedantic(_run, rounds=1, iterations=1)
+    text = format_table(["n_vars", "n_clauses", "solver==oracle", "mean conflicts"], rows)
+    emit("hardness_reduction", text)
+    for row in rows:
+        agreements, trials = row[2].split("/")
+        assert agreements == trials  # solver always agrees with the oracle

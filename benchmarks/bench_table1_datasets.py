@@ -1,0 +1,36 @@
+"""Table 1 — dataset statistics of the three stand-ins.
+
+Regenerates the instances / features / class-distribution rows.  The
+stand-ins are generated at the paper's full sizes here (this is the one
+experiment where full scale is cheap except for MNIST2-6, which uses
+its real 13,866 x 784 shape).
+"""
+
+from conftest import emit
+
+from repro.datasets import dataset_statistics, load_dataset
+from repro.experiments import format_table
+
+
+def _rows():
+    rows = []
+    for name in ("mnist26", "breast-cancer", "ijcnn1"):
+        dataset = load_dataset(name, random_state=0)
+        stats = dataset_statistics(dataset)
+        rows.append(
+            [stats["dataset"], stats["instances"], stats["features"], stats["distribution"]]
+        )
+    return rows
+
+
+def test_table1_dataset_statistics(benchmark):
+    rows = benchmark.pedantic(_rows, rounds=1, iterations=1)
+    text = format_table(["Dataset", "Instances", "Features", "Distribution"], rows)
+    emit("table1_datasets", text)
+
+    # Shape assertions against the paper's Table 1.
+    by_name = {row[0]: row for row in rows}
+    assert by_name["mnist26"][1] == 13866 and by_name["mnist26"][2] == 784
+    assert by_name["breast-cancer"][1] == 569 and by_name["breast-cancer"][2] == 30
+    assert by_name["ijcnn1"][1] == 10000 and by_name["ijcnn1"][2] == 22
+    assert by_name["ijcnn1"][3] == "90%/10%"

@@ -1,0 +1,48 @@
+"""Table 2 — watermark detection via structural statistics.
+
+Runs both attacker strategies (mean±std bands in the paper's red rows,
+sharp mean threshold in the blue rows) on both per-tree statistics and
+prints #correct / #wrong / #uncertain, with the statistic's (mean, std)
+as in the paper's brackets.  Shape to reproduce: neither strategy
+recovers the signature.
+"""
+
+from conftest import BENCH, emit
+
+from repro.experiments import detection_table, format_table
+
+
+def _run():
+    return detection_table(BENCH)
+
+
+def test_table2_watermark_detection(benchmark):
+    rows = benchmark.pedantic(_run, rounds=1, iterations=1)
+    text = format_table(
+        ["Dataset", "Hyper-Parameter", "Strategy", "(mean - std)", "#correct", "#wrong", "#uncertain"],
+        [
+            [
+                r.dataset,
+                r.statistic,
+                r.strategy,
+                f"({r.mean:.2f} - {r.std:.2f})",
+                r.n_correct,
+                r.n_wrong,
+                r.n_uncertain,
+            ]
+            for r in rows
+        ],
+    )
+    emit("table2_detection", text)
+
+    m = BENCH.n_estimators
+    for r in rows:
+        assert r.n_correct + r.n_wrong + r.n_uncertain == m
+        # Paper shape: the attack never recovers (nearly) the whole
+        # signature — correct guesses stay well below m.
+        assert r.n_correct < m, f"{r.dataset}/{r.statistic}/{r.strategy} fully recovered"
+
+    # The bands strategy must produce uncertain trees somewhere (the
+    # paper reports a huge number of uncertain cases).
+    bands = [r for r in rows if r.strategy == "bands"]
+    assert sum(r.n_uncertain for r in bands) > 0

@@ -1,0 +1,42 @@
+"""Shared benchmark infrastructure.
+
+Every benchmark regenerates one table or figure of the paper at the
+``BENCH`` scale (laptop-sized stand-in datasets, see DESIGN.md §2).
+Rendered tables are printed (visible with ``pytest -s``) and also
+written to ``benchmarks/results/<name>.txt`` so the artefacts survive
+output capture.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.experiments import SMALL
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+#: The benchmark-scale configuration: large enough for the paper's
+#: qualitative shapes, small enough for the whole suite to run in
+#: minutes on a laptop.
+BENCH = SMALL.with_overrides(
+    name="bench",
+    dataset_sizes={"mnist26": 480, "breast-cancer": 300, "ijcnn1": 700},
+    n_estimators=16,
+    tree_feature_fraction=0.35,
+    escalation_factor=2.0,
+)
+
+
+def emit(name: str, text: str) -> None:
+    """Print a rendered table and persist it under benchmarks/results/."""
+    banner = f"\n=== {name} ===\n{text}\n"
+    print(banner)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n", encoding="utf-8")
+
+
+@pytest.fixture(scope="session")
+def bench_config():
+    return BENCH

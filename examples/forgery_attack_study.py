@@ -1,0 +1,82 @@
+"""Attacker study: trying to forge a watermark with an SMT solver.
+
+Run with::
+
+    python examples/forgery_attack_study.py
+
+Reproduces the paper's §4.2.2 attack in miniature: the attacker holds a
+stolen (read-only) watermarked model, invents a fake signature, and
+asks a solver for instances — close to real test points — on which the
+model exhibits the fake signature's output pattern.  The study sweeps
+the L∞ distortion budget ε and reports how large a trigger set the
+attacker manages to forge, and how distorted it is.
+"""
+
+from repro import random_signature, watermark
+from repro.attacks import forge_trigger_set, forgery_distortion
+from repro.datasets import mnist26_like
+from repro.experiments import format_table
+from repro.model_selection import train_test_split
+
+
+def main() -> None:
+    dataset = mnist26_like(n_samples=420, random_state=30)
+    X_train, X_test, y_train, y_test = train_test_split(
+        dataset.X, dataset.y, test_size=0.3, random_state=31
+    )
+
+    # The victim's watermarked model.
+    model = watermark(
+        X_train,
+        y_train,
+        random_signature(m=16, ones_fraction=0.5, random_state=32),
+        trigger_size=6,
+        base_params={"max_depth": 10},
+        tree_feature_fraction=0.35,
+        random_state=33,
+    )
+    print(f"victim model: {model.ensemble.n_trees_} trees, "
+          f"{model.ensemble.total_leaves()} leaves, "
+          f"original trigger size {model.trigger.size}\n")
+
+    # The attacker's fake signature.
+    fake_signature = random_signature(m=16, ones_fraction=0.5, random_state=34)
+
+    rows = []
+    for epsilon in (0.05, 0.1, 0.2, 0.3, 0.5, 0.7):
+        result = forge_trigger_set(
+            model.ensemble,
+            fake_signature,
+            X_test,
+            y_test,
+            epsilon=epsilon,
+            target_size=model.trigger.size,
+            max_instances=40,
+            random_state=35,
+        )
+        distortion = forgery_distortion(result, X_test)
+        rows.append(
+            [
+                epsilon,
+                f"{result.n_forged}/{model.trigger.size}",
+                result.statuses.get("unsat", 0),
+                distortion["mean_linf"],
+                distortion["mean_l2"],
+                f"{result.elapsed_seconds:.2f}s",
+            ]
+        )
+    print(
+        format_table(
+            ["eps", "forged/needed", "#unsat", "mean Linf", "mean L2", "time"],
+            rows,
+        )
+    )
+    print(
+        "\nReading: at small eps the solver proves most instances UNSAT — the\n"
+        "attacker cannot forge a trigger set without large, detectable\n"
+        "distortions, which is the paper's forgery-robustness claim."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,100 @@
+"""The full ownership-dispute scenario: Alice, Bob and judge Charlie.
+
+Run with::
+
+    python examples/ownership_dispute.py
+
+1. Alice trains a watermarked model and stores both the model and her
+   secret (signature + trigger set) as JSON.
+2. Bob steals the deployed model file and serves it unchanged.
+3. Charlie, the judge, receives Alice's secret and a test set that
+   hides the trigger instances among ordinary queries, queries Bob's
+   model black-box, and rules on the claim.
+4. Mallory tries the same claim with a fabricated secret and fails.
+"""
+
+import tempfile
+from pathlib import Path
+
+import numpy as np
+
+from repro import Judge, OwnershipClaim, WatermarkSecret, random_signature, watermark
+from repro.datasets import ijcnn1_like
+from repro.model_selection import train_test_split
+from repro.persistence import (
+    forest_from_dict,
+    forest_to_dict,
+    load_json,
+    save_json,
+    secret_from_dict,
+    secret_to_dict,
+)
+
+
+def main() -> None:
+    workdir = Path(tempfile.mkdtemp(prefix="repro-dispute-"))
+    dataset = ijcnn1_like(n_samples=900, random_state=20)
+    X_train, X_test, y_train, y_test = train_test_split(
+        dataset.X, dataset.y, test_size=0.3, random_state=21
+    )
+
+    # ------------------------------------------------------ Alice ----
+    signature = random_signature(m=16, ones_fraction=0.5, random_state=22)
+    model = watermark(
+        X_train,
+        y_train,
+        signature,
+        trigger_size=10,
+        base_params={"max_depth": 10},
+        random_state=23,
+    )
+    save_json(forest_to_dict(model.ensemble), workdir / "deployed_model.json")
+    save_json(
+        secret_to_dict(
+            WatermarkSecret(
+                signature=model.signature,
+                trigger_X=model.trigger.X,
+                trigger_y=model.trigger.y,
+            )
+        ),
+        workdir / "alice_secret.json",
+    )
+    print(f"Alice deployed her model (accuracy "
+          f"{model.ensemble.score(X_test, y_test):.3f}) and stored her secret.")
+
+    # -------------------------------------------------------- Bob ----
+    # Bob exfiltrates the model file and serves it as-is.
+    bobs_model = forest_from_dict(load_json(workdir / "deployed_model.json"))
+    print("Bob is serving a byte-identical copy of Alice's model.")
+
+    # ---------------------------------------------------- Charlie ----
+    secret = secret_from_dict(load_json(workdir / "alice_secret.json"))
+    # The disclosed test set hides the triggers among ordinary queries,
+    # so Bob cannot selectively answer trigger queries differently.
+    X_disclosed = np.vstack([X_test, secret.trigger_X])
+    y_disclosed = np.concatenate([y_test, secret.trigger_y])
+    shuffle = np.random.default_rng(24).permutation(X_disclosed.shape[0])
+    claim = OwnershipClaim(
+        "alice", secret, X_disclosed[shuffle], y_disclosed[shuffle]
+    )
+    verdict = Judge().verify_claim(bobs_model, claim)
+    print(f"Charlie on Alice's claim : {verdict.summary()}")
+    assert verdict.accepted
+
+    # ---------------------------------------------------- Mallory ----
+    rng = np.random.default_rng(25)
+    fabricated = WatermarkSecret(
+        signature=random_signature(16, random_state=26),
+        trigger_X=X_test[rng.choice(X_test.shape[0], size=10, replace=False)],
+        trigger_y=rng.choice([-1, 1], size=10),
+    )
+    X_m = np.vstack([X_test, fabricated.trigger_X])
+    y_m = np.concatenate([y_test, fabricated.trigger_y])
+    mallory_claim = OwnershipClaim("mallory", fabricated, X_m, y_m)
+    mallory_verdict = Judge().verify_claim(bobs_model, mallory_claim)
+    print(f"Charlie on Mallory's claim: {mallory_verdict.summary()}")
+    assert not mallory_verdict.accepted
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,12 @@
+"""Thin setup.py kept for legacy editable installs.
+
+The offline environment lacks the ``wheel`` package, so PEP 660
+editable installs (``pip install -e .``) cannot build their editable
+wheel; ``pip install -e . --no-build-isolation --no-use-pep517`` (or
+``python setup.py develop``) uses this file instead.  All metadata
+lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

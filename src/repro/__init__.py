@@ -1,0 +1,93 @@
+"""repro — reproduction of *Watermarking Decision Tree Ensembles*
+(Calzavara, Cazzaro, Gera, Orlando; EDBT 2025, arXiv:2410.04570).
+
+The library implements the paper's watermarking scheme for random
+forests (creation, black-box verification, security analysis) together
+with every substrate it depends on: a weighted CART/forest learner, a
+grid-search/CV layer, SAT/SMT solvers for the forgery attack, the 3SAT
+NP-hardness reduction, synthetic stand-ins for the evaluation datasets,
+an attack suite and an experiment harness regenerating every table and
+figure of the evaluation section.
+
+Quick start::
+
+    from repro import watermark, random_signature, Judge
+
+    sigma = random_signature(m=32, random_state=7)
+    wm = watermark(X_train, y_train, sigma, trigger_size=16, random_state=7)
+    wm.ensemble.predict(X_test)
+
+See ``examples/`` for complete scenarios and DESIGN.md for the system
+inventory.
+"""
+
+from . import (
+    attacks,
+    core,
+    datasets,
+    ensemble,
+    experiments,
+    hardness,
+    model_selection,
+    persistence,
+    solver,
+    trees,
+)
+from .core import (
+    Judge,
+    OwnershipClaim,
+    Signature,
+    WatermarkSecret,
+    WatermarkedModel,
+    random_signature,
+    signature_from_identity,
+    verify_ownership,
+    watermark,
+)
+from .ensemble import GradientBoostingClassifier, RandomForestClassifier
+from .exceptions import (
+    ConvergenceError,
+    NotFittedError,
+    ReproError,
+    ResourceLimitError,
+    SerializationError,
+    SolverError,
+    ValidationError,
+    VerificationError,
+)
+from .trees import DecisionTreeClassifier
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ConvergenceError",
+    "DecisionTreeClassifier",
+    "GradientBoostingClassifier",
+    "Judge",
+    "NotFittedError",
+    "OwnershipClaim",
+    "RandomForestClassifier",
+    "ReproError",
+    "ResourceLimitError",
+    "SerializationError",
+    "Signature",
+    "SolverError",
+    "ValidationError",
+    "VerificationError",
+    "WatermarkSecret",
+    "WatermarkedModel",
+    "attacks",
+    "core",
+    "datasets",
+    "ensemble",
+    "experiments",
+    "hardness",
+    "model_selection",
+    "persistence",
+    "random_signature",
+    "signature_from_identity",
+    "solver",
+    "trees",
+    "verify_ownership",
+    "watermark",
+]

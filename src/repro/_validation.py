@@ -1,0 +1,118 @@
+"""Input validation helpers shared across the library.
+
+These helpers normalise user input to canonical numpy representations and
+raise :class:`repro.exceptions.ValidationError` with actionable messages.
+They are deliberately strict: the watermarking protocol manipulates models
+whose exact behaviour matters legally, so silent coercion is avoided.
+"""
+
+from __future__ import annotations
+
+import numbers
+
+import numpy as np
+
+from .exceptions import ValidationError
+
+__all__ = [
+    "check_X",
+    "check_X_y",
+    "check_sample_weight",
+    "check_random_state",
+    "check_binary_labels",
+]
+
+
+def check_X(X, *, name: str = "X") -> np.ndarray:
+    """Validate a feature matrix and return it as a C-contiguous float64 array.
+
+    Parameters
+    ----------
+    X:
+        Anything convertible to a 2-D numeric array of shape
+        ``(n_samples, n_features)``.
+    name:
+        Name used in error messages.
+    """
+    try:
+        arr = np.asarray(X, dtype=np.float64)
+    except (TypeError, ValueError) as exc:
+        raise ValidationError(f"{name} must be numeric, got {type(X).__name__}") from exc
+    if arr.ndim != 2:
+        raise ValidationError(f"{name} must be 2-dimensional, got shape {arr.shape}")
+    if arr.shape[0] == 0:
+        raise ValidationError(f"{name} must contain at least one sample")
+    if arr.shape[1] == 0:
+        raise ValidationError(f"{name} must contain at least one feature")
+    if not np.isfinite(arr).all():
+        raise ValidationError(f"{name} contains NaN or infinite values")
+    return np.ascontiguousarray(arr)
+
+
+def check_X_y(X, y) -> tuple[np.ndarray, np.ndarray]:
+    """Validate a feature matrix together with its label vector."""
+    arr_x = check_X(X)
+    arr_y = np.asarray(y)
+    if arr_y.ndim != 1:
+        raise ValidationError(f"y must be 1-dimensional, got shape {arr_y.shape}")
+    if arr_y.shape[0] != arr_x.shape[0]:
+        raise ValidationError(
+            f"X and y disagree on the number of samples: {arr_x.shape[0]} != {arr_y.shape[0]}"
+        )
+    return arr_x, arr_y
+
+
+def check_sample_weight(sample_weight, n_samples: int) -> np.ndarray:
+    """Validate sample weights, defaulting to uniform weights of 1.0."""
+    if sample_weight is None:
+        return np.ones(n_samples, dtype=np.float64)
+    arr = np.asarray(sample_weight, dtype=np.float64)
+    if arr.shape != (n_samples,):
+        raise ValidationError(
+            f"sample_weight must have shape ({n_samples},), got {arr.shape}"
+        )
+    if not np.isfinite(arr).all():
+        raise ValidationError("sample_weight contains NaN or infinite values")
+    if (arr < 0).any():
+        raise ValidationError("sample_weight must be non-negative")
+    if arr.sum() <= 0:
+        raise ValidationError("sample_weight must have positive total mass")
+    return arr
+
+
+def check_random_state(seed) -> np.random.Generator:
+    """Turn ``seed`` into a :class:`numpy.random.Generator`.
+
+    Accepts ``None`` (fresh entropy), an integer seed, or an existing
+    generator (returned unchanged so callers can share a stream).
+    """
+    if seed is None:
+        return np.random.default_rng()
+    if isinstance(seed, np.random.Generator):
+        return seed
+    if isinstance(seed, numbers.Integral):
+        return np.random.default_rng(int(seed))
+    raise ValidationError(
+        f"random_state must be None, an int or a numpy Generator, got {type(seed).__name__}"
+    )
+
+
+def check_binary_labels(y) -> np.ndarray:
+    """Validate that labels form a binary {-1, +1} problem.
+
+    The watermarking scheme of the paper is defined for binary
+    classification with labels ``-1`` and ``+1`` (multi-class tasks are
+    handled by decomposition into binary ones, see
+    :mod:`repro.ensemble.multiclass`).
+    """
+    arr = np.asarray(y)
+    if arr.ndim != 1:
+        raise ValidationError(f"y must be 1-dimensional, got shape {arr.shape}")
+    labels = set(np.unique(arr).tolist())
+    if not labels <= {-1, 1}:
+        raise ValidationError(
+            f"binary labels must be in {{-1, +1}}, got {sorted(labels)}"
+        )
+    if len(labels) < 2:
+        raise ValidationError("y must contain both classes -1 and +1")
+    return arr.astype(np.int64)

@@ -1,0 +1,52 @@
+"""Attack suite against the watermarking scheme.
+
+- :mod:`~repro.attacks.detection` — structural signature recovery
+  (Table 2);
+- :mod:`~repro.attacks.forgery` — solver-based trigger forgery
+  (Fig. 4/5, §4.2.2);
+- :mod:`~repro.attacks.suppression` — trigger-query distinguishers;
+- :mod:`~repro.attacks.modification` — model-modification attacks
+  (the paper's future-work threat model).
+"""
+
+from .detection import DetectionResult, detect_bits, detection_report
+from .extraction import ExtractionOutcome, extract_surrogate, extraction_study
+from .forgery import ForgeryAttackResult, forge_trigger_set, forgery_distortion
+from .modification import (
+    ModificationOutcome,
+    flip_forest_leaves,
+    flip_leaves,
+    modification_robustness,
+    truncate_forest,
+    truncate_tree,
+)
+from .suppression import (
+    SuppressionAnalysis,
+    auc_from_scores,
+    disagreement_score,
+    input_distance_score,
+    suppression_analysis,
+)
+
+__all__ = [
+    "DetectionResult",
+    "ExtractionOutcome",
+    "ForgeryAttackResult",
+    "ModificationOutcome",
+    "SuppressionAnalysis",
+    "auc_from_scores",
+    "detect_bits",
+    "detection_report",
+    "disagreement_score",
+    "flip_forest_leaves",
+    "flip_leaves",
+    "extract_surrogate",
+    "extraction_study",
+    "forge_trigger_set",
+    "forgery_distortion",
+    "input_distance_score",
+    "modification_robustness",
+    "suppression_analysis",
+    "truncate_forest",
+    "truncate_tree",
+]

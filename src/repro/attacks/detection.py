@@ -1,0 +1,125 @@
+"""Structural watermark-detection attacks (Table 2 of the paper).
+
+The attacker holds white-box access to the ensemble and tries to
+reconstruct the signature from per-tree structure: trees forced to
+misclassify the trigger set (bit 1) might overfit and grow larger.
+Two strategies from §4.2.1:
+
+- ``"bands"`` — trees below ``mean − std`` are guessed as bit 0, above
+  ``mean + std`` as bit 1, the rest are *uncertain*;
+- ``"mean"`` — the mean is a sharp threshold: ``≤ mean`` ⇒ 0, else 1.
+
+The attack is evaluated against the true signature; the scheme defeats
+it when the counts of correct guesses carry no usable signal.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.embedding import WatermarkedModel
+from ..exceptions import ValidationError
+
+__all__ = ["DetectionResult", "detect_bits", "detection_report"]
+
+STRATEGIES = ("bands", "mean")
+STATISTICS = ("depth", "n_leaves")
+
+
+@dataclass
+class DetectionResult:
+    """Outcome of one detection attempt.
+
+    ``predicted[i]`` is the attacker's guess for bit ``i`` (``None`` =
+    uncertain, only produced by the ``"bands"`` strategy).  The counts
+    mirror the paper's ``#correct / #wrong / #uncertain`` columns, and
+    ``mean``/``std`` the bracketed statistics of Table 2.
+    """
+
+    strategy: str
+    statistic: str
+    mean: float
+    std: float
+    predicted: list[int | None]
+    n_correct: int
+    n_wrong: int
+    n_uncertain: int
+
+    @property
+    def recovery_rate(self) -> float:
+        """Fraction of *decided* guesses that are correct (0.5 = coin flip)."""
+        decided = self.n_correct + self.n_wrong
+        return self.n_correct / decided if decided else 0.0
+
+
+def detect_bits(values: np.ndarray, true_bits, strategy: str) -> DetectionResult:
+    """Run one detection strategy against the true signature bits.
+
+    Parameters
+    ----------
+    values:
+        Per-tree statistic (depth or leaf count), length ``m``.
+    true_bits:
+        The real signature bits (ground truth for scoring the attack).
+    strategy:
+        ``"bands"`` or ``"mean"``.
+    """
+    values = np.asarray(values, dtype=np.float64)
+    bits = np.asarray(list(true_bits), dtype=np.int64)
+    if values.shape != bits.shape:
+        raise ValidationError(
+            f"values and bits must have equal length, got {values.shape} and "
+            f"{bits.shape}"
+        )
+    if strategy not in STRATEGIES:
+        raise ValidationError(
+            f"strategy must be one of {STRATEGIES}, got {strategy!r}"
+        )
+
+    mean = float(np.mean(values))
+    std = float(np.std(values))
+
+    predicted: list[int | None] = []
+    if strategy == "bands":
+        for value in values:
+            if value < mean - std:
+                predicted.append(0)
+            elif value > mean + std:
+                predicted.append(1)
+            else:
+                predicted.append(None)
+    else:
+        predicted = [0 if value <= mean else 1 for value in values]
+
+    n_correct = sum(
+        1 for guess, bit in zip(predicted, bits) if guess is not None and guess == bit
+    )
+    n_wrong = sum(
+        1 for guess, bit in zip(predicted, bits) if guess is not None and guess != bit
+    )
+    n_uncertain = sum(1 for guess in predicted if guess is None)
+    return DetectionResult(
+        strategy=strategy,
+        statistic="",
+        mean=mean,
+        std=std,
+        predicted=predicted,
+        n_correct=n_correct,
+        n_wrong=n_wrong,
+        n_uncertain=n_uncertain,
+    )
+
+
+def detection_report(model: WatermarkedModel) -> list[DetectionResult]:
+    """Run both strategies on both structural statistics (one Table 2 cell
+    block for a single watermarked model)."""
+    structure = model.ensemble.structure()
+    results: list[DetectionResult] = []
+    for statistic in STATISTICS:
+        for strategy in STRATEGIES:
+            result = detect_bits(structure[statistic], model.signature, strategy)
+            result.statistic = statistic
+            results.append(result)
+    return results

@@ -1,0 +1,173 @@
+"""The watermark forgery attack (§4.2.2 / Fig. 4 / Fig. 5).
+
+The attacker invents a fake signature ``σ'`` and tries to build a
+trigger set ``D'_trigger`` on which the *stolen, unmodified* model
+exhibits the output pattern ``σ'`` requires.  Per the paper's
+experiment, the attacker iterates over real test instances and asks a
+solver for a satisfying instance within ``L∞`` distance ``ε`` of each —
+the distance budget keeps forged triggers "reminiscent of real test
+instances".
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .._validation import check_random_state, check_X_y
+from ..core.signature import Signature
+from ..exceptions import ValidationError
+from ..solver import PatternProblem, required_labels, solve_pattern
+
+__all__ = ["ForgeryAttackResult", "forge_trigger_set", "forgery_distortion"]
+
+
+@dataclass
+class ForgeryAttackResult:
+    """Outcome of one forgery attempt with one fake signature.
+
+    ``forged_X`` stacks the successfully forged instances (the attack's
+    ``D'_trigger``); ``source_index[i]`` is the test-set row the ``i``-th
+    forged instance was derived from.  ``statuses`` counts solver
+    outcomes over all attempted instances.
+    """
+
+    epsilon: float
+    signature: Signature
+    n_attempted: int
+    forged_X: np.ndarray
+    source_index: np.ndarray
+    statuses: dict[str, int] = field(default_factory=dict)
+    elapsed_seconds: float = 0.0
+
+    @property
+    def n_forged(self) -> int:
+        """Size of the forged trigger set ``|D'_trigger|``."""
+        return int(self.forged_X.shape[0])
+
+
+def forge_trigger_set(
+    forest,
+    fake_signature: Signature,
+    X_test,
+    y_test,
+    epsilon: float,
+    engine: str = "smt",
+    target_size: int | None = None,
+    max_instances: int | None = None,
+    solver_budget: int | None = 100_000,
+    random_state=None,
+) -> ForgeryAttackResult:
+    """Attempt to forge a trigger set against a (stolen) forest.
+
+    Parameters
+    ----------
+    forest:
+        The watermarked model (attacker has white-box read access).
+    fake_signature:
+        The attacker's invented signature ``σ'`` (length = #trees).
+    X_test, y_test:
+        Real test data the forged instances must stay close to.
+    epsilon:
+        ``L∞`` distortion budget relative to each test instance.
+    engine:
+        Forgery solver: ``"smt"`` (eager encoding + CDCL) or ``"boxes"``.
+    target_size:
+        Stop once this many instances were forged (the paper compares
+        against the original trigger-set size).  ``None`` = no target.
+    max_instances:
+        Cap on test instances attempted (``None`` = all of them).
+    solver_budget:
+        Per-instance solver budget (conflicts for ``smt``, nodes for
+        ``boxes``); exhausted attempts count as ``"unknown"``.
+    random_state:
+        Shuffles the attempt order over the test set.
+    """
+    X_test, y_test = check_X_y(X_test, y_test)
+    if len(fake_signature) != forest.n_trees_:
+        raise ValidationError(
+            f"fake signature has {len(fake_signature)} bits but the forest has "
+            f"{forest.n_trees_} trees"
+        )
+    if not 0.0 < epsilon < 1.0:
+        raise ValidationError(f"epsilon must be in (0, 1), got {epsilon}")
+
+    rng = check_random_state(random_state)
+    order = rng.permutation(X_test.shape[0])
+    if max_instances is not None:
+        order = order[:max_instances]
+
+    roots = forest.roots()
+    budget_kwargs = (
+        {"max_conflicts": solver_budget} if engine == "smt" else {"max_nodes": solver_budget}
+    )
+
+    forged: list[np.ndarray] = []
+    sources: list[int] = []
+    statuses: dict[str, int] = {"sat": 0, "unsat": 0, "unknown": 0}
+    started = time.perf_counter()
+    n_attempted = 0
+    for row in order:
+        if target_size is not None and len(forged) >= target_size:
+            break
+        n_attempted += 1
+        label = int(y_test[row])
+        problem = PatternProblem(
+            roots=roots,
+            required=required_labels(fake_signature, label),
+            n_features=X_test.shape[1],
+            center=X_test[row],
+            epsilon=float(epsilon),
+        )
+        outcome = solve_pattern(problem, engine=engine, **budget_kwargs)
+        statuses[outcome.status] = statuses.get(outcome.status, 0) + 1
+        if outcome.is_sat:
+            assert outcome.instance is not None
+            forged.append(outcome.instance)
+            sources.append(int(row))
+
+    forged_X = (
+        np.stack(forged, axis=0)
+        if forged
+        else np.empty((0, X_test.shape[1]), dtype=np.float64)
+    )
+    return ForgeryAttackResult(
+        epsilon=float(epsilon),
+        signature=fake_signature,
+        n_attempted=n_attempted,
+        forged_X=forged_X,
+        source_index=np.array(sources, dtype=np.int64),
+        statuses=statuses,
+        elapsed_seconds=time.perf_counter() - started,
+    )
+
+
+def forgery_distortion(result: ForgeryAttackResult, X_test) -> dict[str, float]:
+    """Distortion statistics of the forged set relative to its sources.
+
+    The paper's Fig. 5 shows forged MNIST images becoming blurrier as
+    ``ε`` grows; without a display we report the quantitative analogue:
+    mean/max ``L∞`` and mean ``L2`` displacement, plus the fraction of
+    coordinates actually moved.
+    """
+    X_test = np.asarray(X_test, dtype=np.float64)
+    if result.n_forged == 0:
+        return {
+            "mean_linf": 0.0,
+            "max_linf": 0.0,
+            "mean_l2": 0.0,
+            "moved_fraction": 0.0,
+        }
+    originals = X_test[result.source_index]
+    delta = result.forged_X - originals
+    linf = np.abs(delta).max(axis=1)
+    l2 = np.linalg.norm(delta, axis=1)
+    moved = (np.abs(delta) > 1e-12).mean(axis=1)
+    return {
+        "mean_linf": float(linf.mean()),
+        "max_linf": float(linf.max()),
+        "mean_l2": float(l2.mean()),
+        "moved_fraction": float(moved.mean()),
+    }

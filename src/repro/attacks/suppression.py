@@ -1,0 +1,123 @@
+"""Watermark-suppression analysis.
+
+The paper argues suppression is defeated *by construction*: trigger
+instances are sampled from the training distribution, so the attacker
+cannot tell trigger queries from ordinary test queries by looking at
+the inputs.  This module makes that argument measurable — and also
+probes a stronger attacker the paper does not evaluate: one who scores
+queries by the *model's own per-tree disagreement*, since trigger
+instances provoke an unusual vote split (the bit-1 trees all vote
+wrong) that natural inputs rarely produce.
+
+Both analyses report an AUC: 0.5 means the attacker's score carries no
+signal; 1.0 means triggers are perfectly identifiable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .._validation import check_X
+from ..ensemble.voting import vote_margin
+from ..exceptions import ValidationError
+
+__all__ = [
+    "SuppressionAnalysis",
+    "auc_from_scores",
+    "disagreement_score",
+    "input_distance_score",
+    "suppression_analysis",
+]
+
+
+def auc_from_scores(positive_scores, negative_scores) -> float:
+    """Mann–Whitney AUC of separating positives from negatives.
+
+    Ties contribute 1/2, the standard rank treatment.
+    """
+    positive_scores = np.asarray(positive_scores, dtype=np.float64)
+    negative_scores = np.asarray(negative_scores, dtype=np.float64)
+    if positive_scores.size == 0 or negative_scores.size == 0:
+        raise ValidationError("both score groups must be non-empty")
+    greater = (positive_scores[:, None] > negative_scores[None, :]).sum()
+    equal = (positive_scores[:, None] == negative_scores[None, :]).sum()
+    return float(
+        (greater + 0.5 * equal) / (positive_scores.size * negative_scores.size)
+    )
+
+
+def disagreement_score(forest, X) -> np.ndarray:
+    """Per-query tree-vote disagreement in ``[0, 1]``.
+
+    0 = unanimous trees, 1 = an even split.  Watermarked trigger
+    queries sit near ``2 * min(m0, m1) / m`` by construction.
+    """
+    margin = vote_margin(forest.predict_all(check_X(X)))
+    return 1.0 - np.abs(2.0 * margin - 1.0)
+
+
+def input_distance_score(X_queries, X_reference) -> np.ndarray:
+    """Distance of each query to its nearest reference instance.
+
+    This is the *input-side* distinguisher the paper's argument rules
+    out: triggers drawn from the data distribution should look exactly
+    as close to the data manifold as genuine test points.
+    """
+    X_queries = check_X(X_queries, name="X_queries")
+    X_reference = check_X(X_reference, name="X_reference")
+    scores = np.empty(X_queries.shape[0], dtype=np.float64)
+    for i, query in enumerate(X_queries):
+        deltas = X_reference - query[None, :]
+        distances = np.sqrt(np.sum(deltas * deltas, axis=1))
+        # A query identical to a reference row (distance 0) is the
+        # reference itself when triggers come from the training set;
+        # use the second-nearest in that case.
+        distances.sort()
+        scores[i] = distances[1] if distances[0] < 1e-12 and distances.size > 1 else distances[0]
+    return scores
+
+
+@dataclass
+class SuppressionAnalysis:
+    """AUCs of the two suppression distinguishers.
+
+    ``input_auc`` tests the paper's claim (should be ≈ 0.5: triggers are
+    distributionally indistinguishable).  ``disagreement_auc`` measures
+    the stronger model-behaviour attacker (an extension of ours; values
+    near 1.0 show verification queries should never be answered with
+    per-tree outputs by a suspicious party).
+    """
+
+    input_auc: float
+    disagreement_auc: float
+
+
+def suppression_analysis(forest, trigger_X, X_test, X_background) -> SuppressionAnalysis:
+    """Run both distinguishers.
+
+    Parameters
+    ----------
+    forest:
+        The watermarked (stolen) model.
+    trigger_X:
+        The true trigger instances (positives the attacker hunts for).
+    X_test:
+        Ordinary test queries (negatives).
+    X_background:
+        Data the attacker uses as a reference sample of the input
+        distribution (e.g. queries observed in production).
+    """
+    trigger_X = check_X(trigger_X, name="trigger_X")
+    X_test = check_X(X_test, name="X_test")
+
+    input_auc = auc_from_scores(
+        input_distance_score(trigger_X, X_background),
+        input_distance_score(X_test, X_background),
+    )
+    disagreement_auc = auc_from_scores(
+        disagreement_score(forest, trigger_X),
+        disagreement_score(forest, X_test),
+    )
+    return SuppressionAnalysis(input_auc=input_auc, disagreement_auc=disagreement_auc)

@@ -1,0 +1,205 @@
+"""Command-line interface for the watermarking workflow.
+
+Three subcommands cover the owner/judge lifecycle end to end::
+
+    # Owner: train a watermarked forest on a stand-in dataset and save
+    # the model + secret (+ a published commitment digest).
+    python -m repro.cli watermark --dataset breast-cancer --trees 16 \
+        --trigger-size 8 --out-dir ./artifacts
+
+    # Judge: verify a claim against a (possibly stolen) model file.
+    python -m repro.cli verify --model ./artifacts/model.json \
+        --secret ./artifacts/secret.json \
+        --commitment ./artifacts/commitment.json
+
+    # Anyone: regenerate one of the paper's experiments at small scale.
+    python -m repro.cli experiment --name table2
+
+The CLI works on the synthetic stand-in datasets; library users with
+real data call :func:`repro.watermark` directly.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+import numpy as np
+
+from .core import (
+    WatermarkSecret,
+    commit_secret,
+    random_signature,
+    verify_commitment,
+    verify_ownership,
+    watermark,
+)
+from .datasets import DATASET_NAMES, load_dataset
+from .exceptions import ReproError
+from .experiments import (
+    SMALL,
+    detection_table,
+    format_table,
+    forgery_tabular_results,
+)
+from .model_selection import train_test_split
+from .persistence import (
+    forest_from_dict,
+    forest_to_dict,
+    load_json,
+    save_json,
+    secret_from_dict,
+    secret_to_dict,
+)
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for testing and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Watermarking decision-tree ensembles (EDBT 2025 reproduction)",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    cmd_watermark = commands.add_parser(
+        "watermark", help="train a watermarked forest and save model + secret"
+    )
+    cmd_watermark.add_argument("--dataset", choices=DATASET_NAMES, required=True)
+    cmd_watermark.add_argument("--samples", type=int, default=500,
+                               help="stand-in dataset size (default 500)")
+    cmd_watermark.add_argument("--trees", type=int, default=16,
+                               help="ensemble size m = signature length")
+    cmd_watermark.add_argument("--trigger-size", type=int, default=8)
+    cmd_watermark.add_argument("--ones-fraction", type=float, default=0.5)
+    cmd_watermark.add_argument("--max-depth", type=int, default=10)
+    cmd_watermark.add_argument("--seed", type=int, default=0)
+    cmd_watermark.add_argument("--out-dir", type=Path, required=True)
+
+    cmd_verify = commands.add_parser(
+        "verify", help="verify an ownership claim against a model file"
+    )
+    cmd_verify.add_argument("--model", type=Path, required=True)
+    cmd_verify.add_argument("--secret", type=Path, required=True)
+    cmd_verify.add_argument("--commitment", type=Path, default=None,
+                            help="optional commitment file to check the reveal against")
+    cmd_verify.add_argument("--mode", choices=("strict", "iff"), default="strict")
+
+    cmd_experiment = commands.add_parser(
+        "experiment", help="regenerate a paper experiment at small scale"
+    )
+    cmd_experiment.add_argument(
+        "--name", choices=("table2", "sec422"), required=True
+    )
+
+    return parser
+
+
+def _cmd_watermark(args) -> int:
+    dataset = load_dataset(args.dataset, n_samples=args.samples, random_state=args.seed)
+    X_train, X_test, y_train, y_test = train_test_split(
+        dataset.X, dataset.y, test_size=0.3, random_state=args.seed + 1
+    )
+    signature = random_signature(
+        args.trees, ones_fraction=args.ones_fraction, random_state=args.seed + 2
+    )
+    model = watermark(
+        X_train,
+        y_train,
+        signature,
+        trigger_size=args.trigger_size,
+        base_params={"max_depth": args.max_depth},
+        random_state=args.seed + 3,
+    )
+
+    args.out_dir.mkdir(parents=True, exist_ok=True)
+    save_json(forest_to_dict(model.ensemble), args.out_dir / "model.json")
+    secret = WatermarkSecret(
+        signature=model.signature,
+        trigger_X=model.trigger.X,
+        trigger_y=model.trigger.y,
+    )
+    save_json(secret_to_dict(secret), args.out_dir / "secret.json")
+    commitment = commit_secret(secret)
+    save_json(
+        {"digest": commitment.digest, "salt": commitment.salt},
+        args.out_dir / "commitment.json",
+    )
+
+    accuracy = model.ensemble.score(X_test, y_test)
+    print(f"watermarked model written to {args.out_dir / 'model.json'}")
+    print(f"secret written to          {args.out_dir / 'secret.json'}  (keep private!)")
+    print(f"commitment digest          {commitment.digest}  (publish/timestamp this)")
+    print(f"test accuracy              {accuracy:.3f}")
+    return 0
+
+
+def _cmd_verify(args) -> int:
+    model = forest_from_dict(load_json(args.model))
+    secret = secret_from_dict(load_json(args.secret))
+
+    if args.commitment is not None:
+        data = load_json(args.commitment)
+        if not verify_commitment(data["digest"], secret, data["salt"]):
+            print("commitment check       FAILED — revealed secret does not "
+                  "match the published digest")
+            return 2
+        print("commitment check       ok")
+
+    report = verify_ownership(
+        model, secret.signature, secret.trigger_X, secret.trigger_y, mode=args.mode
+    )
+    print(f"verification           {report.summary()}")
+    return 0 if report.accepted else 1
+
+
+def _cmd_experiment(args) -> int:
+    config = SMALL
+    if args.name == "table2":
+        rows = detection_table(config)
+        print(
+            format_table(
+                ["Dataset", "Statistic", "Strategy", "(mean - std)",
+                 "#correct", "#wrong", "#uncertain"],
+                [
+                    [r.dataset, r.statistic, r.strategy,
+                     f"({r.mean:.2f} - {r.std:.2f})", r.n_correct, r.n_wrong,
+                     r.n_uncertain]
+                    for r in rows
+                ],
+            )
+        )
+    else:
+        rows = forgery_tabular_results(
+            config, epsilons=(0.1,), n_signatures=1, max_instances=10
+        )
+        print(
+            format_table(
+                ["Dataset", "eps", "forged", "original k"],
+                [[r.dataset, r.epsilon, r.mean_forged_size, r.original_trigger_size]
+                 for r in rows],
+            )
+        )
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "watermark": _cmd_watermark,
+        "verify": _cmd_verify,
+        "experiment": _cmd_experiment,
+    }
+    try:
+        return handlers[args.command](args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

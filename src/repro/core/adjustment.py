@@ -1,0 +1,106 @@
+"""The paper's ``Adjust`` heuristic for hiding the watermark.
+
+Trees forced to *misclassify* the trigger set (``T1``) tend to overfit
+and grow larger than honestly-trained trees, which would leak the
+signature through structural statistics.  The heuristic:
+
+1. train a standard ensemble with the grid-searched hyper-parameters;
+2. measure the mean and standard deviation of per-tree depth and number
+   of leaves;
+3. cap both at ``mean − std`` (forcing the structure *below* average),
+
+so ``T0`` and ``T1`` trees end up structurally similar, defeating the
+detection strategies evaluated in Table 2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .._validation import check_random_state, check_X_y
+from ..ensemble.forest import RandomForestClassifier
+
+__all__ = ["AdjustedHyperParameters", "adjust_hyperparameters"]
+
+# An ensemble must keep at least this much structure after adjustment,
+# otherwise trees degenerate to stumps and cannot absorb the trigger
+# behaviour at all.
+_MIN_DEPTH = 2
+_MIN_LEAVES = 4
+
+
+@dataclass(frozen=True)
+class AdjustedHyperParameters:
+    """Outcome of the ``Adjust`` heuristic.
+
+    ``max_depth``/``max_leaf_nodes`` are the caps to train ``T0`` and
+    ``T1`` with; the remaining fields record the structural statistics
+    of the probe ensemble for diagnostics and the ablation benchmark.
+    """
+
+    max_depth: int
+    max_leaf_nodes: int
+    probe_depth_mean: float
+    probe_depth_std: float
+    probe_leaves_mean: float
+    probe_leaves_std: float
+
+
+def adjust_hyperparameters(
+    X_train,
+    y_train,
+    n_estimators: int,
+    base_params: dict,
+    tree_feature_fraction: float = 0.7,
+    random_state=None,
+) -> AdjustedHyperParameters:
+    """Run the ``Adjust`` heuristic.
+
+    Parameters
+    ----------
+    X_train, y_train:
+        The owner's training data.
+    n_estimators:
+        Ensemble size ``m``.
+    base_params:
+        Hyper-parameters selected by grid search (e.g. ``max_depth``,
+        ``min_samples_leaf``) used to train the probe ensemble.
+    tree_feature_fraction, random_state:
+        Forwarded to the probe forest.
+
+    Returns
+    -------
+    AdjustedHyperParameters
+        Caps ``mean − std`` (floored, with small structural minimums so
+        the capped trees remain trainable).
+    """
+    X_train, y_train = check_X_y(X_train, y_train)
+    rng = check_random_state(random_state)
+
+    probe = RandomForestClassifier(
+        n_estimators=n_estimators,
+        tree_feature_fraction=tree_feature_fraction,
+        random_state=rng,
+        **base_params,
+    )
+    probe.fit(X_train, y_train)
+    structure = probe.structure()
+
+    depth_mean = float(np.mean(structure["depth"]))
+    depth_std = float(np.std(structure["depth"]))
+    leaves_mean = float(np.mean(structure["n_leaves"]))
+    leaves_std = float(np.std(structure["n_leaves"]))
+
+    max_depth = max(_MIN_DEPTH, int(np.floor(depth_mean - depth_std)))
+    max_leaf_nodes = max(_MIN_LEAVES, int(np.floor(leaves_mean - leaves_std)))
+
+    return AdjustedHyperParameters(
+        max_depth=max_depth,
+        max_leaf_nodes=max_leaf_nodes,
+        probe_depth_mean=depth_mean,
+        probe_depth_std=depth_std,
+        probe_leaves_mean=leaves_mean,
+        probe_leaves_std=leaves_std,
+    )

@@ -1,0 +1,181 @@
+"""Watermarking gradient-boosted ensembles (the paper's future work).
+
+The paper closes by proposing to "generalize our watermarking scheme to
+more advanced decision tree ensembles, such as those trained using
+gradient boosting".  This module implements one natural generalisation,
+clearly marked as *our extension* (it is not specified in the paper):
+
+In a boosted ensemble the trees do not emit class labels, so the bit of
+tree ``i`` is embedded in the **sign of its additive contribution** on
+the trigger instances.  Stage ``i`` is trained on pseudo-residuals
+computed from labels where every trigger instance carries its true
+label if ``σ_i = 0`` and the flipped label if ``σ_i = 1``; trigger
+samples are re-weighted (same escalation loop as the forest scheme)
+until every stage's contribution sign matches the required direction on
+every trigger instance.
+
+Verification reads ``stage_contributions`` — the boosted analogue of
+``predict_all`` — and checks, per stage, that the contribution pushes
+each trigger instance toward the label the signature prescribes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .._validation import (
+    check_binary_labels,
+    check_random_state,
+    check_X_y,
+)
+from ..ensemble.boosting import GradientBoostingClassifier
+from ..exceptions import ConvergenceError, ValidationError
+from .signature import Signature
+from .trigger import TriggerSet, sample_trigger_set
+
+__all__ = [
+    "BoostedWatermarkedModel",
+    "watermark_boosted",
+    "verify_boosted_ownership",
+    "required_directions",
+]
+
+
+@dataclass
+class BoostedWatermarkedModel:
+    """Watermarked GBDT plus its secret and embedding diagnostics."""
+
+    ensemble: GradientBoostingClassifier
+    signature: Signature
+    trigger: TriggerSet
+    rounds: int
+    final_trigger_weight: float
+
+
+def required_directions(signature: Signature, trigger_y: np.ndarray) -> np.ndarray:
+    """Sign each stage's contribution must have on each trigger instance.
+
+    Shape ``(n_stages, k)``: ``+1`` means the stage must push the margin
+    up (toward label ``+1``), ``-1`` down.  Stage ``i`` must push toward
+    the true label when ``σ_i = 0`` and toward the flipped label when
+    ``σ_i = 1``.
+    """
+    trigger_y = np.asarray(trigger_y)
+    bits = signature.as_array()[:, None]  # (m, 1)
+    return np.where(bits == 0, trigger_y[None, :], -trigger_y[None, :])
+
+
+def _signs_match(
+    model: GradientBoostingClassifier,
+    trigger_X: np.ndarray,
+    directions: np.ndarray,
+) -> np.ndarray:
+    """Per-stage boolean: do all trigger contributions have the right sign?
+
+    A zero contribution counts as a mismatch — the stage failed to take
+    a stance on that trigger instance.
+    """
+    contributions = model.stage_contributions(trigger_X)
+    return ((np.sign(contributions) == directions).all(axis=1))
+
+
+def watermark_boosted(
+    X_train,
+    y_train,
+    signature: Signature,
+    trigger_size: int,
+    learning_rate: float = 0.3,
+    max_depth: int = 4,
+    weight_increment: float = 2.0,
+    escalation_factor: float = 2.0,
+    max_rounds: int = 12,
+    random_state=None,
+) -> BoostedWatermarkedModel:
+    """Embed a signature into a gradient-boosted ensemble.
+
+    The ensemble has one boosting stage per signature bit.  Trigger
+    samples are re-weighted until every stage's contribution sign
+    matches :func:`required_directions` on every trigger instance.
+
+    Raises
+    ------
+    ConvergenceError
+        If the sign pattern cannot be enforced within ``max_rounds``
+        retrainings (e.g. trees too shallow to isolate the triggers).
+    """
+    X_train, y_train = check_X_y(X_train, y_train)
+    y_train = check_binary_labels(y_train)
+    rng = check_random_state(random_state)
+    if trigger_size > X_train.shape[0] // 2:
+        raise ValidationError(
+            f"trigger_size={trigger_size} is not small relative to the training "
+            f"set ({X_train.shape[0]} samples)"
+        )
+
+    trigger = sample_trigger_set(X_train, y_train, trigger_size, random_state=rng)
+    directions = required_directions(signature, trigger.y)
+    bits = signature.as_array()
+
+    def stage_labels(stage: int, y: np.ndarray) -> np.ndarray:
+        if bits[stage] == 1:
+            y = y.copy()
+            y[trigger.indices] = -y[trigger.indices]
+        return y
+
+    weights = np.ones(X_train.shape[0], dtype=np.float64)
+    increment = float(weight_increment)
+    rounds = 0
+    while True:
+        model = GradientBoostingClassifier(
+            n_estimators=len(signature),
+            learning_rate=learning_rate,
+            max_depth=max_depth,
+            random_state=int(rng.integers(2**31 - 1)),
+        )
+        model.fit(
+            X_train,
+            y_train,
+            sample_weight=weights,
+            stage_label_overrides=stage_labels,
+        )
+        if _signs_match(model, trigger.X, directions).all():
+            return BoostedWatermarkedModel(
+                ensemble=model,
+                signature=signature,
+                trigger=trigger,
+                rounds=rounds,
+                final_trigger_weight=float(weights[trigger.indices].max()),
+            )
+        rounds += 1
+        if rounds >= max_rounds:
+            matched = int(_signs_match(model, trigger.X, directions).sum())
+            raise ConvergenceError(
+                f"boosted watermark embedding did not converge after {rounds} "
+                f"rounds: {matched}/{len(signature)} stages match. Consider a "
+                f"larger max_depth or learning_rate.",
+                rounds=rounds,
+            )
+        weights[trigger.indices] += increment
+        increment *= escalation_factor
+
+
+def verify_boosted_ownership(
+    model, signature: Signature, trigger_X, trigger_y
+) -> tuple[bool, np.ndarray]:
+    """Black-box verification against a boosted suspect model.
+
+    ``model`` must expose ``stage_contributions(X)``.  Returns
+    ``(accepted, per_stage_matches)``.
+    """
+    trigger_X = np.asarray(trigger_X, dtype=np.float64)
+    directions = required_directions(signature, np.asarray(trigger_y))
+    contributions = np.asarray(model.stage_contributions(trigger_X))
+    if contributions.shape[0] != len(signature):
+        raise ValidationError(
+            f"model has {contributions.shape[0]} stages but the signature has "
+            f"{len(signature)} bits"
+        )
+    matches = (np.sign(contributions) == directions).all(axis=1)
+    return bool(matches.all()), matches

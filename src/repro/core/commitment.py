@@ -1,0 +1,91 @@
+"""Cryptographic commitments to watermark secrets.
+
+A practical gap in trigger-set watermarking disputes: Bob can argue
+that Alice constructed her "secret" *after* observing his model.  The
+fix is standard — Alice publishes a hiding, binding **commitment** to
+``(signature, trigger set)`` at deployment time (e.g. in a timestamped
+registry); during the dispute she reveals the secret and the judge
+checks it against the commitment *before* running verification.
+
+The scheme is hash-based: ``commit = SHA-256(salt || canonical-secret)``
+with a random 32-byte salt.  Hiding comes from the salt, binding from
+collision resistance.  This module is an extension of ours; the paper
+does not discuss commitment, but its protocol slots it in naturally.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import secrets
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..exceptions import ValidationError, VerificationError
+from .protocol import WatermarkSecret
+
+__all__ = ["SecretCommitment", "commit_secret", "verify_commitment"]
+
+_SALT_BYTES = 32
+
+
+def _canonical_bytes(secret: WatermarkSecret) -> bytes:
+    """A canonical, reproducible byte encoding of a secret.
+
+    Floats are serialised through ``float.hex`` so the encoding is
+    exact and platform-independent (JSON float formatting is not).
+    """
+    payload = {
+        "signature": secret.signature.to_string(),
+        "trigger_X": [[float(v).hex() for v in row] for row in secret.trigger_X],
+        "trigger_y": [int(v) for v in secret.trigger_y],
+    }
+    return json.dumps(payload, sort_keys=True, separators=(",", ":")).encode("utf-8")
+
+
+@dataclass(frozen=True)
+class SecretCommitment:
+    """A published commitment: the digest is public, the salt private
+    until reveal time."""
+
+    digest: str
+    salt: str
+
+    def public_part(self) -> str:
+        """What gets published/timestamped at deployment time."""
+        return self.digest
+
+
+def commit_secret(secret: WatermarkSecret, salt: bytes | None = None) -> SecretCommitment:
+    """Commit to a watermark secret.
+
+    Parameters
+    ----------
+    salt:
+        Optional fixed salt (32 bytes) for reproducibility in tests;
+        production callers should leave it ``None`` for a random salt.
+    """
+    if salt is None:
+        salt = secrets.token_bytes(_SALT_BYTES)
+    if len(salt) != _SALT_BYTES:
+        raise ValidationError(f"salt must be {_SALT_BYTES} bytes, got {len(salt)}")
+    digest = hashlib.sha256(salt + _canonical_bytes(secret)).hexdigest()
+    return SecretCommitment(digest=digest, salt=salt.hex())
+
+
+def verify_commitment(commitment_digest: str, secret: WatermarkSecret, salt_hex: str) -> bool:
+    """Judge-side check: does the revealed (secret, salt) open the
+    published digest?
+
+    Raises :class:`VerificationError` on malformed inputs, returns
+    ``False`` on a genuine mismatch (a failed reveal).
+    """
+    try:
+        salt = bytes.fromhex(salt_hex)
+    except ValueError as exc:
+        raise VerificationError(f"salt is not valid hex: {exc}") from exc
+    if len(salt) != _SALT_BYTES:
+        raise VerificationError(f"salt must be {_SALT_BYTES} bytes, got {len(salt)}")
+    recomputed = hashlib.sha256(salt + _canonical_bytes(secret)).hexdigest()
+    return recomputed == commitment_digest

@@ -1,0 +1,364 @@
+"""Watermark creation — Algorithm 1 of the paper.
+
+``train_with_trigger`` forces a set of trees to exhibit prescribed
+behaviour on the trigger set by iterative sample re-weighting;
+``watermark`` orchestrates the full pipeline: grid search, trigger
+sampling, the ``Adjust`` heuristic, training the two ensembles ``T0``
+(trigger classified correctly) and ``T1`` (trigger misclassified, via
+label flipping), and interleaving their trees according to the owner's
+signature.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .._validation import (
+    check_binary_labels,
+    check_random_state,
+    check_X_y,
+)
+from ..ensemble.forest import RandomForestClassifier
+from ..exceptions import ConvergenceError, ValidationError
+from ..model_selection.grid_search import grid_search_forest
+from .adjustment import AdjustedHyperParameters, adjust_hyperparameters
+from .signature import Signature
+from .trigger import TriggerSet, sample_trigger_set
+
+__all__ = [
+    "EmbeddingReport",
+    "WatermarkedModel",
+    "train_with_trigger",
+    "watermark",
+    "train_standard_forest",
+]
+
+
+@dataclass
+class EmbeddingReport:
+    """Diagnostics of one watermark-embedding run.
+
+    ``rounds_t0``/``rounds_t1`` count the re-weighting rounds needed to
+    converge (0 means the first ensemble already fitted the triggers);
+    ``trigger_weight_*`` is the final weight given to trigger samples.
+    """
+
+    rounds_t0: int
+    rounds_t1: int
+    trigger_weight_t0: float
+    trigger_weight_t1: float
+    adjusted: AdjustedHyperParameters | None
+    base_params: dict
+
+
+@dataclass
+class WatermarkedModel:
+    """The output pair ⟨T, D_trigger⟩ of Algorithm 1, plus provenance.
+
+    ``ensemble`` is the watermarked forest; ``signature`` and
+    ``trigger`` together form the owner's secret; ``report`` records how
+    the embedding went.
+    """
+
+    ensemble: RandomForestClassifier
+    signature: Signature
+    trigger: TriggerSet
+    report: EmbeddingReport
+
+
+def _forest_params(base_params: dict, adjusted: AdjustedHyperParameters | None) -> dict:
+    """Merge grid-searched params with the Adjust caps (caps win)."""
+    params = dict(base_params)
+    if adjusted is not None:
+        params["max_depth"] = adjusted.max_depth
+        params["max_leaf_nodes"] = adjusted.max_leaf_nodes
+    return params
+
+
+def _trees_fit_trigger(
+    forest: RandomForestClassifier, trigger_X: np.ndarray, trigger_y: np.ndarray
+) -> bool:
+    """True when *every* tree predicts the required trigger labels."""
+    return bool((forest.predict_all(trigger_X) == trigger_y[None, :]).all())
+
+
+def train_with_trigger(
+    X_train: np.ndarray,
+    y_train: np.ndarray,
+    trigger_indices: np.ndarray,
+    n_estimators: int,
+    params: dict,
+    tree_feature_fraction: float = 0.7,
+    weight_increment: float = 1.0,
+    escalation_factor: float = 1.0,
+    max_rounds: int = 60,
+    random_state=None,
+) -> tuple[RandomForestClassifier, int, float]:
+    """The paper's ``TrainWithTrigger``: re-weight until all trees comply.
+
+    ``y_train`` must already carry the labels the trees are required to
+    reproduce on the trigger rows (for ``T1`` the caller flips them
+    beforehand, mirroring lines 16–17 of Algorithm 1).
+
+    Parameters
+    ----------
+    trigger_indices:
+        Row indices of the trigger instances within ``X_train``.
+    weight_increment:
+        Weight added to every trigger sample after a failed round
+        (the paper uses ``+1``).
+    escalation_factor:
+        Multiplier applied to ``weight_increment`` after each failed
+        round.  ``1.0`` (default) is the paper's additive schedule; a
+        value like ``2.0`` converges in fewer retrainings on stubborn
+        instances at the cost of larger final weights.
+    max_rounds:
+        Bound on retraining rounds; exceeded ⇒ :class:`ConvergenceError`
+        (e.g. when the capped trees simply cannot isolate the triggers).
+
+    Returns
+    -------
+    (forest, rounds, final_trigger_weight)
+    """
+    if n_estimators < 1:
+        raise ValidationError(f"n_estimators must be >= 1, got {n_estimators}")
+    if weight_increment <= 0:
+        raise ValidationError(f"weight_increment must be > 0, got {weight_increment}")
+    if escalation_factor < 1.0:
+        raise ValidationError(
+            f"escalation_factor must be >= 1, got {escalation_factor}"
+        )
+    if max_rounds < 1:
+        raise ValidationError(f"max_rounds must be >= 1, got {max_rounds}")
+    rng = check_random_state(random_state)
+
+    trigger_indices = np.asarray(trigger_indices, dtype=np.int64)
+    trigger_X = X_train[trigger_indices]
+    trigger_y = y_train[trigger_indices]
+
+    weights = np.ones(X_train.shape[0], dtype=np.float64)
+    increment = float(weight_increment)
+    rounds = 0
+    while True:
+        forest = RandomForestClassifier(
+            n_estimators=n_estimators,
+            tree_feature_fraction=tree_feature_fraction,
+            random_state=int(rng.integers(2**31 - 1)),
+            **params,
+        )
+        forest.fit(X_train, y_train, sample_weight=weights)
+        if _trees_fit_trigger(forest, trigger_X, trigger_y):
+            return forest, rounds, float(weights[trigger_indices].max())
+        rounds += 1
+        if rounds >= max_rounds:
+            misfit = int(
+                (forest.predict_all(trigger_X) != trigger_y[None, :]).any(axis=1).sum()
+            )
+            raise ConvergenceError(
+                f"TrainWithTrigger did not converge after {rounds} rounds: "
+                f"{misfit}/{n_estimators} trees still misfit the trigger set "
+                f"(trigger weight reached {weights[trigger_indices].max():.1f}). "
+                f"Consider loosening max_depth/max_leaf_nodes or raising "
+                f"escalation_factor.",
+                rounds=rounds,
+            )
+        weights[trigger_indices] += increment
+        increment *= escalation_factor
+
+
+def train_standard_forest(
+    X_train,
+    y_train,
+    n_estimators: int,
+    params: dict,
+    tree_feature_fraction: float = 0.7,
+    random_state=None,
+) -> RandomForestClassifier:
+    """Train the non-watermarked baseline forest used throughout §4."""
+    forest = RandomForestClassifier(
+        n_estimators=n_estimators,
+        tree_feature_fraction=tree_feature_fraction,
+        random_state=random_state,
+        **params,
+    )
+    return forest.fit(X_train, y_train)
+
+
+def _assemble(
+    signature: Signature,
+    forest_zero: RandomForestClassifier | None,
+    forest_one: RandomForestClassifier | None,
+    n_features: int,
+    classes: np.ndarray,
+    template: RandomForestClassifier,
+) -> RandomForestClassifier:
+    """Interleave trees of ``T0``/``T1`` by signature bit (lines 19–22)."""
+    trees = []
+    subsets = []
+    it_zero = iter(zip(forest_zero.trees_, forest_zero.feature_subsets_)) if forest_zero else iter(())
+    it_one = iter(zip(forest_one.trees_, forest_one.feature_subsets_)) if forest_one else iter(())
+    for bit in signature:
+        tree, subset = next(it_one) if bit == 1 else next(it_zero)
+        trees.append(tree)
+        subsets.append(subset)
+
+    assembled = template.clone_with(n_estimators=len(signature))
+    assembled.trees_ = trees
+    assembled.feature_subsets_ = subsets
+    assembled.classes_ = classes
+    assembled.n_features_in_ = n_features
+    return assembled
+
+
+def watermark(
+    X_train,
+    y_train,
+    signature: Signature,
+    trigger_size: int,
+    base_params: dict | None = None,
+    param_grid: dict | None = None,
+    adjust: bool = True,
+    tree_feature_fraction: float = 0.7,
+    weight_increment: float = 1.0,
+    escalation_factor: float = 1.0,
+    max_rounds: int = 60,
+    random_state=None,
+) -> WatermarkedModel:
+    """The paper's ``Watermark(D_train, m, σ, k)`` (Algorithm 1).
+
+    Parameters
+    ----------
+    X_train, y_train:
+        Training set with binary ±1 labels.
+    signature:
+        The owner's ``m``-bit signature; ``m`` is also the ensemble size.
+    trigger_size:
+        ``k``, the number of trigger instances (``k ≪ |D_train|``).
+    base_params:
+        Hyper-parameters ``H``.  ``None`` runs
+        :func:`~repro.model_selection.grid_search_forest` first, exactly
+        as line 12 of the algorithm does; passing a dict skips the
+        search (useful when sweeping other variables).
+    param_grid:
+        Optional custom grid for the grid search.
+    adjust:
+        Apply the ``Adjust`` anti-detection heuristic (on by default;
+        the ablation benchmark switches it off).
+    weight_increment, escalation_factor, max_rounds:
+        Re-weighting schedule, see :func:`train_with_trigger`.
+    random_state:
+        Seed/generator; drives grid search, trigger sampling, adjustment
+        and both trainings.
+
+    Returns
+    -------
+    WatermarkedModel
+        The watermarked ensemble together with the secret
+        ``(signature, trigger set)`` and embedding diagnostics.
+
+    Notes
+    -----
+    The pseudo-code calls ``Adjust`` inside ``TrainWithTrigger``; since
+    the heuristic is a pure function of ``(D_train, H)`` we hoist it out
+    and compute it once for both ensembles — same result, half the probe
+    trainings.
+    """
+    X_train, y_train = check_X_y(X_train, y_train)
+    y_train = check_binary_labels(y_train)
+    rng = check_random_state(random_state)
+
+    if trigger_size > X_train.shape[0] // 2:
+        raise ValidationError(
+            f"trigger_size={trigger_size} is not small relative to the training set "
+            f"({X_train.shape[0]} samples); the scheme assumes k ≪ |D_train|"
+        )
+
+    # Line 12: grid search for H.
+    if base_params is None:
+        search = grid_search_forest(
+            X_train,
+            y_train,
+            n_estimators=len(signature),
+            param_grid=param_grid,
+            tree_feature_fraction=tree_feature_fraction,
+            random_state=rng,
+        )
+        base_params = search.best_params
+
+    # Line 13: sample the trigger set.
+    trigger = sample_trigger_set(X_train, y_train, trigger_size, random_state=rng)
+
+    # Adjust(H): hide the watermark structurally.
+    adjusted = None
+    if adjust:
+        adjusted = adjust_hyperparameters(
+            X_train,
+            y_train,
+            n_estimators=len(signature),
+            base_params=base_params,
+            tree_feature_fraction=tree_feature_fraction,
+            random_state=rng,
+        )
+    params = _forest_params(base_params, adjusted)
+
+    # Lines 14-15: T0 — trees classify the trigger set correctly.
+    n_zero = signature.n_zeros
+    forest_zero, rounds_t0, weight_t0 = (None, 0, 1.0)
+    if n_zero > 0:
+        forest_zero, rounds_t0, weight_t0 = train_with_trigger(
+            X_train,
+            y_train,
+            trigger.indices,
+            n_estimators=n_zero,
+            params=params,
+            tree_feature_fraction=tree_feature_fraction,
+            weight_increment=weight_increment,
+            escalation_factor=escalation_factor,
+            max_rounds=max_rounds,
+            random_state=rng,
+        )
+
+    # Lines 16-18: flip trigger labels and train T1 to misclassify.
+    n_one = signature.n_ones
+    forest_one, rounds_t1, weight_t1 = (None, 0, 1.0)
+    if n_one > 0:
+        y_flipped = y_train.copy()
+        y_flipped[trigger.indices] = trigger.flipped_y
+        forest_one, rounds_t1, weight_t1 = train_with_trigger(
+            X_train,
+            y_flipped,
+            trigger.indices,
+            n_estimators=n_one,
+            params=params,
+            tree_feature_fraction=tree_feature_fraction,
+            weight_increment=weight_increment,
+            escalation_factor=escalation_factor,
+            max_rounds=max_rounds,
+            random_state=rng,
+        )
+
+    # Lines 19-23: interleave trees by signature bit.
+    template = RandomForestClassifier(
+        tree_feature_fraction=tree_feature_fraction, **params
+    )
+    ensemble = _assemble(
+        signature,
+        forest_zero,
+        forest_one,
+        n_features=X_train.shape[1],
+        classes=np.unique(y_train),
+        template=template,
+    )
+    report = EmbeddingReport(
+        rounds_t0=rounds_t0,
+        rounds_t1=rounds_t1,
+        trigger_weight_t0=weight_t0,
+        trigger_weight_t1=weight_t1,
+        adjusted=adjusted,
+        base_params=dict(base_params),
+    )
+    return WatermarkedModel(
+        ensemble=ensemble, signature=signature, trigger=trigger, report=report
+    )

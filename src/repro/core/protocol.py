@@ -1,0 +1,120 @@
+"""The Alice / Bob / Charlie ownership-dispute protocol.
+
+The paper's verification story: Alice watermarked her model; Bob is
+suspected of using it illegitimately; Charlie is the legal authority.
+Alice hands Charlie her signature ``σ``, the trigger set ``D_trigger``
+and a test set ``D_test ⊇ D_trigger``.  Charlie feeds the *whole* test
+set to Bob's model — disguising which queries are triggers, which is
+what defeats suppression — extracts the per-tree predictions on the
+trigger rows, and checks the signature pattern.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .._validation import check_X, check_X_y
+from ..exceptions import ValidationError, VerificationError
+from .signature import Signature
+from .verification import VerificationReport, match_signature
+
+__all__ = ["WatermarkSecret", "OwnershipClaim", "Judge"]
+
+
+@dataclass(frozen=True)
+class WatermarkSecret:
+    """What the model owner keeps private: signature + trigger set."""
+
+    signature: Signature
+    trigger_X: np.ndarray
+    trigger_y: np.ndarray
+
+    def __post_init__(self) -> None:
+        if self.trigger_X.ndim != 2 or self.trigger_y.ndim != 1:
+            raise ValidationError("trigger_X must be 2-D and trigger_y 1-D")
+        if self.trigger_X.shape[0] != self.trigger_y.shape[0]:
+            raise ValidationError("trigger_X and trigger_y must have equal length")
+
+
+@dataclass(frozen=True)
+class OwnershipClaim:
+    """A claim presented to the judge.
+
+    ``X_test``/``y_test`` is the disclosed test set which must contain
+    every trigger instance (``D_trigger ⊆ D_test``), hiding the triggers
+    among ordinary queries.
+    """
+
+    claimant: str
+    secret: WatermarkSecret
+    X_test: np.ndarray
+    y_test: np.ndarray
+
+
+def _locate_rows(needles: np.ndarray, haystack: np.ndarray) -> np.ndarray:
+    """Index of each ``needles`` row inside ``haystack`` (exact match).
+
+    Raises :class:`VerificationError` when a row is missing — the
+    claimant failed the ``D_trigger ⊆ D_test`` requirement.
+    """
+    positions = np.empty(needles.shape[0], dtype=np.int64)
+    for row_number, row in enumerate(needles):
+        hits = np.flatnonzero((haystack == row[None, :]).all(axis=1))
+        if hits.size == 0:
+            raise VerificationError(
+                f"trigger instance #{row_number} does not appear in the disclosed "
+                f"test set; the protocol requires D_trigger ⊆ D_test"
+            )
+        positions[row_number] = hits[0]
+    return positions
+
+
+class Judge:
+    """The neutral verifier (Charlie).
+
+    The judge sees only the suspect model's black-box per-tree
+    prediction interface, never its parameters.
+    """
+
+    def __init__(self, mode: str = "strict") -> None:
+        if mode not in ("strict", "iff"):
+            raise ValidationError(f"mode must be 'strict' or 'iff', got {mode!r}")
+        self.mode = mode
+
+    def verify_claim(self, suspect_model, claim: OwnershipClaim) -> VerificationReport:
+        """Run the verification protocol for one claim.
+
+        Parameters
+        ----------
+        suspect_model:
+            Any object exposing ``predict_all(X) -> (n_trees, n)``; the
+            judge queries it once with the full disclosed test set.
+        claim:
+            The claimant's signature, trigger set and covering test set.
+
+        Returns
+        -------
+        VerificationReport
+            ``accepted=True`` establishes the claimed ownership.
+        """
+        X_test, _y_test = check_X_y(claim.X_test, claim.y_test)
+        trigger_X = check_X(claim.secret.trigger_X, name="trigger_X")
+        positions = _locate_rows(trigger_X, X_test)
+
+        # Single batched query over the whole test set: the suspect
+        # cannot tell trigger queries apart from ordinary ones.
+        all_predictions = np.asarray(suspect_model.predict_all(X_test))
+        if all_predictions.ndim != 2 or all_predictions.shape[1] != X_test.shape[0]:
+            raise VerificationError(
+                "suspect model's predict_all must return (n_trees, n_samples) "
+                f"for the disclosed test set; got shape {all_predictions.shape}"
+            )
+        trigger_predictions = all_predictions[:, positions]
+        return match_signature(
+            trigger_predictions,
+            claim.secret.trigger_y,
+            claim.secret.signature,
+            mode=self.mode,
+        )

@@ -1,0 +1,72 @@
+"""Trigger-set sampling and label flipping.
+
+The trigger set ``D_trigger`` is a small random subset of the training
+set (``k ≪ |D_train|``).  Sampling triggers *from the training
+distribution* is what makes the scheme robust against suppression: an
+attacker observing verification queries cannot tell trigger instances
+from ordinary test instances.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .._validation import check_binary_labels, check_random_state, check_X_y
+from ..exceptions import ValidationError
+
+__all__ = ["TriggerSet", "sample_trigger_set"]
+
+
+@dataclass(frozen=True)
+class TriggerSet:
+    """A trigger set with provenance into the owner's training data.
+
+    ``indices`` point into the training set the triggers were sampled
+    from; ``X``/``y`` are the instances and their *true* labels.
+    ``flipped_y`` are the labels the ``T1`` trees are forced to predict.
+    """
+
+    indices: np.ndarray
+    X: np.ndarray
+    y: np.ndarray
+
+    def __post_init__(self) -> None:
+        if self.X.shape[0] != self.y.shape[0] or self.X.shape[0] != self.indices.shape[0]:
+            raise ValidationError("trigger indices, X and y must have equal length")
+        if self.X.shape[0] == 0:
+            raise ValidationError("a trigger set must contain at least one instance")
+
+    @property
+    def size(self) -> int:
+        """Number of trigger instances ``k``."""
+        return int(self.X.shape[0])
+
+    @property
+    def flipped_y(self) -> np.ndarray:
+        """Labels with the sign flipped (the paper's ``D'_trigger`` labels)."""
+        return -self.y
+
+    def membership_mask(self, n_train: int) -> np.ndarray:
+        """Boolean mask of length ``n_train`` marking trigger rows."""
+        mask = np.zeros(n_train, dtype=bool)
+        mask[self.indices] = True
+        return mask
+
+
+def sample_trigger_set(X_train, y_train, k: int, random_state=None) -> TriggerSet:
+    """Uniformly sample ``k`` training instances as the trigger set.
+
+    Labels must be binary ±1 (the scheme flips trigger labels by
+    negation).  Sampling is without replacement.
+    """
+    X_train, y_train = check_X_y(X_train, y_train)
+    y_train = check_binary_labels(y_train)
+    if not 1 <= k <= X_train.shape[0]:
+        raise ValidationError(
+            f"trigger size k must be in [1, {X_train.shape[0]}], got {k}"
+        )
+    rng = check_random_state(random_state)
+    indices = np.sort(rng.choice(X_train.shape[0], size=k, replace=False))
+    return TriggerSet(indices=indices, X=X_train[indices].copy(), y=y_train[indices].copy())

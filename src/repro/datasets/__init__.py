@@ -1,0 +1,39 @@
+"""Synthetic stand-ins for the paper's evaluation datasets (Table 1)."""
+
+from .preprocessing import MinMaxScaler
+from .registry import (
+    DATASET_NAMES,
+    Dataset,
+    breast_cancer_like,
+    dataset_statistics,
+    ijcnn1_like,
+    load_dataset,
+    mnist26_like,
+)
+from .synthetic import (
+    cluster_minority_dataset,
+    correlated_gaussian_classes,
+    image_class_samples,
+    interaction_score,
+    margin_interaction_dataset,
+    nonlinear_interaction_labels,
+    smooth_image_prototype,
+)
+
+__all__ = [
+    "DATASET_NAMES",
+    "Dataset",
+    "MinMaxScaler",
+    "breast_cancer_like",
+    "cluster_minority_dataset",
+    "correlated_gaussian_classes",
+    "dataset_statistics",
+    "ijcnn1_like",
+    "image_class_samples",
+    "interaction_score",
+    "margin_interaction_dataset",
+    "load_dataset",
+    "mnist26_like",
+    "nonlinear_interaction_labels",
+    "smooth_image_prototype",
+]

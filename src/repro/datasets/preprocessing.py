@@ -1,0 +1,52 @@
+"""Feature preprocessing: the paper normalises every dataset into [0, 1].
+
+The scaler fits on training data and transforms train/test alike, so
+the ε-ball geometry of the forgery experiments is expressed in the same
+normalised units as the paper's.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .._validation import check_X
+from ..exceptions import NotFittedError
+
+__all__ = ["MinMaxScaler"]
+
+
+class MinMaxScaler:
+    """Min-max scaling of every feature into ``[0, 1]``.
+
+    Constant features map to 0.  Values outside the fitted range (e.g.
+    test points beyond the training min/max) are clipped, keeping the
+    unit-hypercube domain assumption of the forgery solvers valid.
+    """
+
+    def __init__(self, clip: bool = True) -> None:
+        self.clip = clip
+        self.min_: np.ndarray | None = None
+        self.span_: np.ndarray | None = None
+
+    def fit(self, X) -> "MinMaxScaler":
+        """Record per-feature minima and ranges."""
+        X = check_X(X)
+        self.min_ = X.min(axis=0)
+        span = X.max(axis=0) - self.min_
+        span[span < 1e-12] = 1.0
+        self.span_ = span
+        return self
+
+    def transform(self, X) -> np.ndarray:
+        """Scale ``X`` with the fitted parameters."""
+        if self.min_ is None or self.span_ is None:
+            raise NotFittedError("this MinMaxScaler is not fitted yet")
+        X = check_X(X)
+        scaled = (X - self.min_) / self.span_
+        if self.clip:
+            scaled = np.clip(scaled, 0.0, 1.0)
+        return scaled
+
+    def fit_transform(self, X) -> np.ndarray:
+        """Fit and transform in one step."""
+        return self.fit(X).transform(X)

@@ -1,0 +1,24 @@
+"""Tree-ensemble substrate.
+
+- :class:`RandomForestClassifier` — feature-subspace forest *without*
+  bootstrap, exposing per-tree predictions (``predict_all``); the model
+  class the paper's watermarking scheme targets.
+- :func:`majority_vote`, :func:`vote_margin` — prediction aggregation.
+- :class:`GradientBoostingClassifier` — boosted trees (the paper's
+  future-work extension target), see :mod:`repro.ensemble.boosting`.
+- :class:`OneVsRestForest` — multi-class by binary decomposition, the
+  encoding the paper suggests for multi-class tasks.
+"""
+
+from .boosting import GradientBoostingClassifier
+from .forest import RandomForestClassifier
+from .multiclass import OneVsRestForest
+from .voting import majority_vote, vote_margin
+
+__all__ = [
+    "GradientBoostingClassifier",
+    "OneVsRestForest",
+    "RandomForestClassifier",
+    "majority_vote",
+    "vote_margin",
+]

@@ -1,0 +1,222 @@
+"""Random forest **without bootstrap**, with per-tree feature subspaces.
+
+This is the exact model class the paper watermarks:
+
+- no bootstrap: every tree sees the whole training set, so the sample
+  re-weighting of Algorithm 1 acts on *every* tree;
+- "each tree is a classifier trained on a subset of the features of the
+  entire training set": each tree draws a random feature subspace;
+- the ensemble can expose *per-tree* predictions (``predict_all``, the
+  analogue of R's ``predict.all`` that the verification protocol needs).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .._validation import (
+    check_random_state,
+    check_sample_weight,
+    check_X,
+    check_X_y,
+)
+from ..exceptions import NotFittedError, ValidationError
+from ..trees.export import ensemble_structure
+from ..trees.tree import DecisionTreeClassifier
+from .voting import majority_vote
+
+__all__ = ["RandomForestClassifier"]
+
+
+class RandomForestClassifier:
+    """Feature-subspace random forest without bootstrap.
+
+    Parameters
+    ----------
+    n_estimators:
+        Number of trees ``m`` in the ensemble.
+    criterion, max_depth, max_leaf_nodes, min_samples_split,
+    min_samples_leaf, min_impurity_decrease, max_features:
+        Passed to each :class:`~repro.trees.DecisionTreeClassifier`.
+    tree_feature_fraction:
+        Fraction of the features assigned to each tree's private
+        subspace (sampled without replacement per tree).  ``1.0`` gives
+        every tree the full feature set.
+    random_state:
+        Seed/generator controlling subspace assignment and per-split
+        feature sampling.
+
+    Notes
+    -----
+    Bootstrap resampling is deliberately not implemented: the paper's
+    scheme requires all trees to be trained on the full (re-weighted)
+    training set so that trigger behaviour can be forced in every tree.
+    """
+
+    def __init__(
+        self,
+        n_estimators: int = 100,
+        criterion: str = "gini",
+        max_depth: int | None = None,
+        max_leaf_nodes: int | None = None,
+        min_samples_split: int = 2,
+        min_samples_leaf: int = 1,
+        min_impurity_decrease: float = 0.0,
+        max_features=None,
+        tree_feature_fraction: float = 0.7,
+        random_state=None,
+    ) -> None:
+        self.n_estimators = n_estimators
+        self.criterion = criterion
+        self.max_depth = max_depth
+        self.max_leaf_nodes = max_leaf_nodes
+        self.min_samples_split = min_samples_split
+        self.min_samples_leaf = min_samples_leaf
+        self.min_impurity_decrease = min_impurity_decrease
+        self.max_features = max_features
+        self.tree_feature_fraction = tree_feature_fraction
+        self.random_state = random_state
+        self.trees_: list[DecisionTreeClassifier] | None = None
+        self.feature_subsets_: list[np.ndarray] | None = None
+        self.classes_: np.ndarray | None = None
+        self.n_features_in_: int | None = None
+
+    # ------------------------------------------------------------------
+
+    def get_params(self) -> dict:
+        """Constructor parameters as a dict (grid-search support)."""
+        return {
+            "n_estimators": self.n_estimators,
+            "criterion": self.criterion,
+            "max_depth": self.max_depth,
+            "max_leaf_nodes": self.max_leaf_nodes,
+            "min_samples_split": self.min_samples_split,
+            "min_samples_leaf": self.min_samples_leaf,
+            "min_impurity_decrease": self.min_impurity_decrease,
+            "max_features": self.max_features,
+            "tree_feature_fraction": self.tree_feature_fraction,
+            "random_state": self.random_state,
+        }
+
+    def clone_with(self, **overrides) -> "RandomForestClassifier":
+        """A fresh unfitted copy with some parameters replaced."""
+        params = self.get_params()
+        unknown = set(overrides) - set(params)
+        if unknown:
+            raise ValidationError(f"unknown parameters: {sorted(unknown)}")
+        params.update(overrides)
+        return RandomForestClassifier(**params)
+
+    # ------------------------------------------------------------------
+
+    def _subspace_size(self, n_features: int) -> int:
+        if not 0.0 < self.tree_feature_fraction <= 1.0:
+            raise ValidationError(
+                f"tree_feature_fraction must be in (0, 1], got "
+                f"{self.tree_feature_fraction}"
+            )
+        return max(1, int(round(self.tree_feature_fraction * n_features)))
+
+    def fit(self, X, y, sample_weight=None) -> "RandomForestClassifier":
+        """Fit ``n_estimators`` trees on the full (weighted) training set."""
+        if self.n_estimators < 1:
+            raise ValidationError(f"n_estimators must be >= 1, got {self.n_estimators}")
+        X, y = check_X_y(X, y)
+        weights = check_sample_weight(sample_weight, X.shape[0])
+        rng = check_random_state(self.random_state)
+
+        n_features = X.shape[1]
+        subspace_size = self._subspace_size(n_features)
+        trees: list[DecisionTreeClassifier] = []
+        subsets: list[np.ndarray] = []
+        for _ in range(self.n_estimators):
+            subset = np.sort(rng.choice(n_features, size=subspace_size, replace=False))
+            tree = DecisionTreeClassifier(
+                criterion=self.criterion,
+                max_depth=self.max_depth,
+                max_leaf_nodes=self.max_leaf_nodes,
+                min_samples_split=self.min_samples_split,
+                min_samples_leaf=self.min_samples_leaf,
+                min_impurity_decrease=self.min_impurity_decrease,
+                max_features=self.max_features,
+                feature_subset=subset,
+                random_state=rng,  # shared stream keeps the forest deterministic
+            )
+            tree.fit(X, y, sample_weight=weights)
+            trees.append(tree)
+            subsets.append(subset)
+
+        self.trees_ = trees
+        self.feature_subsets_ = subsets
+        self.classes_ = np.unique(np.asarray(y))
+        self.n_features_in_ = n_features
+        return self
+
+    # ------------------------------------------------------------------
+
+    def _check_fitted(self) -> list[DecisionTreeClassifier]:
+        if self.trees_ is None:
+            raise NotFittedError("this RandomForestClassifier is not fitted yet")
+        return self.trees_
+
+    def predict_all(self, X) -> np.ndarray:
+        """Per-tree predictions, shape ``(n_trees, n_samples)``.
+
+        This is the query interface the paper assumes the deployed model
+        exposes (R's ``predict.all``); black-box watermark verification
+        is built entirely on it.
+        """
+        trees = self._check_fitted()
+        X = check_X(X)
+        return np.stack([tree.predict(X) for tree in trees], axis=0)
+
+    def predict(self, X) -> np.ndarray:
+        """Majority-vote ensemble prediction."""
+        all_predictions = self.predict_all(X)  # raises NotFittedError first
+        assert self.classes_ is not None
+        return majority_vote(all_predictions, self.classes_)
+
+    def predict_proba(self, X) -> np.ndarray:
+        """Average of the trees' leaf-frequency probabilities."""
+        trees = self._check_fitted()
+        X = check_X(X)
+        assert self.classes_ is not None
+        class_position = {int(c): i for i, c in enumerate(self.classes_)}
+        total = np.zeros((X.shape[0], self.classes_.shape[0]), dtype=np.float64)
+        for tree in trees:
+            proba = tree.predict_proba(X)
+            assert tree.classes_ is not None
+            for local, label in enumerate(tree.classes_):
+                total[:, class_position[int(label)]] += proba[:, local]
+        return total / len(trees)
+
+    def score(self, X, y, sample_weight=None) -> float:
+        """Weighted accuracy of the majority vote on ``(X, y)``."""
+        X, y = check_X_y(X, y)
+        weights = check_sample_weight(sample_weight, X.shape[0])
+        correct = (self.predict(X) == np.asarray(y)).astype(np.float64)
+        return float(np.average(correct, weights=weights))
+
+    # ------------------------------------------------------------------
+
+    @property
+    def n_trees_(self) -> int:
+        """Number of fitted trees."""
+        return len(self._check_fitted())
+
+    def roots(self) -> list:
+        """Root nodes of the fitted trees (for solvers and analysis)."""
+        return [tree.root_ for tree in self._check_fitted()]
+
+    def structure(self) -> dict[str, np.ndarray]:
+        """Per-tree ``depth`` and ``n_leaves`` arrays (detection attack input)."""
+        return ensemble_structure(self.roots())
+
+    def total_leaves(self) -> int:
+        """Total number of leaves across the ensemble.
+
+        The paper uses this to explain forgery hardness: the ijcnn1
+        ensemble has more than twice the leaves of the others, making
+        its satisfiability instances much harder.
+        """
+        return int(self.structure()["n_leaves"].sum())

@@ -1,0 +1,97 @@
+"""Multi-class classification by binary decomposition.
+
+The paper treats binary classification and notes that "multi-class
+classification can be supported by encoding it in terms of multiple
+binary classification tasks".  :class:`OneVsRestForest` realises that
+encoding: one binary (±1) forest per class, each of which can be
+watermarked independently with the core scheme.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .._validation import check_random_state, check_sample_weight, check_X, check_X_y
+from ..exceptions import NotFittedError, ValidationError
+from .forest import RandomForestClassifier
+from .voting import vote_margin
+
+__all__ = ["OneVsRestForest"]
+
+
+class OneVsRestForest:
+    """One-vs-rest ensemble of binary random forests.
+
+    For each class ``c`` a binary forest is trained on labels
+    ``+1 if y == c else -1``.  Prediction picks the class whose forest
+    casts the largest fraction of positive votes.
+
+    The per-class forests are exposed via :attr:`forests_` so each can
+    be watermarked with :func:`repro.core.watermark` (giving the owner
+    one signature per class, i.e. an even longer effective signature).
+    """
+
+    def __init__(self, forest_factory=None, random_state=None) -> None:
+        """``forest_factory`` is a zero-argument callable returning an
+        unfitted :class:`RandomForestClassifier`; the default builds a
+        modest 31-tree forest."""
+        self.forest_factory = forest_factory
+        self.random_state = random_state
+        self.classes_: np.ndarray | None = None
+        self.forests_: dict[int, RandomForestClassifier] | None = None
+
+    def _make_forest(self, rng: np.random.Generator) -> RandomForestClassifier:
+        if self.forest_factory is not None:
+            forest = self.forest_factory()
+            if not isinstance(forest, RandomForestClassifier):
+                raise ValidationError(
+                    "forest_factory must return a RandomForestClassifier"
+                )
+        else:
+            forest = RandomForestClassifier(n_estimators=31)
+        return forest.clone_with(random_state=rng)
+
+    def fit(self, X, y, sample_weight=None) -> "OneVsRestForest":
+        """Fit one binary forest per distinct class of ``y``."""
+        X, y = check_X_y(X, y)
+        weights = check_sample_weight(sample_weight, X.shape[0])
+        classes = np.unique(np.asarray(y, dtype=np.int64))
+        if classes.shape[0] < 2:
+            raise ValidationError("y must contain at least two classes")
+        rng = check_random_state(self.random_state)
+
+        forests: dict[int, RandomForestClassifier] = {}
+        for label in classes:
+            binary = np.where(np.asarray(y) == label, 1, -1)
+            forest = self._make_forest(rng)
+            forest.fit(X, binary, sample_weight=weights)
+            forests[int(label)] = forest
+        self.classes_ = classes
+        self.forests_ = forests
+        return self
+
+    def _check_fitted(self) -> dict[int, RandomForestClassifier]:
+        if self.forests_ is None:
+            raise NotFittedError("this OneVsRestForest is not fitted yet")
+        return self.forests_
+
+    def decision_matrix(self, X) -> np.ndarray:
+        """Positive-vote fractions, shape ``(n_samples, n_classes)``."""
+        forests = self._check_fitted()
+        X = check_X(X)
+        assert self.classes_ is not None
+        columns = [
+            vote_margin(forests[int(label)].predict_all(X)) for label in self.classes_
+        ]
+        return np.stack(columns, axis=1)
+
+    def predict(self, X) -> np.ndarray:
+        """Class with the strongest one-vs-rest positive vote."""
+        matrix = self.decision_matrix(X)  # raises NotFittedError first
+        assert self.classes_ is not None
+        return self.classes_[np.argmax(matrix, axis=1)]
+
+    def score(self, X, y) -> float:
+        """Accuracy on ``(X, y)``."""
+        X, y = check_X_y(X, y)
+        return float(np.mean(self.predict(X) == np.asarray(y)))

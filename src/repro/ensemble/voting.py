@@ -1,0 +1,60 @@
+"""Aggregation of per-tree predictions into ensemble predictions.
+
+The paper's ensembles aggregate by majority voting; verification however
+reads the *raw per-tree outputs* (``predict_all``), so voting lives in
+its own small module rather than being fused into prediction.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..exceptions import ValidationError
+
+__all__ = ["majority_vote", "vote_margin"]
+
+
+def majority_vote(all_predictions: np.ndarray, classes: np.ndarray) -> np.ndarray:
+    """Majority vote over per-tree predictions.
+
+    Parameters
+    ----------
+    all_predictions:
+        Array of shape ``(n_trees, n_samples)`` with label values.
+    classes:
+        Sorted array of possible labels.
+
+    Returns
+    -------
+    numpy.ndarray
+        Winning label per sample.  Ties are broken in favour of the
+        smallest label, which keeps voting deterministic (with the
+        paper's binary ``{-1, +1}`` labels a tie resolves to ``-1``).
+    """
+    all_predictions = np.asarray(all_predictions)
+    if all_predictions.ndim != 2:
+        raise ValidationError(
+            f"all_predictions must be 2-D (n_trees, n_samples), got shape "
+            f"{all_predictions.shape}"
+        )
+    classes = np.asarray(classes)
+    counts = np.zeros((all_predictions.shape[1], classes.shape[0]), dtype=np.int64)
+    for position, label in enumerate(classes):
+        counts[:, position] = (all_predictions == label).sum(axis=0)
+    if (counts.sum(axis=1) != all_predictions.shape[0]).any():
+        raise ValidationError("all_predictions contains labels outside `classes`")
+    return classes[np.argmax(counts, axis=1)]
+
+
+def vote_margin(all_predictions: np.ndarray, positive_label: int = 1) -> np.ndarray:
+    """Fraction of trees voting for ``positive_label``, per sample.
+
+    Handy as a pseudo-probability for binary ensembles.
+    """
+    all_predictions = np.asarray(all_predictions)
+    if all_predictions.ndim != 2:
+        raise ValidationError(
+            f"all_predictions must be 2-D (n_trees, n_samples), got shape "
+            f"{all_predictions.shape}"
+        )
+    return (all_predictions == positive_label).mean(axis=0)

@@ -1,0 +1,58 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+Every error raised by the library derives from :class:`ReproError`, so
+callers can catch library failures without also swallowing programming
+errors such as :class:`TypeError` from unrelated code.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` library."""
+
+
+class ValidationError(ReproError, ValueError):
+    """Raised when user-supplied data or parameters are malformed."""
+
+
+class NotFittedError(ReproError, RuntimeError):
+    """Raised when a model is used before :meth:`fit` was called."""
+
+
+class ConvergenceError(ReproError, RuntimeError):
+    """Raised when an iterative procedure fails to converge.
+
+    The watermark embedding loop (``TrainWithTrigger`` in the paper's
+    Algorithm 1) re-weights trigger samples until every tree fits them;
+    this error reports a diagnostic instead of looping forever when the
+    hyper-parameters make a perfect fit impossible.
+    """
+
+    def __init__(self, message: str, rounds: int = 0) -> None:
+        super().__init__(message)
+        #: Number of re-weighting rounds performed before giving up.
+        self.rounds = rounds
+
+
+class SolverError(ReproError, RuntimeError):
+    """Raised when a SAT/SMT solver is used incorrectly or exceeds limits."""
+
+
+class ResourceLimitError(SolverError):
+    """Raised when a solver exceeds its configured conflict/time budget."""
+
+
+class VerificationError(ReproError, RuntimeError):
+    """Raised when the verification protocol receives inconsistent inputs.
+
+    This covers judge-side sanity failures (e.g. a trigger set that is not
+    contained in the disclosed test set), *not* a failed ownership claim:
+    a claim that simply does not match is reported as a normal
+    :class:`repro.core.verification.VerificationReport` with
+    ``accepted=False``.
+    """
+
+
+class SerializationError(ReproError, ValueError):
+    """Raised when persisted model data cannot be decoded."""

@@ -1,0 +1,48 @@
+"""Experiment drivers regenerating every table and figure of the paper.
+
+One driver per artefact (see DESIGN.md §4 for the index); the
+``benchmarks/`` directory wraps these in pytest-benchmark entry points.
+"""
+
+from .accuracy import AccuracyRow, accuracy_vs_ones_fraction, accuracy_vs_trigger_fraction
+from .config import FULL, MEDIUM, SMALL, ExperimentConfig, prepare_split
+from .detection import DetectionRow, build_watermarked_model, detection_table
+from .forgery import (
+    ForgedInstanceRow,
+    ForgerySweepRow,
+    forged_instance_study,
+    forgery_epsilon_sweep,
+    forgery_tabular_results,
+)
+from .reporting import format_table, rows_to_cells
+from .robustness import (
+    RobustnessRow,
+    extraction_table,
+    modification_table,
+    pruning_table,
+)
+
+__all__ = [
+    "FULL",
+    "MEDIUM",
+    "SMALL",
+    "AccuracyRow",
+    "DetectionRow",
+    "ExperimentConfig",
+    "ForgedInstanceRow",
+    "ForgerySweepRow",
+    "RobustnessRow",
+    "accuracy_vs_ones_fraction",
+    "accuracy_vs_trigger_fraction",
+    "build_watermarked_model",
+    "detection_table",
+    "extraction_table",
+    "forged_instance_study",
+    "forgery_epsilon_sweep",
+    "forgery_tabular_results",
+    "format_table",
+    "modification_table",
+    "prepare_split",
+    "pruning_table",
+    "rows_to_cells",
+]

@@ -1,0 +1,89 @@
+"""Detection experiment: Table 2 of the paper.
+
+A watermarked model is built per dataset (50% ones, 2% trigger) and the
+two structural detection strategies attack it; the table reports
+``#correct / #wrong / #uncertain`` per (dataset, statistic) with the
+statistic's mean and standard deviation in brackets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..attacks.detection import detection_report
+from ..core.embedding import WatermarkedModel, watermark
+from ..core.signature import random_signature
+from ..datasets.registry import DATASET_NAMES
+from .config import ExperimentConfig, prepare_split
+
+__all__ = ["DetectionRow", "build_watermarked_model", "detection_table"]
+
+
+@dataclass(frozen=True)
+class DetectionRow:
+    """One (dataset, statistic, strategy) cell group of Table 2."""
+
+    dataset: str
+    statistic: str
+    strategy: str
+    mean: float
+    std: float
+    n_correct: int
+    n_wrong: int
+    n_uncertain: int
+
+
+def build_watermarked_model(
+    config: ExperimentConfig, dataset: str, seed_offset: int = 0, adjust: bool = True
+) -> tuple[WatermarkedModel, tuple]:
+    """Watermark one model with the Table 2 setting (50% ones, 2% trigger).
+
+    Returns the model and the ``(X_train, X_test, y_train, y_test)``
+    split used, so callers can also evaluate accuracy or run other
+    attacks on the very same artefact.
+    """
+    split = prepare_split(config, dataset, seed_offset)
+    X_train, _X_test, y_train, _y_test = split
+    signature = random_signature(
+        config.n_estimators,
+        ones_fraction=config.ones_fraction,
+        random_state=config.seed + seed_offset + 3,
+    )
+    model = watermark(
+        X_train,
+        y_train,
+        signature,
+        trigger_size=config.trigger_size(X_train.shape[0]),
+        base_params=config.base_params,
+        adjust=adjust,
+        tree_feature_fraction=config.tree_feature_fraction,
+        weight_increment=config.weight_increment,
+        escalation_factor=config.escalation_factor,
+        max_rounds=config.max_rounds,
+        random_state=config.seed + seed_offset + 4,
+    )
+    return model, split
+
+
+def detection_table(
+    config: ExperimentConfig, datasets=DATASET_NAMES, adjust: bool = True
+) -> list[DetectionRow]:
+    """Regenerate Table 2 (optionally without the Adjust heuristic, for
+    the ablation benchmark)."""
+    rows: list[DetectionRow] = []
+    for dataset in datasets:
+        model, _split = build_watermarked_model(config, dataset, adjust=adjust)
+        for result in detection_report(model):
+            rows.append(
+                DetectionRow(
+                    dataset=dataset,
+                    statistic=result.statistic,
+                    strategy=result.strategy,
+                    mean=result.mean,
+                    std=result.std,
+                    n_correct=result.n_correct,
+                    n_wrong=result.n_wrong,
+                    n_uncertain=result.n_uncertain,
+                )
+            )
+    return rows

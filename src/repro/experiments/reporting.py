@@ -1,0 +1,54 @@
+"""Plain-text table rendering for experiment results.
+
+The benchmarks print the same rows/series the paper's tables and
+figures report; these helpers keep that output aligned and consistent.
+"""
+
+from __future__ import annotations
+
+from ..exceptions import ValidationError
+
+__all__ = ["format_table", "rows_to_cells"]
+
+
+def _render_cell(value) -> str:
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    return str(value)
+
+
+def format_table(headers: list[str], rows: list[list]) -> str:
+    """Render an ASCII table with left-aligned, width-padded columns.
+
+    >>> print(format_table(["a", "b"], [[1, 2.5], ["x", "y"]]))
+    a  b
+    -  ---
+    1  2.5
+    x  y
+    """
+    if not headers:
+        raise ValidationError("headers must be non-empty")
+    cells = [[_render_cell(value) for value in row] for row in rows]
+    for row in cells:
+        if len(row) != len(headers):
+            raise ValidationError(
+                f"row width {len(row)} does not match header width {len(headers)}"
+            )
+    widths = [
+        max(len(headers[col]), *(len(row[col]) for row in cells)) if cells else len(headers[col])
+        for col in range(len(headers))
+    ]
+    lines = [
+        "  ".join(header.ljust(width) for header, width in zip(headers, widths)).rstrip(),
+        "  ".join("-" * width for width in widths).rstrip(),
+    ]
+    for row in cells:
+        lines.append(
+            "  ".join(value.ljust(width) for value, width in zip(row, widths)).rstrip()
+        )
+    return "\n".join(lines)
+
+
+def rows_to_cells(rows, fields: list[str]) -> list[list]:
+    """Extract attribute columns from a list of dataclass rows."""
+    return [[getattr(row, field) for field in fields] for row in rows]

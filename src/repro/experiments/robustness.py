@@ -1,0 +1,162 @@
+"""Extension experiments: the "more powerful attacker" of the paper's
+future work.
+
+Three attacker families the paper's threat model excludes (it assumes
+the stolen model is served unmodified), each swept against the same
+watermarked models as Table 2:
+
+- **modification** — depth truncation and random leaf flipping
+  (:mod:`repro.attacks.modification`);
+- **pruning** — cost-complexity pruning of each tree
+  (:mod:`repro.trees.pruning`);
+- **extraction** — surrogate training on black-box answers
+  (:mod:`repro.attacks.extraction`).
+
+Each row reports the attacker's cost (accuracy of the attacked model)
+against the damage (fraction of trees still matching the signature).
+"""
+
+from __future__ import annotations
+
+from copy import copy
+from dataclasses import dataclass
+
+from ..attacks.extraction import extraction_study
+from ..attacks.modification import modification_robustness
+from ..core.verification import verify_ownership
+from ..trees.pruning import prune_cost_complexity
+from .config import ExperimentConfig
+from .detection import build_watermarked_model
+
+__all__ = [
+    "RobustnessRow",
+    "modification_table",
+    "pruning_table",
+    "extraction_table",
+]
+
+
+@dataclass(frozen=True)
+class RobustnessRow:
+    """One attacked-model measurement."""
+
+    dataset: str
+    attack: str
+    strength: float
+    accuracy: float
+    watermark_match_rate: float
+    watermark_accepted: bool
+
+
+def modification_table(
+    config: ExperimentConfig,
+    dataset: str = "breast-cancer",
+    truncate_depths=(6, 4, 2),
+    flip_probabilities=(0.05, 0.15, 0.3),
+) -> list[RobustnessRow]:
+    """Sweep truncation and leaf-flip attacks on one watermarked model."""
+    model, (X_train, X_test, y_train, y_test) = build_watermarked_model(config, dataset)
+    rows: list[RobustnessRow] = []
+    for depth in truncate_depths:
+        outcome = modification_robustness(
+            model, X_test, y_test, attack="truncate", strength=depth
+        )
+        rows.append(
+            RobustnessRow(
+                dataset=dataset,
+                attack="truncate",
+                strength=float(depth),
+                accuracy=outcome.accuracy,
+                watermark_match_rate=outcome.watermark_match_rate,
+                watermark_accepted=outcome.watermark_accepted,
+            )
+        )
+    for probability in flip_probabilities:
+        outcome = modification_robustness(
+            model,
+            X_test,
+            y_test,
+            attack="flip",
+            strength=probability,
+            random_state=config.seed + 7,
+        )
+        rows.append(
+            RobustnessRow(
+                dataset=dataset,
+                attack="flip",
+                strength=float(probability),
+                accuracy=outcome.accuracy,
+                watermark_match_rate=outcome.watermark_match_rate,
+                watermark_accepted=outcome.watermark_accepted,
+            )
+        )
+    return rows
+
+
+def _pruned_forest(forest, alpha: float):
+    """A clone of a fitted forest with every tree pruned at ``alpha``."""
+    clone = forest.clone_with()
+    clone.classes_ = forest.classes_
+    clone.n_features_in_ = forest.n_features_in_
+    clone.feature_subsets_ = list(forest.feature_subsets_)
+    trees = []
+    for tree in forest.trees_:
+        pruned = copy(tree)
+        pruned.root_ = prune_cost_complexity(tree.root_, alpha)
+        trees.append(pruned)
+    clone.trees_ = trees
+    return clone
+
+
+def pruning_table(
+    config: ExperimentConfig,
+    dataset: str = "breast-cancer",
+    alphas=(0.0, 0.5, 2.0, 8.0),
+) -> list[RobustnessRow]:
+    """Sweep cost-complexity pruning strength against the watermark."""
+    model, (X_train, X_test, y_train, y_test) = build_watermarked_model(config, dataset)
+    rows: list[RobustnessRow] = []
+    for alpha in alphas:
+        attacked = _pruned_forest(model.ensemble, alpha)
+        report = verify_ownership(
+            attacked, model.signature, model.trigger.X, model.trigger.y
+        )
+        rows.append(
+            RobustnessRow(
+                dataset=dataset,
+                attack="prune",
+                strength=float(alpha),
+                accuracy=attacked.score(X_test, y_test),
+                watermark_match_rate=report.n_matching / report.n_trees,
+                watermark_accepted=report.accepted,
+            )
+        )
+    return rows
+
+
+def extraction_table(
+    config: ExperimentConfig,
+    dataset: str = "breast-cancer",
+    query_budgets=(100, 200),
+) -> list[RobustnessRow]:
+    """Surrogate-training attack: fidelity vs watermark survival."""
+    model, (X_train, X_test, y_train, y_test) = build_watermarked_model(config, dataset)
+    outcomes = extraction_study(
+        model,
+        X_pool=X_train,
+        X_test=X_test,
+        y_test=y_test,
+        query_budgets=query_budgets,
+        random_state=config.seed + 13,
+    )
+    return [
+        RobustnessRow(
+            dataset=dataset,
+            attack="extract",
+            strength=float(outcome.query_budget),
+            accuracy=outcome.surrogate_accuracy,
+            watermark_match_rate=outcome.watermark_match_rate,
+            watermark_accepted=outcome.watermark_accepted,
+        )
+        for outcome in outcomes
+    ]

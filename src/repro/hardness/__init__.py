@@ -1,0 +1,27 @@
+"""NP-hardness machinery for the watermark forgery problem (Theorem 1)."""
+
+from .reduction import (
+    all_zero_signature,
+    assignment_to_instance,
+    clause_to_tree,
+    forgery_problem_from_formula,
+    formula_to_ensemble,
+    instance_to_assignment,
+    literal_to_tree,
+)
+from .threesat import Clause, Formula3CNF, Literal, brute_force_3sat, random_3cnf
+
+__all__ = [
+    "Clause",
+    "Formula3CNF",
+    "Literal",
+    "all_zero_signature",
+    "assignment_to_instance",
+    "brute_force_3sat",
+    "clause_to_tree",
+    "forgery_problem_from_formula",
+    "formula_to_ensemble",
+    "instance_to_assignment",
+    "literal_to_tree",
+    "random_3cnf",
+]

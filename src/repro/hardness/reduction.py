@@ -1,0 +1,107 @@
+"""The paper's reduction ⟦·⟧ from 3SAT to watermark forgery (Theorem 1).
+
+Each clause ``ψ_i`` becomes a decision tree of depth ≤ 3: every internal
+node branches on a variable with threshold 0 (left = false, right =
+true), and the leaves labelled ``+1`` encode sufficient conditions for
+the clause's satisfiability.  The whole formula becomes an ensemble
+(one tree per clause); the formula is satisfiable iff the watermark
+forgery problem has a solution for label ``+1`` and the all-zeros
+signature.
+
+The conversion below follows the paper's inductive definition exactly::
+
+    ⟦l⟧  =  N(x ≤ 0, L(-1), L(+1))      if l = x
+            N(x ≤ 0, L(+1), L(-1))      if l = ¬x
+    ⟦ψ⟧  =  ⟦l⟧                          if ψ = l
+            N(x ≤ 0, ⟦ψ'⟧, L(+1))        if ψ = x ∨ ψ'
+            N(x ≤ 0, L(+1), ⟦ψ'⟧)        if ψ = ¬x ∨ ψ'
+    ⟦φ⟧  =  one tree per clause of φ
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.signature import Signature
+from ..solver.problem import PatternProblem
+from ..trees.node import InternalNode, Leaf, TreeNode
+from .threesat import Clause, Formula3CNF, Literal
+
+__all__ = [
+    "literal_to_tree",
+    "clause_to_tree",
+    "formula_to_ensemble",
+    "forgery_problem_from_formula",
+    "instance_to_assignment",
+    "assignment_to_instance",
+]
+
+
+def literal_to_tree(literal: Literal) -> TreeNode:
+    """⟦l⟧ — a depth-1 tree accepting exactly the satisfying value."""
+    if literal.negated:
+        return InternalNode(
+            feature=literal.variable, threshold=0.0, left=Leaf(+1), right=Leaf(-1)
+        )
+    return InternalNode(
+        feature=literal.variable, threshold=0.0, left=Leaf(-1), right=Leaf(+1)
+    )
+
+
+def clause_to_tree(clause: Clause) -> TreeNode:
+    """⟦ψ⟧ — chain the clause's literals into a tree of depth ≤ 3."""
+    literals = list(clause.literals)
+
+    def build(remaining: list[Literal]) -> TreeNode:
+        head = remaining[0]
+        if len(remaining) == 1:
+            return literal_to_tree(head)
+        rest = build(remaining[1:])
+        if head.negated:
+            # ψ = ¬x ∨ ψ': x false (left) already satisfies the clause.
+            return InternalNode(
+                feature=head.variable, threshold=0.0, left=Leaf(+1), right=rest
+            )
+        # ψ = x ∨ ψ': x true (right) already satisfies the clause.
+        return InternalNode(
+            feature=head.variable, threshold=0.0, left=rest, right=Leaf(+1)
+        )
+
+    return build(literals)
+
+
+def formula_to_ensemble(formula: Formula3CNF) -> list[TreeNode]:
+    """⟦φ⟧ — one tree per clause; variables are features with threshold 0."""
+    return [clause_to_tree(clause) for clause in formula.clauses]
+
+
+def forgery_problem_from_formula(formula: Formula3CNF) -> PatternProblem:
+    """The watermark forgery instance equivalent to 3SAT on ``formula``.
+
+    Label ``+1``, signature ``⟨0, …, 0⟩`` (every tree must output +1),
+    features range over ``[-1, 1]`` so both branches of the threshold-0
+    splits are reachable.
+    """
+    roots = formula_to_ensemble(formula)
+    return PatternProblem(
+        roots=roots,
+        required=[+1] * len(roots),
+        n_features=formula.n_vars,
+        domain=(-1.0, 1.0),
+    )
+
+
+def instance_to_assignment(x: np.ndarray) -> list[bool]:
+    """Map a forgery solution back to boolean values: ``x_j`` true iff
+    the ``j``-th component is positive (the paper's final step)."""
+    return [bool(value > 0) for value in np.asarray(x, dtype=np.float64)]
+
+
+def assignment_to_instance(assignment: list[bool]) -> np.ndarray:
+    """The converse embedding: true ↦ +1 (right branch), false ↦ −1."""
+    return np.array([1.0 if value else -1.0 for value in assignment], dtype=np.float64)
+
+
+def all_zero_signature(formula: Formula3CNF) -> Signature:
+    """The signature used by the reduction (all trees must agree with +1)."""
+    return Signature.from_iterable([0] * len(formula.clauses))

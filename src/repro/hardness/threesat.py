@@ -1,0 +1,111 @@
+"""3CNF formulas: the source problem of the NP-hardness reduction.
+
+A literal is a variable or its negation; a clause is a disjunction of
+at most three literals; a 3CNF formula is a conjunction of clauses —
+exactly the grammar in the paper's proof of Theorem 1.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+
+from .._validation import check_random_state
+from ..exceptions import ValidationError
+
+__all__ = ["Literal", "Clause", "Formula3CNF", "random_3cnf", "brute_force_3sat"]
+
+
+@dataclass(frozen=True)
+class Literal:
+    """A boolean variable (0-indexed) or its negation."""
+
+    variable: int
+    negated: bool = False
+
+    def __post_init__(self) -> None:
+        if self.variable < 0:
+            raise ValidationError(f"variable index must be >= 0, got {self.variable}")
+
+    def evaluate(self, assignment: list[bool]) -> bool:
+        value = assignment[self.variable]
+        return not value if self.negated else value
+
+    def __str__(self) -> str:
+        return f"¬x{self.variable}" if self.negated else f"x{self.variable}"
+
+
+@dataclass(frozen=True)
+class Clause:
+    """A disjunction of 1–3 literals."""
+
+    literals: tuple[Literal, ...]
+
+    def __post_init__(self) -> None:
+        if not 1 <= len(self.literals) <= 3:
+            raise ValidationError(
+                f"a 3CNF clause holds 1-3 literals, got {len(self.literals)}"
+            )
+
+    def evaluate(self, assignment: list[bool]) -> bool:
+        return any(literal.evaluate(assignment) for literal in self.literals)
+
+    def __str__(self) -> str:
+        return "(" + " ∨ ".join(str(literal) for literal in self.literals) + ")"
+
+
+@dataclass(frozen=True)
+class Formula3CNF:
+    """A conjunction of 3CNF clauses over ``n_vars`` variables."""
+
+    n_vars: int
+    clauses: tuple[Clause, ...]
+
+    def __post_init__(self) -> None:
+        if self.n_vars < 1:
+            raise ValidationError(f"n_vars must be >= 1, got {self.n_vars}")
+        if not self.clauses:
+            raise ValidationError("a formula needs at least one clause")
+        for clause in self.clauses:
+            for literal in clause.literals:
+                if literal.variable >= self.n_vars:
+                    raise ValidationError(
+                        f"literal {literal} exceeds n_vars={self.n_vars}"
+                    )
+
+    def evaluate(self, assignment: list[bool]) -> bool:
+        if len(assignment) != self.n_vars:
+            raise ValidationError(
+                f"assignment must have length {self.n_vars}, got {len(assignment)}"
+            )
+        return all(clause.evaluate(assignment) for clause in self.clauses)
+
+    def __str__(self) -> str:
+        return " ∧ ".join(str(clause) for clause in self.clauses)
+
+
+def random_3cnf(n_vars: int, n_clauses: int, random_state=None) -> Formula3CNF:
+    """A uniformly random 3CNF formula (3 distinct variables per clause
+    when possible)."""
+    if n_clauses < 1:
+        raise ValidationError(f"n_clauses must be >= 1, got {n_clauses}")
+    rng = check_random_state(random_state)
+    clauses = []
+    for _ in range(n_clauses):
+        width = min(3, n_vars)
+        variables = rng.choice(n_vars, size=width, replace=False)
+        literals = tuple(
+            Literal(int(variable), negated=bool(rng.integers(2)))
+            for variable in variables
+        )
+        clauses.append(Clause(literals=literals))
+    return Formula3CNF(n_vars=n_vars, clauses=tuple(clauses))
+
+
+def brute_force_3sat(formula: Formula3CNF) -> list[bool] | None:
+    """Exhaustive satisfiability check — ground truth for small formulas."""
+    for bits in itertools.product([False, True], repeat=formula.n_vars):
+        assignment = list(bits)
+        if formula.evaluate(assignment):
+            return assignment
+    return None

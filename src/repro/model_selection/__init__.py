@@ -1,0 +1,18 @@
+"""Model-selection substrate: splitting, metrics and grid search."""
+
+from .grid_search import DEFAULT_FOREST_GRID, GridSearchResult, grid_search_forest
+from .metrics import accuracy, balanced_accuracy, confusion_matrix, precision_recall_f1
+from .splits import StratifiedKFold, stratified_subsample, train_test_split
+
+__all__ = [
+    "DEFAULT_FOREST_GRID",
+    "GridSearchResult",
+    "StratifiedKFold",
+    "accuracy",
+    "balanced_accuracy",
+    "confusion_matrix",
+    "grid_search_forest",
+    "precision_recall_f1",
+    "stratified_subsample",
+    "train_test_split",
+]

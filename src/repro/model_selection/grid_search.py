@@ -1,0 +1,123 @@
+"""Grid search over forest hyper-parameters with stratified CV.
+
+Algorithm 1 of the paper begins with ``GridSearch(D_train, m)``: find
+the best hyper-parameters ``H`` for an ensemble of ``m`` trees before
+any watermarking happens.  This module reproduces that step for our
+:class:`~repro.ensemble.RandomForestClassifier`.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .._validation import check_random_state, check_X_y
+from ..exceptions import ValidationError
+from ..ensemble.forest import RandomForestClassifier
+from .metrics import accuracy
+from .splits import StratifiedKFold
+
+__all__ = ["GridSearchResult", "grid_search_forest", "DEFAULT_FOREST_GRID"]
+
+#: A compact default grid over the two structural hyper-parameters the
+#: paper's scheme manipulates (depth, leaf count) plus leaf-size
+#: regularisation.  Kept small on purpose — grid search runs inside the
+#: watermarking pipeline, once per dataset.
+DEFAULT_FOREST_GRID: dict[str, list] = {
+    "max_depth": [6, 10, 16],
+    "min_samples_leaf": [1, 4],
+}
+
+
+@dataclass
+class GridSearchResult:
+    """Outcome of a grid search.
+
+    ``best_params`` maps parameter name to chosen value; ``table`` keeps
+    one ``(params, mean_score, fold_scores)`` triple per grid point for
+    inspection.
+    """
+
+    best_params: dict
+    best_score: float
+    table: list[tuple[dict, float, list[float]]] = field(default_factory=list)
+
+
+def _iter_grid(grid: dict[str, list]):
+    names = sorted(grid)
+    for values in itertools.product(*(grid[name] for name in names)):
+        yield dict(zip(names, values))
+
+
+def grid_search_forest(
+    X,
+    y,
+    n_estimators: int,
+    param_grid: dict[str, list] | None = None,
+    n_splits: int = 3,
+    tree_feature_fraction: float = 0.7,
+    random_state=None,
+) -> GridSearchResult:
+    """Select forest hyper-parameters by mean CV accuracy.
+
+    Parameters
+    ----------
+    X, y:
+        Training data (binary ±1 labels in the watermarking pipeline,
+        though any integer labels work here).
+    n_estimators:
+        Ensemble size ``m`` — fixed, not searched, matching the paper
+        where ``m`` equals the signature length.
+    param_grid:
+        Mapping from :class:`RandomForestClassifier` parameter names to
+        candidate values; defaults to :data:`DEFAULT_FOREST_GRID`.
+    n_splits:
+        Stratified CV folds.
+    tree_feature_fraction:
+        Per-tree feature subspace fraction, forwarded to every candidate.
+    random_state:
+        Seed/generator; each fold/candidate gets a derived child seed so
+        results are reproducible yet not artificially correlated.
+
+    Returns
+    -------
+    GridSearchResult
+        Best parameters (ties break toward the earlier grid point, i.e.
+        smaller values in sorted-name order — a deterministic choice).
+    """
+    X, y = check_X_y(X, y)
+    if param_grid is None:
+        param_grid = DEFAULT_FOREST_GRID
+    if not param_grid:
+        raise ValidationError("param_grid must contain at least one parameter")
+    forest_params = set(RandomForestClassifier().get_params())
+    unknown = set(param_grid) - forest_params
+    if unknown:
+        raise ValidationError(f"param_grid has unknown parameters: {sorted(unknown)}")
+
+    rng = check_random_state(random_state)
+    fold_seed = int(rng.integers(2**31 - 1))
+    folds = list(StratifiedKFold(n_splits=n_splits, random_state=fold_seed).split(X, y))
+
+    best: tuple[float, dict] | None = None
+    table: list[tuple[dict, float, list[float]]] = []
+    for params in _iter_grid(param_grid):
+        scores: list[float] = []
+        for train_index, test_index in folds:
+            forest = RandomForestClassifier(
+                n_estimators=n_estimators,
+                tree_feature_fraction=tree_feature_fraction,
+                random_state=int(rng.integers(2**31 - 1)),
+                **params,
+            )
+            forest.fit(X[train_index], y[train_index])
+            scores.append(accuracy(y[test_index], forest.predict(X[test_index])))
+        mean_score = float(np.mean(scores))
+        table.append((dict(params), mean_score, scores))
+        if best is None or mean_score > best[0] + 1e-12:
+            best = (mean_score, dict(params))
+
+    assert best is not None
+    return GridSearchResult(best_params=best[1], best_score=best[0], table=table)

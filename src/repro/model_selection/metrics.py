@@ -1,0 +1,83 @@
+"""Classification metrics.
+
+Accuracy is what the paper reports throughout; the confusion-matrix
+based metrics are provided because the stand-in datasets include a
+strongly imbalanced one (ijcnn1-like, 10/90) where accuracy alone can
+mislead during development.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..exceptions import ValidationError
+
+__all__ = [
+    "accuracy",
+    "confusion_matrix",
+    "precision_recall_f1",
+    "balanced_accuracy",
+]
+
+
+def _check_pair(y_true, y_pred) -> tuple[np.ndarray, np.ndarray]:
+    y_true = np.asarray(y_true)
+    y_pred = np.asarray(y_pred)
+    if y_true.shape != y_pred.shape or y_true.ndim != 1:
+        raise ValidationError(
+            f"y_true and y_pred must be 1-D of equal length, got {y_true.shape} "
+            f"and {y_pred.shape}"
+        )
+    if y_true.shape[0] == 0:
+        raise ValidationError("metrics need at least one sample")
+    return y_true, y_pred
+
+
+def accuracy(y_true, y_pred) -> float:
+    """Fraction of correct predictions."""
+    y_true, y_pred = _check_pair(y_true, y_pred)
+    return float(np.mean(y_true == y_pred))
+
+
+def confusion_matrix(y_true, y_pred, labels=None) -> np.ndarray:
+    """Confusion matrix ``C[i, j]`` = #samples of class ``labels[i]``
+    predicted as ``labels[j]``."""
+    y_true, y_pred = _check_pair(y_true, y_pred)
+    if labels is None:
+        labels = np.unique(np.concatenate([y_true, y_pred]))
+    labels = np.asarray(labels)
+    position = {int(label): i for i, label in enumerate(labels)}
+    matrix = np.zeros((labels.shape[0], labels.shape[0]), dtype=np.int64)
+    for t, p in zip(y_true, y_pred):
+        if int(t) not in position or int(p) not in position:
+            raise ValidationError(f"label {t}/{p} not listed in labels={labels.tolist()}")
+        matrix[position[int(t)], position[int(p)]] += 1
+    return matrix
+
+
+def precision_recall_f1(y_true, y_pred, positive_label: int = 1) -> tuple[float, float, float]:
+    """Precision, recall and F1 for the positive class.
+
+    Degenerate denominators (no predicted / no actual positives) yield
+    0.0 rather than raising, matching common library behaviour.
+    """
+    y_true, y_pred = _check_pair(y_true, y_pred)
+    predicted_pos = y_pred == positive_label
+    actual_pos = y_true == positive_label
+    true_pos = float(np.sum(predicted_pos & actual_pos))
+    precision = true_pos / predicted_pos.sum() if predicted_pos.any() else 0.0
+    recall = true_pos / actual_pos.sum() if actual_pos.any() else 0.0
+    if precision + recall == 0.0:
+        return precision, recall, 0.0
+    f1 = 2.0 * precision * recall / (precision + recall)
+    return float(precision), float(recall), float(f1)
+
+
+def balanced_accuracy(y_true, y_pred) -> float:
+    """Mean of per-class recalls (robust to class imbalance)."""
+    y_true, y_pred = _check_pair(y_true, y_pred)
+    recalls = []
+    for label in np.unique(y_true):
+        members = y_true == label
+        recalls.append(float(np.mean(y_pred[members] == label)))
+    return float(np.mean(recalls))

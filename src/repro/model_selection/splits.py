@@ -1,0 +1,125 @@
+"""Dataset splitting utilities: train/test split and stratified k-fold.
+
+These replace the sklearn helpers the paper's implementation relies on.
+Stratification matters here twice: the datasets are class-imbalanced
+(ijcnn1 is 10/90), and the paper reduces ijcnn1 by *stratified* random
+sampling, which :func:`stratified_subsample` reproduces.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .._validation import check_random_state, check_X_y
+from ..exceptions import ValidationError
+
+__all__ = ["train_test_split", "StratifiedKFold", "stratified_subsample"]
+
+
+def train_test_split(
+    X, y, test_size: float = 0.2, stratify: bool = True, random_state=None
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Split ``(X, y)`` into train and test partitions.
+
+    Parameters
+    ----------
+    test_size:
+        Fraction of samples assigned to the test set, in (0, 1).
+    stratify:
+        Preserve per-class proportions (recommended; on by default).
+    random_state:
+        Seed or generator.
+
+    Returns
+    -------
+    (X_train, X_test, y_train, y_test)
+    """
+    X, y = check_X_y(X, y)
+    if not 0.0 < test_size < 1.0:
+        raise ValidationError(f"test_size must be in (0, 1), got {test_size}")
+    rng = check_random_state(random_state)
+    n = X.shape[0]
+
+    if stratify:
+        test_index: list[int] = []
+        for label in np.unique(y):
+            members = np.flatnonzero(y == label)
+            rng.shuffle(members)
+            n_test = int(round(test_size * members.shape[0]))
+            n_test = min(max(n_test, 1), members.shape[0] - 1) if members.shape[0] > 1 else 0
+            test_index.extend(members[:n_test].tolist())
+        test_mask = np.zeros(n, dtype=bool)
+        test_mask[np.array(test_index, dtype=np.int64)] = True
+    else:
+        order = rng.permutation(n)
+        n_test = max(1, int(round(test_size * n)))
+        test_mask = np.zeros(n, dtype=bool)
+        test_mask[order[:n_test]] = True
+
+    return X[~test_mask], X[test_mask], y[~test_mask], y[test_mask]
+
+
+class StratifiedKFold:
+    """Stratified k-fold cross-validation iterator.
+
+    Each class's samples are shuffled and dealt round-robin into ``k``
+    folds, so every fold approximately preserves the class distribution.
+    """
+
+    def __init__(self, n_splits: int = 5, random_state=None) -> None:
+        if n_splits < 2:
+            raise ValidationError(f"n_splits must be >= 2, got {n_splits}")
+        self.n_splits = n_splits
+        self.random_state = random_state
+
+    def split(self, X, y):
+        """Yield ``(train_index, test_index)`` pairs."""
+        X, y = check_X_y(X, y)
+        rng = check_random_state(self.random_state)
+        n = X.shape[0]
+        fold_of = np.empty(n, dtype=np.int64)
+        for label in np.unique(y):
+            members = np.flatnonzero(y == label)
+            if members.shape[0] < self.n_splits:
+                raise ValidationError(
+                    f"class {label} has only {members.shape[0]} samples, fewer than "
+                    f"n_splits={self.n_splits}"
+                )
+            rng.shuffle(members)
+            fold_of[members] = np.arange(members.shape[0]) % self.n_splits
+        for fold in range(self.n_splits):
+            test_mask = fold_of == fold
+            yield np.flatnonzero(~test_mask), np.flatnonzero(test_mask)
+
+
+def stratified_subsample(X, y, n_samples: int, random_state=None):
+    """Stratified random subsample of ``n_samples`` instances.
+
+    Reproduces the paper's reduction of ijcnn1 to 10,000 instances
+    "using stratified random sampling".  Per-class quotas are
+    proportional to class frequency (largest-remainder rounding).
+    """
+    X, y = check_X_y(X, y)
+    if not 1 <= n_samples <= X.shape[0]:
+        raise ValidationError(
+            f"n_samples must be in [1, {X.shape[0]}], got {n_samples}"
+        )
+    rng = check_random_state(random_state)
+
+    labels, counts = np.unique(y, return_counts=True)
+    exact = counts * (n_samples / X.shape[0])
+    quotas = np.floor(exact).astype(np.int64)
+    remainder = n_samples - quotas.sum()
+    if remainder > 0:
+        # Hand the leftover slots to the classes with the largest
+        # fractional parts (largest-remainder method).
+        order = np.argsort(-(exact - quotas))
+        quotas[order[:remainder]] += 1
+
+    chosen: list[np.ndarray] = []
+    for label, quota in zip(labels, quotas):
+        members = np.flatnonzero(y == label)
+        rng.shuffle(members)
+        chosen.append(members[:quota])
+    index = np.sort(np.concatenate(chosen))
+    return X[index], y[index]

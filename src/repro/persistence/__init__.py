@@ -1,0 +1,23 @@
+"""JSON persistence for models and watermark secrets."""
+
+from .serialize import (
+    forest_from_dict,
+    forest_to_dict,
+    load_json,
+    node_from_dict,
+    node_to_dict,
+    save_json,
+    secret_from_dict,
+    secret_to_dict,
+)
+
+__all__ = [
+    "forest_from_dict",
+    "forest_to_dict",
+    "load_json",
+    "node_from_dict",
+    "node_to_dict",
+    "save_json",
+    "secret_from_dict",
+    "secret_to_dict",
+]

@@ -1,0 +1,153 @@
+"""JSON serialisation of trees, forests and watermark secrets.
+
+Ownership disputes stretch over time: the owner must be able to persist
+the watermarked model and — separately and more carefully — the secret
+``(signature, trigger set)``, then reload both bit-for-bit for the
+verification protocol.  JSON keeps the artefacts inspectable by a court.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from ..core.protocol import WatermarkSecret
+from ..core.signature import Signature
+from ..ensemble.forest import RandomForestClassifier
+from ..exceptions import SerializationError
+from ..trees.node import InternalNode, Leaf, TreeNode
+from ..trees.tree import DecisionTreeClassifier
+
+__all__ = [
+    "node_to_dict",
+    "node_from_dict",
+    "forest_to_dict",
+    "forest_from_dict",
+    "secret_to_dict",
+    "secret_from_dict",
+    "save_json",
+    "load_json",
+]
+
+FORMAT_VERSION = 1
+
+
+def node_to_dict(node: TreeNode) -> dict:
+    """Recursively serialise a tree node."""
+    if node.is_leaf:
+        return {
+            "kind": "leaf",
+            "prediction": int(node.prediction),  # type: ignore[union-attr]
+            "class_weights": {str(k): float(v) for k, v in node.class_weights.items()},  # type: ignore[union-attr]
+        }
+    return {
+        "kind": "node",
+        "feature": int(node.feature),
+        "threshold": float(node.threshold),
+        "left": node_to_dict(node.left),
+        "right": node_to_dict(node.right),
+    }
+
+
+def node_from_dict(data: dict) -> TreeNode:
+    """Inverse of :func:`node_to_dict`."""
+    try:
+        kind = data["kind"]
+        if kind == "leaf":
+            return Leaf(
+                prediction=int(data["prediction"]),
+                class_weights={int(k): float(v) for k, v in data.get("class_weights", {}).items()},
+            )
+        if kind == "node":
+            return InternalNode(
+                feature=int(data["feature"]),
+                threshold=float(data["threshold"]),
+                left=node_from_dict(data["left"]),
+                right=node_from_dict(data["right"]),
+            )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise SerializationError(f"malformed tree node data: {exc}") from exc
+    raise SerializationError(f"unknown node kind {data.get('kind')!r}")
+
+
+def forest_to_dict(forest: RandomForestClassifier) -> dict:
+    """Serialise a fitted forest (params + trees + feature subspaces)."""
+    if forest.trees_ is None:
+        raise SerializationError("cannot serialise an unfitted forest")
+    params = forest.get_params()
+    # A shared Generator is not serialisable and not needed for replay.
+    if isinstance(params.get("random_state"), np.random.Generator):
+        params["random_state"] = None
+    return {
+        "format_version": FORMAT_VERSION,
+        "params": params,
+        "classes": [int(c) for c in forest.classes_],
+        "n_features_in": int(forest.n_features_in_),
+        "feature_subsets": [subset.tolist() for subset in forest.feature_subsets_],
+        "trees": [node_to_dict(tree.root_) for tree in forest.trees_],
+    }
+
+
+def forest_from_dict(data: dict) -> RandomForestClassifier:
+    """Inverse of :func:`forest_to_dict` — returns a ready-to-predict forest."""
+    try:
+        if data["format_version"] != FORMAT_VERSION:
+            raise SerializationError(
+                f"unsupported format version {data['format_version']}"
+            )
+        forest = RandomForestClassifier(**data["params"])
+        forest.classes_ = np.array(data["classes"], dtype=np.int64)
+        forest.n_features_in_ = int(data["n_features_in"])
+        forest.feature_subsets_ = [
+            np.array(subset, dtype=np.int64) for subset in data["feature_subsets"]
+        ]
+        trees = []
+        for tree_data, subset in zip(data["trees"], forest.feature_subsets_):
+            tree = DecisionTreeClassifier(feature_subset=subset)
+            tree.root_ = node_from_dict(tree_data)
+            tree.classes_ = forest.classes_
+            tree.n_features_in_ = forest.n_features_in_
+            trees.append(tree)
+        forest.trees_ = trees
+        return forest
+    except SerializationError:
+        raise
+    except (KeyError, TypeError, ValueError) as exc:
+        raise SerializationError(f"malformed forest data: {exc}") from exc
+
+
+def secret_to_dict(secret: WatermarkSecret) -> dict:
+    """Serialise the owner's secret (signature + trigger set)."""
+    return {
+        "format_version": FORMAT_VERSION,
+        "signature": secret.signature.to_string(),
+        "trigger_X": secret.trigger_X.tolist(),
+        "trigger_y": [int(v) for v in secret.trigger_y],
+    }
+
+
+def secret_from_dict(data: dict) -> WatermarkSecret:
+    """Inverse of :func:`secret_to_dict`."""
+    try:
+        return WatermarkSecret(
+            signature=Signature.from_string(data["signature"]),
+            trigger_X=np.array(data["trigger_X"], dtype=np.float64),
+            trigger_y=np.array(data["trigger_y"], dtype=np.int64),
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise SerializationError(f"malformed secret data: {exc}") from exc
+
+
+def save_json(data: dict, path) -> None:
+    """Write a serialised artefact to disk."""
+    Path(path).write_text(json.dumps(data), encoding="utf-8")
+
+
+def load_json(path) -> dict:
+    """Read a serialised artefact from disk."""
+    try:
+        return json.loads(Path(path).read_text(encoding="utf-8"))
+    except json.JSONDecodeError as exc:
+        raise SerializationError(f"invalid JSON in {path}: {exc}") from exc

@@ -1,0 +1,59 @@
+"""SAT/SMT solving substrate — the library's stand-in for Z3.
+
+Layers:
+
+- :class:`CNF` + :class:`SATSolver` — a general CDCL SAT solver;
+- :class:`PatternProblem` — the watermark forgery problem
+  (Definition 1) with optional ``L∞``-ball and domain constraints;
+- :func:`solve_pattern_smt` — eager SMT encoding over threshold atoms,
+  decided by the CDCL core (sound and complete on this fragment);
+- :func:`solve_pattern_boxes` — an independent theory-specific solver
+  (DPLL over leaf boxes) used to cross-validate the encoding;
+- :func:`solve_pattern` — engine dispatcher.
+"""
+
+from ..exceptions import SolverError, ValidationError
+from .boxdpll import solve_pattern_boxes
+from .cnf import CNF
+from .encoding import decode_model, encode_pattern_problem, solve_pattern_smt
+from .problem import PatternOutcome, PatternProblem, required_labels
+from .sat import SATResult, SATSolver, solve_cnf
+from .simplify import SimplifiedCNF, parse_dimacs, simplify_cnf
+from .optimize import MinimalDistortion, minimal_forgery_distortion
+from .portfolio import solve_pattern_portfolio
+
+__all__ = [
+    "CNF",
+    "PatternOutcome",
+    "PatternProblem",
+    "SATResult",
+    "SATSolver",
+    "decode_model",
+    "encode_pattern_problem",
+    "required_labels",
+    "solve_cnf",
+    "solve_pattern",
+    "solve_pattern_boxes",
+    "solve_pattern_smt",
+    "SimplifiedCNF",
+    "parse_dimacs",
+    "simplify_cnf",
+    "MinimalDistortion",
+    "minimal_forgery_distortion",
+    "solve_pattern_portfolio",
+]
+
+_ENGINES = {
+    "smt": solve_pattern_smt,
+    "boxes": solve_pattern_boxes,
+    "portfolio": solve_pattern_portfolio,
+}
+
+
+def solve_pattern(problem: PatternProblem, engine: str = "smt", **kwargs) -> PatternOutcome:
+    """Solve a pattern problem with the chosen engine (``smt``/``boxes``)."""
+    if engine not in _ENGINES:
+        raise ValidationError(
+            f"unknown engine {engine!r}; expected one of {sorted(_ENGINES)}"
+        )
+    return _ENGINES[engine](problem, **kwargs)

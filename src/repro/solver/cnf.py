@@ -1,0 +1,85 @@
+"""CNF formula container with DIMACS-style literals.
+
+Variables are positive integers ``1..n``; a literal is ``+v`` (variable
+true) or ``-v`` (variable false).  The container performs light
+normalisation on insertion: duplicate literals are removed and
+tautological clauses (containing ``v`` and ``-v``) are dropped.
+"""
+
+from __future__ import annotations
+
+from ..exceptions import SolverError
+
+__all__ = ["CNF"]
+
+
+class CNF:
+    """A growable conjunction of disjunctive clauses."""
+
+    def __init__(self) -> None:
+        self.n_vars = 0
+        self.clauses: list[list[int]] = []
+
+    def new_var(self) -> int:
+        """Allocate a fresh variable and return its index (1-based)."""
+        self.n_vars += 1
+        return self.n_vars
+
+    def new_vars(self, count: int) -> list[int]:
+        """Allocate ``count`` fresh variables."""
+        return [self.new_var() for _ in range(count)]
+
+    def add_clause(self, literals) -> None:
+        """Add a clause (any iterable of non-zero ints).
+
+        An empty clause is allowed and makes the formula trivially
+        unsatisfiable — solvers detect it up front.
+        """
+        seen: set[int] = set()
+        clause: list[int] = []
+        for literal in literals:
+            literal = int(literal)
+            if literal == 0:
+                raise SolverError("0 is not a valid DIMACS literal")
+            if abs(literal) > self.n_vars:
+                raise SolverError(
+                    f"literal {literal} references variable beyond n_vars={self.n_vars}; "
+                    f"allocate variables with new_var() first"
+                )
+            if -literal in seen:
+                return  # tautology: drop the clause entirely
+            if literal not in seen:
+                seen.add(literal)
+                clause.append(literal)
+        self.clauses.append(clause)
+
+    def evaluate(self, assignment: dict[int, bool]) -> bool:
+        """Check a *complete* assignment against all clauses.
+
+        Used by tests and by the encoders' internal sanity checks.
+        """
+        for clause in self.clauses:
+            satisfied = False
+            for literal in clause:
+                var = abs(literal)
+                if var not in assignment:
+                    raise SolverError(f"assignment is missing variable {var}")
+                if assignment[var] == (literal > 0):
+                    satisfied = True
+                    break
+            if not satisfied:
+                return False
+        return True
+
+    def to_dimacs(self) -> str:
+        """Serialise to DIMACS CNF text (for debugging / external solvers)."""
+        lines = [f"p cnf {self.n_vars} {len(self.clauses)}"]
+        for clause in self.clauses:
+            lines.append(" ".join(str(literal) for literal in clause) + " 0")
+        return "\n".join(lines)
+
+    def __len__(self) -> int:
+        return len(self.clauses)
+
+    def __repr__(self) -> str:
+        return f"CNF(n_vars={self.n_vars}, n_clauses={len(self.clauses)})"

@@ -1,0 +1,175 @@
+"""Eager SMT encoding of pattern problems into propositional CNF.
+
+The forgery formulas of the paper are Boolean combinations of threshold
+predicates ``x_f ≤ v`` plus per-feature interval bounds.  Over this
+fragment the classic *eager* reduction to SAT is sound and complete:
+
+1. one Boolean **atom** per distinct predicate ``x_f ≤ v``;
+2. **ordering axioms**: for consecutive thresholds ``v₁ < v₂`` of the
+   same feature, ``(x ≤ v₁) → (x ≤ v₂)``;
+3. **bound units**: atoms entailed (or refuted) by the ``L∞``-ball and
+   domain bounds become unit clauses;
+4. each tree's requirement "output label ℓ" becomes a disjunction over
+   its ℓ-leaves, each leaf a conjunction of its box's atom literals
+   (one-directional Tseitin, which preserves satisfiability).
+
+Any propositional model then induces, per feature, a non-empty interval
+of real values; :func:`decode_model` picks the point closest to the
+ball centre.  This gives a decision procedure equivalent to Z3 on the
+paper's forgery queries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..exceptions import SolverError
+from .cnf import CNF
+from .problem import PatternOutcome, PatternProblem
+from .sat import solve_cnf
+
+__all__ = ["PatternEncoding", "encode_pattern_problem", "decode_model", "solve_pattern_smt"]
+
+
+@dataclass
+class PatternEncoding:
+    """A CNF together with the atom bookkeeping needed for decoding."""
+
+    cnf: CNF
+    atom_vars: dict[tuple[int, float], int]  # (feature, threshold) -> var
+    lo: np.ndarray
+    hi: np.ndarray
+    trivially_unsat: bool = False
+
+
+def encode_pattern_problem(problem: PatternProblem) -> PatternEncoding:
+    """Build the eager CNF encoding of a :class:`PatternProblem`."""
+    cnf = CNF()
+    lo, hi = problem.feature_bounds()
+    candidates = problem.candidate_boxes()
+    if candidates is None:
+        return PatternEncoding(
+            cnf=cnf, atom_vars={}, lo=lo, hi=hi, trivially_unsat=True
+        )
+
+    atom_vars: dict[tuple[int, float], int] = {}
+
+    def atom(feature: int, threshold: float) -> int:
+        key = (feature, float(threshold))
+        if key not in atom_vars:
+            atom_vars[key] = cnf.new_var()
+        return atom_vars[key]
+
+    # Tree constraints: one selector variable per candidate leaf box.
+    for boxes in candidates:
+        selectors = []
+        for box in boxes:
+            selector = cnf.new_var()
+            selectors.append(selector)
+            for feature, upper in box.upper.items():
+                if upper < hi[feature]:  # bounds already imply looser atoms
+                    cnf.add_clause([-selector, atom(feature, upper)])
+            for feature, lower in box.lower.items():
+                if lower >= lo[feature]:
+                    cnf.add_clause([-selector, -atom(feature, lower)])
+        cnf.add_clause(selectors)
+
+    # Ordering axioms per feature over the atoms actually used.
+    thresholds_by_feature: dict[int, list[float]] = {}
+    for feature, threshold in atom_vars:
+        thresholds_by_feature.setdefault(feature, []).append(threshold)
+    for feature, thresholds in thresholds_by_feature.items():
+        thresholds.sort()
+        for smaller, larger in zip(thresholds, thresholds[1:]):
+            cnf.add_clause(
+                [-atom_vars[(feature, smaller)], atom_vars[(feature, larger)]]
+            )
+
+    # Bound units: ball/domain decide atoms outside [lo, hi).
+    for (feature, threshold), var in atom_vars.items():
+        if threshold >= hi[feature]:
+            cnf.add_clause([var])
+        elif threshold < lo[feature]:
+            cnf.add_clause([-var])
+
+    return PatternEncoding(cnf=cnf, atom_vars=atom_vars, lo=lo, hi=hi)
+
+
+def decode_model(
+    encoding: PatternEncoding,
+    model: dict[int, bool],
+    n_features: int,
+    center: np.ndarray | None,
+) -> np.ndarray:
+    """Extract a concrete instance from a propositional model.
+
+    For each feature the true atoms give an upper bound (their minimum
+    threshold) and the false atoms a strict lower bound (their maximum);
+    ordering axioms and bound units guarantee the resulting interval
+    intersected with ``[lo, hi]`` is non-empty.  Within it we take the
+    point closest to ``center`` (or to the interval's midpoint when no
+    ball is involved).
+    """
+    x = (
+        center.astype(np.float64).copy()
+        if center is not None
+        else 0.5 * (encoding.lo + encoding.hi)
+    )
+    # Features without atoms keep their default; clamp into bounds.
+    x = np.clip(x, encoding.lo, encoding.hi)
+
+    upper_bound = encoding.hi.astype(np.float64).copy()
+    strict_lower = np.full(n_features, -np.inf)
+    for (feature, threshold), var in encoding.atom_vars.items():
+        if model[var]:
+            upper_bound[feature] = min(upper_bound[feature], threshold)
+        else:
+            strict_lower[feature] = max(strict_lower[feature], threshold)
+
+    for feature in range(n_features):
+        low = encoding.lo[feature]
+        if strict_lower[feature] > -np.inf:
+            low = max(low, float(np.nextafter(strict_lower[feature], np.inf)))
+        high = upper_bound[feature]
+        if low > high:
+            raise SolverError(
+                f"inconsistent decoded interval for feature {feature}: "
+                f"[{low}, {high}] — encoding invariant violated"
+            )
+        x[feature] = min(max(x[feature], low), high)
+    return x
+
+
+def solve_pattern_smt(
+    problem: PatternProblem, max_conflicts: int | None = 200_000
+) -> PatternOutcome:
+    """Decide a pattern problem via the eager SAT encoding.
+
+    Returns a satisfying instance (verified against the actual trees),
+    ``unsat``, or ``unknown`` when the conflict budget runs out.
+    """
+    encoding = encode_pattern_problem(problem)
+    if encoding.trivially_unsat:
+        return PatternOutcome(status="unsat", stats={"trivial": True})
+
+    result = solve_cnf(encoding.cnf, max_conflicts=max_conflicts)
+    stats = {
+        "conflicts": result.conflicts,
+        "decisions": result.decisions,
+        "propagations": result.propagations,
+        "n_vars": encoding.cnf.n_vars,
+        "n_clauses": len(encoding.cnf),
+    }
+    if result.status != "sat":
+        return PatternOutcome(status=result.status, stats=stats)
+
+    assert result.model is not None
+    instance = decode_model(encoding, result.model, problem.n_features, problem.center)
+    if not problem.check_solution(instance):
+        raise SolverError(
+            "decoded instance does not realise the required pattern — "
+            "eager encoding bug"
+        )
+    return PatternOutcome(status="sat", instance=instance, stats=stats)

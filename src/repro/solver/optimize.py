@@ -1,0 +1,119 @@
+"""Minimum-distortion forgery: how far must a forged instance stray?
+
+Fig. 4 of the paper sweeps a fixed grid of ε values; a sharper question
+is *the smallest ε at which a given (instance, fake signature) pair
+becomes forgeable*.  Since feasibility is monotone in ε (a larger ball
+contains the smaller one), binary search over ε with the pattern solver
+as the oracle computes this minimal distortion to any precision.
+
+The minimal distortion is exactly the quantity a judge would use to
+argue a forged trigger set is illegitimate ("every one of these
+instances required at least 0.4 L∞ distortion"), and it powers the
+distortion histograms in the forged-instance analysis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..exceptions import ValidationError
+from .boxdpll import solve_pattern_boxes
+from .encoding import solve_pattern_smt
+from .problem import PatternProblem
+
+_ENGINES = {"smt": solve_pattern_smt, "boxes": solve_pattern_boxes}
+
+__all__ = ["MinimalDistortion", "minimal_forgery_distortion"]
+
+
+@dataclass
+class MinimalDistortion:
+    """Result of the binary search.
+
+    ``epsilon`` is an upper bound on the minimal feasible distortion,
+    within ``tolerance`` of the true threshold; ``instance`` is a
+    witness at that distortion.  ``feasible`` is False when even the
+    maximal ε admits no forgery (then ``epsilon``/``instance`` are
+    ``None``).
+    """
+
+    feasible: bool
+    epsilon: float | None = None
+    instance: np.ndarray | None = None
+    solver_calls: int = 0
+
+
+def minimal_forgery_distortion(
+    roots,
+    required: list[int],
+    center: np.ndarray,
+    n_features: int,
+    epsilon_max: float = 1.0,
+    tolerance: float = 0.01,
+    engine: str = "smt",
+    solver_budget: int | None = 100_000,
+    domain: tuple[float, float] | None = (0.0, 1.0),
+) -> MinimalDistortion:
+    """Binary-search the smallest ε admitting the required pattern.
+
+    Parameters
+    ----------
+    roots, required, center, n_features, domain:
+        As in :class:`~repro.solver.PatternProblem`.
+    epsilon_max:
+        Upper end of the search (1.0 covers the whole unit domain).
+    tolerance:
+        Absolute precision of the returned threshold.
+    engine, solver_budget:
+        Forwarded to :func:`~repro.solver.solve_pattern`; a budget
+        exhaustion ("unknown") is treated conservatively as infeasible
+        at that ε, so the result stays an upper bound.
+    """
+    if epsilon_max <= 0:
+        raise ValidationError(f"epsilon_max must be > 0, got {epsilon_max}")
+    if tolerance <= 0:
+        raise ValidationError(f"tolerance must be > 0, got {tolerance}")
+    if engine not in _ENGINES:
+        raise ValidationError(
+            f"unknown engine {engine!r}; expected one of {sorted(_ENGINES)}"
+        )
+    solve = _ENGINES[engine]
+
+    budget_kwargs = (
+        {"max_conflicts": solver_budget} if engine == "smt" else {"max_nodes": solver_budget}
+    )
+    calls = 0
+
+    def feasible_at(epsilon: float):
+        nonlocal calls
+        calls += 1
+        problem = PatternProblem(
+            roots=roots,
+            required=required,
+            n_features=n_features,
+            center=center,
+            epsilon=float(epsilon),
+            domain=domain,
+        )
+        outcome = solve(problem, **budget_kwargs)
+        return outcome.instance if outcome.is_sat else None
+
+    witness = feasible_at(epsilon_max)
+    if witness is None:
+        return MinimalDistortion(feasible=False, solver_calls=calls)
+
+    low, high = 0.0, float(epsilon_max)
+    best_instance = witness
+    while high - low > tolerance:
+        middle = 0.5 * (low + high)
+        candidate = feasible_at(middle)
+        if candidate is not None:
+            high = middle
+            best_instance = candidate
+        else:
+            low = middle
+    return MinimalDistortion(
+        feasible=True, epsilon=high, instance=best_instance, solver_calls=calls
+    )

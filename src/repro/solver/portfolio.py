@@ -1,0 +1,69 @@
+"""Portfolio solving with online cross-checking.
+
+The two pattern engines (eager SMT and box DPLL) are independent
+implementations of the same decision procedure.  The portfolio runs
+both on every query and:
+
+- raises :class:`SolverError` if they *disagree* on a decided instance
+  (a bug in one of them — this must never pass silently);
+- returns the decided answer when one engine times out and the other
+  decides, making the portfolio strictly more complete than either
+  engine under a budget.
+
+The forgery experiments accept ``engine="portfolio"`` anywhere an
+engine name is taken.
+"""
+
+from __future__ import annotations
+
+from ..exceptions import SolverError
+from .boxdpll import solve_pattern_boxes
+from .encoding import solve_pattern_smt
+from .problem import PatternOutcome, PatternProblem
+
+__all__ = ["solve_pattern_portfolio"]
+
+_DECIDED = ("sat", "unsat")
+
+
+def solve_pattern_portfolio(
+    problem: PatternProblem,
+    max_conflicts: int | None = 200_000,
+    max_nodes: int | None = 2_000_000,
+) -> PatternOutcome:
+    """Run both engines, cross-check, and merge their verdicts.
+
+    Parameters
+    ----------
+    max_conflicts:
+        Budget for the SMT engine.
+    max_nodes:
+        Budget for the box-DPLL engine.
+    """
+    smt = solve_pattern_smt(problem, max_conflicts=max_conflicts)
+    boxes = solve_pattern_boxes(problem, max_nodes=max_nodes)
+
+    if smt.status in _DECIDED and boxes.status in _DECIDED:
+        if smt.status != boxes.status:
+            raise SolverError(
+                f"engine disagreement: smt={smt.status} boxes={boxes.status} — "
+                f"one of the solvers is buggy on this instance"
+            )
+        chosen = smt if smt.is_sat else boxes
+        return PatternOutcome(
+            status=chosen.status,
+            instance=smt.instance if smt.is_sat else None,
+            stats={"smt": smt.stats, "boxes": boxes.stats, "agreement": True},
+        )
+
+    decided = smt if smt.status in _DECIDED else boxes
+    if decided.status in _DECIDED:
+        return PatternOutcome(
+            status=decided.status,
+            instance=decided.instance,
+            stats={"smt": smt.stats, "boxes": boxes.stats, "agreement": None},
+        )
+    return PatternOutcome(
+        status="unknown",
+        stats={"smt": smt.stats, "boxes": boxes.stats, "agreement": None},
+    )

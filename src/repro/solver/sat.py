@@ -1,0 +1,323 @@
+"""A CDCL SAT solver (conflict-driven clause learning).
+
+This is the Boolean engine behind the forgery attack — the role Z3
+plays in the paper.  It implements the standard modern architecture:
+
+- two-watched-literal unit propagation,
+- first-UIP conflict analysis with clause learning,
+- VSIDS-style variable activities with phase saving,
+- Luby restarts,
+- a conflict budget so callers can bound worst-case work (the paper
+  reports forgery runs that "do not scale"; the budget lets our
+  experiments report the same phenomenon instead of hanging).
+
+The implementation favours clarity over raw speed, but handles the
+tens-of-thousands-of-clauses encodings produced by
+:mod:`repro.solver.encoding` comfortably.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..exceptions import SolverError
+from .cnf import CNF
+
+__all__ = ["SATResult", "SATSolver", "solve_cnf"]
+
+_UNASSIGNED = -1
+
+
+@dataclass
+class SATResult:
+    """Outcome of a SAT run.
+
+    ``status`` is ``"sat"``, ``"unsat"`` or ``"unknown"`` (conflict
+    budget exhausted).  ``model`` maps every variable to a bool when
+    satisfiable.
+    """
+
+    status: str
+    model: dict[int, bool] | None = None
+    conflicts: int = 0
+    decisions: int = 0
+    propagations: int = 0
+    restarts: int = 0
+
+    @property
+    def is_sat(self) -> bool:
+        return self.status == "sat"
+
+    @property
+    def is_unsat(self) -> bool:
+        return self.status == "unsat"
+
+
+def _luby(i: int) -> int:
+    """The Luby restart sequence (1,1,2,1,1,2,4,...), 1-indexed."""
+    while True:
+        k = i.bit_length()
+        if i == (1 << k) - 1:
+            return 1 << (k - 1)
+        i = i - (1 << (k - 1)) + 1
+
+
+class SATSolver:
+    """One-shot CDCL solver over a :class:`CNF` formula."""
+
+    def __init__(self, cnf: CNF, max_conflicts: int | None = None) -> None:
+        self.n_vars = cnf.n_vars
+        self.max_conflicts = max_conflicts
+        # Clause database: clauses are lists of internal literal codes.
+        # Internal code of DIMACS literal L: 2*(|L|-1) + (1 if L < 0 else 0).
+        self.clauses: list[list[int]] = []
+        self.watches: list[list[int]] = [[] for _ in range(2 * self.n_vars)]
+        self.assign: list[int] = [_UNASSIGNED] * self.n_vars
+        self.level: list[int] = [0] * self.n_vars
+        self.reason: list[int] = [-1] * self.n_vars
+        self.trail: list[int] = []
+        self.trail_lim: list[int] = []
+        self.queue_head = 0
+        self.activity: list[float] = [0.0] * self.n_vars
+        self.phase: list[bool] = [False] * self.n_vars
+        self.var_inc = 1.0
+        self.var_decay = 0.95
+        self.conflicts = 0
+        self.decisions = 0
+        self.propagations = 0
+        self.restarts = 0
+        self._contradiction = False
+
+        for clause in cnf.clauses:
+            self._add_clause([self._encode(lit) for lit in clause])
+
+    # -- literal helpers -------------------------------------------------
+
+    @staticmethod
+    def _encode(literal: int) -> int:
+        return 2 * (abs(literal) - 1) + (1 if literal < 0 else 0)
+
+    @staticmethod
+    def _negate(code: int) -> int:
+        return code ^ 1
+
+    def _value(self, code: int) -> int:
+        """Value of a literal code: 1 true, 0 false, -1 unassigned."""
+        value = self.assign[code >> 1]
+        if value == _UNASSIGNED:
+            return _UNASSIGNED
+        return value ^ (code & 1)
+
+    # -- clause database -------------------------------------------------
+
+    def _add_clause(self, codes: list[int]) -> None:
+        if self._contradiction:
+            return
+        if not codes:
+            self._contradiction = True
+            return
+        if len(codes) == 1:
+            if not self._enqueue(codes[0], reason=-1):
+                self._contradiction = True
+            return
+        index = len(self.clauses)
+        self.clauses.append(codes)
+        self.watches[codes[0]].append(index)
+        self.watches[codes[1]].append(index)
+
+    # -- assignment / propagation -----------------------------------------
+
+    def _enqueue(self, code: int, reason: int) -> bool:
+        value = self._value(code)
+        if value == 0:
+            return False
+        if value == 1:
+            return True
+        var = code >> 1
+        self.assign[var] = 1 - (code & 1)
+        self.level[var] = len(self.trail_lim)
+        self.reason[var] = reason
+        self.trail.append(code)
+        return True
+
+    def _propagate(self) -> int:
+        """Unit propagation; returns a conflicting clause index or -1."""
+        while self.queue_head < len(self.trail):
+            code = self.trail[self.queue_head]
+            self.queue_head += 1
+            self.propagations += 1
+            false_code = self._negate(code)
+            watch_list = self.watches[false_code]
+            i = 0
+            while i < len(watch_list):
+                clause_index = watch_list[i]
+                clause = self.clauses[clause_index]
+                # Normalise: watched literal under scrutiny at slot 1.
+                if clause[0] == false_code:
+                    clause[0], clause[1] = clause[1], clause[0]
+                first = clause[0]
+                if self._value(first) == 1:
+                    i += 1
+                    continue
+                # Look for a replacement watch.
+                moved = False
+                for j in range(2, len(clause)):
+                    if self._value(clause[j]) != 0:
+                        clause[1], clause[j] = clause[j], clause[1]
+                        watch_list[i] = watch_list[-1]
+                        watch_list.pop()
+                        self.watches[clause[1]].append(clause_index)
+                        moved = True
+                        break
+                if moved:
+                    continue
+                # Clause is unit (or conflicting) on `first`.
+                if not self._enqueue(first, reason=clause_index):
+                    self.queue_head = len(self.trail)
+                    return clause_index
+                i += 1
+        return -1
+
+    # -- conflict analysis -------------------------------------------------
+
+    def _bump(self, var: int) -> None:
+        self.activity[var] += self.var_inc
+        if self.activity[var] > 1e100:
+            for v in range(self.n_vars):
+                self.activity[v] *= 1e-100
+            self.var_inc *= 1e-100
+
+    def _analyze(self, conflict_index: int) -> tuple[list[int], int]:
+        """First-UIP learning; returns (learned clause codes, backjump level)."""
+        # MiniSat-style resolution walk.  Invariant: for every reason
+        # clause, slot 0 holds the literal it propagated, so resolving on
+        # that variable means skipping slot 0.
+        learned: list[int] = [0]  # slot 0 reserved for the asserting literal
+        seen = [False] * self.n_vars
+        counter = 0  # literals of the current decision level still open
+        code: int | None = None
+        index = len(self.trail) - 1
+        clause_index = conflict_index
+        current_level = len(self.trail_lim)
+
+        while True:
+            clause = self.clauses[clause_index]
+            start = 0 if code is None else 1
+            for reason_code in clause[start:]:
+                var = reason_code >> 1
+                if not seen[var] and self.level[var] > 0:
+                    seen[var] = True
+                    self._bump(var)
+                    if self.level[var] >= current_level:
+                        counter += 1
+                    else:
+                        learned.append(reason_code)
+            # Find the next trail literal to resolve on.
+            while not seen[self.trail[index] >> 1]:
+                index -= 1
+            code = self.trail[index]
+            index -= 1
+            var = code >> 1
+            seen[var] = False
+            clause_index = self.reason[var]
+            counter -= 1
+            if counter == 0:
+                break
+        learned[0] = self._negate(code)
+
+        if len(learned) == 1:
+            return learned, 0
+        # Backjump to the second-highest decision level in the clause.
+        max_index = 1
+        for j in range(2, len(learned)):
+            if self.level[learned[j] >> 1] > self.level[learned[max_index] >> 1]:
+                max_index = j
+        learned[1], learned[max_index] = learned[max_index], learned[1]
+        return learned, self.level[learned[1] >> 1]
+
+    def _backtrack(self, target_level: int) -> None:
+        while len(self.trail_lim) > target_level:
+            limit = self.trail_lim.pop()
+            while len(self.trail) > limit:
+                code = self.trail.pop()
+                var = code >> 1
+                self.phase[var] = self.assign[var] == 1
+                self.assign[var] = _UNASSIGNED
+                self.reason[var] = -1
+        self.queue_head = min(self.queue_head, len(self.trail))
+
+    # -- decisions ----------------------------------------------------------
+
+    def _decide(self) -> bool:
+        best_var = -1
+        best_activity = -1.0
+        for var in range(self.n_vars):
+            if self.assign[var] == _UNASSIGNED and self.activity[var] > best_activity:
+                best_var = var
+                best_activity = self.activity[var]
+        if best_var == -1:
+            return False
+        self.decisions += 1
+        self.trail_lim.append(len(self.trail))
+        code = 2 * best_var + (0 if self.phase[best_var] else 1)
+        self._enqueue(code, reason=-1)
+        return True
+
+    # -- main loop ------------------------------------------------------------
+
+    def solve(self) -> SATResult:
+        """Run the search to completion (or to the conflict budget)."""
+        if self._contradiction:
+            return SATResult(status="unsat")
+        if self._propagate() != -1:
+            return SATResult(status="unsat")
+
+        conflicts_until_restart = 100 * _luby(self.restarts + 1)
+        while True:
+            conflict = self._propagate()
+            if conflict != -1:
+                self.conflicts += 1
+                if not self.trail_lim:
+                    return self._result("unsat")
+                if self.max_conflicts is not None and self.conflicts >= self.max_conflicts:
+                    return self._result("unknown")
+                learned, backjump_level = self._analyze(conflict)
+                self._backtrack(backjump_level)
+                if len(learned) == 1:
+                    if not self._enqueue(learned[0], reason=-1):
+                        return self._result("unsat")
+                else:
+                    index = len(self.clauses)
+                    self.clauses.append(learned)
+                    self.watches[learned[0]].append(index)
+                    self.watches[learned[1]].append(index)
+                    self._enqueue(learned[0], reason=index)
+                self.var_inc /= self.var_decay
+                conflicts_until_restart -= 1
+                if conflicts_until_restart <= 0:
+                    self.restarts += 1
+                    conflicts_until_restart = 100 * _luby(self.restarts + 1)
+                    self._backtrack(0)
+            else:
+                if not self._decide():
+                    model = {
+                        var + 1: self.assign[var] == 1 for var in range(self.n_vars)
+                    }
+                    return self._result("sat", model)
+
+    def _result(self, status: str, model: dict[int, bool] | None = None) -> SATResult:
+        return SATResult(
+            status=status,
+            model=model,
+            conflicts=self.conflicts,
+            decisions=self.decisions,
+            propagations=self.propagations,
+            restarts=self.restarts,
+        )
+
+
+def solve_cnf(cnf: CNF, max_conflicts: int | None = None) -> SATResult:
+    """Convenience wrapper: build a solver and run it."""
+    if any(len(c) == 0 for c in cnf.clauses):
+        return SATResult(status="unsat")
+    return SATSolver(cnf, max_conflicts=max_conflicts).solve()

@@ -1,0 +1,183 @@
+"""CNF preprocessing and DIMACS interchange.
+
+The forgery encodings contain many unit clauses (ball/domain bounds)
+and chained ordering axioms; the preprocessor shrinks them before the
+CDCL search:
+
+- **unit propagation** to fixpoint at the formula level;
+- **pure-literal elimination** (a variable occurring with one polarity
+  only can be satisfied for free);
+- **subsumption** (a clause that is a superset of another is redundant).
+
+All transformations are satisfiability-preserving, and the simplifier
+records the assignments it fixed so full models can be reconstructed.
+A DIMACS parser/printer rounds out the module so formulas can be
+exchanged with external tools.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..exceptions import SolverError
+from .cnf import CNF
+
+__all__ = ["SimplifiedCNF", "simplify_cnf", "parse_dimacs"]
+
+
+@dataclass
+class SimplifiedCNF:
+    """Result of preprocessing.
+
+    ``forced`` holds the assignments fixed by the simplifier (units and
+    pure literals); ``restore`` extends a model of the simplified
+    formula to a model of the original.  ``unsat`` short-circuits when
+    preprocessing already derived a contradiction.
+    """
+
+    cnf: CNF
+    forced: dict[int, bool] = field(default_factory=dict)
+    unsat: bool = False
+
+    def restore(self, model: dict[int, bool] | None, n_vars: int) -> dict[int, bool] | None:
+        """Extend a model of the simplified CNF to all original variables.
+
+        Unconstrained variables default to ``False``.
+        """
+        if self.unsat:
+            return None
+        full = {var: False for var in range(1, n_vars + 1)}
+        if model:
+            full.update(model)
+        full.update(self.forced)
+        return full
+
+
+def _propagate_units(clauses: list[list[int]], forced: dict[int, bool]) -> list[list[int]] | None:
+    """Unit propagation to fixpoint; returns None on contradiction."""
+    changed = True
+    while changed:
+        changed = False
+        units = [clause[0] for clause in clauses if len(clause) == 1]
+        for literal in units:
+            var, value = abs(literal), literal > 0
+            if var in forced and forced[var] != value:
+                return None
+            if var not in forced:
+                forced[var] = value
+                changed = True
+        if not changed:
+            break
+        next_clauses: list[list[int]] = []
+        for clause in clauses:
+            satisfied = False
+            reduced: list[int] = []
+            for literal in clause:
+                var = abs(literal)
+                if var in forced:
+                    if forced[var] == (literal > 0):
+                        satisfied = True
+                        break
+                else:
+                    reduced.append(literal)
+            if satisfied:
+                continue
+            if not reduced:
+                return None
+            next_clauses.append(reduced)
+        clauses = next_clauses
+    return clauses
+
+
+def _eliminate_pure_literals(
+    clauses: list[list[int]], forced: dict[int, bool]
+) -> list[list[int]]:
+    """Remove clauses containing literals of single-polarity variables."""
+    while True:
+        polarity: dict[int, set[bool]] = {}
+        for clause in clauses:
+            for literal in clause:
+                polarity.setdefault(abs(literal), set()).add(literal > 0)
+        pure = {
+            var: next(iter(signs)) for var, signs in polarity.items() if len(signs) == 1
+        }
+        if not pure:
+            return clauses
+        for var, value in pure.items():
+            if var not in forced:
+                forced[var] = value
+        clauses = [
+            clause
+            for clause in clauses
+            if not any(abs(literal) in pure for literal in clause)
+        ]
+
+
+def _remove_subsumed(clauses: list[list[int]]) -> list[list[int]]:
+    """Drop clauses that are supersets of some other clause."""
+    as_sets = [frozenset(clause) for clause in clauses]
+    order = sorted(range(len(clauses)), key=lambda i: len(as_sets[i]))
+    kept: list[int] = []
+    kept_sets: list[frozenset[int]] = []
+    for index in order:
+        candidate = as_sets[index]
+        if any(small <= candidate for small in kept_sets):
+            continue
+        kept.append(index)
+        kept_sets.append(candidate)
+    kept.sort()
+    return [clauses[i] for i in kept]
+
+
+def simplify_cnf(cnf: CNF) -> SimplifiedCNF:
+    """Preprocess a CNF; the result is equisatisfiable with the input."""
+    forced: dict[int, bool] = {}
+    clauses = [list(clause) for clause in cnf.clauses]
+    if any(not clause for clause in clauses):
+        return SimplifiedCNF(cnf=CNF(), unsat=True)
+
+    propagated = _propagate_units(clauses, forced)
+    if propagated is None:
+        return SimplifiedCNF(cnf=CNF(), forced=forced, unsat=True)
+    clauses = _eliminate_pure_literals(propagated, forced)
+    clauses = _remove_subsumed(clauses)
+
+    result = CNF()
+    result.n_vars = cnf.n_vars
+    for clause in clauses:
+        result.add_clause(clause)
+    return SimplifiedCNF(cnf=result, forced=forced)
+
+
+def parse_dimacs(text: str) -> CNF:
+    """Parse DIMACS CNF text into a :class:`CNF`.
+
+    Accepts comment lines (``c ...``) and requires the standard
+    ``p cnf <vars> <clauses>`` header.
+    """
+    cnf = CNF()
+    declared_clauses: int | None = None
+    pending: list[int] = []
+    for raw_line in text.splitlines():
+        line = raw_line.strip()
+        if not line or line.startswith("c"):
+            continue
+        if line.startswith("p"):
+            parts = line.split()
+            if len(parts) != 4 or parts[1] != "cnf":
+                raise SolverError(f"malformed DIMACS header: {line!r}")
+            cnf.n_vars = int(parts[2])
+            declared_clauses = int(parts[3])
+            continue
+        if declared_clauses is None:
+            raise SolverError("DIMACS clauses appear before the 'p cnf' header")
+        for token in line.split():
+            literal = int(token)
+            if literal == 0:
+                cnf.add_clause(pending)
+                pending = []
+            else:
+                pending.append(literal)
+    if pending:
+        raise SolverError("DIMACS input ends inside an unterminated clause")
+    return cnf

@@ -1,0 +1,47 @@
+"""Decision-tree substrate: weighted CART trees and their geometry.
+
+Public surface:
+
+- :class:`DecisionTreeClassifier` — weighted CART learner with depth and
+  leaf-count caps (the knobs the paper's ``Adjust`` heuristic tunes).
+- :class:`Leaf` / :class:`InternalNode` — the paper's inductive tree
+  structure, usable directly (e.g. by the 3SAT reduction).
+- :class:`Box`, :func:`leaf_boxes`, :func:`boxes_for_label` — leaf
+  regions as axis-aligned boxes, the geometric core of the forgery
+  solvers.
+- :func:`tree_stats`, :func:`ensemble_structure`, :func:`tree_to_text` —
+  structural statistics (used by the detection attack) and export.
+"""
+
+from .criteria import entropy_impurity, gini_impurity
+from .export import TreeStats, ensemble_structure, tree_stats, tree_to_text
+from .node import InternalNode, Leaf, TreeNode, iter_leaves, iter_nodes, predict_batch, predict_one
+from .paths import Box, boxes_for_label, leaf_boxes
+from .pruning import prune_cost_complexity, pruning_path, subtree_risk
+from .regression import RegressionTree
+from .tree import DecisionTreeClassifier, resolve_max_features
+
+__all__ = [
+    "Box",
+    "DecisionTreeClassifier",
+    "InternalNode",
+    "Leaf",
+    "TreeNode",
+    "TreeStats",
+    "boxes_for_label",
+    "ensemble_structure",
+    "entropy_impurity",
+    "gini_impurity",
+    "iter_leaves",
+    "iter_nodes",
+    "leaf_boxes",
+    "predict_batch",
+    "predict_one",
+    "prune_cost_complexity",
+    "pruning_path",
+    "RegressionTree",
+    "subtree_risk",
+    "resolve_max_features",
+    "tree_stats",
+    "tree_to_text",
+]

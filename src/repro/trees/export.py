@@ -1,0 +1,90 @@
+"""Structural statistics and human-readable export of trees.
+
+The watermark-detection attacks of the paper (Table 2) compare per-tree
+depth and leaf counts across an ensemble; :func:`tree_stats` and
+:func:`ensemble_structure` compute exactly those statistics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .node import TreeNode, iter_nodes
+
+__all__ = ["TreeStats", "tree_stats", "ensemble_structure", "tree_to_text"]
+
+
+@dataclass(frozen=True)
+class TreeStats:
+    """Structural summary of a single decision tree."""
+
+    depth: int
+    n_leaves: int
+    n_nodes: int
+    used_features: frozenset[int]
+
+
+def tree_stats(root: TreeNode) -> TreeStats:
+    """Compute depth, leaf count, node count and feature usage of a tree."""
+    n_nodes = 0
+    n_leaves = 0
+    used: set[int] = set()
+    for node in iter_nodes(root):
+        n_nodes += 1
+        if node.is_leaf:
+            n_leaves += 1
+        else:
+            used.add(node.feature)
+    return TreeStats(
+        depth=root.depth(),
+        n_leaves=n_leaves,
+        n_nodes=n_nodes,
+        used_features=frozenset(used),
+    )
+
+
+def ensemble_structure(roots: list[TreeNode]) -> dict[str, np.ndarray]:
+    """Per-tree structural statistics of an ensemble.
+
+    Returns arrays keyed ``"depth"`` and ``"n_leaves"`` (one entry per
+    tree), the two hyper-parameters the paper's detection attack
+    inspects.
+    """
+    stats = [tree_stats(root) for root in roots]
+    return {
+        "depth": np.array([s.depth for s in stats], dtype=np.float64),
+        "n_leaves": np.array([s.n_leaves for s in stats], dtype=np.float64),
+    }
+
+
+def tree_to_text(root: TreeNode, feature_names: list[str] | None = None) -> str:
+    """Render a tree as an indented ASCII outline.
+
+    >>> from repro.trees.node import InternalNode, Leaf
+    >>> t = InternalNode(0, 0.5, Leaf(-1), Leaf(+1))
+    >>> print(tree_to_text(t))
+    x0 <= 0.5
+      leaf: -1
+      leaf: 1
+    """
+
+    def name(feature: int) -> str:
+        if feature_names is not None:
+            return feature_names[feature]
+        return f"x{feature}"
+
+    lines: list[str] = []
+
+    def walk(node: TreeNode, indent: int) -> None:
+        pad = "  " * indent
+        if node.is_leaf:
+            lines.append(f"{pad}leaf: {node.prediction}")  # type: ignore[union-attr]
+            return
+        lines.append(f"{pad}{name(node.feature)} <= {node.threshold:g}")
+        walk(node.left, indent + 1)
+        walk(node.right, indent + 1)
+
+    walk(root, 0)
+    return "\n".join(lines)

@@ -1,0 +1,249 @@
+"""Tree growth strategies: depth-first and best-first (leaf-capped).
+
+Two builders are provided because the paper's ``Adjust`` heuristic caps
+*both* the depth and the number of leaves of the trained trees.  A cap
+on ``max_leaf_nodes`` only makes sense with best-first growth (always
+expand the frontier leaf with the largest impurity decrease, as sklearn
+does); without a leaf cap, classic depth-first growth is used.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass
+
+import numpy as np
+
+from .node import InternalNode, Leaf, TreeNode
+from .splitter import Split, find_best_split
+
+__all__ = ["GrowthParams", "grow_tree"]
+
+
+@dataclass
+class GrowthParams:
+    """Hyper-parameters controlling tree induction.
+
+    ``max_features`` is the number of features sampled (without
+    replacement) at *each split*; ``feature_subset`` restricts the whole
+    tree to a fixed subspace (the forest assigns one per tree, which is
+    how the paper's "each tree is trained on a subset of the features"
+    is realised).
+    """
+
+    criterion: object
+    max_depth: int | None = None
+    max_leaf_nodes: int | None = None
+    min_samples_split: int = 2
+    min_samples_leaf: int = 1
+    min_impurity_decrease: float = 0.0
+    max_features: int | None = None
+
+
+def _make_leaf(
+    index: np.ndarray,
+    codes: np.ndarray,
+    weights: np.ndarray,
+    classes: np.ndarray,
+) -> Leaf:
+    """Build a leaf predicting the weighted-majority class of ``index``."""
+    counts = np.zeros(classes.shape[0], dtype=np.float64)
+    np.add.at(counts, codes[index], weights[index])
+    prediction = int(classes[int(np.argmax(counts))])
+    class_weights = {
+        int(classes[c]): float(counts[c]) for c in range(classes.shape[0]) if counts[c] > 0
+    }
+    return Leaf(prediction=prediction, class_weights=class_weights)
+
+
+def _candidate_features(
+    subspace: np.ndarray, params: GrowthParams, rng: np.random.Generator
+) -> np.ndarray:
+    """Sample the features considered by one split."""
+    if params.max_features is None or params.max_features >= subspace.shape[0]:
+        return subspace
+    chosen = rng.choice(subspace.shape[0], size=params.max_features, replace=False)
+    return subspace[np.sort(chosen)]
+
+
+def _search_split(
+    X: np.ndarray,
+    codes: np.ndarray,
+    weights: np.ndarray,
+    index: np.ndarray,
+    depth: int,
+    subspace: np.ndarray,
+    n_classes: int,
+    params: GrowthParams,
+    rng: np.random.Generator,
+) -> Split | None:
+    """Find a split for a node, honouring all stopping criteria."""
+    if params.max_depth is not None and depth >= params.max_depth:
+        return None
+    if index.shape[0] < params.min_samples_split:
+        return None
+    if index.shape[0] < 2 * params.min_samples_leaf:
+        return None
+    split = find_best_split(
+        X,
+        codes,
+        weights,
+        index,
+        _candidate_features(subspace, params, rng),
+        n_classes,
+        params.criterion,
+        params.min_samples_leaf,
+        params.min_impurity_decrease,
+    )
+    if split is None and params.max_features is not None:
+        # The sampled feature subset may have been uninformative even
+        # though the node is impure; retry once with the full subspace so
+        # trees can still isolate heavily-weighted trigger samples.
+        split = find_best_split(
+            X,
+            codes,
+            weights,
+            index,
+            subspace,
+            n_classes,
+            params.criterion,
+            params.min_samples_leaf,
+            params.min_impurity_decrease,
+        )
+    return split
+
+
+def _grow_depth_first(
+    X: np.ndarray,
+    codes: np.ndarray,
+    weights: np.ndarray,
+    index: np.ndarray,
+    subspace: np.ndarray,
+    classes: np.ndarray,
+    params: GrowthParams,
+    rng: np.random.Generator,
+) -> TreeNode:
+    """Classic recursive growth (explicit stack, no recursion limits)."""
+    n_classes = classes.shape[0]
+    # Each frame is (index, depth, parent, side); parent None means root.
+    root_holder: list[TreeNode] = []
+    stack: list[tuple[np.ndarray, int, InternalNode | None, str]] = [
+        (index, 0, None, "left")
+    ]
+    while stack:
+        node_index, depth, parent, side = stack.pop()
+        split = _search_split(
+            X, codes, weights, node_index, depth, subspace, n_classes, params, rng
+        )
+        node: TreeNode
+        if split is None:
+            node = _make_leaf(node_index, codes, weights, classes)
+        else:
+            node = InternalNode(
+                feature=split.feature,
+                threshold=split.threshold,
+                left=None,  # type: ignore[arg-type]
+                right=None,  # type: ignore[arg-type]
+            )
+            stack.append((split.left_index, depth + 1, node, "left"))
+            stack.append((split.right_index, depth + 1, node, "right"))
+        if parent is None:
+            root_holder.append(node)
+        elif side == "left":
+            parent.left = node
+        else:
+            parent.right = node
+    return root_holder[0]
+
+
+def _grow_best_first(
+    X: np.ndarray,
+    codes: np.ndarray,
+    weights: np.ndarray,
+    index: np.ndarray,
+    subspace: np.ndarray,
+    classes: np.ndarray,
+    params: GrowthParams,
+    rng: np.random.Generator,
+) -> TreeNode:
+    """Best-first growth: repeatedly expand the frontier leaf with the
+    largest weighted impurity decrease until ``max_leaf_nodes`` is hit."""
+    n_classes = classes.shape[0]
+    max_leaves = params.max_leaf_nodes
+    assert max_leaves is not None and max_leaves >= 2
+
+    counter = itertools.count()  # heap tie-breaker for determinism
+
+    @dataclass
+    class _Frontier:
+        index: np.ndarray
+        depth: int
+        parent: InternalNode | None
+        side: str
+        split: Split | None
+
+    def _attach(parent: InternalNode | None, side: str, node: TreeNode) -> None:
+        nonlocal root
+        if parent is None:
+            root = node
+        elif side == "left":
+            parent.left = node
+        else:
+            parent.right = node
+
+    root: TreeNode = _make_leaf(index, codes, weights, classes)
+    heap: list[tuple[float, int, _Frontier]] = []
+
+    def _push(entry: _Frontier) -> None:
+        entry.split = _search_split(
+            X, codes, weights, entry.index, entry.depth, subspace, n_classes, params, rng
+        )
+        if entry.split is None:
+            _attach(entry.parent, entry.side, _make_leaf(entry.index, codes, weights, classes))
+        else:
+            heapq.heappush(heap, (-entry.split.gain, next(counter), entry))
+
+    _push(_Frontier(index=index, depth=0, parent=None, side="left", split=None))
+    n_leaves = 1
+    while heap and n_leaves < max_leaves:
+        _, _, entry = heapq.heappop(heap)
+        split = entry.split
+        assert split is not None
+        node = InternalNode(
+            feature=split.feature,
+            threshold=split.threshold,
+            left=_make_leaf(split.left_index, codes, weights, classes),
+            right=_make_leaf(split.right_index, codes, weights, classes),
+        )
+        _attach(entry.parent, entry.side, node)
+        n_leaves += 1  # one leaf became two
+        _push(_Frontier(split.left_index, entry.depth + 1, node, "left", None))
+        _push(_Frontier(split.right_index, entry.depth + 1, node, "right", None))
+    # Frontier nodes never expanded stay as the provisional leaves they
+    # already are (attached when their parents were created).
+    return root
+
+
+def grow_tree(
+    X: np.ndarray,
+    codes: np.ndarray,
+    weights: np.ndarray,
+    subspace: np.ndarray,
+    classes: np.ndarray,
+    params: GrowthParams,
+    rng: np.random.Generator,
+) -> TreeNode:
+    """Grow a decision tree over the full training set.
+
+    Chooses best-first growth when ``max_leaf_nodes`` is set (so the cap
+    binds on the most useful expansions first, like sklearn) and
+    depth-first growth otherwise.
+    """
+    index = np.arange(X.shape[0])
+    positive_weight = weights[index] > 0
+    if not positive_weight.all():
+        index = index[positive_weight]
+    if params.max_leaf_nodes is not None:
+        return _grow_best_first(X, codes, weights, index, subspace, classes, params, rng)
+    return _grow_depth_first(X, codes, weights, index, subspace, classes, params, rng)

@@ -1,0 +1,125 @@
+"""Inductive decision-tree node structures.
+
+The paper defines decision trees inductively: a tree ``t`` is either a
+leaf ``L(y)`` for a label ``y``, or an internal node ``N(f <= v, tl, tr)``
+where ``f`` is a feature index, ``v`` a threshold and ``tl``/``tr`` the
+left/right subtrees.  An instance goes left when ``x[f] <= v``.
+
+This module mirrors that definition exactly with two small classes so
+that the NP-hardness reduction (:mod:`repro.hardness.reduction`) and the
+solver encodings can build and traverse trees structurally, independent
+of how they were learned.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Union
+
+import numpy as np
+
+__all__ = ["Leaf", "InternalNode", "TreeNode"]
+
+
+@dataclass
+class Leaf:
+    """A leaf ``L(y)`` predicting label ``y``.
+
+    ``class_weights`` optionally records the weighted class mass that
+    reached the leaf during training (keyed by label); it is used for
+    probability estimates and for gradient-boosting leaf values, and is
+    empty for hand-built trees such as those produced by the 3SAT
+    reduction.
+    """
+
+    prediction: int
+    class_weights: dict[int, float] = field(default_factory=dict)
+
+    @property
+    def is_leaf(self) -> bool:
+        return True
+
+    def n_leaves(self) -> int:
+        return 1
+
+    def depth(self) -> int:
+        return 0
+
+    def total_weight(self) -> float:
+        return float(sum(self.class_weights.values()))
+
+
+@dataclass
+class InternalNode:
+    """An internal node ``N(feature <= threshold, left, right)``."""
+
+    feature: int
+    threshold: float
+    left: "TreeNode"
+    right: "TreeNode"
+
+    @property
+    def is_leaf(self) -> bool:
+        return False
+
+    def n_leaves(self) -> int:
+        return self.left.n_leaves() + self.right.n_leaves()
+
+    def depth(self) -> int:
+        return 1 + max(self.left.depth(), self.right.depth())
+
+
+TreeNode = Union[Leaf, InternalNode]
+
+
+def iter_nodes(root: TreeNode) -> Iterator[TreeNode]:
+    """Yield every node of the tree rooted at ``root`` in pre-order."""
+    stack: list[TreeNode] = [root]
+    while stack:
+        node = stack.pop()
+        yield node
+        if not node.is_leaf:
+            stack.append(node.right)
+            stack.append(node.left)
+
+
+def iter_leaves(root: TreeNode) -> Iterator[Leaf]:
+    """Yield every leaf of the tree rooted at ``root`` in left-to-right order."""
+    stack: list[TreeNode] = [root]
+    while stack:
+        node = stack.pop()
+        if node.is_leaf:
+            yield node  # type: ignore[misc]
+        else:
+            stack.append(node.right)
+            stack.append(node.left)
+
+
+def predict_one(root: TreeNode, x: np.ndarray) -> int:
+    """Route a single instance down the tree and return the leaf label."""
+    node = root
+    while not node.is_leaf:
+        node = node.left if x[node.feature] <= node.threshold else node.right
+    return node.prediction  # type: ignore[union-attr]
+
+
+def predict_batch(root: TreeNode, X: np.ndarray) -> np.ndarray:
+    """Vectorised routing of a batch of instances down the tree.
+
+    Partitions the index set recursively by the split mask at each node,
+    which keeps the work proportional to ``n_samples * depth`` with numpy
+    doing the comparisons.
+    """
+    out = np.empty(X.shape[0], dtype=np.int64)
+    stack: list[tuple[TreeNode, np.ndarray]] = [(root, np.arange(X.shape[0]))]
+    while stack:
+        node, idx = stack.pop()
+        if idx.size == 0:
+            continue
+        if node.is_leaf:
+            out[idx] = node.prediction  # type: ignore[union-attr]
+            continue
+        go_left = X[idx, node.feature] <= node.threshold
+        stack.append((node.left, idx[go_left]))
+        stack.append((node.right, idx[~go_left]))
+    return out

@@ -1,0 +1,187 @@
+"""Leaf regions of decision trees as axis-aligned boxes.
+
+Every root-to-leaf path of a decision tree defines a hyper-rectangle:
+following ``N(f <= v, tl, tr)`` left adds the constraint ``x_f <= v``
+(an inclusive upper bound), following right adds ``x_f > v`` (a strict
+lower bound).  The forgery solvers (:mod:`repro.solver`) reason about
+these boxes directly: forcing tree ``t`` to output label ``y`` means
+choosing one leaf of ``t`` labelled ``y`` and placing the forged
+instance inside its box.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .node import Leaf, TreeNode
+
+__all__ = ["Box", "leaf_boxes", "boxes_for_label"]
+
+NEG_INF = float("-inf")
+POS_INF = float("inf")
+
+# Nudge used when a point must satisfy a strict lower bound x_f > lo.
+_STRICT_EPS = 1e-9
+
+
+@dataclass
+class Box:
+    """An axis-aligned region ``{x : lo_f < x_f <= hi_f for all f}``.
+
+    Only constrained features are stored (trees touch few features per
+    path, while the ambient space may have hundreds of dimensions).
+    Features absent from both maps are unconstrained.
+    """
+
+    lower: dict[int, float] = field(default_factory=dict)  # strict: x_f > lo
+    upper: dict[int, float] = field(default_factory=dict)  # inclusive: x_f <= hi
+
+    def copy(self) -> "Box":
+        return Box(lower=dict(self.lower), upper=dict(self.upper))
+
+    def constrain_upper(self, feature: int, value: float) -> None:
+        """Add ``x_feature <= value`` (keep the tighter bound)."""
+        current = self.upper.get(feature, POS_INF)
+        if value < current:
+            self.upper[feature] = value
+
+    def constrain_lower(self, feature: int, value: float) -> None:
+        """Add ``x_feature > value`` (keep the tighter bound)."""
+        current = self.lower.get(feature, NEG_INF)
+        if value > current:
+            self.lower[feature] = value
+
+    def interval(self, feature: int) -> tuple[float, float]:
+        """Return the ``(lo, hi]`` interval of a feature."""
+        return self.lower.get(feature, NEG_INF), self.upper.get(feature, POS_INF)
+
+    def is_empty(self) -> bool:
+        """True when some feature interval ``(lo, hi]`` contains no point."""
+        for feature, lo in self.lower.items():
+            if lo >= self.upper.get(feature, POS_INF):
+                return True
+        return False
+
+    def features(self) -> set[int]:
+        """All features constrained by this box."""
+        return set(self.lower) | set(self.upper)
+
+    def intersect(self, other: "Box") -> "Box":
+        """Return the intersection of two boxes (may be empty)."""
+        result = self.copy()
+        for feature, lo in other.lower.items():
+            result.constrain_lower(feature, lo)
+        for feature, hi in other.upper.items():
+            result.constrain_upper(feature, hi)
+        return result
+
+    def intersects(self, other: "Box") -> bool:
+        """Cheap emptiness test of the pairwise intersection."""
+        for feature in other.features() | self.features():
+            lo = max(self.lower.get(feature, NEG_INF), other.lower.get(feature, NEG_INF))
+            hi = min(self.upper.get(feature, POS_INF), other.upper.get(feature, POS_INF))
+            if lo >= hi:
+                return False
+        return True
+
+    def contains(self, x: np.ndarray) -> bool:
+        """True when instance ``x`` lies inside the box."""
+        for feature, lo in self.lower.items():
+            if not x[feature] > lo:
+                return False
+        for feature, hi in self.upper.items():
+            if not x[feature] <= hi:
+                return False
+        return True
+
+    def clip_to_ball(self, center: np.ndarray, radius: float) -> "Box":
+        """Intersect with the closed ``L∞`` ball around ``center``.
+
+        Ball membership ``|x_f - c_f| <= radius`` is encoded as
+        ``x_f <= c_f + radius`` and ``x_f > c_f - radius - eps`` (the
+        lower side uses a tiny slack so the closed ball boundary stays
+        feasible under our strict lower bounds).
+        """
+        result = self.copy()
+        for feature in range(center.shape[0]):
+            result.constrain_upper(feature, float(center[feature]) + radius)
+            result.constrain_lower(
+                feature, float(center[feature]) - radius - _STRICT_EPS
+            )
+        return result
+
+    def clip_to_domain(self, low: float, high: float, n_features: int) -> "Box":
+        """Intersect with the hyper-cube ``[low, high]^n_features``."""
+        result = self.copy()
+        for feature in range(n_features):
+            result.constrain_upper(feature, high)
+            result.constrain_lower(feature, low - _STRICT_EPS)
+        return result
+
+    def sample_point(
+        self, n_features: int, reference: np.ndarray | None = None
+    ) -> np.ndarray:
+        """Pick a concrete instance inside the box.
+
+        Unconstrained coordinates copy the reference instance (or 0).
+        Constrained coordinates take the point of their interval closest
+        to the reference, nudged off strict lower boundaries.
+
+        Raises
+        ------
+        ValueError
+            If the box is empty.
+        """
+        if self.is_empty():
+            raise ValueError("cannot sample from an empty box")
+        x = (
+            reference.astype(np.float64).copy()
+            if reference is not None
+            else np.zeros(n_features, dtype=np.float64)
+        )
+        for feature in self.features():
+            lo, hi = self.interval(feature)
+            target = x[feature]
+            if lo == NEG_INF and hi == POS_INF:
+                continue
+            if lo == NEG_INF:
+                value = min(target, hi)
+            elif hi == POS_INF:
+                value = max(target, lo + _STRICT_EPS)
+            else:
+                value = min(max(target, lo + _STRICT_EPS), hi)
+                if not value > lo:  # interval thinner than the nudge
+                    value = 0.5 * (lo + hi)
+                    value = np.nextafter(value, hi) if not value > lo else value
+            x[feature] = value
+        return x
+
+
+def leaf_boxes(root: TreeNode) -> list[tuple[Leaf, Box]]:
+    """Enumerate all ``(leaf, box)`` pairs of the tree rooted at ``root``."""
+    result: list[tuple[Leaf, Box]] = []
+    stack: list[tuple[TreeNode, Box]] = [(root, Box())]
+    while stack:
+        node, box = stack.pop()
+        if node.is_leaf:
+            result.append((node, box))  # type: ignore[arg-type]
+            continue
+        left_box = box.copy()
+        left_box.constrain_upper(node.feature, node.threshold)
+        right_box = box.copy()
+        right_box.constrain_lower(node.feature, node.threshold)
+        stack.append((node.right, right_box))
+        stack.append((node.left, left_box))
+    return result
+
+
+def boxes_for_label(root: TreeNode, label: int) -> list[Box]:
+    """Boxes of the leaves of ``root`` that predict ``label``.
+
+    An instance placed inside any of these boxes is guaranteed to be
+    classified as ``label`` by the tree — the building block of the
+    forgery encodings.
+    """
+    return [box for leaf, box in leaf_boxes(root) if leaf.prediction == label]

@@ -1,0 +1,179 @@
+"""Exact best-split search over (optionally weighted) training data.
+
+The splitter evaluates, for each candidate feature, every distinct
+threshold between consecutive sorted feature values, using vectorised
+prefix sums of weighted class counts.  This reproduces the behaviour the
+paper relies on from sklearn: sample weights steer the chosen splits, so
+heavily re-weighted trigger instances dominate impurity and force the
+tree to carve them out correctly (Algorithm 1, ``TrainWithTrigger``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["Split", "find_best_split"]
+
+# Two adjacent feature values closer than this are treated as equal and
+# never separated by a threshold, matching the float32-ish granularity
+# real tree learners use and keeping midpoint thresholds representable.
+_MIN_VALUE_GAP = 1e-12
+
+
+@dataclass
+class Split:
+    """Result of a best-split search at one node.
+
+    ``gain`` is the *absolute weighted impurity decrease*
+    ``w_node * imp(node) - (w_left * imp(left) + w_right * imp(right))``,
+    a quantity comparable across nodes, which is what best-first growth
+    orders its expansion heap by.
+    """
+
+    feature: int
+    threshold: float
+    gain: float
+    left_index: np.ndarray
+    right_index: np.ndarray
+
+
+def _class_count_prefixes(
+    codes: np.ndarray, weights: np.ndarray, n_classes: int
+) -> np.ndarray:
+    """Weighted class-count prefix sums: ``prefix[i, c]`` is the weight of
+    class ``c`` among the first ``i + 1`` samples in sorted order."""
+    one_hot = np.zeros((codes.shape[0], n_classes), dtype=np.float64)
+    one_hot[np.arange(codes.shape[0]), codes] = weights
+    return np.cumsum(one_hot, axis=0)
+
+
+def _best_position_for_feature(
+    values: np.ndarray,
+    codes: np.ndarray,
+    weights: np.ndarray,
+    n_classes: int,
+    criterion,
+    min_samples_leaf: int,
+    parent_weighted_impurity: float,
+) -> tuple[float, float, int] | None:
+    """Best split of one feature; returns ``(gain, threshold, position)``.
+
+    ``position`` is the number of sorted samples that go to the left
+    child.  Returns ``None`` when the feature admits no valid split.
+    """
+    order = np.argsort(values, kind="stable")
+    sorted_values = values[order]
+    if sorted_values[-1] - sorted_values[0] <= _MIN_VALUE_GAP:
+        return None
+
+    prefix = _class_count_prefixes(codes[order], weights[order], n_classes)
+    total = prefix[-1]
+    n = values.shape[0]
+
+    # Candidate positions i mean "first i sorted samples go left".
+    positions = np.arange(1, n)
+    distinct = sorted_values[1:] - sorted_values[:-1] > _MIN_VALUE_GAP
+    big_enough = (positions >= min_samples_leaf) & (n - positions >= min_samples_leaf)
+    valid = distinct & big_enough
+    if not valid.any():
+        return None
+    positions = positions[valid]
+
+    left_counts = prefix[positions - 1]
+    right_counts = total[None, :] - left_counts
+    left_weight = left_counts.sum(axis=1)
+    right_weight = right_counts.sum(axis=1)
+    child_weighted = left_weight * criterion(left_counts) + right_weight * criterion(
+        right_counts
+    )
+    gains = parent_weighted_impurity - child_weighted
+
+    best = int(np.argmax(gains))
+    position = int(positions[best])
+    threshold = 0.5 * (sorted_values[position - 1] + sorted_values[position])
+    # Guard against midpoints that collapse onto the left value through
+    # floating-point rounding, which would route left-side samples right.
+    if threshold <= sorted_values[position - 1]:
+        threshold = sorted_values[position - 1]
+    return float(gains[best]), float(threshold), position
+
+
+def find_best_split(
+    X: np.ndarray,
+    codes: np.ndarray,
+    weights: np.ndarray,
+    index: np.ndarray,
+    candidate_features: np.ndarray,
+    n_classes: int,
+    criterion,
+    min_samples_leaf: int,
+    min_impurity_decrease: float,
+) -> Split | None:
+    """Search for the best split of the node holding samples ``index``.
+
+    Parameters
+    ----------
+    X, codes, weights:
+        Full training arrays; ``codes`` are class codes in ``[0, n_classes)``.
+    index:
+        Row indices of the samples sitting at this node.
+    candidate_features:
+        Feature ids to consider (already restricted to the tree's feature
+        subspace and to the per-split ``max_features`` sample).
+    criterion:
+        Vectorised impurity function from :mod:`repro.trees.criteria`.
+    min_samples_leaf:
+        Minimum number of samples (unweighted) in each child.
+    min_impurity_decrease:
+        Minimum absolute weighted impurity decrease to accept a split.
+
+    Returns
+    -------
+    Split | None
+        The best admissible split, or ``None`` if the node must stay a leaf.
+    """
+    node_codes = codes[index]
+    node_weights = weights[index]
+    node_counts = np.zeros(n_classes, dtype=np.float64)
+    np.add.at(node_counts, node_codes, node_weights)
+    parent_weighted_impurity = float(
+        node_counts.sum() * criterion(node_counts[None, :])[0]
+    )
+    if parent_weighted_impurity <= 0.0:
+        return None  # already pure
+
+    best: tuple[float, float, int, int] | None = None  # gain, threshold, pos, feature
+    for feature in candidate_features:
+        result = _best_position_for_feature(
+            X[index, feature],
+            node_codes,
+            node_weights,
+            n_classes,
+            criterion,
+            min_samples_leaf,
+            parent_weighted_impurity,
+        )
+        if result is None:
+            continue
+        gain, threshold, position = result
+        key = (gain, -int(feature))  # deterministic tie-break: lowest feature id
+        if best is None or key > (best[0], -best[3]):
+            best = (gain, threshold, position, int(feature))
+
+    if best is None:
+        return None
+    gain, threshold, _position, feature = best
+    if gain < min_impurity_decrease or gain <= 1e-15:
+        return None
+
+    node_values = X[index, feature]
+    go_left = node_values <= threshold
+    return Split(
+        feature=feature,
+        threshold=threshold,
+        gain=gain,
+        left_index=index[go_left],
+        right_index=index[~go_left],
+    )

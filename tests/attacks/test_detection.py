@@ -1,0 +1,86 @@
+"""Tests for the structural detection attack (Table 2)."""
+
+import numpy as np
+import pytest
+
+from repro.attacks import detect_bits, detection_report
+from repro.exceptions import ValidationError
+
+
+class TestDetectBits:
+    def test_bands_strategy_thresholds(self):
+        # mean=5, std=~2.58: value 1 < mean-std -> 0; 9 > mean+std -> 1;
+        # 5 -> uncertain.
+        values = np.array([1.0, 5.0, 9.0])
+        result = detect_bits(values, [0, 0, 1], "bands")
+        assert result.predicted == [0, None, 1]
+        assert result.n_correct == 2
+        assert result.n_wrong == 0
+        assert result.n_uncertain == 1
+
+    def test_mean_strategy_no_uncertainty(self):
+        values = np.array([1.0, 5.0, 9.0])
+        result = detect_bits(values, [0, 1, 1], "mean")
+        assert result.n_uncertain == 0
+        assert result.predicted == [0, 0, 1]
+        assert result.n_correct == 2
+        assert result.n_wrong == 1
+
+    def test_mean_boundary_goes_to_zero(self):
+        values = np.array([3.0, 3.0])
+        result = detect_bits(values, [0, 0], "mean")
+        assert result.predicted == [0, 0]
+
+    def test_identical_values_all_uncertain_in_bands(self):
+        values = np.array([4.0, 4.0, 4.0])
+        result = detect_bits(values, [0, 1, 0], "bands")
+        # std = 0: nothing falls strictly below mean-std or above mean+std.
+        assert result.n_uncertain == 3
+
+    def test_recovery_rate(self):
+        values = np.array([1.0, 9.0])
+        result = detect_bits(values, [0, 1], "mean")
+        assert result.recovery_rate == 1.0
+
+    def test_recovery_rate_no_decisions(self):
+        result = detect_bits(np.array([4.0, 4.0]), [0, 1], "bands")
+        assert result.recovery_rate == 0.0
+
+    def test_mean_and_std_reported(self):
+        values = np.array([2.0, 4.0])
+        result = detect_bits(values, [0, 1], "mean")
+        assert result.mean == pytest.approx(3.0)
+        assert result.std == pytest.approx(1.0)
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            detect_bits(np.array([1.0]), [0, 1], "mean")
+        with pytest.raises(ValidationError):
+            detect_bits(np.array([1.0]), [0], "median")
+
+
+class TestDetectionReport:
+    def test_four_results_per_model(self, wm_model):
+        results = detection_report(wm_model)
+        assert len(results) == 4
+        combos = {(r.statistic, r.strategy) for r in results}
+        assert combos == {
+            ("depth", "bands"),
+            ("depth", "mean"),
+            ("n_leaves", "bands"),
+            ("n_leaves", "mean"),
+        }
+
+    def test_counts_add_up(self, wm_model):
+        m = len(wm_model.signature)
+        for result in detection_report(wm_model):
+            assert result.n_correct + result.n_wrong + result.n_uncertain == m
+
+    def test_attack_carries_no_strong_signal(self, wm_model):
+        """The paper's core security claim for Table 2: with the Adjust
+        heuristic the structural attack cannot reliably recover σ."""
+        for result in detection_report(wm_model):
+            decided = result.n_correct + result.n_wrong
+            if decided >= 4:
+                # Recovery should not be near-perfect.
+                assert result.recovery_rate <= 0.9

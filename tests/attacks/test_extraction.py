@@ -1,0 +1,79 @@
+"""Tests for the model-extraction (surrogate) attack."""
+
+import numpy as np
+import pytest
+
+from repro.attacks import extract_surrogate, extraction_study
+from repro.exceptions import ValidationError
+
+
+class TestExtractSurrogate:
+    def test_surrogate_mimics_victim(self, bc_forest, bc_data):
+        X_train, X_test, _, _ = bc_data
+        surrogate = extract_surrogate(bc_forest, X_train, random_state=0)
+        agreement = np.mean(surrogate.predict(X_test) == bc_forest.predict(X_test))
+        assert agreement > 0.75
+
+    def test_surrogate_never_sees_true_labels(self, bc_forest, bc_data):
+        # Train the surrogate on victim answers over *random noise*
+        # queries: it still fits those answers, demonstrating the
+        # attack needs only black-box access.
+        rng = np.random.default_rng(1)
+        X_noise = rng.uniform(size=(300, bc_forest.n_features_in_))
+        labels = bc_forest.predict(X_noise)
+        if len(np.unique(labels)) < 2:
+            pytest.skip("victim answered noise with a single class")
+        surrogate = extract_surrogate(bc_forest, X_noise, random_state=2)
+        fidelity = np.mean(surrogate.predict(X_noise) == labels)
+        assert fidelity > 0.9
+
+    def test_single_class_answers_rejected(self, bc_forest):
+        # Queries taken from deep inside one class region.
+        X_one_sided = np.zeros((20, bc_forest.n_features_in_))
+        labels = bc_forest.predict(X_one_sided)
+        if len(np.unique(labels)) > 1:
+            pytest.skip("victim not single-class on this probe")
+        with pytest.raises(ValidationError, match="one class"):
+            extract_surrogate(bc_forest, X_one_sided)
+
+
+class TestExtractionStudy:
+    def test_watermark_does_not_transfer(self, wm_model, bc_data):
+        """The key security observation: surrogates break per-tree
+        alignment, so the watermark does not survive extraction."""
+        X_train, X_test, y_train, y_test = bc_data
+        outcomes = extraction_study(
+            wm_model,
+            X_pool=X_train,
+            X_test=X_test,
+            y_test=y_test,
+            query_budgets=(120,),
+            random_state=3,
+        )
+        assert len(outcomes) == 1
+        outcome = outcomes[0]
+        assert not outcome.watermark_accepted
+        assert outcome.watermark_match_rate < 1.0
+
+    def test_more_queries_help_fidelity(self, wm_model, bc_data):
+        X_train, X_test, y_train, y_test = bc_data
+        outcomes = extraction_study(
+            wm_model,
+            X_pool=X_train,
+            X_test=X_test,
+            y_test=y_test,
+            query_budgets=(30, 150),
+            random_state=4,
+        )
+        assert outcomes[1].agreement >= outcomes[0].agreement - 0.1
+
+    def test_budget_exceeding_pool_rejected(self, wm_model, bc_data):
+        X_train, X_test, y_train, y_test = bc_data
+        with pytest.raises(ValidationError, match="pool"):
+            extraction_study(
+                wm_model,
+                X_pool=X_train,
+                X_test=X_test,
+                y_test=y_test,
+                query_budgets=(X_train.shape[0] + 1,),
+            )

@@ -1,0 +1,138 @@
+"""Tests for the forgery attack driver."""
+
+import numpy as np
+import pytest
+
+from repro.attacks import forge_trigger_set, forgery_distortion
+from repro.core import random_signature
+from repro.exceptions import ValidationError
+
+
+class TestForgeTriggerSet:
+    def test_forged_instances_realise_fake_pattern(self, wm_model, bc_data):
+        _, X_test, _, y_test = bc_data
+        fake = random_signature(len(wm_model.signature), random_state=50)
+        result = forge_trigger_set(
+            wm_model.ensemble,
+            fake,
+            X_test,
+            y_test,
+            epsilon=0.8,  # generous budget so some instances succeed
+            max_instances=15,
+            random_state=51,
+        )
+        assert result.n_attempted <= 15
+        predictions = None
+        if result.n_forged:
+            predictions = wm_model.ensemble.predict_all(result.forged_X)
+            bits = fake.as_array()[:, None]
+            labels = y_test[result.source_index][None, :]
+            required = np.where(bits == 0, labels, -labels)
+            assert np.array_equal(predictions, required)
+
+    def test_forged_instances_respect_epsilon(self, wm_model, bc_data):
+        _, X_test, _, y_test = bc_data
+        fake = random_signature(len(wm_model.signature), random_state=52)
+        epsilon = 0.6
+        result = forge_trigger_set(
+            wm_model.ensemble,
+            fake,
+            X_test,
+            y_test,
+            epsilon=epsilon,
+            max_instances=12,
+            random_state=53,
+        )
+        if result.n_forged:
+            deltas = np.abs(result.forged_X - X_test[result.source_index])
+            assert deltas.max() <= epsilon + 1e-6
+
+    def test_small_epsilon_mostly_fails(self, wm_model, bc_data):
+        """The paper's claim: forging inside small balls around real
+        instances rarely succeeds on tabular data."""
+        _, X_test, _, y_test = bc_data
+        fake = random_signature(len(wm_model.signature), random_state=54)
+        result = forge_trigger_set(
+            wm_model.ensemble,
+            fake,
+            X_test,
+            y_test,
+            epsilon=0.05,
+            max_instances=12,
+            random_state=55,
+        )
+        assert result.n_forged <= result.n_attempted * 0.5
+
+    def test_target_size_stops_early(self, wm_model, bc_data):
+        _, X_test, _, y_test = bc_data
+        fake = random_signature(len(wm_model.signature), random_state=56)
+        result = forge_trigger_set(
+            wm_model.ensemble,
+            fake,
+            X_test,
+            y_test,
+            epsilon=0.9,
+            target_size=1,
+            random_state=57,
+        )
+        if result.n_forged:
+            assert result.n_forged == 1
+            assert result.n_attempted <= X_test.shape[0]
+
+    def test_engines_agree_on_counts(self, wm_model, bc_data):
+        _, X_test, _, y_test = bc_data
+        fake = random_signature(len(wm_model.signature), random_state=58)
+        kwargs = dict(epsilon=0.7, max_instances=8, random_state=59)
+        smt = forge_trigger_set(wm_model.ensemble, fake, X_test, y_test, engine="smt", **kwargs)
+        boxes = forge_trigger_set(wm_model.ensemble, fake, X_test, y_test, engine="boxes", **kwargs)
+        assert smt.n_forged == boxes.n_forged
+
+    def test_statuses_recorded(self, wm_model, bc_data):
+        _, X_test, _, y_test = bc_data
+        fake = random_signature(len(wm_model.signature), random_state=60)
+        result = forge_trigger_set(
+            wm_model.ensemble, fake, X_test, y_test, epsilon=0.3,
+            max_instances=6, random_state=61,
+        )
+        assert sum(result.statuses.values()) == result.n_attempted
+
+    def test_validation(self, wm_model, bc_data):
+        _, X_test, _, y_test = bc_data
+        good = random_signature(len(wm_model.signature), random_state=62)
+        with pytest.raises(ValidationError, match="bits"):
+            forge_trigger_set(
+                wm_model.ensemble,
+                random_signature(3, random_state=0),
+                X_test,
+                y_test,
+                epsilon=0.5,
+            )
+        with pytest.raises(ValidationError, match="epsilon"):
+            forge_trigger_set(wm_model.ensemble, good, X_test, y_test, epsilon=0.0)
+
+
+class TestForgeryDistortion:
+    def test_empty_result(self, wm_model, bc_data):
+        _, X_test, _, y_test = bc_data
+        fake = random_signature(len(wm_model.signature), random_state=63)
+        result = forge_trigger_set(
+            wm_model.ensemble, fake, X_test, y_test, epsilon=0.011,
+            max_instances=2, random_state=64,
+        )
+        if result.n_forged == 0:
+            stats = forgery_distortion(result, X_test)
+            assert stats["mean_linf"] == 0.0
+
+    def test_distortion_bounded_by_epsilon(self, wm_model, bc_data):
+        _, X_test, _, y_test = bc_data
+        fake = random_signature(len(wm_model.signature), random_state=65)
+        epsilon = 0.8
+        result = forge_trigger_set(
+            wm_model.ensemble, fake, X_test, y_test, epsilon=epsilon,
+            max_instances=10, random_state=66,
+        )
+        if result.n_forged:
+            stats = forgery_distortion(result, X_test)
+            assert 0.0 <= stats["mean_linf"] <= stats["max_linf"] <= epsilon + 1e-6
+            assert stats["mean_l2"] >= stats["mean_linf"] - 1e-9  # L2 >= Linf
+            assert 0.0 <= stats["moved_fraction"] <= 1.0

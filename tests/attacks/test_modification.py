@@ -1,0 +1,135 @@
+"""Tests for model-modification attacks (future-work threat model)."""
+
+import numpy as np
+import pytest
+
+from repro.attacks import (
+    flip_forest_leaves,
+    flip_leaves,
+    modification_robustness,
+    truncate_forest,
+    truncate_tree,
+)
+from repro.exceptions import ValidationError
+from repro.trees.node import InternalNode, Leaf
+from repro.trees.export import tree_stats
+
+
+def _deep_tree():
+    return InternalNode(
+        0, 0.5,
+        InternalNode(1, 0.3, Leaf(-1, {-1: 3.0}), Leaf(1, {1: 1.0})),
+        Leaf(1, {1: 5.0}),
+    )
+
+
+class TestTruncateTree:
+    def test_truncation_depth(self):
+        truncated = truncate_tree(_deep_tree(), 1)
+        assert tree_stats(truncated).depth <= 1
+
+    def test_truncate_to_root_leaf(self):
+        truncated = truncate_tree(_deep_tree(), 0)
+        assert truncated.is_leaf
+        # Majority mass: +1 has 6.0 vs -1 has 3.0.
+        assert truncated.prediction == 1
+
+    def test_majority_uses_class_weights(self):
+        tree = InternalNode(0, 0.5, Leaf(-1, {-1: 10.0}), Leaf(1, {1: 1.0}))
+        truncated = truncate_tree(tree, 0)
+        assert truncated.prediction == -1
+
+    def test_no_op_when_deeper_than_tree(self):
+        original = _deep_tree()
+        truncated = truncate_tree(original, 10)
+        assert tree_stats(truncated) == tree_stats(original)
+
+    def test_original_untouched(self):
+        original = _deep_tree()
+        truncate_tree(original, 0)
+        assert not original.is_leaf
+
+    def test_negative_depth_rejected(self):
+        with pytest.raises(ValidationError):
+            truncate_tree(_deep_tree(), -1)
+
+
+class TestFlipLeaves:
+    def test_probability_zero_is_identity(self, rng):
+        tree = _deep_tree()
+        flipped = flip_leaves(tree, 0.0, rng)
+        assert tree_stats(flipped) == tree_stats(tree)
+        assert [l.prediction for l in _leaves(flipped)] == [
+            l.prediction for l in _leaves(tree)
+        ]
+
+    def test_probability_one_flips_everything(self, rng):
+        tree = _deep_tree()
+        flipped = flip_leaves(tree, 1.0, rng)
+        assert [l.prediction for l in _leaves(flipped)] == [
+            -l.prediction for l in _leaves(tree)
+        ]
+
+    def test_invalid_probability(self, rng):
+        with pytest.raises(ValidationError):
+            flip_leaves(_deep_tree(), 1.5, rng)
+
+
+def _leaves(root):
+    from repro.trees.node import iter_leaves
+
+    return list(iter_leaves(root))
+
+
+class TestForestAttacks:
+    def test_truncate_forest_structure(self, bc_forest):
+        attacked = truncate_forest(bc_forest, 2)
+        assert (attacked.structure()["depth"] <= 2).all()
+        # Original untouched.
+        assert (bc_forest.structure()["depth"] > 2).any()
+
+    def test_flip_forest_changes_predictions(self, bc_forest, bc_data):
+        _, X_test, _, _ = bc_data
+        attacked = flip_forest_leaves(bc_forest, 1.0, random_state=0)
+        original = bc_forest.predict_all(X_test)
+        flipped = attacked.predict_all(X_test)
+        assert np.array_equal(flipped, -original)
+
+    def test_attacked_forest_still_predicts(self, bc_forest, bc_data):
+        _, X_test, _, _ = bc_data
+        attacked = truncate_forest(bc_forest, 3)
+        predictions = attacked.predict(X_test)
+        assert set(np.unique(predictions)) <= {-1, 1}
+
+
+class TestModificationRobustness:
+    def test_flip_degrades_watermark(self, wm_model, bc_data):
+        _, X_test, _, y_test = bc_data
+        outcome = modification_robustness(
+            wm_model, X_test, y_test, attack="flip", strength=1.0, random_state=1
+        )
+        # Flipping every leaf inverts all per-tree behaviour: 0-bit trees
+        # now miss every trigger, 1-bit trees hit every trigger.
+        assert not outcome.watermark_accepted
+        assert outcome.watermark_match_rate == 0.0
+
+    def test_identity_attack_keeps_watermark(self, wm_model, bc_data):
+        _, X_test, _, y_test = bc_data
+        outcome = modification_robustness(
+            wm_model, X_test, y_test, attack="flip", strength=0.0, random_state=2
+        )
+        assert outcome.watermark_accepted
+        assert outcome.watermark_match_rate == 1.0
+
+    def test_truncation_tradeoff_recorded(self, wm_model, bc_data):
+        _, X_test, _, y_test = bc_data
+        outcome = modification_robustness(
+            wm_model, X_test, y_test, attack="truncate", strength=1
+        )
+        assert 0.0 <= outcome.accuracy <= 1.0
+        assert 0.0 <= outcome.watermark_match_rate <= 1.0
+
+    def test_unknown_attack_rejected(self, wm_model, bc_data):
+        _, X_test, _, y_test = bc_data
+        with pytest.raises(ValidationError):
+            modification_robustness(wm_model, X_test, y_test, attack="distill", strength=1)

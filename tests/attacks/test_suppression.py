@@ -1,0 +1,79 @@
+"""Tests for the suppression distinguishers."""
+
+import numpy as np
+import pytest
+
+from repro.attacks import (
+    auc_from_scores,
+    disagreement_score,
+    input_distance_score,
+    suppression_analysis,
+)
+from repro.exceptions import ValidationError
+
+
+class TestAUC:
+    def test_perfect_separation(self):
+        assert auc_from_scores([2.0, 3.0], [0.0, 1.0]) == 1.0
+
+    def test_reversed_separation(self):
+        assert auc_from_scores([0.0, 1.0], [2.0, 3.0]) == 0.0
+
+    def test_identical_scores_give_half(self):
+        assert auc_from_scores([1.0, 1.0], [1.0, 1.0]) == pytest.approx(0.5)
+
+    def test_random_scores_near_half(self, rng):
+        pos = rng.uniform(size=400)
+        neg = rng.uniform(size=400)
+        assert auc_from_scores(pos, neg) == pytest.approx(0.5, abs=0.06)
+
+    def test_empty_group_raises(self):
+        with pytest.raises(ValidationError):
+            auc_from_scores([], [1.0])
+
+
+class TestDisagreementScore:
+    def test_range(self, bc_forest, bc_data):
+        _, X_test, _, _ = bc_data
+        scores = disagreement_score(bc_forest, X_test)
+        assert scores.shape == (X_test.shape[0],)
+        assert (scores >= 0).all() and (scores <= 1).all()
+
+    def test_triggers_provoke_high_disagreement(self, wm_model, bc_data):
+        """Our extension finding: the forced vote split makes trigger
+        queries stand out to an attacker watching per-tree outputs."""
+        _, X_test, _, _ = bc_data
+        trigger_scores = disagreement_score(wm_model.ensemble, wm_model.trigger.X)
+        test_scores = disagreement_score(wm_model.ensemble, X_test)
+        assert trigger_scores.mean() > test_scores.mean()
+
+
+class TestInputDistanceScore:
+    def test_self_distance_uses_second_neighbour(self, rng):
+        X = rng.uniform(size=(20, 3))
+        scores = input_distance_score(X[:5], X)
+        assert (scores > 0).all()
+
+    def test_outlier_scores_high(self, rng):
+        X = rng.uniform(size=(50, 2))
+        outlier = np.array([[10.0, 10.0]])
+        scores = input_distance_score(np.vstack([X[:1], outlier]), X)
+        assert scores[1] > scores[0]
+
+
+class TestSuppressionAnalysis:
+    def test_paper_claim_input_indistinguishability(self, wm_model, bc_data):
+        """Trigger instances come from the training distribution, so the
+        input-side AUC should hover near 0.5 (no signal)."""
+        X_train, X_test, _, _ = bc_data
+        analysis = suppression_analysis(
+            wm_model.ensemble, wm_model.trigger.X, X_test, X_train
+        )
+        assert 0.2 <= analysis.input_auc <= 0.8
+
+    def test_disagreement_attacker_is_stronger(self, wm_model, bc_data):
+        X_train, X_test, _, _ = bc_data
+        analysis = suppression_analysis(
+            wm_model.ensemble, wm_model.trigger.X, X_test, X_train
+        )
+        assert analysis.disagreement_auc >= analysis.input_auc - 0.1

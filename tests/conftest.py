@@ -1,0 +1,75 @@
+"""Shared fixtures.
+
+Expensive artefacts (trained forests, watermarked models) are
+session-scoped so the suite stays fast; tests must treat them as
+read-only.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import random_signature, watermark
+from repro.datasets import breast_cancer_like, ijcnn1_like, mnist26_like
+from repro.ensemble import RandomForestClassifier
+from repro.model_selection import train_test_split
+
+BASE_PARAMS = {"max_depth": 8, "min_samples_leaf": 1}
+
+
+@pytest.fixture(scope="session")
+def bc_data():
+    """Small breast-cancer stand-in split (deterministic)."""
+    ds = breast_cancer_like(260, random_state=11)
+    return train_test_split(ds.X, ds.y, test_size=0.3, random_state=12)
+
+
+@pytest.fixture(scope="session")
+def ij_data():
+    """Small ijcnn1 stand-in split (imbalanced)."""
+    ds = ijcnn1_like(500, random_state=13)
+    return train_test_split(ds.X, ds.y, test_size=0.3, random_state=14)
+
+
+@pytest.fixture(scope="session")
+def mnist_data():
+    """Tiny mnist26 stand-in split (high-dimensional)."""
+    ds = mnist26_like(160, random_state=15)
+    return train_test_split(ds.X, ds.y, test_size=0.3, random_state=16)
+
+
+@pytest.fixture(scope="session")
+def bc_forest(bc_data):
+    """A standard (non-watermarked) forest on the bc split."""
+    X_train, _X_test, y_train, _y_test = bc_data
+    forest = RandomForestClassifier(
+        n_estimators=9,
+        max_depth=8,
+        tree_feature_fraction=0.6,
+        random_state=17,
+    )
+    return forest.fit(X_train, y_train)
+
+
+@pytest.fixture(scope="session")
+def wm_model(bc_data):
+    """A watermarked model on the bc split (m=10, 50% ones)."""
+    X_train, _X_test, y_train, _y_test = bc_data
+    signature = random_signature(10, ones_fraction=0.5, random_state=18)
+    return watermark(
+        X_train,
+        y_train,
+        signature,
+        trigger_size=6,
+        base_params=BASE_PARAMS,
+        tree_feature_fraction=0.6,
+        escalation_factor=2.0,
+        random_state=19,
+    )
+
+
+@pytest.fixture()
+def rng():
+    """A fresh deterministic generator per test."""
+    return np.random.default_rng(12345)

@@ -1,0 +1,61 @@
+"""Tests for the Adjust anti-detection heuristic."""
+
+import pytest
+
+from repro.core import adjust_hyperparameters
+from repro.ensemble import RandomForestClassifier
+
+
+class TestAdjust:
+    def test_caps_below_probe_mean(self, bc_data):
+        X_train, _, y_train, _ = bc_data
+        adjusted = adjust_hyperparameters(
+            X_train,
+            y_train,
+            n_estimators=6,
+            base_params={"max_depth": 12},
+            random_state=0,
+        )
+        assert adjusted.max_depth <= adjusted.probe_depth_mean
+        assert adjusted.max_leaf_nodes <= adjusted.probe_leaves_mean
+        # mean - std, floored (subject to structural minimums).
+        assert adjusted.max_depth >= 2
+        assert adjusted.max_leaf_nodes >= 4
+
+    def test_exact_formula_when_above_minimums(self, bc_data):
+        import numpy as np
+
+        X_train, _, y_train, _ = bc_data
+        adjusted = adjust_hyperparameters(
+            X_train,
+            y_train,
+            n_estimators=6,
+            base_params={"max_depth": 12},
+            random_state=0,
+        )
+        expected_depth = max(2, int(np.floor(adjusted.probe_depth_mean - adjusted.probe_depth_std)))
+        expected_leaves = max(4, int(np.floor(adjusted.probe_leaves_mean - adjusted.probe_leaves_std)))
+        assert adjusted.max_depth == expected_depth
+        assert adjusted.max_leaf_nodes == expected_leaves
+
+    def test_adjusted_forest_matches_caps(self, bc_data):
+        X_train, _, y_train, _ = bc_data
+        adjusted = adjust_hyperparameters(
+            X_train, y_train, n_estimators=5, base_params={"max_depth": 10}, random_state=1
+        )
+        forest = RandomForestClassifier(
+            n_estimators=5,
+            max_depth=adjusted.max_depth,
+            max_leaf_nodes=adjusted.max_leaf_nodes,
+            random_state=2,
+        ).fit(X_train, y_train)
+        structure = forest.structure()
+        assert (structure["depth"] <= adjusted.max_depth).all()
+        assert (structure["n_leaves"] <= adjusted.max_leaf_nodes).all()
+
+    def test_determinism(self, bc_data):
+        X_train, _, y_train, _ = bc_data
+        kwargs = dict(n_estimators=4, base_params={"max_depth": 8}, random_state=7)
+        a = adjust_hyperparameters(X_train, y_train, **kwargs)
+        b = adjust_hyperparameters(X_train, y_train, **kwargs)
+        assert a == b

@@ -1,0 +1,94 @@
+"""Tests for the gradient-boosting watermark extension."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    random_signature,
+    required_directions,
+    verify_boosted_ownership,
+    watermark_boosted,
+)
+from repro.core.signature import Signature
+from repro.exceptions import ValidationError
+
+
+@pytest.fixture(scope="module")
+def boosted_model(bc_data):
+    X_train, _, y_train, _ = bc_data
+    signature = random_signature(8, ones_fraction=0.5, random_state=30)
+    return watermark_boosted(
+        X_train,
+        y_train,
+        signature,
+        trigger_size=4,
+        max_depth=5,
+        random_state=31,
+    )
+
+
+class TestRequiredDirections:
+    def test_shape_and_values(self):
+        sig = Signature.from_string("01")
+        trigger_y = np.array([1, -1])
+        directions = required_directions(sig, trigger_y)
+        assert directions.shape == (2, 2)
+        assert np.array_equal(directions[0], [1, -1])  # bit 0: push true label
+        assert np.array_equal(directions[1], [-1, 1])  # bit 1: push flipped
+
+
+class TestWatermarkBoosted:
+    def test_sign_pattern_embedded(self, boosted_model):
+        contributions = boosted_model.ensemble.stage_contributions(
+            boosted_model.trigger.X
+        )
+        directions = required_directions(
+            boosted_model.signature, boosted_model.trigger.y
+        )
+        assert (np.sign(contributions) == directions).all()
+
+    def test_verification_accepts(self, boosted_model):
+        accepted, matches = verify_boosted_ownership(
+            boosted_model.ensemble,
+            boosted_model.signature,
+            boosted_model.trigger.X,
+            boosted_model.trigger.y,
+        )
+        assert accepted
+        assert matches.all()
+
+    def test_fake_signature_rejected(self, boosted_model):
+        fake = random_signature(len(boosted_model.signature), random_state=77)
+        if fake == boosted_model.signature:
+            pytest.skip("improbable collision")
+        accepted, _ = verify_boosted_ownership(
+            boosted_model.ensemble,
+            fake,
+            boosted_model.trigger.X,
+            boosted_model.trigger.y,
+        )
+        assert not accepted
+
+    def test_model_still_learns(self, boosted_model, bc_data):
+        _, X_test, _, y_test = bc_data
+        assert boosted_model.ensemble.score(X_test, y_test) > 0.8
+
+    def test_stage_count_mismatch_raises(self, boosted_model):
+        short = random_signature(3, random_state=0)
+        with pytest.raises(ValidationError, match="stages"):
+            verify_boosted_ownership(
+                boosted_model.ensemble,
+                short,
+                boosted_model.trigger.X,
+                boosted_model.trigger.y,
+            )
+
+    def test_oversized_trigger_rejected(self, bc_data):
+        X_train, _, y_train, _ = bc_data
+        with pytest.raises(ValidationError, match="small"):
+            watermark_boosted(
+                X_train,
+                y_train,
+                random_signature(4, random_state=0),
+                trigger_size=X_train.shape[0],
+            )

@@ -1,0 +1,77 @@
+"""Tests for watermark-secret commitments."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    Signature,
+    WatermarkSecret,
+    commit_secret,
+    verify_commitment,
+)
+from repro.exceptions import ValidationError, VerificationError
+
+
+@pytest.fixture()
+def secret():
+    return WatermarkSecret(
+        signature=Signature.from_string("0110"),
+        trigger_X=np.array([[0.1, 0.9], [0.4, 0.2]]),
+        trigger_y=np.array([1, -1]),
+    )
+
+
+class TestCommitment:
+    def test_commit_and_verify(self, secret):
+        commitment = commit_secret(secret)
+        assert verify_commitment(commitment.digest, secret, commitment.salt)
+
+    def test_fixed_salt_reproducible(self, secret):
+        salt = bytes(range(32))
+        a = commit_secret(secret, salt=salt)
+        b = commit_secret(secret, salt=salt)
+        assert a.digest == b.digest
+
+    def test_random_salts_hide(self, secret):
+        a = commit_secret(secret)
+        b = commit_secret(secret)
+        assert a.digest != b.digest  # hiding: same secret, fresh salt
+
+    def test_binding_to_signature(self, secret):
+        commitment = commit_secret(secret)
+        tampered = WatermarkSecret(
+            signature=Signature.from_string("1001"),
+            trigger_X=secret.trigger_X,
+            trigger_y=secret.trigger_y,
+        )
+        assert not verify_commitment(commitment.digest, tampered, commitment.salt)
+
+    def test_binding_to_trigger_data(self, secret):
+        commitment = commit_secret(secret)
+        tampered = WatermarkSecret(
+            signature=secret.signature,
+            trigger_X=secret.trigger_X + 1e-12,  # even tiny float edits break it
+            trigger_y=secret.trigger_y,
+        )
+        assert not verify_commitment(commitment.digest, tampered, commitment.salt)
+
+    def test_wrong_salt_fails(self, secret):
+        commitment = commit_secret(secret)
+        other_salt = bytes(32).hex()
+        assert not verify_commitment(commitment.digest, secret, other_salt)
+
+    def test_bad_salt_length_rejected(self, secret):
+        with pytest.raises(ValidationError):
+            commit_secret(secret, salt=b"short")
+        commitment = commit_secret(secret)
+        with pytest.raises(VerificationError, match="32 bytes"):
+            verify_commitment(commitment.digest, secret, "ab" * 3)
+
+    def test_non_hex_salt_rejected(self, secret):
+        commitment = commit_secret(secret)
+        with pytest.raises(VerificationError, match="hex"):
+            verify_commitment(commitment.digest, secret, "zz" * 32)
+
+    def test_public_part_is_digest_only(self, secret):
+        commitment = commit_secret(secret)
+        assert commitment.public_part() == commitment.digest

@@ -1,0 +1,192 @@
+"""Tests for watermark creation (Algorithm 1)."""
+
+import numpy as np
+import pytest
+
+from repro.core import Signature, random_signature, train_with_trigger, watermark
+from repro.exceptions import ConvergenceError, ValidationError
+
+BASE_PARAMS = {"max_depth": 8, "min_samples_leaf": 1}
+
+
+class TestTrainWithTrigger:
+    def test_all_trees_fit_trigger(self, bc_data):
+        X_train, _, y_train, _ = bc_data
+        trigger_indices = np.array([0, 5, 10])
+        forest, rounds, weight = train_with_trigger(
+            X_train,
+            y_train,
+            trigger_indices,
+            n_estimators=4,
+            params=BASE_PARAMS,
+            random_state=0,
+        )
+        predictions = forest.predict_all(X_train[trigger_indices])
+        assert (predictions == y_train[trigger_indices][None, :]).all()
+        assert rounds >= 0
+        assert weight >= 1.0
+
+    def test_flipped_labels_fit(self, bc_data):
+        X_train, _, y_train, _ = bc_data
+        trigger_indices = np.array([1, 7])
+        y_flipped = y_train.copy()
+        y_flipped[trigger_indices] = -y_flipped[trigger_indices]
+        forest, _, _ = train_with_trigger(
+            X_train,
+            y_flipped,
+            trigger_indices,
+            n_estimators=3,
+            params=BASE_PARAMS,
+            escalation_factor=2.0,
+            random_state=1,
+        )
+        predictions = forest.predict_all(X_train[trigger_indices])
+        assert (predictions == y_flipped[trigger_indices][None, :]).all()
+
+    def test_convergence_error_when_impossible(self, rng):
+        # Two identical instances with opposite required labels cannot
+        # both be fitted by any tree.
+        X = rng.uniform(size=(40, 3))
+        X[1] = X[0]
+        y = rng.choice([-1, 1], size=40)
+        y[0], y[1] = 1, -1
+        with pytest.raises(ConvergenceError) as excinfo:
+            train_with_trigger(
+                X,
+                y,
+                np.array([0, 1]),
+                n_estimators=2,
+                params=BASE_PARAMS,
+                max_rounds=3,
+                random_state=2,
+            )
+        assert excinfo.value.rounds == 3
+
+    def test_invalid_parameters(self, bc_data):
+        X_train, _, y_train, _ = bc_data
+        with pytest.raises(ValidationError):
+            train_with_trigger(X_train, y_train, np.array([0]), 0, BASE_PARAMS)
+        with pytest.raises(ValidationError):
+            train_with_trigger(
+                X_train, y_train, np.array([0]), 2, BASE_PARAMS, weight_increment=0
+            )
+        with pytest.raises(ValidationError):
+            train_with_trigger(
+                X_train, y_train, np.array([0]), 2, BASE_PARAMS, escalation_factor=0.5
+            )
+        with pytest.raises(ValidationError):
+            train_with_trigger(
+                X_train, y_train, np.array([0]), 2, BASE_PARAMS, max_rounds=0
+            )
+
+
+class TestWatermark:
+    def test_embedded_pattern_holds(self, wm_model):
+        predictions = wm_model.ensemble.predict_all(wm_model.trigger.X)
+        for i, bit in enumerate(wm_model.signature):
+            correct = predictions[i] == wm_model.trigger.y
+            if bit == 0:
+                assert correct.all(), f"tree {i} (bit 0) must be perfect on triggers"
+            else:
+                assert (~correct).all(), f"tree {i} (bit 1) must miss all triggers"
+
+    def test_ensemble_size_matches_signature(self, wm_model):
+        assert wm_model.ensemble.n_trees_ == len(wm_model.signature)
+
+    def test_report_contents(self, wm_model):
+        report = wm_model.report
+        assert report.rounds_t0 >= 0 and report.rounds_t1 >= 0
+        assert report.adjusted is not None
+        assert report.base_params == {"max_depth": 8, "min_samples_leaf": 1}
+
+    def test_adjust_false_skips_probe(self, bc_data):
+        X_train, _, y_train, _ = bc_data
+        model = watermark(
+            X_train,
+            y_train,
+            random_signature(6, random_state=0),
+            trigger_size=4,
+            base_params=BASE_PARAMS,
+            adjust=False,
+            escalation_factor=2.0,
+            random_state=1,
+        )
+        assert model.report.adjusted is None
+
+    def test_all_zero_signature(self, bc_data):
+        X_train, _, y_train, _ = bc_data
+        model = watermark(
+            X_train,
+            y_train,
+            Signature.from_string("000000"),
+            trigger_size=4,
+            base_params=BASE_PARAMS,
+            escalation_factor=2.0,
+            random_state=2,
+        )
+        predictions = model.ensemble.predict_all(model.trigger.X)
+        assert (predictions == model.trigger.y[None, :]).all()
+
+    def test_all_one_signature(self, bc_data):
+        X_train, _, y_train, _ = bc_data
+        model = watermark(
+            X_train,
+            y_train,
+            Signature.from_string("1111"),
+            trigger_size=3,
+            base_params=BASE_PARAMS,
+            escalation_factor=2.0,
+            random_state=3,
+        )
+        predictions = model.ensemble.predict_all(model.trigger.X)
+        assert (predictions == -model.trigger.y[None, :]).all()
+
+    def test_oversized_trigger_rejected(self, bc_data):
+        X_train, _, y_train, _ = bc_data
+        with pytest.raises(ValidationError, match="small"):
+            watermark(
+                X_train,
+                y_train,
+                random_signature(4, random_state=0),
+                trigger_size=X_train.shape[0],
+                base_params=BASE_PARAMS,
+            )
+
+    def test_accuracy_cost_is_bounded(self, wm_model, bc_data, bc_forest):
+        _, X_test, _, y_test = bc_data
+        watermarked = wm_model.ensemble.score(X_test, y_test)
+        standard = bc_forest.score(X_test, y_test)
+        # The paper reports losses of at most a couple points; allow a
+        # generous margin at this tiny scale.
+        assert watermarked >= standard - 0.12
+
+    def test_determinism(self, bc_data):
+        X_train, _, y_train, _ = bc_data
+        kwargs = dict(
+            trigger_size=4,
+            base_params=BASE_PARAMS,
+            escalation_factor=2.0,
+            random_state=21,
+        )
+        sig = random_signature(6, random_state=20)
+        a = watermark(X_train, y_train, sig, **kwargs)
+        b = watermark(X_train, y_train, sig, **kwargs)
+        assert np.array_equal(a.trigger.indices, b.trigger.indices)
+        assert np.array_equal(
+            a.ensemble.predict_all(X_train[:20]), b.ensemble.predict_all(X_train[:20])
+        )
+
+    def test_grid_search_path(self, bc_data):
+        # base_params=None exercises line 12 of Algorithm 1.
+        X_train, _, y_train, _ = bc_data
+        model = watermark(
+            X_train,
+            y_train,
+            random_signature(4, random_state=1),
+            trigger_size=3,
+            base_params=None,
+            param_grid={"max_depth": [6, 10]},
+            escalation_factor=2.0,
+            random_state=4,
+        )
+        assert model.report.base_params["max_depth"] in (6, 10)

@@ -1,0 +1,106 @@
+"""Tests for multi-class watermarking via binary decomposition."""
+
+import numpy as np
+import pytest
+
+from repro.core import Signature
+from repro.core.multiclass import (
+    MulticlassWatermarkedModel,
+    verify_multiclass_ownership,
+    watermark_multiclass,
+)
+from repro.ensemble import OneVsRestForest
+from repro.exceptions import ValidationError
+
+
+def _three_class_data(rng, n=240):
+    centers = np.array([[0.2, 0.2, 0.5], [0.8, 0.2, 0.5], [0.5, 0.8, 0.5]])
+    labels = rng.integers(0, 3, size=n)
+    X = np.clip(centers[labels] + rng.normal(scale=0.08, size=(n, 3)), 0, 1)
+    return X, labels.astype(np.int64)
+
+
+@pytest.fixture(scope="module")
+def mc_model():
+    rng = np.random.default_rng(70)
+    X, y = _three_class_data(rng)
+    model = watermark_multiclass(
+        X,
+        y,
+        m=6,
+        trigger_size=4,
+        base_params={"max_depth": 7},
+        random_state=71,
+    )
+    return model, X, y
+
+
+class TestWatermarkMulticlass:
+    def test_one_forest_per_class(self, mc_model):
+        model, _X, _y = mc_model
+        assert model.classes == [0, 1, 2]
+        assert set(model.per_class) == {0, 1, 2}
+        assert model.total_signature_bits() == 18
+
+    def test_ensemble_still_classifies(self, mc_model):
+        model, X, y = mc_model
+        assert model.ensemble.score(X, y) > 0.85
+
+    def test_per_class_patterns_embedded(self, mc_model):
+        model, _X, _y = mc_model
+        for label, wm in model.per_class.items():
+            predictions = wm.ensemble.predict_all(wm.trigger.X)
+            for i, bit in enumerate(wm.signature):
+                correct = predictions[i] == wm.trigger.y
+                assert correct.all() if bit == 0 else (~correct).all()
+
+    def test_explicit_signatures_respected(self):
+        rng = np.random.default_rng(72)
+        X, y = _three_class_data(rng, n=200)
+        fixed = {0: Signature.from_string("0101")}
+        model = watermark_multiclass(
+            X, y, m=4, trigger_size=3,
+            signatures=fixed,
+            base_params={"max_depth": 7},
+            random_state=73,
+        )
+        assert model.per_class[0].signature == fixed[0]
+
+    def test_wrong_signature_length_rejected(self):
+        rng = np.random.default_rng(74)
+        X, y = _three_class_data(rng, n=150)
+        with pytest.raises(ValidationError, match="bits"):
+            watermark_multiclass(
+                X, y, m=4, trigger_size=3,
+                signatures={0: Signature.from_string("01")},
+                base_params={"max_depth": 7},
+            )
+
+    def test_single_class_rejected(self, rng):
+        X = rng.uniform(size=(20, 3))
+        with pytest.raises(ValidationError, match="two classes"):
+            watermark_multiclass(X, np.zeros(20, dtype=np.int64), m=4, trigger_size=2)
+
+
+class TestVerifyMulticlass:
+    def test_all_classes_accepted_on_own_model(self, mc_model):
+        model, _X, _y = mc_model
+        reports = verify_multiclass_ownership(model.ensemble, model)
+        assert set(reports) == {0, 1, 2}
+        assert all(report.accepted for report in reports.values())
+
+    def test_independent_model_rejected(self, mc_model):
+        from repro.ensemble import RandomForestClassifier
+
+        model, X, y = mc_model
+        independent = OneVsRestForest(
+            forest_factory=lambda: RandomForestClassifier(n_estimators=6, max_depth=7),
+            random_state=75,
+        ).fit(X, y)
+        reports = verify_multiclass_ownership(independent, model)
+        assert not all(report.accepted for report in reports.values())
+
+    def test_unfitted_suspect_rejected(self, mc_model):
+        model, _X, _y = mc_model
+        with pytest.raises(ValidationError, match="not fitted"):
+            verify_multiclass_ownership(OneVsRestForest(), model)

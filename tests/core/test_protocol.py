@@ -1,0 +1,91 @@
+"""Tests for the Alice/Bob/Charlie dispute protocol."""
+
+import numpy as np
+import pytest
+
+from repro.core import Judge, OwnershipClaim, WatermarkSecret, random_signature
+from repro.exceptions import ValidationError, VerificationError
+
+
+@pytest.fixture()
+def claim(wm_model, bc_data):
+    _, X_test, _, y_test = bc_data
+    # The disclosed test set must contain the trigger rows.
+    X_disclosed = np.vstack([X_test, wm_model.trigger.X])
+    y_disclosed = np.concatenate([y_test, wm_model.trigger.y])
+    secret = WatermarkSecret(
+        signature=wm_model.signature,
+        trigger_X=wm_model.trigger.X,
+        trigger_y=wm_model.trigger.y,
+    )
+    return OwnershipClaim("alice", secret, X_disclosed, y_disclosed)
+
+
+class TestJudge:
+    def test_legitimate_claim_accepted(self, wm_model, claim):
+        report = Judge().verify_claim(wm_model.ensemble, claim)
+        assert report.accepted
+
+    def test_trigger_rows_shuffled_into_test_set(self, wm_model, claim, rng):
+        # Order of the disclosed test set must not matter.
+        order = rng.permutation(claim.X_test.shape[0])
+        shuffled = OwnershipClaim(
+            "alice",
+            claim.secret,
+            claim.X_test[order],
+            claim.y_test[order],
+        )
+        report = Judge().verify_claim(wm_model.ensemble, shuffled)
+        assert report.accepted
+
+    def test_missing_trigger_rows_raise(self, wm_model, bc_data):
+        _, X_test, _, y_test = bc_data
+        secret = WatermarkSecret(
+            signature=wm_model.signature,
+            trigger_X=wm_model.trigger.X + 10.0,  # not present in X_test
+            trigger_y=wm_model.trigger.y,
+        )
+        bad_claim = OwnershipClaim("mallory", secret, X_test, y_test)
+        with pytest.raises(VerificationError, match="does not appear"):
+            Judge().verify_claim(wm_model.ensemble, bad_claim)
+
+    def test_fake_signature_claim_rejected(self, wm_model, claim):
+        fake_sig = random_signature(len(wm_model.signature), random_state=1234)
+        if fake_sig == wm_model.signature:
+            pytest.skip("improbable signature collision")
+        fake_secret = WatermarkSecret(
+            signature=fake_sig,
+            trigger_X=claim.secret.trigger_X,
+            trigger_y=claim.secret.trigger_y,
+        )
+        fake_claim = OwnershipClaim("bob", fake_secret, claim.X_test, claim.y_test)
+        report = Judge().verify_claim(wm_model.ensemble, fake_claim)
+        assert not report.accepted
+
+    def test_judge_mode_validation(self):
+        with pytest.raises(ValidationError):
+            Judge(mode="fuzzy")
+
+    def test_bad_suspect_interface_raises(self, claim):
+        class BadModel:
+            def predict_all(self, X):
+                return np.zeros(3)  # wrong shape
+
+        with pytest.raises(VerificationError, match="predict_all"):
+            Judge().verify_claim(BadModel(), claim)
+
+
+class TestWatermarkSecret:
+    def test_shape_validation(self, wm_model):
+        with pytest.raises(ValidationError):
+            WatermarkSecret(
+                signature=wm_model.signature,
+                trigger_X=np.zeros((3, 2)),
+                trigger_y=np.zeros(4),
+            )
+        with pytest.raises(ValidationError):
+            WatermarkSecret(
+                signature=wm_model.signature,
+                trigger_X=np.zeros(3),
+                trigger_y=np.zeros(3),
+            )

@@ -1,0 +1,116 @@
+"""Tests for multi-bit signatures."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import Signature, random_signature, signature_from_identity
+from repro.exceptions import ValidationError
+
+
+class TestSignature:
+    def test_roundtrip_string(self):
+        sig = Signature.from_string("0110")
+        assert sig.to_string() == "0110"
+        assert len(sig) == 4
+        assert list(sig) == [0, 1, 1, 0]
+        assert sig[2] == 1
+
+    def test_counts_and_positions(self):
+        sig = Signature.from_string("0110")
+        assert sig.n_zeros == 2
+        assert sig.n_ones == 2
+        assert sig.zero_positions() == [0, 3]
+        assert sig.one_positions() == [1, 2]
+
+    def test_as_array(self):
+        assert np.array_equal(Signature.from_string("101").as_array(), [1, 0, 1])
+
+    def test_hamming_distance(self):
+        a = Signature.from_string("0011")
+        b = Signature.from_string("0101")
+        assert a.hamming_distance(b) == 2
+        assert a.hamming_distance(a) == 0
+
+    def test_hamming_length_mismatch(self):
+        with pytest.raises(ValidationError):
+            Signature.from_string("01").hamming_distance(Signature.from_string("011"))
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValidationError):
+            Signature.from_string("01a")
+        with pytest.raises(ValidationError):
+            Signature.from_string("")
+        with pytest.raises(ValidationError):
+            Signature.from_iterable([0, 2])
+        with pytest.raises(ValidationError):
+            Signature(bits=())
+
+    def test_immutability(self):
+        sig = Signature.from_string("01")
+        with pytest.raises(AttributeError):
+            sig.bits = (1, 1)
+
+
+class TestRandomSignature:
+    def test_exact_ones_count(self):
+        for m, fraction, expected in [(10, 0.5, 5), (16, 0.25, 4), (7, 0.5, 4)]:
+            sig = random_signature(m, ones_fraction=fraction, random_state=0)
+            assert len(sig) == m
+            assert sig.n_ones == expected
+
+    def test_extremes(self):
+        assert random_signature(8, 0.0, random_state=0).n_ones == 0
+        assert random_signature(8, 1.0, random_state=0).n_ones == 8
+
+    def test_determinism(self):
+        a = random_signature(32, random_state=5)
+        b = random_signature(32, random_state=5)
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        # 2^-32-ish collision chance; effectively deterministic.
+        a = random_signature(64, random_state=1)
+        b = random_signature(64, random_state=2)
+        assert a != b
+
+    def test_invalid_params(self):
+        with pytest.raises(ValidationError):
+            random_signature(0)
+        with pytest.raises(ValidationError):
+            random_signature(4, ones_fraction=1.5)
+
+    @given(st.integers(min_value=1, max_value=128), st.floats(min_value=0, max_value=1))
+    @settings(max_examples=30, deadline=None)
+    def test_ones_count_matches_rounding(self, m, fraction):
+        sig = random_signature(m, ones_fraction=fraction, random_state=9)
+        assert sig.n_ones == int(round(fraction * m))
+
+
+class TestIdentitySignature:
+    def test_deterministic(self):
+        a = signature_from_identity("alice@example.com", 64)
+        b = signature_from_identity("alice@example.com", 64)
+        assert a == b
+
+    def test_identities_differ(self):
+        a = signature_from_identity("alice", 64)
+        b = signature_from_identity("bob", 64)
+        assert a != b
+
+    def test_any_length(self):
+        for m in (1, 7, 63, 64, 65, 300):
+            assert len(signature_from_identity("alice", m)) == m
+
+    def test_prefix_stability(self):
+        # Longer signatures extend shorter ones (counter-mode property).
+        short = signature_from_identity("alice", 32)
+        long = signature_from_identity("alice", 64)
+        assert list(long)[:32] == list(short)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValidationError):
+            signature_from_identity("", 8)
+        with pytest.raises(ValidationError):
+            signature_from_identity("alice", 0)

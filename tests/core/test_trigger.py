@@ -1,0 +1,80 @@
+"""Tests for trigger-set sampling."""
+
+import numpy as np
+import pytest
+
+from repro.core import sample_trigger_set
+from repro.core.trigger import TriggerSet
+from repro.exceptions import ValidationError
+
+
+class TestSampleTriggerSet:
+    def test_size_and_provenance(self, bc_data):
+        X_train, _, y_train, _ = bc_data
+        trigger = sample_trigger_set(X_train, y_train, 8, random_state=0)
+        assert trigger.size == 8
+        assert np.array_equal(trigger.X, X_train[trigger.indices])
+        assert np.array_equal(trigger.y, y_train[trigger.indices])
+
+    def test_no_duplicates(self, bc_data):
+        X_train, _, y_train, _ = bc_data
+        trigger = sample_trigger_set(X_train, y_train, 20, random_state=1)
+        assert len(set(trigger.indices.tolist())) == 20
+
+    def test_flipped_labels(self, bc_data):
+        X_train, _, y_train, _ = bc_data
+        trigger = sample_trigger_set(X_train, y_train, 5, random_state=2)
+        assert np.array_equal(trigger.flipped_y, -trigger.y)
+        assert set(np.unique(trigger.flipped_y)) <= {-1, 1}
+
+    def test_membership_mask(self, bc_data):
+        X_train, _, y_train, _ = bc_data
+        trigger = sample_trigger_set(X_train, y_train, 5, random_state=3)
+        mask = trigger.membership_mask(X_train.shape[0])
+        assert mask.sum() == 5
+        assert mask[trigger.indices].all()
+
+    def test_determinism(self, bc_data):
+        X_train, _, y_train, _ = bc_data
+        a = sample_trigger_set(X_train, y_train, 6, random_state=4)
+        b = sample_trigger_set(X_train, y_train, 6, random_state=4)
+        assert np.array_equal(a.indices, b.indices)
+
+    def test_invalid_k(self, bc_data):
+        X_train, _, y_train, _ = bc_data
+        with pytest.raises(ValidationError):
+            sample_trigger_set(X_train, y_train, 0)
+        with pytest.raises(ValidationError):
+            sample_trigger_set(X_train, y_train, X_train.shape[0] + 1)
+
+    def test_non_binary_labels_rejected(self, rng):
+        X = rng.uniform(size=(10, 2))
+        with pytest.raises(ValidationError):
+            sample_trigger_set(X, np.arange(10), 2)
+
+    def test_copy_isolated_from_training_data(self, bc_data):
+        X_train, _, y_train, _ = bc_data
+        trigger = sample_trigger_set(X_train, y_train, 3, random_state=5)
+        original = trigger.X.copy()
+        X_train_view = X_train.copy()  # do not mutate the session fixture
+        trigger.X[0, 0] = 123.0
+        assert X_train_view[trigger.indices[0], 0] != 123.0 or original[0, 0] != 123.0
+        trigger.X[0, 0] = original[0, 0]
+
+
+class TestTriggerSetValidation:
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValidationError):
+            TriggerSet(
+                indices=np.array([0]),
+                X=np.zeros((2, 2)),
+                y=np.array([1, -1]),
+            )
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValidationError):
+            TriggerSet(
+                indices=np.array([], dtype=np.int64),
+                X=np.zeros((0, 2)),
+                y=np.array([], dtype=np.int64),
+            )

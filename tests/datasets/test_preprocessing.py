@@ -1,0 +1,44 @@
+"""Tests for min-max scaling."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import MinMaxScaler
+from repro.exceptions import NotFittedError
+
+
+class TestMinMaxScaler:
+    def test_transform_to_unit_interval(self, rng):
+        X = rng.normal(size=(50, 4)) * 10
+        scaled = MinMaxScaler().fit_transform(X)
+        assert scaled.min() >= 0.0
+        assert scaled.max() <= 1.0
+        assert scaled.min(axis=0) == pytest.approx(np.zeros(4))
+        assert scaled.max(axis=0) == pytest.approx(np.ones(4))
+
+    def test_constant_feature_maps_to_zero(self):
+        X = np.array([[1.0, 5.0], [1.0, 7.0]])
+        scaled = MinMaxScaler().fit_transform(X)
+        assert np.allclose(scaled[:, 0], 0.0)
+
+    def test_test_data_clipped(self):
+        scaler = MinMaxScaler().fit(np.array([[0.0], [10.0]]))
+        out = scaler.transform(np.array([[-5.0], [15.0]]))
+        assert out[0, 0] == 0.0
+        assert out[1, 0] == 1.0
+
+    def test_no_clip_mode(self):
+        scaler = MinMaxScaler(clip=False).fit(np.array([[0.0], [10.0]]))
+        out = scaler.transform(np.array([[15.0]]))
+        assert out[0, 0] == pytest.approx(1.5)
+
+    def test_unfitted_raises(self):
+        with pytest.raises(NotFittedError):
+            MinMaxScaler().transform(np.zeros((1, 1)))
+
+    def test_train_statistics_reused(self, rng):
+        X_train = rng.uniform(5, 10, size=(30, 2))
+        scaler = MinMaxScaler().fit(X_train)
+        same = scaler.transform(X_train)
+        again = scaler.transform(X_train)
+        assert np.array_equal(same, again)

@@ -1,0 +1,107 @@
+"""Tests for the Table 1 dataset stand-ins."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    DATASET_NAMES,
+    breast_cancer_like,
+    dataset_statistics,
+    ijcnn1_like,
+    load_dataset,
+    mnist26_like,
+)
+from repro.exceptions import ValidationError
+
+
+class TestShapes:
+    def test_mnist26_shape_and_balance(self):
+        ds = mnist26_like(200, random_state=0)
+        assert ds.X.shape == (200, 784)
+        assert set(np.unique(ds.y)) == {-1, 1}
+        # 51/49 split
+        assert np.mean(ds.y == 1) == pytest.approx(0.51, abs=0.01)
+
+    def test_breast_cancer_shape_and_balance(self):
+        ds = breast_cancer_like(300, random_state=1)
+        assert ds.X.shape == (300, 30)
+        assert np.mean(ds.y == 1) == pytest.approx(0.37, abs=0.02)
+
+    def test_ijcnn1_shape_and_imbalance(self):
+        ds = ijcnn1_like(600, random_state=2)
+        assert ds.X.shape == (600, 22)
+        assert np.mean(ds.y == 1) == pytest.approx(0.10, abs=0.01)
+
+    def test_default_sizes_match_table1(self):
+        # Only check the cheap ones at full size; mnist26 is asserted
+        # through the loader default argument instead of generating 13k
+        # 784-dim samples in tests.
+        assert mnist26_like.__defaults__[0] == 13866
+        assert breast_cancer_like.__defaults__[0] == 569
+        assert ijcnn1_like.__defaults__[0] == 10000
+
+
+class TestValues:
+    @pytest.mark.parametrize("name", DATASET_NAMES)
+    def test_features_in_unit_interval(self, name):
+        ds = load_dataset(name, n_samples=150, random_state=3)
+        assert ds.X.min() >= 0.0
+        assert ds.X.max() <= 1.0
+
+    @pytest.mark.parametrize("name", DATASET_NAMES)
+    def test_determinism(self, name):
+        a = load_dataset(name, n_samples=100, random_state=4)
+        b = load_dataset(name, n_samples=100, random_state=4)
+        assert np.array_equal(a.X, b.X)
+        assert np.array_equal(a.y, b.y)
+
+    @pytest.mark.parametrize("name", DATASET_NAMES)
+    def test_seeds_differ(self, name):
+        a = load_dataset(name, n_samples=100, random_state=5)
+        b = load_dataset(name, n_samples=100, random_state=6)
+        assert not np.array_equal(a.X, b.X)
+
+
+class TestLoader:
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ValidationError, match="unknown dataset"):
+            load_dataset("cifar10")
+
+    def test_class_distribution_helper(self):
+        ds = breast_cancer_like(200, random_state=7)
+        distribution = ds.class_distribution()
+        assert set(distribution) == {-1, 1}
+        assert sum(distribution.values()) == pytest.approx(1.0)
+
+    def test_dataset_statistics_row(self):
+        ds = ijcnn1_like(400, random_state=8)
+        row = dataset_statistics(ds)
+        assert row["dataset"] == "ijcnn1"
+        assert row["instances"] == 400
+        assert row["features"] == 22
+        assert row["distribution"] == "90%/10%"
+
+
+class TestLearnability:
+    """The stand-ins must be learnable at small scale — otherwise the
+    accuracy experiments (Fig. 3) would be dominated by noise."""
+
+    @pytest.mark.parametrize(
+        "name,threshold",
+        # mnist26 deliberately has no strongly separating single pixel
+        # (see the registry docstring), so its small-sample accuracy is
+        # lower than the tabular stand-ins'.
+        [("mnist26", 0.82), ("breast-cancer", 0.85), ("ijcnn1", 0.92)],
+    )
+    def test_standard_forest_beats_threshold(self, name, threshold):
+        from repro.ensemble import RandomForestClassifier
+        from repro.model_selection import train_test_split
+
+        ds = load_dataset(name, n_samples=350, random_state=9)
+        X_train, X_test, y_train, y_test = train_test_split(
+            ds.X, ds.y, test_size=0.3, random_state=10
+        )
+        forest = RandomForestClassifier(
+            n_estimators=9, max_depth=10, tree_feature_fraction=0.6, random_state=11
+        ).fit(X_train, y_train)
+        assert forest.score(X_test, y_test) >= threshold

@@ -1,0 +1,122 @@
+"""Tests for the low-level synthetic generators."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    cluster_minority_dataset,
+    correlated_gaussian_classes,
+    image_class_samples,
+    interaction_score,
+    margin_interaction_dataset,
+    nonlinear_interaction_labels,
+    smooth_image_prototype,
+)
+from repro.exceptions import ValidationError
+
+
+class TestSmoothImagePrototype:
+    def test_range_and_shape(self, rng):
+        image = smooth_image_prototype(28, sigma=2.0, rng=rng)
+        assert image.shape == (28, 28)
+        assert image.min() == pytest.approx(0.0)
+        assert image.max() == pytest.approx(1.0)
+
+    def test_smoothness(self, rng):
+        """Blurring must suppress pixel-to-pixel variation relative to
+        raw noise."""
+        image = smooth_image_prototype(28, sigma=3.0, rng=rng)
+        horizontal_diff = np.abs(np.diff(image, axis=1)).mean()
+        assert horizontal_diff < 0.2
+
+    def test_too_small_rejected(self, rng):
+        with pytest.raises(ValidationError):
+            smooth_image_prototype(2, sigma=1.0, rng=rng)
+
+
+class TestImageClassSamples:
+    def test_shape_and_range(self, rng):
+        prototype = smooth_image_prototype(16, sigma=2.0, rng=rng)
+        samples = image_class_samples(prototype, 10, rng)
+        assert samples.shape == (10, 256)
+        assert samples.min() >= 0.0 and samples.max() <= 1.0
+
+    def test_samples_differ(self, rng):
+        prototype = smooth_image_prototype(16, sigma=2.0, rng=rng)
+        samples = image_class_samples(prototype, 3, rng)
+        assert not np.array_equal(samples[0], samples[1])
+
+    def test_samples_resemble_prototype(self, rng):
+        prototype = smooth_image_prototype(16, sigma=2.0, rng=rng)
+        samples = image_class_samples(prototype, 20, rng, max_shift=1)
+        correlation = np.corrcoef(samples.mean(axis=0), prototype.ravel())[0, 1]
+        assert correlation > 0.5
+
+
+class TestCorrelatedGaussians:
+    def test_shapes_and_fraction(self, rng):
+        X, y = correlated_gaussian_classes(200, 10, 0.3, 3.0, rng)
+        assert X.shape == (200, 10)
+        assert np.mean(y == 1) == pytest.approx(0.3, abs=0.01)
+
+    def test_unit_interval(self, rng):
+        X, _ = correlated_gaussian_classes(100, 5, 0.4, 2.0, rng)
+        assert X.min() >= 0.0 and X.max() <= 1.0
+
+    def test_separation_increases_separability(self, rng):
+        def mean_gap(separation, seed):
+            gen = np.random.default_rng(seed)
+            X, y = correlated_gaussian_classes(400, 8, 0.5, separation, gen)
+            return np.linalg.norm(X[y == 1].mean(axis=0) - X[y == -1].mean(axis=0))
+
+        assert mean_gap(6.0, 0) > mean_gap(0.5, 0)
+
+    def test_invalid_fraction(self, rng):
+        with pytest.raises(ValidationError):
+            correlated_gaussian_classes(10, 3, 0.0, 1.0, rng)
+
+
+class TestClusterMinority:
+    def test_shapes_and_fraction(self, rng):
+        X, y = cluster_minority_dataset(300, 12, 0.1, rng)
+        assert X.shape == (300, 12)
+        assert np.mean(y == 1) == pytest.approx(0.1, abs=0.01)
+
+    def test_negatives_keep_margin_from_clusters(self, rng):
+        X, y = cluster_minority_dataset(400, 6, 0.1, rng, n_clusters=3, cluster_std=0.05)
+        positives = X[y == 1]
+        negatives = X[y == -1]
+        # Every negative is far (in L-inf) from every positive: at least
+        # the rejection shell minus the positive truncation radius.
+        min_gap = 3.5 * 0.05 - 2.5 * 0.05
+        for negative in negatives[:50]:
+            distances = np.abs(positives - negative[None, :]).max(axis=1)
+            assert distances.min() > min_gap - 1e-9
+
+    def test_invalid_params(self, rng):
+        with pytest.raises(ValidationError):
+            cluster_minority_dataset(10, 3, 1.5, rng)
+        with pytest.raises(ValidationError):
+            cluster_minority_dataset(10, 3, 0.1, rng, n_clusters=0)
+        with pytest.raises(ValidationError):
+            cluster_minority_dataset(10, 3, 0.1, rng, cluster_std=0.0)
+
+
+class TestInteractionGenerators:
+    def test_score_requires_five_features(self, rng):
+        with pytest.raises(ValidationError):
+            interaction_score(rng.uniform(size=(10, 3)))
+
+    def test_margin_dataset_fraction(self, rng):
+        X, y = margin_interaction_dataset(400, 22, 0.1, rng)
+        assert X.shape == (400, 22)
+        assert np.mean(y == 1) == pytest.approx(0.1, abs=0.01)
+
+    def test_margin_dataset_excessive_margin_raises(self, rng):
+        with pytest.raises(ValidationError, match="margin"):
+            margin_interaction_dataset(400, 22, 0.1, rng, margin=0.4)
+
+    def test_labels_have_both_classes(self, rng):
+        X = rng.uniform(size=(300, 6))
+        y = nonlinear_interaction_labels(X, 0.2, rng)
+        assert set(np.unique(y)) == {-1, 1}

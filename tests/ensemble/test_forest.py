@@ -1,0 +1,123 @@
+"""Tests for the no-bootstrap random forest."""
+
+import numpy as np
+import pytest
+
+from repro.ensemble import RandomForestClassifier
+from repro.exceptions import NotFittedError, ValidationError
+
+
+class TestFit:
+    def test_number_of_trees(self, bc_data):
+        X_train, _, y_train, _ = bc_data
+        forest = RandomForestClassifier(n_estimators=5, max_depth=4, random_state=0)
+        forest.fit(X_train, y_train)
+        assert forest.n_trees_ == 5
+        assert len(forest.feature_subsets_) == 5
+
+    def test_feature_subspace_sizes(self, bc_data):
+        X_train, _, y_train, _ = bc_data
+        forest = RandomForestClassifier(
+            n_estimators=4, tree_feature_fraction=0.5, max_depth=3, random_state=0
+        ).fit(X_train, y_train)
+        expected = max(1, round(0.5 * X_train.shape[1]))
+        for subset in forest.feature_subsets_:
+            assert subset.shape[0] == expected
+            assert np.array_equal(subset, np.unique(subset))  # sorted, distinct
+
+    def test_trees_use_only_their_subspace(self, bc_data):
+        X_train, _, y_train, _ = bc_data
+        forest = RandomForestClassifier(
+            n_estimators=4, tree_feature_fraction=0.3, max_depth=5, random_state=1
+        ).fit(X_train, y_train)
+        for tree, subset in zip(forest.trees_, forest.feature_subsets_):
+            assert tree.used_features_() <= set(subset.tolist())
+
+    def test_no_bootstrap_every_tree_sees_all_data(self, rng):
+        # Without bootstrap and with the full feature set, all trees of
+        # an unconstrained forest fit the training data perfectly.
+        X = rng.uniform(size=(60, 4))
+        y = rng.choice([-1, 1], size=60)
+        forest = RandomForestClassifier(
+            n_estimators=3, tree_feature_fraction=1.0, random_state=2
+        ).fit(X, y)
+        assert (forest.predict_all(X) == y[None, :]).all()
+
+    def test_determinism(self, bc_data):
+        X_train, X_test, y_train, _ = bc_data
+        a = RandomForestClassifier(n_estimators=4, max_depth=4, random_state=9).fit(
+            X_train, y_train
+        )
+        b = RandomForestClassifier(n_estimators=4, max_depth=4, random_state=9).fit(
+            X_train, y_train
+        )
+        assert np.array_equal(a.predict_all(X_test), b.predict_all(X_test))
+
+    def test_invalid_params(self, bc_data):
+        X_train, _, y_train, _ = bc_data
+        with pytest.raises(ValidationError):
+            RandomForestClassifier(n_estimators=0).fit(X_train, y_train)
+        with pytest.raises(ValidationError):
+            RandomForestClassifier(tree_feature_fraction=0.0).fit(X_train, y_train)
+        with pytest.raises(ValidationError):
+            RandomForestClassifier(tree_feature_fraction=1.5).fit(X_train, y_train)
+
+
+class TestPredict:
+    def test_predict_all_shape(self, bc_forest, bc_data):
+        _, X_test, _, _ = bc_data
+        all_predictions = bc_forest.predict_all(X_test)
+        assert all_predictions.shape == (9, X_test.shape[0])
+        assert set(np.unique(all_predictions)) <= {-1, 1}
+
+    def test_predict_is_majority_of_predict_all(self, bc_forest, bc_data):
+        _, X_test, _, _ = bc_data
+        all_predictions = bc_forest.predict_all(X_test)
+        votes = (all_predictions == 1).sum(axis=0)
+        expected = np.where(votes * 2 > 9, 1, -1)  # 9 trees, odd: no ties
+        assert np.array_equal(bc_forest.predict(X_test), expected)
+
+    def test_predict_proba_rows_sum_to_one(self, bc_forest, bc_data):
+        _, X_test, _, _ = bc_data
+        proba = bc_forest.predict_proba(X_test)
+        assert proba.shape == (X_test.shape[0], 2)
+        assert np.allclose(proba.sum(axis=1), 1.0)
+
+    def test_score_reasonable(self, bc_forest, bc_data):
+        _, X_test, _, y_test = bc_data
+        assert bc_forest.score(X_test, y_test) > 0.8
+
+    def test_unfitted_raises(self):
+        with pytest.raises(NotFittedError):
+            RandomForestClassifier().predict(np.zeros((1, 2)))
+        with pytest.raises(NotFittedError):
+            RandomForestClassifier().predict_all(np.zeros((1, 2)))
+
+
+class TestStructure:
+    def test_structure_arrays(self, bc_forest):
+        structure = bc_forest.structure()
+        assert structure["depth"].shape == (9,)
+        assert structure["n_leaves"].shape == (9,)
+        assert (structure["depth"] <= 8).all()
+
+    def test_total_leaves(self, bc_forest):
+        assert bc_forest.total_leaves() == int(bc_forest.structure()["n_leaves"].sum())
+
+    def test_roots_are_tree_roots(self, bc_forest):
+        roots = bc_forest.roots()
+        assert len(roots) == 9
+        assert all(root is tree.root_ for root, tree in zip(roots, bc_forest.trees_))
+
+
+class TestCloneWith:
+    def test_overrides_apply(self):
+        forest = RandomForestClassifier(n_estimators=7, max_depth=3)
+        clone = forest.clone_with(n_estimators=2)
+        assert clone.n_estimators == 2
+        assert clone.max_depth == 3
+        assert clone.trees_ is None  # unfitted
+
+    def test_unknown_override_raises(self):
+        with pytest.raises(ValidationError, match="unknown"):
+            RandomForestClassifier().clone_with(bogus=1)

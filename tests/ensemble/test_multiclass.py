@@ -1,0 +1,54 @@
+"""Tests for one-vs-rest multi-class decomposition."""
+
+import numpy as np
+import pytest
+
+from repro.ensemble import OneVsRestForest, RandomForestClassifier
+from repro.exceptions import NotFittedError, ValidationError
+
+
+def _three_blob_data(rng, n=180):
+    centers = np.array([[0.2, 0.2], [0.8, 0.2], [0.5, 0.8]])
+    labels = rng.integers(0, 3, size=n)
+    X = centers[labels] + rng.normal(scale=0.07, size=(n, 2))
+    return np.clip(X, 0, 1), labels.astype(np.int64)
+
+
+class TestOneVsRest:
+    def test_learns_three_blobs(self, rng):
+        X, y = _three_blob_data(rng)
+        model = OneVsRestForest(
+            forest_factory=lambda: RandomForestClassifier(
+                n_estimators=7, max_depth=5, tree_feature_fraction=1.0
+            ),
+            random_state=0,
+        ).fit(X, y)
+        assert model.score(X, y) > 0.9
+        assert set(model.forests_) == {0, 1, 2}
+
+    def test_decision_matrix_shape(self, rng):
+        X, y = _three_blob_data(rng, n=90)
+        model = OneVsRestForest(random_state=1).fit(X, y)
+        matrix = model.decision_matrix(X[:10])
+        assert matrix.shape == (10, 3)
+        assert np.all(matrix >= 0) and np.all(matrix <= 1)
+
+    def test_each_binary_forest_uses_pm1(self, rng):
+        X, y = _three_blob_data(rng, n=90)
+        model = OneVsRestForest(random_state=2).fit(X, y)
+        for forest in model.forests_.values():
+            assert set(forest.classes_.tolist()) == {-1, 1}
+
+    def test_single_class_rejected(self, rng):
+        X = rng.uniform(size=(10, 2))
+        with pytest.raises(ValidationError, match="two classes"):
+            OneVsRestForest().fit(X, np.zeros(10, dtype=np.int64))
+
+    def test_unfitted_raises(self):
+        with pytest.raises(NotFittedError):
+            OneVsRestForest().predict(np.zeros((1, 2)))
+
+    def test_bad_factory_rejected(self, rng):
+        X, y = _three_blob_data(rng, n=60)
+        with pytest.raises(ValidationError, match="factory"):
+            OneVsRestForest(forest_factory=lambda: "nope").fit(X, y)

@@ -1,0 +1,69 @@
+"""Tests for vote aggregation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ensemble import majority_vote, vote_margin
+from repro.exceptions import ValidationError
+
+CLASSES = np.array([-1, 1])
+
+
+class TestMajorityVote:
+    def test_unanimous(self):
+        preds = np.array([[1, -1], [1, -1], [1, -1]])
+        assert np.array_equal(majority_vote(preds, CLASSES), [1, -1])
+
+    def test_simple_majority(self):
+        preds = np.array([[1], [1], [-1]])
+        assert majority_vote(preds, CLASSES)[0] == 1
+
+    def test_tie_breaks_to_smallest_label(self):
+        preds = np.array([[1], [-1]])
+        assert majority_vote(preds, CLASSES)[0] == -1
+
+    def test_multiclass(self):
+        preds = np.array([[0, 2], [2, 2], [2, 1]])
+        out = majority_vote(preds, np.array([0, 1, 2]))
+        assert np.array_equal(out, [2, 2])
+
+    def test_rejects_non_2d(self):
+        with pytest.raises(ValidationError, match="2-D"):
+            majority_vote(np.array([1, -1]), CLASSES)
+
+    def test_rejects_unknown_labels(self):
+        with pytest.raises(ValidationError, match="outside"):
+            majority_vote(np.array([[7]]), CLASSES)
+
+    @given(
+        st.integers(min_value=1, max_value=9),
+        st.integers(min_value=1, max_value=6),
+        st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_winner_has_weak_plurality(self, n_trees, n_samples, seed):
+        gen = np.random.default_rng(seed)
+        preds = gen.choice([-1, 1], size=(n_trees, n_samples))
+        winners = majority_vote(preds, CLASSES)
+        for j, winner in enumerate(winners):
+            wins = (preds[:, j] == winner).sum()
+            losses = n_trees - wins
+            assert wins >= losses or (wins == losses and winner == -1)
+
+
+class TestVoteMargin:
+    def test_fractions(self):
+        preds = np.array([[1, -1], [1, 1], [-1, -1], [1, -1]])
+        margin = vote_margin(preds)
+        assert margin[0] == pytest.approx(0.75)
+        assert margin[1] == pytest.approx(0.25)
+
+    def test_custom_positive_label(self):
+        preds = np.array([[2], [2], [0]])
+        assert vote_margin(preds, positive_label=2)[0] == pytest.approx(2 / 3)
+
+    def test_rejects_non_2d(self):
+        with pytest.raises(ValidationError):
+            vote_margin(np.array([1, 2, 3]))

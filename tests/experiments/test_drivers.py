@@ -1,0 +1,101 @@
+"""Smoke tests for the experiment drivers (tiny configurations).
+
+These verify each table/figure driver runs end-to-end and produces rows
+with the right shape and sane values; the benchmarks run the real
+(larger) versions.
+"""
+
+import math
+
+import pytest
+
+from repro.experiments import (
+    SMALL,
+    accuracy_vs_ones_fraction,
+    accuracy_vs_trigger_fraction,
+    detection_table,
+    forged_instance_study,
+    forgery_epsilon_sweep,
+    forgery_tabular_results,
+)
+
+TINY = SMALL.with_overrides(
+    dataset_sizes={"mnist26": 120, "breast-cancer": 160, "ijcnn1": 260},
+    n_estimators=6,
+    base_params={"max_depth": 7, "min_samples_leaf": 1},
+    escalation_factor=3.0,
+)
+
+
+class TestAccuracyDrivers:
+    def test_fig3a_rows(self):
+        rows = accuracy_vs_trigger_fraction(
+            TINY, fractions=(0.02, 0.04), datasets=("breast-cancer",)
+        )
+        assert len(rows) == 2
+        for row in rows:
+            assert row.dataset == "breast-cancer"
+            assert 0.0 <= row.watermarked_accuracy <= 1.0
+            assert 0.0 <= row.standard_accuracy <= 1.0
+            assert row.accuracy_loss == pytest.approx(
+                row.standard_accuracy - row.watermarked_accuracy
+            )
+
+    def test_fig3b_rows(self):
+        rows = accuracy_vs_ones_fraction(
+            TINY, percents=(20, 50), datasets=("breast-cancer",)
+        )
+        assert [row.x_value for row in rows] == [20.0, 50.0]
+
+
+class TestDetectionDriver:
+    def test_table2_rows(self):
+        rows = detection_table(TINY, datasets=("breast-cancer",))
+        assert len(rows) == 4  # 2 statistics x 2 strategies
+        for row in rows:
+            assert row.n_correct + row.n_wrong + row.n_uncertain == TINY.n_estimators
+            assert row.std >= 0.0
+
+
+class TestForgeryDrivers:
+    def test_fig4_sweep(self):
+        rows = forgery_epsilon_sweep(
+            TINY,
+            dataset="breast-cancer",
+            epsilons=(0.3, 0.8),
+            n_signatures=1,
+            max_instances=6,
+            solver_budget=20_000,
+        )
+        assert [row.epsilon for row in rows] == [0.3, 0.8]
+        for row in rows:
+            assert 0 <= row.mean_forged_size <= 6
+            assert row.original_trigger_size >= 1
+        # More distortion budget never hurts the forger.
+        assert rows[1].mean_forged_size >= rows[0].mean_forged_size - 1e-9
+
+    def test_tabular_results(self):
+        rows = forgery_tabular_results(
+            TINY,
+            datasets=("breast-cancer",),
+            epsilons=(0.1,),
+            n_signatures=1,
+            max_instances=5,
+            solver_budget=20_000,
+        )
+        assert len(rows) == 1
+        assert rows[0].dataset == "breast-cancer"
+
+    def test_fig5_study(self):
+        rows = forged_instance_study(
+            TINY,
+            dataset="breast-cancer",
+            epsilons=(0.5,),
+            max_instances=6,
+            solver_budget=20_000,
+        )
+        assert len(rows) == 1
+        row = rows[0]
+        if row.n_forged > 0:
+            assert 0.0 <= row.mean_linf <= 0.5 + 1e-9
+            assert not math.isnan(row.standard_accuracy_on_forged)

@@ -1,0 +1,52 @@
+"""Tests for the table renderer."""
+
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.experiments import format_table, rows_to_cells
+
+
+class TestFormatTable:
+    def test_basic_rendering(self):
+        text = format_table(["a", "bb"], [[1, 2.5], ["x", "y"]])
+        lines = text.splitlines()
+        assert lines[0].split() == ["a", "bb"]
+        assert set(lines[1]) <= {"-", " "}
+        assert lines[2].split() == ["1", "2.5"]
+
+    def test_empty_rows_ok(self):
+        text = format_table(["only"], [])
+        assert "only" in text
+
+    def test_column_alignment(self):
+        text = format_table(["name", "v"], [["longvalue", 1], ["s", 22]])
+        lines = text.splitlines()
+        # All data lines place column 2 at the same offset.
+        offset1 = lines[2].index("1")
+        offset2 = lines[3].index("22")
+        assert offset1 == offset2
+
+    def test_float_formatting(self):
+        text = format_table(["x"], [[0.123456789]])
+        assert "0.1235" in text
+
+    def test_width_mismatch_rejected(self):
+        with pytest.raises(ValidationError):
+            format_table(["a"], [[1, 2]])
+
+    def test_empty_headers_rejected(self):
+        with pytest.raises(ValidationError):
+            format_table([], [])
+
+
+class TestRowsToCells:
+    def test_extracts_fields(self):
+        from dataclasses import dataclass
+
+        @dataclass
+        class Row:
+            a: int
+            b: str
+
+        rows = [Row(1, "x"), Row(2, "y")]
+        assert rows_to_cells(rows, ["b", "a"]) == [["x", 1], ["y", 2]]

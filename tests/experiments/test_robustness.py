@@ -1,0 +1,49 @@
+"""Smoke tests for the robustness (future-work attacker) drivers."""
+
+import pytest
+
+from repro.experiments import (
+    SMALL,
+    extraction_table,
+    modification_table,
+    pruning_table,
+)
+
+TINY = SMALL.with_overrides(
+    dataset_sizes={"mnist26": 120, "breast-cancer": 200, "ijcnn1": 260},
+    n_estimators=6,
+    base_params={"max_depth": 7, "min_samples_leaf": 1},
+    escalation_factor=3.0,
+)
+
+
+class TestModificationTable:
+    def test_rows_and_monotone_damage(self):
+        rows = modification_table(
+            TINY, truncate_depths=(5, 1), flip_probabilities=(0.0, 0.5)
+        )
+        assert len(rows) == 4
+        truncate = [r for r in rows if r.attack == "truncate"]
+        # Harsher truncation cannot preserve more of the watermark.
+        assert truncate[1].watermark_match_rate <= truncate[0].watermark_match_rate + 1e-9
+        flip = [r for r in rows if r.attack == "flip"]
+        assert flip[0].watermark_accepted  # p=0 is the identity attack
+        assert flip[0].watermark_match_rate == 1.0
+
+
+class TestPruningTable:
+    def test_rows(self):
+        rows = pruning_table(TINY, alphas=(0.0, 5.0))
+        assert [r.strength for r in rows] == [0.0, 5.0]
+        for r in rows:
+            assert 0.0 <= r.watermark_match_rate <= 1.0
+            assert 0.0 <= r.accuracy <= 1.0
+        # Heavy pruning hurts the watermark at least as much as none.
+        assert rows[1].watermark_match_rate <= rows[0].watermark_match_rate + 1e-9
+
+
+class TestExtractionTable:
+    def test_watermark_never_survives(self):
+        rows = extraction_table(TINY, query_budgets=(60,))
+        assert len(rows) == 1
+        assert not rows[0].watermark_accepted

@@ -1,0 +1,103 @@
+"""Tests for 3CNF formulas."""
+
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.hardness import Clause, Formula3CNF, Literal, brute_force_3sat, random_3cnf
+
+
+def _example_formula():
+    """(x0 ∨ x1) ∧ (x1 ∨ x2 ∨ ¬x3) — the paper's running example."""
+    return Formula3CNF(
+        n_vars=4,
+        clauses=(
+            Clause((Literal(0), Literal(1))),
+            Clause((Literal(1), Literal(2), Literal(3, negated=True))),
+        ),
+    )
+
+
+class TestLiteral:
+    def test_evaluation(self):
+        assert Literal(0).evaluate([True]) is True
+        assert Literal(0, negated=True).evaluate([True]) is False
+
+    def test_str(self):
+        assert str(Literal(2)) == "x2"
+        assert str(Literal(2, negated=True)) == "¬x2"
+
+    def test_negative_variable_rejected(self):
+        with pytest.raises(ValidationError):
+            Literal(-1)
+
+
+class TestClause:
+    def test_disjunction(self):
+        clause = Clause((Literal(0), Literal(1, negated=True)))
+        assert clause.evaluate([False, False])
+        assert not clause.evaluate([False, True])
+
+    def test_width_limits(self):
+        with pytest.raises(ValidationError):
+            Clause(())
+        with pytest.raises(ValidationError):
+            Clause(tuple(Literal(i) for i in range(4)))
+
+
+class TestFormula:
+    def test_paper_example_evaluation(self):
+        formula = _example_formula()
+        assert formula.evaluate([True, False, True, True])
+        assert not formula.evaluate([False, False, True, True])
+
+    def test_out_of_range_literal_rejected(self):
+        with pytest.raises(ValidationError):
+            Formula3CNF(n_vars=1, clauses=(Clause((Literal(3),)),))
+
+    def test_wrong_assignment_length(self):
+        with pytest.raises(ValidationError):
+            _example_formula().evaluate([True])
+
+    def test_str_rendering(self):
+        text = str(_example_formula())
+        assert "∨" in text and "∧" in text
+
+
+class TestRandom3CNF:
+    def test_shape(self):
+        formula = random_3cnf(6, 10, random_state=0)
+        assert formula.n_vars == 6
+        assert len(formula.clauses) == 10
+        for clause in formula.clauses:
+            assert 1 <= len(clause.literals) <= 3
+
+    def test_distinct_variables_per_clause(self):
+        formula = random_3cnf(10, 20, random_state=1)
+        for clause in formula.clauses:
+            variables = [literal.variable for literal in clause.literals]
+            assert len(set(variables)) == len(variables)
+
+    def test_determinism(self):
+        a = random_3cnf(5, 8, random_state=2)
+        b = random_3cnf(5, 8, random_state=2)
+        assert a == b
+
+    def test_small_variable_pool(self):
+        formula = random_3cnf(2, 4, random_state=3)
+        for clause in formula.clauses:
+            assert len(clause.literals) <= 2
+
+
+class TestBruteForce:
+    def test_satisfiable_example(self):
+        assignment = brute_force_3sat(_example_formula())
+        assert assignment is not None
+        assert _example_formula().evaluate(assignment)
+
+    def test_unsatisfiable_formula(self):
+        # x0 ∧ ¬x0
+        formula = Formula3CNF(
+            n_vars=1,
+            clauses=(Clause((Literal(0),)), Clause((Literal(0, negated=True),))),
+        )
+        assert brute_force_3sat(formula) is None

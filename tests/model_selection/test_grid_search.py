@@ -1,0 +1,76 @@
+"""Tests for grid search over forest hyper-parameters."""
+
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.model_selection import grid_search_forest
+
+
+class TestGridSearch:
+    def test_returns_best_of_grid(self, bc_data):
+        X_train, _, y_train, _ = bc_data
+        result = grid_search_forest(
+            X_train,
+            y_train,
+            n_estimators=3,
+            param_grid={"max_depth": [2, 8]},
+            n_splits=2,
+            random_state=0,
+        )
+        assert result.best_params["max_depth"] in (2, 8)
+        assert 0.0 <= result.best_score <= 1.0
+        assert len(result.table) == 2
+        best_from_table = max(result.table, key=lambda entry: entry[1])[1]
+        assert result.best_score == pytest.approx(best_from_table)
+
+    def test_fold_scores_recorded(self, bc_data):
+        X_train, _, y_train, _ = bc_data
+        result = grid_search_forest(
+            X_train,
+            y_train,
+            n_estimators=2,
+            param_grid={"min_samples_leaf": [1, 5]},
+            n_splits=3,
+            random_state=1,
+        )
+        for _params, _mean, scores in result.table:
+            assert len(scores) == 3
+
+    def test_deeper_wins_on_nonlinear_data(self, ij_data):
+        X_train, _, y_train, _ = ij_data
+        result = grid_search_forest(
+            X_train,
+            y_train,
+            n_estimators=5,
+            param_grid={"max_depth": [1, 10]},
+            n_splits=2,
+            tree_feature_fraction=0.8,
+            random_state=2,
+        )
+        # Depth-1 stumps cannot isolate minority clusters.
+        assert result.best_params["max_depth"] == 10
+
+    def test_unknown_parameter_rejected(self, bc_data):
+        X_train, _, y_train, _ = bc_data
+        with pytest.raises(ValidationError, match="unknown parameters"):
+            grid_search_forest(
+                X_train, y_train, n_estimators=2, param_grid={"bogus": [1]}
+            )
+
+    def test_empty_grid_rejected(self, bc_data):
+        X_train, _, y_train, _ = bc_data
+        with pytest.raises(ValidationError, match="at least one"):
+            grid_search_forest(X_train, y_train, n_estimators=2, param_grid={})
+
+    def test_determinism(self, bc_data):
+        X_train, _, y_train, _ = bc_data
+        kwargs = dict(
+            n_estimators=2,
+            param_grid={"max_depth": [2, 4]},
+            n_splits=2,
+            random_state=42,
+        )
+        a = grid_search_forest(X_train, y_train, **kwargs)
+        b = grid_search_forest(X_train, y_train, **kwargs)
+        assert a.best_params == b.best_params
+        assert a.best_score == pytest.approx(b.best_score)

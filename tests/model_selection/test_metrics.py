@@ -1,0 +1,74 @@
+"""Tests for classification metrics."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.model_selection import (
+    accuracy,
+    balanced_accuracy,
+    confusion_matrix,
+    precision_recall_f1,
+)
+
+
+class TestAccuracy:
+    def test_perfect(self):
+        assert accuracy([1, -1, 1], [1, -1, 1]) == 1.0
+
+    def test_all_wrong(self):
+        assert accuracy([1, 1], [-1, -1]) == 0.0
+
+    def test_partial(self):
+        assert accuracy([1, -1, 1, -1], [1, -1, -1, 1]) == pytest.approx(0.5)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValidationError):
+            accuracy([1, 2], [1])
+
+    def test_empty_raises(self):
+        with pytest.raises(ValidationError):
+            accuracy([], [])
+
+
+class TestConfusionMatrix:
+    def test_binary(self):
+        matrix = confusion_matrix([1, 1, -1, -1], [1, -1, -1, -1], labels=[-1, 1])
+        assert np.array_equal(matrix, [[2, 0], [1, 1]])
+
+    def test_total_equals_samples(self, rng):
+        y_true = rng.choice([-1, 1], size=50)
+        y_pred = rng.choice([-1, 1], size=50)
+        assert confusion_matrix(y_true, y_pred).sum() == 50
+
+    def test_unknown_label_raises(self):
+        with pytest.raises(ValidationError):
+            confusion_matrix([1], [2], labels=[0, 1])
+
+
+class TestPrecisionRecallF1:
+    def test_perfect(self):
+        p, r, f1 = precision_recall_f1([1, -1, 1], [1, -1, 1])
+        assert (p, r, f1) == (1.0, 1.0, 1.0)
+
+    def test_no_predicted_positives(self):
+        p, r, f1 = precision_recall_f1([1, 1], [-1, -1])
+        assert (p, r, f1) == (0.0, 0.0, 0.0)
+
+    def test_known_values(self):
+        # TP=1, FP=1, FN=1 -> P=0.5, R=0.5, F1=0.5
+        p, r, f1 = precision_recall_f1([1, -1, 1, -1], [1, 1, -1, -1])
+        assert p == pytest.approx(0.5)
+        assert r == pytest.approx(0.5)
+        assert f1 == pytest.approx(0.5)
+
+
+class TestBalancedAccuracy:
+    def test_penalises_majority_guessing(self):
+        y_true = np.array([1] * 10 + [-1] * 90)
+        y_pred = -np.ones(100, dtype=np.int64)
+        assert accuracy(y_true, y_pred) == pytest.approx(0.9)
+        assert balanced_accuracy(y_true, y_pred) == pytest.approx(0.5)
+
+    def test_perfect(self):
+        assert balanced_accuracy([1, -1], [1, -1]) == 1.0

@@ -1,0 +1,122 @@
+"""Tests for train/test split, stratified k-fold and stratified subsampling."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import ValidationError
+from repro.model_selection import StratifiedKFold, stratified_subsample, train_test_split
+
+
+def _imbalanced_data(rng, n=200, positive_fraction=0.2):
+    X = rng.uniform(size=(n, 3))
+    n_pos = int(positive_fraction * n)
+    y = np.array([1] * n_pos + [-1] * (n - n_pos), dtype=np.int64)
+    rng.shuffle(y)
+    return X, y
+
+
+class TestTrainTestSplit:
+    def test_sizes(self, rng):
+        X, y = _imbalanced_data(rng)
+        X_train, X_test, y_train, y_test = train_test_split(X, y, test_size=0.25, random_state=0)
+        assert X_train.shape[0] + X_test.shape[0] == 200
+        assert abs(X_test.shape[0] - 50) <= 2
+        assert X_train.shape[0] == y_train.shape[0]
+        assert X_test.shape[0] == y_test.shape[0]
+
+    def test_stratification_preserves_ratio(self, rng):
+        X, y = _imbalanced_data(rng, n=400, positive_fraction=0.1)
+        _, _, y_train, y_test = train_test_split(X, y, test_size=0.3, random_state=1)
+        assert np.mean(y_test == 1) == pytest.approx(0.1, abs=0.03)
+        assert np.mean(y_train == 1) == pytest.approx(0.1, abs=0.03)
+
+    def test_no_overlap_and_full_coverage(self, rng):
+        X = np.arange(100, dtype=np.float64).reshape(-1, 1)
+        y = np.array([1, -1] * 50)
+        X_train, X_test, _, _ = train_test_split(X, y, test_size=0.2, random_state=2)
+        merged = np.sort(np.concatenate([X_train[:, 0], X_test[:, 0]]))
+        assert np.array_equal(merged, np.arange(100))
+
+    def test_determinism(self, rng):
+        X, y = _imbalanced_data(rng)
+        a = train_test_split(X, y, test_size=0.3, random_state=7)
+        b = train_test_split(X, y, test_size=0.3, random_state=7)
+        assert np.array_equal(a[0], b[0]) and np.array_equal(a[3], b[3])
+
+    def test_invalid_test_size(self, rng):
+        X, y = _imbalanced_data(rng, n=20)
+        with pytest.raises(ValidationError):
+            train_test_split(X, y, test_size=0.0)
+        with pytest.raises(ValidationError):
+            train_test_split(X, y, test_size=1.0)
+
+    def test_unstratified_mode(self, rng):
+        X, y = _imbalanced_data(rng)
+        X_train, X_test, _, _ = train_test_split(
+            X, y, test_size=0.3, stratify=False, random_state=3
+        )
+        assert X_train.shape[0] + X_test.shape[0] == 200
+
+
+class TestStratifiedKFold:
+    def test_folds_partition_data(self, rng):
+        X, y = _imbalanced_data(rng, n=90)
+        seen = np.zeros(90, dtype=int)
+        for train_index, test_index in StratifiedKFold(3, random_state=0).split(X, y):
+            assert np.intersect1d(train_index, test_index).size == 0
+            seen[test_index] += 1
+        assert (seen == 1).all()
+
+    def test_each_fold_stratified(self, rng):
+        X, y = _imbalanced_data(rng, n=300, positive_fraction=0.3)
+        for _, test_index in StratifiedKFold(5, random_state=1).split(X, y):
+            assert np.mean(y[test_index] == 1) == pytest.approx(0.3, abs=0.06)
+
+    def test_too_few_members_raises(self, rng):
+        X = rng.uniform(size=(10, 2))
+        y = np.array([1] * 9 + [-1])
+        with pytest.raises(ValidationError, match="fewer than"):
+            list(StratifiedKFold(3).split(X, y))
+
+    def test_invalid_n_splits(self):
+        with pytest.raises(ValidationError):
+            StratifiedKFold(1)
+
+
+class TestStratifiedSubsample:
+    def test_exact_size(self, rng):
+        X, y = _imbalanced_data(rng, n=500, positive_fraction=0.1)
+        X_sub, y_sub = stratified_subsample(X, y, 100, random_state=0)
+        assert X_sub.shape == (100, 3)
+        assert y_sub.shape == (100,)
+
+    def test_ratio_preserved(self, rng):
+        X, y = _imbalanced_data(rng, n=1000, positive_fraction=0.1)
+        _, y_sub = stratified_subsample(X, y, 200, random_state=1)
+        assert np.mean(y_sub == 1) == pytest.approx(0.1, abs=0.02)
+
+    def test_rows_come_from_original(self, rng):
+        X, y = _imbalanced_data(rng, n=50)
+        X_sub, _ = stratified_subsample(X, y, 20, random_state=2)
+        original_rows = {tuple(row) for row in X}
+        assert all(tuple(row) in original_rows for row in X_sub)
+
+    def test_bad_sizes_raise(self, rng):
+        X, y = _imbalanced_data(rng, n=30)
+        with pytest.raises(ValidationError):
+            stratified_subsample(X, y, 0)
+        with pytest.raises(ValidationError):
+            stratified_subsample(X, y, 31)
+
+    @given(st.integers(min_value=10, max_value=60), st.integers(min_value=0, max_value=2**31 - 1))
+    @settings(max_examples=20, deadline=None)
+    def test_requested_size_always_hit(self, size, seed):
+        gen = np.random.default_rng(seed)
+        X = gen.uniform(size=(80, 2))
+        y = np.where(gen.uniform(size=80) < 0.35, 1, -1)
+        if len(np.unique(y)) < 2:
+            y[0] = -y[0]
+        X_sub, y_sub = stratified_subsample(X, y, size, random_state=seed)
+        assert X_sub.shape[0] == size == y_sub.shape[0]

@@ -1,0 +1,130 @@
+"""Tests for JSON persistence of models and secrets."""
+
+import numpy as np
+import pytest
+
+from repro.core import WatermarkSecret
+from repro.exceptions import SerializationError
+from repro.persistence import (
+    forest_from_dict,
+    forest_to_dict,
+    load_json,
+    node_from_dict,
+    node_to_dict,
+    save_json,
+    secret_from_dict,
+    secret_to_dict,
+)
+from repro.trees.node import InternalNode, Leaf
+
+
+class TestNodeRoundtrip:
+    def test_leaf(self):
+        leaf = Leaf(prediction=-1, class_weights={-1: 2.5, 1: 0.5})
+        restored = node_from_dict(node_to_dict(leaf))
+        assert restored == leaf
+
+    def test_nested_tree(self):
+        tree = InternalNode(
+            0, 0.5,
+            InternalNode(1, 0.25, Leaf(-1), Leaf(1)),
+            Leaf(1, {1: 3.0}),
+        )
+        restored = node_from_dict(node_to_dict(tree))
+        assert restored == tree
+
+    def test_malformed_data_raises(self):
+        with pytest.raises(SerializationError):
+            node_from_dict({"kind": "banana"})
+        with pytest.raises(SerializationError):
+            node_from_dict({"kind": "node", "feature": 0})  # missing children
+
+
+class TestForestRoundtrip:
+    def test_predictions_preserved(self, bc_forest, bc_data):
+        _, X_test, _, _ = bc_data
+        restored = forest_from_dict(forest_to_dict(bc_forest))
+        assert np.array_equal(
+            restored.predict_all(X_test), bc_forest.predict_all(X_test)
+        )
+        assert np.array_equal(restored.predict(X_test), bc_forest.predict(X_test))
+
+    def test_structure_preserved(self, bc_forest):
+        restored = forest_from_dict(forest_to_dict(bc_forest))
+        original = bc_forest.structure()
+        after = restored.structure()
+        assert np.array_equal(original["depth"], after["depth"])
+        assert np.array_equal(original["n_leaves"], after["n_leaves"])
+
+    def test_json_safe(self, bc_forest, tmp_path):
+        path = tmp_path / "forest.json"
+        save_json(forest_to_dict(bc_forest), path)
+        restored = forest_from_dict(load_json(path))
+        assert restored.n_trees_ == bc_forest.n_trees_
+
+    def test_unfitted_forest_rejected(self):
+        from repro.ensemble import RandomForestClassifier
+
+        with pytest.raises(SerializationError, match="unfitted"):
+            forest_to_dict(RandomForestClassifier())
+
+    def test_bad_version_rejected(self, bc_forest):
+        data = forest_to_dict(bc_forest)
+        data["format_version"] = 999
+        with pytest.raises(SerializationError, match="version"):
+            forest_from_dict(data)
+
+    def test_generator_random_state_serialisable(self, bc_data):
+        # Forests fitted inside the pipeline hold a shared Generator;
+        # serialisation must not choke on it.
+        from repro.ensemble import RandomForestClassifier
+
+        X_train, _, y_train, _ = bc_data
+        forest = RandomForestClassifier(
+            n_estimators=2, max_depth=3, random_state=np.random.default_rng(0)
+        ).fit(X_train, y_train)
+        data = forest_to_dict(forest)
+        assert data["params"]["random_state"] is None
+        forest_from_dict(data)  # must not raise
+
+
+class TestSecretRoundtrip:
+    def test_roundtrip(self, wm_model, tmp_path):
+        secret = WatermarkSecret(
+            signature=wm_model.signature,
+            trigger_X=wm_model.trigger.X,
+            trigger_y=wm_model.trigger.y,
+        )
+        path = tmp_path / "secret.json"
+        save_json(secret_to_dict(secret), path)
+        restored = secret_from_dict(load_json(path))
+        assert restored.signature == secret.signature
+        assert np.array_equal(restored.trigger_X, secret.trigger_X)
+        assert np.array_equal(restored.trigger_y, secret.trigger_y)
+
+    def test_restored_secret_verifies(self, wm_model):
+        from repro.core import verify_ownership
+
+        restored = secret_from_dict(
+            secret_to_dict(
+                WatermarkSecret(
+                    signature=wm_model.signature,
+                    trigger_X=wm_model.trigger.X,
+                    trigger_y=wm_model.trigger.y,
+                )
+            )
+        )
+        report = verify_ownership(
+            wm_model.ensemble, restored.signature, restored.trigger_X, restored.trigger_y
+        )
+        assert report.accepted
+
+    def test_malformed_secret_raises(self):
+        with pytest.raises(SerializationError):
+            secret_from_dict({"signature": "01"})
+
+    def test_invalid_json_file(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{not json")
+        with pytest.raises(SerializationError, match="invalid JSON"):
+            load_json(path)

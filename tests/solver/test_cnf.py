@@ -1,0 +1,79 @@
+"""Tests for the CNF container."""
+
+import pytest
+
+from repro.exceptions import SolverError
+from repro.solver import CNF
+
+
+class TestCNF:
+    def test_variable_allocation(self):
+        cnf = CNF()
+        assert cnf.new_var() == 1
+        assert cnf.new_var() == 2
+        assert cnf.new_vars(3) == [3, 4, 5]
+        assert cnf.n_vars == 5
+
+    def test_add_clause(self):
+        cnf = CNF()
+        cnf.new_vars(3)
+        cnf.add_clause([1, -2, 3])
+        assert cnf.clauses == [[1, -2, 3]]
+
+    def test_duplicate_literals_collapsed(self):
+        cnf = CNF()
+        cnf.new_vars(2)
+        cnf.add_clause([1, 1, -2])
+        assert cnf.clauses == [[1, -2]]
+
+    def test_tautology_dropped(self):
+        cnf = CNF()
+        cnf.new_vars(2)
+        cnf.add_clause([1, -1, 2])
+        assert cnf.clauses == []
+
+    def test_zero_literal_rejected(self):
+        cnf = CNF()
+        cnf.new_var()
+        with pytest.raises(SolverError):
+            cnf.add_clause([0])
+
+    def test_unallocated_variable_rejected(self):
+        cnf = CNF()
+        cnf.new_var()
+        with pytest.raises(SolverError, match="allocate"):
+            cnf.add_clause([2])
+
+    def test_empty_clause_allowed(self):
+        cnf = CNF()
+        cnf.add_clause([])
+        assert cnf.clauses == [[]]
+
+    def test_evaluate(self):
+        cnf = CNF()
+        cnf.new_vars(2)
+        cnf.add_clause([1, 2])
+        cnf.add_clause([-1])
+        assert cnf.evaluate({1: False, 2: True})
+        assert not cnf.evaluate({1: True, 2: True})
+
+    def test_evaluate_missing_variable_raises(self):
+        cnf = CNF()
+        cnf.new_vars(2)
+        cnf.add_clause([1, 2])
+        with pytest.raises(SolverError, match="missing"):
+            cnf.evaluate({1: False})
+
+    def test_dimacs_output(self):
+        cnf = CNF()
+        cnf.new_vars(2)
+        cnf.add_clause([1, -2])
+        text = cnf.to_dimacs()
+        assert text.splitlines() == ["p cnf 2 1", "1 -2 0"]
+
+    def test_len_and_repr(self):
+        cnf = CNF()
+        cnf.new_var()
+        cnf.add_clause([1])
+        assert len(cnf) == 1
+        assert "n_vars=1" in repr(cnf)

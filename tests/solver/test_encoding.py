@@ -1,0 +1,115 @@
+"""Tests for the eager SMT encoding internals."""
+
+import numpy as np
+import pytest
+
+from repro.solver import PatternProblem, encode_pattern_problem, solve_cnf
+from repro.solver.encoding import decode_model
+from repro.trees.node import InternalNode, Leaf
+
+
+def _stump(feature=0, threshold=0.5):
+    return InternalNode(feature, threshold, Leaf(-1), Leaf(+1))
+
+
+class TestEncoding:
+    def test_trivially_unsat_flag(self):
+        all_negative = InternalNode(0, 0.5, Leaf(-1), Leaf(-1))
+        problem = PatternProblem(roots=[all_negative], required=[+1], n_features=1)
+        encoding = encode_pattern_problem(problem)
+        assert encoding.trivially_unsat
+
+    def test_atoms_deduplicated_across_trees(self):
+        # Two stumps on the same (feature, threshold) share one atom.
+        problem = PatternProblem(
+            roots=[_stump(), _stump()], required=[+1, +1], n_features=1
+        )
+        encoding = encode_pattern_problem(problem)
+        assert len(encoding.atom_vars) == 1
+
+    def test_ordering_axioms_present(self):
+        # Two thresholds on the same feature: the encoding must contain
+        # the chain clause (x<=0.3) -> (x<=0.7).
+        roots = [_stump(0, 0.3), _stump(0, 0.7)]
+        problem = PatternProblem(roots=roots, required=[+1, +1], n_features=1)
+        encoding = encode_pattern_problem(problem)
+        small = encoding.atom_vars[(0, 0.3)]
+        large = encoding.atom_vars[(0, 0.7)]
+        assert [-small, large] in encoding.cnf.clauses
+
+    def test_ball_implied_constraints_create_no_atoms(self):
+        # Ball [0.8, 1.0] already implies x > 0.5, so the leaf's lower
+        # bound needs no atom at all — the encoding elides it.
+        problem = PatternProblem(
+            roots=[_stump(0, 0.5)],
+            required=[+1],
+            n_features=1,
+            center=np.array([0.9]),
+            epsilon=0.1,
+        )
+        encoding = encode_pattern_problem(problem)
+        assert (0, 0.5) not in encoding.atom_vars
+        result = solve_cnf(encoding.cnf)
+        assert result.is_sat
+        x = decode_model(encoding, result.model, 1, problem.center)
+        assert problem.check_solution(x)
+
+    def test_bound_units_forced_when_atom_partially_useful(self):
+        # Two trees: one needs x <= 0.3 (left leaf), impossible inside
+        # the ball [0.8, 1.0] -> the 0.3 atom is forced false and the
+        # whole instance is UNSAT.
+        problem = PatternProblem(
+            roots=[_stump(0, 0.3)],
+            required=[-1],
+            n_features=1,
+            center=np.array([0.9]),
+            epsilon=0.1,
+        )
+        encoding = encode_pattern_problem(problem)
+        if encoding.trivially_unsat:
+            return  # pruned before encoding — equally correct
+        atom = encoding.atom_vars[(0, 0.3)]
+        assert [-atom] in encoding.cnf.clauses
+        assert solve_cnf(encoding.cnf).is_unsat
+
+    def test_decode_produces_consistent_instance(self):
+        problem = PatternProblem(
+            roots=[_stump(0, 0.5), _stump(1, 0.2)],
+            required=[+1, -1],
+            n_features=2,
+        )
+        encoding = encode_pattern_problem(problem)
+        result = solve_cnf(encoding.cnf)
+        assert result.is_sat
+        x = decode_model(encoding, result.model, 2, None)
+        assert problem.check_solution(x)
+
+    def test_decode_prefers_center(self):
+        problem = PatternProblem(
+            roots=[_stump(0, 0.5)],
+            required=[+1],
+            n_features=2,
+            center=np.array([0.8, 0.33]),
+            epsilon=0.3,
+        )
+        encoding = encode_pattern_problem(problem)
+        result = solve_cnf(encoding.cnf)
+        x = decode_model(encoding, result.model, 2, problem.center)
+        # Feature 0 must exceed 0.5 but stay as close to 0.8 as possible;
+        # feature 1 is unconstrained by the trees -> exactly the center.
+        assert x[0] == pytest.approx(0.8)
+        assert x[1] == pytest.approx(0.33)
+
+    def test_encoding_size_scales_with_leaves(self, bc_forest):
+        from repro.solver import required_labels
+        from repro.core import random_signature
+
+        signature = random_signature(bc_forest.n_trees_, random_state=0)
+        problem = PatternProblem(
+            roots=bc_forest.roots(),
+            required=required_labels(signature, +1),
+            n_features=bc_forest.n_features_in_,
+        )
+        encoding = encode_pattern_problem(problem)
+        assert encoding.cnf.n_vars > bc_forest.n_trees_
+        assert len(encoding.cnf) > 0

@@ -1,0 +1,79 @@
+"""Tests for the cross-checking portfolio engine."""
+
+import numpy as np
+import pytest
+
+from repro.core import random_signature
+from repro.exceptions import SolverError
+from repro.solver import (
+    PatternProblem,
+    required_labels,
+    solve_pattern,
+    solve_pattern_portfolio,
+)
+from repro.trees.node import InternalNode, Leaf
+
+
+def _stump(feature=0, threshold=0.5):
+    return InternalNode(feature, threshold, Leaf(-1), Leaf(+1))
+
+
+class TestPortfolio:
+    def test_sat_instance(self):
+        problem = PatternProblem(roots=[_stump()], required=[+1], n_features=1)
+        outcome = solve_pattern_portfolio(problem)
+        assert outcome.is_sat
+        assert problem.check_solution(outcome.instance)
+        assert outcome.stats["agreement"] is True
+
+    def test_unsat_instance(self):
+        problem = PatternProblem(
+            roots=[_stump(), _stump()], required=[+1, -1], n_features=1
+        )
+        outcome = solve_pattern_portfolio(problem)
+        assert outcome.is_unsat
+        assert outcome.stats["agreement"] is True
+
+    def test_dispatch_via_engine_name(self):
+        problem = PatternProblem(roots=[_stump()], required=[+1], n_features=1)
+        assert solve_pattern(problem, engine="portfolio").is_sat
+
+    def test_one_engine_budget_exhausted_other_decides(self, bc_forest):
+        signature = random_signature(bc_forest.n_trees_, random_state=0)
+        problem = PatternProblem(
+            roots=bc_forest.roots(),
+            required=required_labels(signature, +1),
+            n_features=bc_forest.n_features_in_,
+        )
+        # Starve the box engine; SMT should still decide.
+        outcome = solve_pattern_portfolio(problem, max_nodes=1)
+        assert outcome.status in ("sat", "unsat")
+
+    def test_both_budgets_exhausted_is_unknown(self, bc_forest):
+        signature = random_signature(bc_forest.n_trees_, random_state=1)
+        problem = PatternProblem(
+            roots=bc_forest.roots(),
+            required=required_labels(signature, +1),
+            n_features=bc_forest.n_features_in_,
+        )
+        outcome = solve_pattern_portfolio(problem, max_conflicts=1, max_nodes=1)
+        assert outcome.status in ("unknown", "sat", "unsat")
+
+    def test_agreement_on_random_forgeries(self, wm_model, bc_data):
+        _, X_test, _, y_test = bc_data
+        rng = np.random.default_rng(2)
+        for _ in range(10):
+            signature = random_signature(
+                wm_model.ensemble.n_trees_, random_state=int(rng.integers(1e9))
+            )
+            row = int(rng.integers(X_test.shape[0]))
+            problem = PatternProblem(
+                roots=wm_model.ensemble.roots(),
+                required=required_labels(signature, int(y_test[row])),
+                n_features=X_test.shape[1],
+                center=X_test[row],
+                epsilon=float(rng.uniform(0.1, 0.9)),
+            )
+            # Must never raise SolverError (engine disagreement).
+            outcome = solve_pattern_portfolio(problem)
+            assert outcome.status in ("sat", "unsat")

@@ -1,0 +1,120 @@
+"""Tests for the CDCL SAT solver."""
+
+import itertools
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.solver import CNF, solve_cnf
+
+
+def _brute_force(cnf: CNF) -> bool:
+    for bits in itertools.product([False, True], repeat=cnf.n_vars):
+        if cnf.evaluate({i + 1: bits[i] for i in range(cnf.n_vars)}):
+            return True
+    return False
+
+
+def _pigeonhole(holes: int) -> CNF:
+    """PHP(holes+1, holes): classic UNSAT family."""
+    pigeons = holes + 1
+    cnf = CNF()
+    var = {}
+    for p in range(pigeons):
+        for h in range(holes):
+            var[(p, h)] = cnf.new_var()
+    for p in range(pigeons):
+        cnf.add_clause([var[(p, h)] for h in range(holes)])
+    for h in range(holes):
+        for p1 in range(pigeons):
+            for p2 in range(p1 + 1, pigeons):
+                cnf.add_clause([-var[(p1, h)], -var[(p2, h)]])
+    return cnf
+
+
+class TestBasicCases:
+    def test_empty_formula_is_sat(self):
+        assert solve_cnf(CNF()).is_sat
+
+    def test_single_unit(self):
+        cnf = CNF()
+        cnf.new_var()
+        cnf.add_clause([1])
+        result = solve_cnf(cnf)
+        assert result.is_sat
+        assert result.model[1] is True
+
+    def test_contradicting_units(self):
+        cnf = CNF()
+        cnf.new_var()
+        cnf.add_clause([1])
+        cnf.add_clause([-1])
+        assert solve_cnf(cnf).is_unsat
+
+    def test_empty_clause_unsat(self):
+        cnf = CNF()
+        cnf.new_var()
+        cnf.add_clause([])
+        assert solve_cnf(cnf).is_unsat
+
+    def test_implication_chain(self):
+        n = 30
+        cnf = CNF()
+        cnf.new_vars(n)
+        cnf.add_clause([1])
+        for i in range(1, n):
+            cnf.add_clause([-i, i + 1])
+        result = solve_cnf(cnf)
+        assert result.is_sat
+        assert all(result.model[v] for v in range(1, n + 1))
+
+    def test_xor_constraint(self):
+        # x XOR y: (x|y) & (-x|-y)
+        cnf = CNF()
+        cnf.new_vars(2)
+        cnf.add_clause([1, 2])
+        cnf.add_clause([-1, -2])
+        result = solve_cnf(cnf)
+        assert result.is_sat
+        assert result.model[1] != result.model[2]
+
+
+class TestUnsatFamilies:
+    @pytest.mark.parametrize("holes", [2, 3, 4])
+    def test_pigeonhole(self, holes):
+        assert solve_cnf(_pigeonhole(holes)).is_unsat
+
+    def test_conflict_budget_returns_unknown(self):
+        result = solve_cnf(_pigeonhole(7), max_conflicts=5)
+        assert result.status in ("unknown", "unsat")
+        # With 5 conflicts PHP(8,7) cannot be refuted by this solver.
+        assert result.status == "unknown"
+
+
+class TestRandomisedAgainstBruteForce:
+    @given(st.integers(min_value=0, max_value=2**31 - 1))
+    @settings(max_examples=60, deadline=None)
+    def test_agrees_with_brute_force(self, seed):
+        gen = np.random.default_rng(seed)
+        n = int(gen.integers(2, 10))
+        m = int(gen.integers(1, 4 * n))
+        cnf = CNF()
+        cnf.new_vars(n)
+        for _ in range(m):
+            width = int(gen.integers(1, 4))
+            clause = [
+                int(gen.choice([-1, 1])) * int(gen.integers(1, n + 1))
+                for _ in range(width)
+            ]
+            cnf.add_clause(clause)
+        result = solve_cnf(cnf)
+        assert result.is_sat == _brute_force(cnf)
+        if result.is_sat:
+            assert cnf.evaluate(result.model)
+
+    def test_statistics_populated(self):
+        result = solve_cnf(_pigeonhole(4))
+        assert result.conflicts > 0
+        assert result.propagations > 0

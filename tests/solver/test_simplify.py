@@ -1,0 +1,128 @@
+"""Tests for CNF preprocessing and DIMACS interchange."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import SolverError
+from repro.solver import CNF, parse_dimacs, simplify_cnf, solve_cnf
+
+
+def _random_cnf(gen, n_max=10, ratio=4.0):
+    n = int(gen.integers(2, n_max))
+    m = int(gen.integers(1, int(ratio * n)))
+    cnf = CNF()
+    cnf.new_vars(n)
+    for _ in range(m):
+        width = int(gen.integers(1, 4))
+        cnf.add_clause(
+            [int(gen.choice([-1, 1])) * int(gen.integers(1, n + 1)) for _ in range(width)]
+        )
+    return cnf
+
+
+class TestSimplify:
+    def test_unit_propagation_fixes_variables(self):
+        cnf = CNF()
+        cnf.new_vars(3)
+        cnf.add_clause([1])
+        cnf.add_clause([-1, 2])
+        cnf.add_clause([-2, 3])
+        simplified = simplify_cnf(cnf)
+        assert not simplified.unsat
+        assert simplified.forced == {1: True, 2: True, 3: True}
+        assert len(simplified.cnf) == 0
+
+    def test_contradiction_detected(self):
+        cnf = CNF()
+        cnf.new_var()
+        cnf.add_clause([1])
+        cnf.add_clause([-1])
+        assert simplify_cnf(cnf).unsat
+
+    def test_pure_literal_elimination(self):
+        cnf = CNF()
+        cnf.new_vars(2)
+        cnf.add_clause([1, 2])
+        cnf.add_clause([1, -2])
+        simplified = simplify_cnf(cnf)
+        # Variable 1 is pure positive: both clauses vanish.
+        assert simplified.forced.get(1) is True
+        assert len(simplified.cnf) == 0
+
+    def test_subsumption(self):
+        cnf = CNF()
+        cnf.new_vars(3)
+        cnf.add_clause([1, -2])
+        cnf.add_clause([1, -2, 3])  # subsumed by the first
+        cnf.add_clause([-1, 2])     # keeps both polarities alive
+        cnf.add_clause([2, -1, -3])
+        simplified = simplify_cnf(cnf)
+        clause_sets = [frozenset(c) for c in simplified.cnf.clauses]
+        assert frozenset({1, -2, 3}) not in clause_sets
+
+    def test_restore_builds_full_model(self):
+        cnf = CNF()
+        cnf.new_vars(3)
+        cnf.add_clause([1])
+        cnf.add_clause([2, 3])
+        simplified = simplify_cnf(cnf)
+        result = solve_cnf(simplified.cnf)
+        model = simplified.restore(result.model, cnf.n_vars)
+        assert model is not None
+        assert cnf.evaluate(model)
+
+    @given(st.integers(min_value=0, max_value=2**31 - 1))
+    @settings(max_examples=50, deadline=None)
+    def test_equisatisfiable(self, seed):
+        gen = np.random.default_rng(seed)
+        cnf = _random_cnf(gen)
+        simplified = simplify_cnf(cnf)
+        original = solve_cnf(cnf)
+        if simplified.unsat:
+            assert original.is_unsat
+        else:
+            reduced = solve_cnf(simplified.cnf)
+            assert reduced.is_sat == original.is_sat
+            if reduced.is_sat:
+                model = simplified.restore(reduced.model, cnf.n_vars)
+                assert cnf.evaluate(model)
+
+    def test_empty_clause_short_circuit(self):
+        cnf = CNF()
+        cnf.add_clause([])
+        assert simplify_cnf(cnf).unsat
+
+
+class TestDimacs:
+    def test_roundtrip(self):
+        cnf = CNF()
+        cnf.new_vars(3)
+        cnf.add_clause([1, -2])
+        cnf.add_clause([3])
+        parsed = parse_dimacs(cnf.to_dimacs())
+        assert parsed.n_vars == 3
+        assert parsed.clauses == cnf.clauses
+
+    def test_comments_and_blank_lines(self):
+        text = "c a comment\n\np cnf 2 1\nc another\n1 -2 0\n"
+        parsed = parse_dimacs(text)
+        assert parsed.clauses == [[1, -2]]
+
+    def test_multiline_clause(self):
+        text = "p cnf 3 1\n1 2\n3 0\n"
+        parsed = parse_dimacs(text)
+        assert parsed.clauses == [[1, 2, 3]]
+
+    def test_missing_header_rejected(self):
+        with pytest.raises(SolverError, match="header"):
+            parse_dimacs("1 2 0\n")
+
+    def test_unterminated_clause_rejected(self):
+        with pytest.raises(SolverError, match="unterminated"):
+            parse_dimacs("p cnf 2 1\n1 2\n")
+
+    def test_malformed_header_rejected(self):
+        with pytest.raises(SolverError, match="malformed"):
+            parse_dimacs("p dnf 2 1\n1 0\n")

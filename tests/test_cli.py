@@ -1,0 +1,102 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_watermark_args(self, tmp_path):
+        args = build_parser().parse_args(
+            ["watermark", "--dataset", "breast-cancer", "--out-dir", str(tmp_path)]
+        )
+        assert args.command == "watermark"
+        assert args.trees == 16
+
+    def test_unknown_dataset_rejected(self, tmp_path):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["watermark", "--dataset", "cifar", "--out-dir", str(tmp_path)]
+            )
+
+
+class TestEndToEnd:
+    @pytest.fixture(scope="class")
+    def artifacts(self, tmp_path_factory):
+        out_dir = tmp_path_factory.mktemp("cli-artifacts")
+        code = main(
+            [
+                "watermark",
+                "--dataset", "breast-cancer",
+                "--samples", "240",
+                "--trees", "8",
+                "--trigger-size", "5",
+                "--max-depth", "8",
+                "--out-dir", str(out_dir),
+            ]
+        )
+        assert code == 0
+        return out_dir
+
+    def test_artifacts_written(self, artifacts):
+        assert (artifacts / "model.json").exists()
+        assert (artifacts / "secret.json").exists()
+        assert (artifacts / "commitment.json").exists()
+
+    def test_verify_accepts_legitimate_claim(self, artifacts):
+        code = main(
+            [
+                "verify",
+                "--model", str(artifacts / "model.json"),
+                "--secret", str(artifacts / "secret.json"),
+                "--commitment", str(artifacts / "commitment.json"),
+            ]
+        )
+        assert code == 0
+
+    def test_verify_rejects_tampered_secret(self, artifacts, tmp_path):
+        secret = json.loads((artifacts / "secret.json").read_text())
+        bits = list(secret["signature"])
+        bits[0] = "1" if bits[0] == "0" else "0"
+        secret["signature"] = "".join(bits)
+        tampered = tmp_path / "tampered_secret.json"
+        tampered.write_text(json.dumps(secret))
+
+        # Without the commitment the claim reaches verification and fails.
+        code = main(
+            [
+                "verify",
+                "--model", str(artifacts / "model.json"),
+                "--secret", str(tampered),
+            ]
+        )
+        assert code == 1
+
+        # With the commitment the reveal itself is rejected first.
+        code = main(
+            [
+                "verify",
+                "--model", str(artifacts / "model.json"),
+                "--secret", str(tampered),
+                "--commitment", str(artifacts / "commitment.json"),
+            ]
+        )
+        assert code == 2
+
+    def test_malformed_model_reports_error(self, artifacts, tmp_path):
+        broken = tmp_path / "broken.json"
+        broken.write_text("{}")
+        code = main(
+            [
+                "verify",
+                "--model", str(broken),
+                "--secret", str(artifacts / "secret.json"),
+            ]
+        )
+        assert code == 2

@@ -1,0 +1,112 @@
+"""Tests for the shared validation helpers."""
+
+import numpy as np
+import pytest
+
+from repro._validation import (
+    check_binary_labels,
+    check_random_state,
+    check_sample_weight,
+    check_X,
+    check_X_y,
+)
+from repro.exceptions import ValidationError
+
+
+class TestCheckX:
+    def test_accepts_lists(self):
+        out = check_X([[1, 2], [3, 4]])
+        assert out.dtype == np.float64
+        assert out.shape == (2, 2)
+
+    def test_rejects_1d(self):
+        with pytest.raises(ValidationError, match="2-dimensional"):
+            check_X([1, 2, 3])
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValidationError):
+            check_X(np.empty((0, 3)))
+        with pytest.raises(ValidationError):
+            check_X(np.empty((3, 0)))
+
+    def test_rejects_nan_inf(self):
+        with pytest.raises(ValidationError, match="NaN"):
+            check_X([[np.nan]])
+        with pytest.raises(ValidationError, match="NaN"):
+            check_X([[np.inf]])
+
+    def test_rejects_strings(self):
+        with pytest.raises(ValidationError, match="numeric"):
+            check_X([["a"]])
+
+    def test_custom_name_in_message(self):
+        with pytest.raises(ValidationError, match="my_matrix"):
+            check_X([1], name="my_matrix")
+
+
+class TestCheckXY:
+    def test_matching_lengths(self):
+        X, y = check_X_y([[1.0], [2.0]], [0, 1])
+        assert X.shape == (2, 1)
+        assert y.shape == (2,)
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValidationError, match="disagree"):
+            check_X_y([[1.0], [2.0]], [0])
+
+    def test_2d_y_rejected(self):
+        with pytest.raises(ValidationError):
+            check_X_y([[1.0]], [[0]])
+
+
+class TestSampleWeight:
+    def test_default_uniform(self):
+        assert np.array_equal(check_sample_weight(None, 3), np.ones(3))
+
+    def test_shape_checked(self):
+        with pytest.raises(ValidationError):
+            check_sample_weight([1.0, 2.0], 3)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValidationError, match="non-negative"):
+            check_sample_weight([-1.0, 1.0], 2)
+
+    def test_zero_mass_rejected(self):
+        with pytest.raises(ValidationError, match="positive total"):
+            check_sample_weight([0.0, 0.0], 2)
+
+    def test_nan_rejected(self):
+        with pytest.raises(ValidationError):
+            check_sample_weight([np.nan, 1.0], 2)
+
+
+class TestRandomState:
+    def test_none_gives_generator(self):
+        assert isinstance(check_random_state(None), np.random.Generator)
+
+    def test_int_is_deterministic(self):
+        a = check_random_state(5).integers(1000)
+        b = check_random_state(5).integers(1000)
+        assert a == b
+
+    def test_generator_passthrough(self):
+        gen = np.random.default_rng(0)
+        assert check_random_state(gen) is gen
+
+    def test_invalid_type(self):
+        with pytest.raises(ValidationError):
+            check_random_state("seed")
+
+
+class TestBinaryLabels:
+    def test_accepts_pm1(self):
+        out = check_binary_labels([1, -1, 1])
+        assert out.dtype == np.int64
+
+    def test_rejects_01(self):
+        with pytest.raises(ValidationError, match=r"\{-1, \+1\}"):
+            check_binary_labels([0, 1])
+
+    def test_rejects_single_class(self):
+        with pytest.raises(ValidationError, match="both classes"):
+            check_binary_labels([1, 1, 1])

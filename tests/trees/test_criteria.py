@@ -1,0 +1,80 @@
+"""Tests for impurity criteria."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.exceptions import ValidationError
+from repro.trees.criteria import entropy_impurity, get_criterion, gini_impurity
+
+
+class TestGini:
+    def test_pure_node_is_zero(self):
+        assert gini_impurity(np.array([10.0, 0.0])) == pytest.approx(0.0)
+        assert gini_impurity(np.array([0.0, 3.5])) == pytest.approx(0.0)
+
+    def test_balanced_binary_is_half(self):
+        assert gini_impurity(np.array([5.0, 5.0])) == pytest.approx(0.5)
+
+    def test_empty_counts_are_zero(self):
+        assert gini_impurity(np.array([0.0, 0.0])) == pytest.approx(0.0)
+
+    def test_three_class_uniform(self):
+        assert gini_impurity(np.array([1.0, 1.0, 1.0])) == pytest.approx(2.0 / 3.0)
+
+    def test_vectorised_over_rows(self):
+        counts = np.array([[4.0, 0.0], [2.0, 2.0], [0.0, 0.0]])
+        out = gini_impurity(counts)
+        assert out.shape == (3,)
+        assert out == pytest.approx([0.0, 0.5, 0.0])
+
+    @given(
+        st.lists(st.floats(min_value=0.0, max_value=1e6), min_size=2, max_size=5).filter(
+            lambda counts: sum(counts) > 0
+        )
+    )
+    def test_bounded_between_zero_and_one(self, counts):
+        value = float(gini_impurity(np.array(counts)))
+        assert 0.0 <= value <= 1.0
+
+    @given(
+        st.lists(st.floats(min_value=0.01, max_value=1e5), min_size=2, max_size=4),
+        st.floats(min_value=0.1, max_value=100.0),
+    )
+    def test_scale_invariance(self, counts, scale):
+        base = float(gini_impurity(np.array(counts)))
+        scaled = float(gini_impurity(np.array(counts) * scale))
+        assert scaled == pytest.approx(base, rel=1e-9)
+
+
+class TestEntropy:
+    def test_pure_node_is_zero(self):
+        assert entropy_impurity(np.array([7.0, 0.0])) == pytest.approx(0.0)
+
+    def test_balanced_binary_is_one_bit(self):
+        assert entropy_impurity(np.array([3.0, 3.0])) == pytest.approx(1.0)
+
+    def test_uniform_k_classes_is_log2_k(self):
+        assert entropy_impurity(np.ones(4)) == pytest.approx(2.0)
+
+    def test_empty_counts_are_zero(self):
+        assert entropy_impurity(np.array([0.0, 0.0])) == pytest.approx(0.0)
+
+    @given(
+        st.lists(st.floats(min_value=0.0, max_value=1e6), min_size=2, max_size=4).filter(
+            lambda counts: sum(counts) > 0
+        )
+    )
+    def test_non_negative(self, counts):
+        assert float(entropy_impurity(np.array(counts))) >= 0.0
+
+
+class TestGetCriterion:
+    def test_lookup(self):
+        assert get_criterion("gini") is gini_impurity
+        assert get_criterion("entropy") is entropy_impurity
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(ValidationError, match="unknown criterion"):
+            get_criterion("mse")

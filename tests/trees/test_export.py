@@ -1,0 +1,60 @@
+"""Tests for structural statistics and text export."""
+
+import numpy as np
+
+from repro.trees import DecisionTreeClassifier, ensemble_structure, tree_stats, tree_to_text
+from repro.trees.node import InternalNode, Leaf
+
+
+def _stump():
+    return InternalNode(feature=0, threshold=0.5, left=Leaf(-1), right=Leaf(+1))
+
+
+class TestTreeStats:
+    def test_stump(self):
+        stats = tree_stats(_stump())
+        assert stats.depth == 1
+        assert stats.n_leaves == 2
+        assert stats.n_nodes == 3
+        assert stats.used_features == frozenset({0})
+
+    def test_single_leaf(self):
+        stats = tree_stats(Leaf(1))
+        assert stats.depth == 0
+        assert stats.n_leaves == 1
+        assert stats.n_nodes == 1
+        assert stats.used_features == frozenset()
+
+    def test_matches_classifier_properties(self, rng):
+        X = rng.uniform(size=(100, 4))
+        y = rng.choice([-1, 1], size=100)
+        tree = DecisionTreeClassifier(max_depth=5).fit(X, y)
+        stats = tree_stats(tree.root_)
+        assert stats.depth == tree.depth_
+        assert stats.n_leaves == tree.n_leaves_
+        assert stats.n_nodes == 2 * stats.n_leaves - 1  # binary tree identity
+
+
+class TestEnsembleStructure:
+    def test_shapes_and_values(self):
+        roots = [_stump(), Leaf(1)]
+        structure = ensemble_structure(roots)
+        assert np.array_equal(structure["depth"], [1.0, 0.0])
+        assert np.array_equal(structure["n_leaves"], [2.0, 1.0])
+
+
+class TestTreeToText:
+    def test_stump_rendering(self):
+        text = tree_to_text(_stump())
+        assert text.splitlines() == ["x0 <= 0.5", "  leaf: -1", "  leaf: 1"]
+
+    def test_feature_names(self):
+        text = tree_to_text(_stump(), feature_names=["age"])
+        assert text.startswith("age <= 0.5")
+
+    def test_depth_two_indentation(self):
+        tree = InternalNode(0, 1.0, _stump(), Leaf(1))
+        lines = tree_to_text(tree).splitlines()
+        assert lines[0] == "x0 <= 1"
+        assert lines[1] == "  x0 <= 0.5"
+        assert lines[-1] == "  leaf: 1"

@@ -1,0 +1,73 @@
+"""Tests for the growth strategies (depth-first vs best-first)."""
+
+import numpy as np
+
+from repro.trees import DecisionTreeClassifier
+
+
+class TestBestFirstGrowth:
+    def test_leaf_cap_binds(self, rng):
+        X = rng.uniform(size=(300, 4))
+        y = rng.choice([-1, 1], size=300)
+        for cap in (2, 3, 5, 9):
+            tree = DecisionTreeClassifier(max_leaf_nodes=cap).fit(X, y)
+            assert 2 <= tree.n_leaves_ <= cap
+
+    def test_training_accuracy_monotone_in_leaf_budget(self):
+        # Piecewise-constant 1-D labels with segments of geometrically
+        # decreasing mass: each extra leaf lets best-first growth peel
+        # off the next-highest-gain segment, so training accuracy is
+        # non-decreasing in the budget and perfect at 4 leaves.
+        X = np.linspace(0.0, 1.0, 120).reshape(-1, 1)
+        y = np.select(
+            [X[:, 0] < 0.5, X[:, 0] < 0.75, X[:, 0] < 0.875],
+            [-1, 1, -1],
+            default=1,
+        ).astype(np.int64)
+        scores = [
+            DecisionTreeClassifier(max_leaf_nodes=cap).fit(X, y).score(X, y)
+            for cap in (2, 3, 4)
+        ]
+        assert scores[0] <= scores[1] <= scores[2]
+        assert scores[2] == 1.0
+
+    def test_best_first_peels_largest_segment_first(self):
+        # With a 2-leaf budget the single split must isolate the large
+        # pure segment (the highest weighted-gain expansion).
+        X = np.linspace(0.0, 1.0, 120).reshape(-1, 1)
+        y = np.where(X[:, 0] < 0.5, -1, 1).astype(np.int64)
+        y[X[:, 0] > 0.95] = -1  # a small noisy tail
+        tree = DecisionTreeClassifier(max_leaf_nodes=2).fit(X, y)
+        big_segment = X[:, 0] < 0.5
+        assert tree.score(X[big_segment], y[big_segment]) == 1.0
+
+    def test_depth_cap_also_respected_in_best_first(self, rng):
+        X = rng.uniform(size=(200, 3))
+        y = rng.choice([-1, 1], size=200)
+        tree = DecisionTreeClassifier(max_leaf_nodes=50, max_depth=3).fit(X, y)
+        assert tree.depth_ <= 3
+        assert tree.n_leaves_ <= 50
+
+    def test_cap_larger_than_natural_size_is_harmless(self, rng):
+        X = rng.uniform(size=(30, 2))
+        y = rng.choice([-1, 1], size=30)
+        unconstrained = DecisionTreeClassifier().fit(X, y)
+        capped = DecisionTreeClassifier(max_leaf_nodes=10_000).fit(X, y)
+        assert capped.n_leaves_ <= max(unconstrained.n_leaves_, 2)
+        assert capped.score(X, y) == 1.0
+
+
+class TestDepthFirstGrowth:
+    def test_unconstrained_tree_is_consistent(self, rng):
+        X = rng.uniform(size=(150, 4))
+        y = rng.choice([-1, 1], size=150)
+        tree = DecisionTreeClassifier().fit(X, y)
+        assert tree.score(X, y) == 1.0
+
+    def test_max_features_still_converges(self, rng):
+        # Per-split feature sampling must not prevent fitting thanks to
+        # the full-subspace retry.
+        X = rng.uniform(size=(100, 6))
+        y = (X[:, 5] > 0.5).astype(np.int64) * 2 - 1
+        tree = DecisionTreeClassifier(max_features=1, random_state=3).fit(X, y)
+        assert tree.score(X, y) == 1.0

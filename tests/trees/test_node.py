@@ -1,0 +1,78 @@
+"""Tests for the inductive tree-node structures."""
+
+import numpy as np
+import pytest
+
+from repro.trees.node import (
+    InternalNode,
+    Leaf,
+    iter_leaves,
+    iter_nodes,
+    predict_batch,
+    predict_one,
+)
+
+
+@pytest.fixture()
+def paper_tree():
+    """The left tree of the paper's Figure 1:
+    x1<=5 ? (x2<=3 ? +1 : -1) : (x3<=7 ? -1 : +1)  (features 0-indexed)."""
+    return InternalNode(
+        feature=0,
+        threshold=5.0,
+        left=InternalNode(feature=1, threshold=3.0, left=Leaf(+1), right=Leaf(-1)),
+        right=InternalNode(feature=2, threshold=7.0, left=Leaf(-1), right=Leaf(+1)),
+    )
+
+
+class TestStructure:
+    def test_leaf_counts(self, paper_tree):
+        assert paper_tree.n_leaves() == 4
+        assert Leaf(1).n_leaves() == 1
+
+    def test_depth(self, paper_tree):
+        assert paper_tree.depth() == 2
+        assert Leaf(-1).depth() == 0
+
+    def test_is_leaf_flags(self, paper_tree):
+        assert not paper_tree.is_leaf
+        assert Leaf(1).is_leaf
+
+    def test_iter_nodes_preorder(self, paper_tree):
+        nodes = list(iter_nodes(paper_tree))
+        assert len(nodes) == 7
+        assert nodes[0] is paper_tree
+        assert nodes[1] is paper_tree.left
+
+    def test_iter_leaves_left_to_right(self, paper_tree):
+        labels = [leaf.prediction for leaf in iter_leaves(paper_tree)]
+        assert labels == [+1, -1, -1, +1]
+
+    def test_leaf_total_weight(self):
+        leaf = Leaf(1, class_weights={1: 2.5, -1: 0.5})
+        assert leaf.total_weight() == pytest.approx(3.0)
+        assert Leaf(1).total_weight() == 0.0
+
+
+class TestPrediction:
+    def test_paper_example_routing(self, paper_tree):
+        # x = (4, 3, 5): x1<=5, x2<=3 -> +1 (paper's satisfying assignment)
+        assert predict_one(paper_tree, np.array([4.0, 3.0, 5.0])) == +1
+        # boundary: x1 == 5 goes left (<=)
+        assert predict_one(paper_tree, np.array([5.0, 4.0, 0.0])) == -1
+        # right side: x1 > 5, x3 > 7 -> +1
+        assert predict_one(paper_tree, np.array([6.0, 0.0, 8.0])) == +1
+
+    def test_batch_matches_single(self, paper_tree, rng):
+        X = rng.uniform(0, 10, size=(64, 3))
+        batch = predict_batch(paper_tree, X)
+        single = np.array([predict_one(paper_tree, x) for x in X])
+        assert np.array_equal(batch, single)
+
+    def test_batch_empty_input(self, paper_tree):
+        out = predict_batch(paper_tree, np.empty((0, 3)))
+        assert out.shape == (0,)
+
+    def test_single_leaf_tree(self):
+        out = predict_batch(Leaf(-1), np.zeros((5, 2)))
+        assert np.array_equal(out, -np.ones(5, dtype=np.int64))

@@ -1,0 +1,129 @@
+"""Tests for the exact weighted splitter."""
+
+import numpy as np
+import pytest
+
+from repro.trees.criteria import gini_impurity
+from repro.trees.splitter import find_best_split
+
+
+def _split(X, y, weights=None, features=None, min_leaf=1, min_decrease=0.0):
+    X = np.asarray(X, dtype=np.float64)
+    y = np.asarray(y)
+    classes, codes = np.unique(y, return_inverse=True)
+    if weights is None:
+        weights = np.ones(X.shape[0])
+    if features is None:
+        features = np.arange(X.shape[1])
+    return find_best_split(
+        X,
+        codes,
+        np.asarray(weights, dtype=np.float64),
+        np.arange(X.shape[0]),
+        np.asarray(features),
+        classes.shape[0],
+        gini_impurity,
+        min_leaf,
+        min_decrease,
+    )
+
+
+class TestBasicSplits:
+    def test_perfect_separation(self):
+        X = np.array([[0.0], [1.0], [2.0], [3.0]])
+        y = np.array([-1, -1, 1, 1])
+        split = _split(X, y)
+        assert split is not None
+        assert split.feature == 0
+        assert 1.0 < split.threshold < 2.0
+        assert sorted(split.left_index.tolist()) == [0, 1]
+        assert sorted(split.right_index.tolist()) == [2, 3]
+
+    def test_pure_node_returns_none(self):
+        X = np.array([[0.0], [1.0], [2.0]])
+        y = np.array([1, 1, 1])
+        assert _split(X, y) is None
+
+    def test_constant_feature_returns_none(self):
+        X = np.array([[2.0], [2.0], [2.0], [2.0]])
+        y = np.array([-1, 1, -1, 1])
+        assert _split(X, y) is None
+
+    def test_picks_most_informative_feature(self):
+        # Feature 1 separates perfectly, feature 0 does not.
+        X = np.array([[0.0, 0.0], [1.0, 1.0], [0.0, 2.0], [1.0, 3.0]])
+        y = np.array([-1, -1, 1, 1])
+        split = _split(X, y)
+        assert split is not None
+        assert split.feature == 1
+
+    def test_respects_candidate_features(self):
+        X = np.array([[0.0, 0.0], [1.0, 1.0], [0.0, 2.0], [1.0, 3.0]])
+        y = np.array([-1, -1, 1, 1])
+        split = _split(X, y, features=[0])
+        # Feature 0 alone: the four points are -1,+1 at both values; no gain.
+        assert split is None or split.feature == 0
+
+    def test_threshold_is_between_values(self):
+        X = np.array([[1.0], [1.0], [4.0], [4.0]])
+        y = np.array([-1, -1, 1, 1])
+        split = _split(X, y)
+        assert split is not None
+        assert 1.0 <= split.threshold < 4.0
+        # Left samples must actually satisfy x <= threshold.
+        assert (X[split.left_index, 0] <= split.threshold).all()
+        assert (X[split.right_index, 0] > split.threshold).all()
+
+
+class TestWeights:
+    def test_weights_flip_best_split(self):
+        # Unweighted best split separates at 1.5; a huge weight on the
+        # single sample at x=10 with label -1 pulls the split to protect it.
+        X = np.array([[0.0], [1.0], [2.0], [3.0], [10.0]])
+        y = np.array([-1, -1, 1, 1, -1])
+        unweighted = _split(X, y)
+        assert unweighted is not None
+        weighted = _split(X, y, weights=[1, 1, 1, 1, 100])
+        assert weighted is not None
+        # With the heavy -1 at x=10, isolating it yields the largest gain.
+        assert weighted.threshold > unweighted.threshold
+
+    def test_zero_total_gain_with_interleaved_labels(self):
+        X = np.array([[0.0], [1.0], [2.0], [3.0]])
+        y = np.array([-1, 1, -1, 1])
+        split = _split(X, y)
+        # Best split here has tiny but positive gain; either answer must
+        # be consistent with the admissibility rules.
+        if split is not None:
+            assert split.gain > 0
+
+
+class TestConstraints:
+    def test_min_samples_leaf_blocks_extreme_splits(self):
+        X = np.array([[0.0], [1.0], [2.0], [3.0], [4.0], [5.0]])
+        y = np.array([-1, 1, 1, 1, 1, 1])
+        split = _split(X, y, min_leaf=2)
+        if split is not None:
+            assert split.left_index.shape[0] >= 2
+            assert split.right_index.shape[0] >= 2
+
+    def test_min_impurity_decrease_blocks_weak_splits(self):
+        X = np.array([[0.0], [1.0], [2.0], [3.0]])
+        y = np.array([-1, 1, -1, 1])
+        assert _split(X, y, min_decrease=0.9) is None
+
+    def test_children_partition_the_node(self, rng):
+        X = rng.uniform(size=(50, 4))
+        y = rng.choice([-1, 1], size=50)
+        split = _split(X, y)
+        if split is not None:
+            merged = np.sort(np.concatenate([split.left_index, split.right_index]))
+            assert np.array_equal(merged, np.arange(50))
+
+    def test_gain_matches_manual_computation(self):
+        X = np.array([[0.0], [1.0], [2.0], [3.0]])
+        y = np.array([-1, -1, 1, 1])
+        split = _split(X, y)
+        assert split is not None
+        # Parent: 4 samples, gini 0.5, weighted impurity 2.0; children pure.
+        assert split.gain == pytest.approx(2.0)

@@ -1,0 +1,189 @@
+"""Tests for DecisionTreeClassifier."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import NotFittedError, ValidationError
+from repro.trees import DecisionTreeClassifier, resolve_max_features
+
+
+class TestFitPredict:
+    def test_fits_training_data_perfectly_when_unconstrained(self, rng):
+        X = rng.uniform(size=(60, 5))
+        y = rng.choice([-1, 1], size=60)
+        tree = DecisionTreeClassifier().fit(X, y)
+        assert np.array_equal(tree.predict(X), y)
+
+    def test_max_depth_respected(self, rng):
+        X = rng.uniform(size=(200, 4))
+        y = rng.choice([-1, 1], size=200)
+        tree = DecisionTreeClassifier(max_depth=3).fit(X, y)
+        assert tree.depth_ <= 3
+
+    def test_max_leaf_nodes_respected(self, rng):
+        X = rng.uniform(size=(200, 4))
+        y = rng.choice([-1, 1], size=200)
+        tree = DecisionTreeClassifier(max_leaf_nodes=5).fit(X, y)
+        assert tree.n_leaves_ <= 5
+
+    def test_min_samples_leaf(self, rng):
+        X = rng.uniform(size=(100, 3))
+        y = rng.choice([-1, 1], size=100)
+        tree = DecisionTreeClassifier(min_samples_leaf=10).fit(X, y)
+        # Every leaf received >= 10 training samples; depth is bounded.
+        assert tree.n_leaves_ <= 10
+
+    def test_multiclass_labels(self, rng):
+        X = rng.uniform(size=(90, 3))
+        y = rng.choice([0, 1, 2], size=90)
+        tree = DecisionTreeClassifier().fit(X, y)
+        assert set(np.unique(tree.predict(X))) <= {0, 1, 2}
+        assert np.array_equal(tree.classes_, np.array([0, 1, 2]))
+
+    def test_single_class_training_set(self):
+        X = np.array([[0.0], [1.0], [2.0]])
+        y = np.array([1, 1, 1])
+        tree = DecisionTreeClassifier().fit(X, y)
+        assert tree.n_leaves_ == 1
+        assert np.array_equal(tree.predict(X), y)
+
+    def test_determinism_with_seed(self, rng):
+        X = rng.uniform(size=(100, 6))
+        y = rng.choice([-1, 1], size=100)
+        t1 = DecisionTreeClassifier(max_features=2, random_state=5).fit(X, y)
+        t2 = DecisionTreeClassifier(max_features=2, random_state=5).fit(X, y)
+        probe = rng.uniform(size=(30, 6))
+        assert np.array_equal(t1.predict(probe), t2.predict(probe))
+
+    def test_sample_weight_forces_fit(self, rng):
+        # A tiny capped tree must prioritise the heavily weighted sample.
+        X = rng.uniform(size=(50, 2))
+        y = np.array([-1] * 49 + [1])
+        weights = np.ones(50)
+        weights[-1] = 1000.0
+        tree = DecisionTreeClassifier(max_leaf_nodes=4).fit(X, y, sample_weight=weights)
+        assert tree.predict(X[-1:])[0] == 1
+
+    def test_zero_weight_samples_ignored(self):
+        X = np.array([[0.0], [1.0], [2.0], [3.0]])
+        y = np.array([-1, -1, 1, 1])
+        weights = np.array([1.0, 1.0, 0.0, 0.0])
+        tree = DecisionTreeClassifier().fit(X, y, sample_weight=weights)
+        # Only -1 samples have weight: the tree must be a single -1 leaf.
+        assert tree.n_leaves_ == 1
+        assert tree.predict(np.array([[2.5]]))[0] == -1
+
+
+class TestPredictProba:
+    def test_rows_sum_to_one(self, rng):
+        X = rng.uniform(size=(80, 3))
+        y = rng.choice([-1, 1], size=80)
+        tree = DecisionTreeClassifier(max_depth=3).fit(X, y)
+        proba = tree.predict_proba(X)
+        assert proba.shape == (80, 2)
+        assert np.allclose(proba.sum(axis=1), 1.0)
+
+    def test_argmax_matches_predict(self, rng):
+        X = rng.uniform(size=(80, 3))
+        y = rng.choice([-1, 1], size=80)
+        tree = DecisionTreeClassifier(max_depth=4).fit(X, y)
+        proba = tree.predict_proba(X)
+        from_proba = tree.classes_[np.argmax(proba, axis=1)]
+        preds = tree.predict(X)
+        # Ties can differ; require agreement where the margin is clear.
+        clear = np.abs(proba[:, 0] - proba[:, 1]) > 1e-9
+        assert np.array_equal(from_proba[clear], preds[clear])
+
+
+class TestValidation:
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(NotFittedError):
+            DecisionTreeClassifier().predict(np.zeros((1, 2)))
+
+    def test_wrong_feature_count_raises(self, rng):
+        X = rng.uniform(size=(20, 3))
+        y = rng.choice([-1, 1], size=20)
+        tree = DecisionTreeClassifier().fit(X, y)
+        with pytest.raises(ValidationError, match="features"):
+            tree.predict(np.zeros((2, 4)))
+
+    def test_non_integer_labels_raise(self):
+        with pytest.raises(ValidationError, match="integer"):
+            DecisionTreeClassifier().fit(np.zeros((3, 1)), [0.5, 1.2, 0.1])
+
+    def test_nan_features_raise(self):
+        X = np.array([[np.nan], [1.0]])
+        with pytest.raises(ValidationError, match="NaN"):
+            DecisionTreeClassifier().fit(X, [0, 1])
+
+    def test_bad_hyperparameters_raise(self):
+        X = np.zeros((4, 1))
+        y = [0, 1, 0, 1]
+        with pytest.raises(ValidationError):
+            DecisionTreeClassifier(max_depth=0).fit(X, y)
+        with pytest.raises(ValidationError):
+            DecisionTreeClassifier(max_leaf_nodes=1).fit(X, y)
+        with pytest.raises(ValidationError):
+            DecisionTreeClassifier(min_samples_split=1).fit(X, y)
+
+    def test_feature_subset_out_of_range_raises(self, rng):
+        X = rng.uniform(size=(10, 2))
+        y = rng.choice([-1, 1], size=10)
+        with pytest.raises(ValidationError, match="out-of-range"):
+            DecisionTreeClassifier(feature_subset=[0, 5]).fit(X, y)
+
+    def test_feature_subset_restricts_splits(self, rng):
+        X = rng.uniform(size=(120, 4))
+        y = (X[:, 2] > 0.5).astype(np.int64) * 2 - 1  # label depends on f2 only
+        tree = DecisionTreeClassifier(feature_subset=[0, 1]).fit(X, y)
+        assert tree.used_features_() <= {0, 1}
+
+
+class TestResolveMaxFeatures:
+    def test_none_passthrough(self):
+        assert resolve_max_features(None, 10) is None
+
+    def test_sqrt_and_log2(self):
+        assert resolve_max_features("sqrt", 100) == 10
+        assert resolve_max_features("log2", 64) == 6
+
+    def test_fraction(self):
+        assert resolve_max_features(0.5, 10) == 5
+
+    def test_int_clamped(self):
+        assert resolve_max_features(50, 10) == 10
+
+    def test_invalid_values_raise(self):
+        with pytest.raises(ValidationError):
+            resolve_max_features("cube", 10)
+        with pytest.raises(ValidationError):
+            resolve_max_features(0, 10)
+        with pytest.raises(ValidationError):
+            resolve_max_features(1.5, 10)
+
+
+class TestPropertyBased:
+    @given(st.integers(min_value=1, max_value=6), st.integers(min_value=0, max_value=2**31 - 1))
+    @settings(max_examples=25, deadline=None)
+    def test_depth_cap_always_holds(self, depth, seed):
+        gen = np.random.default_rng(seed)
+        X = gen.uniform(size=(40, 3))
+        y = gen.choice([-1, 1], size=40)
+        if len(np.unique(y)) < 2:
+            y[0] = -y[0]
+        tree = DecisionTreeClassifier(max_depth=depth).fit(X, y)
+        assert tree.depth_ <= depth
+
+    @given(st.integers(min_value=0, max_value=2**31 - 1))
+    @settings(max_examples=25, deadline=None)
+    def test_training_accuracy_weakly_improves_with_depth(self, seed):
+        gen = np.random.default_rng(seed)
+        X = gen.uniform(size=(60, 3))
+        y = gen.choice([-1, 1], size=60)
+        if len(np.unique(y)) < 2:
+            y[0] = -y[0]
+        shallow = DecisionTreeClassifier(max_depth=1).fit(X, y).score(X, y)
+        deep = DecisionTreeClassifier(max_depth=8).fit(X, y).score(X, y)
+        assert deep >= shallow - 1e-12
