@@ -9,6 +9,7 @@ output capture.
 
 from __future__ import annotations
 
+import os
 from pathlib import Path
 
 import pytest
@@ -16,6 +17,25 @@ import pytest
 from repro.experiments import SMALL
 
 RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def is_quick(config=None) -> bool:
+    """Smoke mode: ``--quick`` on the command line or REPRO_BENCH_QUICK=1.
+
+    In smoke mode benchmarks shrink their workloads so the whole file
+    runs in seconds under pytest (CI sanity check); full mode produces
+    the committed figures.
+    """
+    if os.environ.get("REPRO_BENCH_QUICK", "").strip().lower() in ("1", "true", "yes"):
+        return True
+    if config is not None:
+        return bool(config.getoption("--quick", default=False))
+    return False
+
+
+@pytest.fixture(scope="session")
+def quick_mode(request) -> bool:
+    return is_quick(request.config)
 
 #: The benchmark-scale configuration: large enough for the paper's
 #: qualitative shapes, small enough for the whole suite to run in

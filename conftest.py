@@ -1,0 +1,19 @@
+"""Root pytest configuration.
+
+Registers the ``--quick`` option used by the benchmark suite
+(``benchmarks/``): command-line options must be declared in an
+*initial* conftest, and this is the only one guaranteed to be loaded
+both for ``pytest`` (tier-1 tests) and ``pytest benchmarks/...``
+invocations.  The equivalent environment switch is
+``REPRO_BENCH_QUICK=1`` (see ``benchmarks/conftest.py``).
+"""
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--quick",
+        action="store_true",
+        default=False,
+        help="benchmark smoke mode: shrink workloads so every benchmark "
+        "finishes in seconds (same as REPRO_BENCH_QUICK=1)",
+    )

@@ -112,6 +112,12 @@ def suppression_analysis(forest, trigger_X, X_test, X_background) -> Suppression
     trigger_X = check_X(trigger_X, name="trigger_X")
     X_test = check_X(X_test, name="X_test")
 
+    # The disagreement distinguisher queries the model twice (triggers
+    # and test queries); compile once up front when the model supports it.
+    compile_model = getattr(forest, "compile", None)
+    if callable(compile_model):
+        compile_model()
+
     input_auc = auc_from_scores(
         input_distance_score(trigger_X, X_background),
         input_distance_score(X_test, X_background),

@@ -80,7 +80,14 @@ def _forest_params(base_params: dict, adjusted: AdjustedHyperParameters | None) 
 def _trees_fit_trigger(
     forest: RandomForestClassifier, trigger_X: np.ndarray, trigger_y: np.ndarray
 ) -> bool:
-    """True when *every* tree predicts the required trigger labels."""
+    """True when *every* tree predicts the required trigger labels.
+
+    Each re-weighting round queries a *freshly retrained* forest on the
+    tiny trigger batch, so this deliberately rides the lazy-compilation
+    threshold of ``predict_all``: the object-graph path answers k-row
+    queries faster than flattening a forest that is about to be thrown
+    away.
+    """
     return bool((forest.predict_all(trigger_X) == trigger_y[None, :]).all())
 
 

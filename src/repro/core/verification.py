@@ -129,6 +129,12 @@ def verify_ownership(model, signature: Signature, trigger_X, trigger_y, mode: st
     ``model`` is anything exposing ``predict_all(X) -> (n_trees, n)``;
     in a real dispute the judge calls this on the *suspect's* deployed
     model, not on an artefact supplied by the claimant.
+
+    When the model is one of this library's ensembles, the query runs
+    through its compiled flat-array engine whenever one is cached (see
+    :mod:`repro.ensemble.compiled`); trigger sets alone are too small to
+    trigger lazy compilation, so callers that verify repeatedly should
+    ``model.compile()`` once up front.
     """
     predictions = model.predict_all(np.asarray(trigger_X, dtype=np.float64))
     return match_signature(predictions, trigger_y, signature, mode=mode)

@@ -8,17 +8,25 @@
   future-work extension target), see :mod:`repro.ensemble.boosting`.
 - :class:`OneVsRestForest` — multi-class by binary decomposition, the
   encoding the paper suggests for multi-class tasks.
+- :class:`CompiledEnsemble`, :func:`compile_forest`,
+  :func:`compile_boosted` — single-table flat-array inference across a
+  whole ensemble (see :mod:`repro.ensemble.compiled`).
 """
 
 from .boosting import GradientBoostingClassifier
+from .compiled import CompiledEnsemble, compile_boosted, compile_forest, compile_trees
 from .forest import RandomForestClassifier
 from .multiclass import OneVsRestForest
 from .voting import majority_vote, vote_margin
 
 __all__ = [
+    "CompiledEnsemble",
     "GradientBoostingClassifier",
     "OneVsRestForest",
     "RandomForestClassifier",
+    "compile_boosted",
+    "compile_forest",
+    "compile_trees",
     "majority_vote",
     "vote_margin",
 ]

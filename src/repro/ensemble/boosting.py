@@ -19,7 +19,9 @@ from .._validation import (
     check_X_y,
 )
 from ..exceptions import NotFittedError, ValidationError
+from ..trees.compiled import ensure_compiled, lazy_compiled
 from ..trees.regression import RegressionTree
+from .compiled import CompiledEnsemble, compile_boosted
 
 __all__ = ["GradientBoostingClassifier"]
 
@@ -66,6 +68,8 @@ class GradientBoostingClassifier:
         self.trees_: list[RegressionTree] | None = None
         self.init_score_: float = 0.0
         self.n_features_in_: int | None = None
+        self._compiled_: CompiledEnsemble | None = None
+        self._compiled_sources_: tuple | None = None
 
     # ------------------------------------------------------------------
 
@@ -121,6 +125,8 @@ class GradientBoostingClassifier:
 
         self.trees_ = trees
         self.n_features_in_ = X.shape[1]
+        self._compiled_ = None
+        self._compiled_sources_ = None
         return self
 
     # ------------------------------------------------------------------
@@ -129,6 +135,25 @@ class GradientBoostingClassifier:
         if self.trees_ is None:
             raise NotFittedError("this GradientBoostingClassifier is not fitted yet")
         return self.trees_
+
+    def _roots_key(self) -> tuple:
+        """The fitted stage roots, the cache-freshness key for the engine."""
+        return tuple(tree.root_ for tree in self._check_fitted())
+
+    def compile(self) -> CompiledEnsemble:
+        """Pack all stages into one compiled node table (cached).
+
+        The compiled ``predict_all`` yields raw per-stage tree values;
+        ``stage_contributions`` scales them by the learning rate.  The
+        cache refreshes when stage roots are replaced.
+        """
+        return ensure_compiled(self, self._roots_key(), lambda: compile_boosted(self))
+
+    def _compiled_engine(self, n_rows: int) -> CompiledEnsemble | None:
+        """Compiled engine to predict with, or ``None`` for object mode."""
+        return lazy_compiled(
+            self, self._roots_key(), n_rows, lambda: compile_boosted(self)
+        )
 
     def stage_contributions(self, X) -> np.ndarray:
         """Per-stage raw contributions, shape ``(n_stages, n_samples)``.
@@ -139,6 +164,14 @@ class GradientBoostingClassifier:
         """
         trees = self._check_fitted()
         X = check_X(X)
+        if X.shape[1] != self.n_features_in_:
+            raise ValidationError(
+                f"X has {X.shape[1]} features but the ensemble was fitted with "
+                f"{self.n_features_in_}"
+            )
+        engine = self._compiled_engine(X.shape[0])
+        if engine is not None:
+            return self.learning_rate * engine.predict_all(X)
         return np.stack(
             [self.learning_rate * tree.predict(X) for tree in trees], axis=0
         )

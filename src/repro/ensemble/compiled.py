@@ -1,0 +1,202 @@
+"""Compiled flat-array inference for whole ensembles.
+
+Packs every tree of a forest or boosted ensemble into **one contiguous
+node table** (the layout of :mod:`repro.trees.compiled`, with a
+``roots[]`` array locating each tree) so that batch prediction across
+the whole ensemble is a single vectorised descent over a
+``(n_trees, n_samples)`` state matrix: one gather-compare-select step
+per tree level, regardless of how many thousands of nodes the ensemble
+holds.  This is the hot path behind ``predict_all`` — the per-tree
+query interface the watermark verification protocol and the attack
+suite hammer — as well as ensemble ``predict`` / ``predict_proba`` and
+the boosted ``stage_contributions``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..exceptions import NotFittedError, ValidationError
+from ..trees.compiled import _COLUMN_CHUNK, _descend, flatten_tree
+from .voting import majority_vote
+
+__all__ = [
+    "CompiledEnsemble",
+    "compile_trees",
+    "compile_forest",
+    "compile_boosted",
+]
+
+
+@dataclass
+class CompiledEnsemble:
+    """All trees of an ensemble in one struct-of-arrays node table.
+
+    ``roots[t]`` is the node index of tree ``t``'s root; ``left`` /
+    ``right`` hold *global* indices into the shared table, so the same
+    descent kernel serves every tree simultaneously.  ``leaf_value`` is
+    int64 (class labels) for classification ensembles and float64 for
+    boosted regression stages; ``classes`` / ``leaf_proba`` exist only
+    for classification.
+    """
+
+    roots: np.ndarray
+    feature: np.ndarray
+    threshold: np.ndarray
+    left: np.ndarray
+    right: np.ndarray
+    leaf_value: np.ndarray
+    depth: int
+    classes: np.ndarray | None = None
+    leaf_proba: np.ndarray | None = None
+
+    def __post_init__(self) -> None:
+        self._gather_feature = np.where(self.feature >= 0, self.feature, 0)
+        self._adjacent = bool(
+            np.all((self.feature < 0) | (self.right == self.left + 1))
+        )
+
+    @property
+    def n_trees(self) -> int:
+        return int(self.roots.shape[0])
+
+    @property
+    def n_nodes(self) -> int:
+        return int(self.feature.shape[0])
+
+    @property
+    def n_leaves(self) -> int:
+        return int((self.feature < 0).sum())
+
+    # ------------------------------------------------------------------
+
+    def apply_all(self, X: np.ndarray) -> np.ndarray:
+        """Leaf index reached in every tree by every row.
+
+        Returns an ``(n_trees, n_samples)`` int64 matrix.  The descent
+        advances all trees and all samples one level per iteration;
+        entries that reached a leaf self-loop (leaf ``left``/``right``
+        point at the leaf itself), so no masking is required.  Samples
+        are processed in column chunks to keep the per-level temporaries
+        cache-resident (see :mod:`repro.trees.compiled`).
+        """
+        X = np.ascontiguousarray(X, dtype=np.float64)
+        n = X.shape[0]
+        if self.depth == 0 or n == 0:
+            return np.repeat(self.roots[:, None], n, axis=1)
+        out = np.empty((self.n_trees, n), dtype=np.int64)
+        for start in range(0, n, _COLUMN_CHUNK):
+            stop = min(start + _COLUMN_CHUNK, n)
+            idx = np.repeat(self.roots[:, None], stop - start, axis=1)
+            out[:, start:stop] = _descend(self, X[start:stop], idx)
+        return out
+
+    def predict_all(self, X: np.ndarray) -> np.ndarray:
+        """Per-tree leaf payloads, shape ``(n_trees, n_samples)``.
+
+        For a forest this is exactly ``RandomForestClassifier.predict_all``
+        (per-tree labels); for a boosted ensemble it is the per-stage
+        raw tree values (multiply by the learning rate for
+        contributions).
+        """
+        return self.leaf_value[self.apply_all(X)]
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        """Majority-vote ensemble prediction (classification only)."""
+        if self.classes is None:
+            raise ValidationError(
+                "this CompiledEnsemble was compiled without classes; "
+                "majority voting is undefined"
+            )
+        return majority_vote(self.predict_all(X), self.classes)
+
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        """Average per-tree class distributions, columns as ``classes``."""
+        if self.leaf_proba is None:
+            raise ValidationError(
+                "this CompiledEnsemble was compiled without classes; "
+                "recompile from a classifier ensemble to enable predict_proba"
+            )
+        return self.leaf_proba[self.apply_all(X)].sum(axis=0) / self.n_trees
+
+
+def compile_trees(
+    tree_roots, classes=None, value_dtype=np.int64
+) -> CompiledEnsemble:
+    """Pack a list of tree roots into one :class:`CompiledEnsemble`.
+
+    Parameters mirror :func:`repro.trees.compiled.compile_tree`, applied
+    to every root with all nodes appended to the same table.
+    """
+    tree_roots = list(tree_roots)
+    if not tree_roots:
+        raise ValidationError("cannot compile an empty list of trees")
+    feature: list = []
+    threshold: list = []
+    left: list = []
+    right: list = []
+    leaf_value: list = []
+    class_position = None
+    proba_rows: list | None = None
+    if classes is not None:
+        classes = np.asarray(classes)
+        class_position = {int(c): i for i, c in enumerate(classes)}
+        proba_rows = []
+
+    roots = []
+    depth = 0
+    for root in tree_roots:
+        root_index, tree_depth = flatten_tree(
+            root,
+            feature=feature,
+            threshold=threshold,
+            left=left,
+            right=right,
+            leaf_value=leaf_value,
+            leaf_proba=proba_rows,
+            class_position=class_position,
+        )
+        roots.append(root_index)
+        depth = max(depth, tree_depth)
+
+    return CompiledEnsemble(
+        roots=np.asarray(roots, dtype=np.int64),
+        feature=np.asarray(feature, dtype=np.int64),
+        threshold=np.asarray(threshold, dtype=np.float64),
+        left=np.asarray(left, dtype=np.int64),
+        right=np.asarray(right, dtype=np.int64),
+        leaf_value=np.asarray(leaf_value, dtype=value_dtype),
+        depth=depth,
+        classes=classes,
+        leaf_proba=np.asarray(proba_rows, dtype=np.float64)
+        if proba_rows is not None
+        else None,
+    )
+
+
+def compile_forest(forest) -> CompiledEnsemble:
+    """Compile a fitted :class:`~repro.ensemble.RandomForestClassifier`."""
+    if forest.trees_ is None:
+        raise NotFittedError("cannot compile an unfitted forest")
+    return compile_trees(
+        [tree.root_ for tree in forest.trees_],
+        classes=forest.classes_,
+        value_dtype=np.int64,
+    )
+
+
+def compile_boosted(model) -> CompiledEnsemble:
+    """Compile a fitted :class:`~repro.ensemble.GradientBoostingClassifier`.
+
+    The packed ``leaf_value`` holds the raw regression-tree outputs;
+    ``stage_contributions`` scales them by the learning rate.
+    """
+    if model.trees_ is None:
+        raise NotFittedError("cannot compile an unfitted boosted ensemble")
+    return compile_trees(
+        [tree.root_ for tree in model.trees_],
+        classes=None,
+        value_dtype=np.float64,
+    )

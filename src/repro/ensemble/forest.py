@@ -21,8 +21,10 @@ from .._validation import (
     check_X_y,
 )
 from ..exceptions import NotFittedError, ValidationError
+from ..trees.compiled import adopt_compiled, ensure_compiled, lazy_compiled
 from ..trees.export import ensemble_structure
 from ..trees.tree import DecisionTreeClassifier
+from .compiled import CompiledEnsemble, compile_forest
 from .voting import majority_vote
 
 __all__ = ["RandomForestClassifier"]
@@ -80,6 +82,8 @@ class RandomForestClassifier:
         self.feature_subsets_: list[np.ndarray] | None = None
         self.classes_: np.ndarray | None = None
         self.n_features_in_: int | None = None
+        self._compiled_: CompiledEnsemble | None = None
+        self._compiled_sources_: tuple | None = None
 
     # ------------------------------------------------------------------
 
@@ -150,6 +154,8 @@ class RandomForestClassifier:
         self.feature_subsets_ = subsets
         self.classes_ = np.unique(np.asarray(y))
         self.n_features_in_ = n_features
+        self._compiled_ = None
+        self._compiled_sources_ = None
         return self
 
     # ------------------------------------------------------------------
@@ -159,6 +165,43 @@ class RandomForestClassifier:
             raise NotFittedError("this RandomForestClassifier is not fitted yet")
         return self.trees_
 
+    def _roots_key(self) -> tuple:
+        """The fitted roots, the cache-freshness key for the engine.
+
+        Attacks and pruning replace ``root_`` objects wholesale rather
+        than mutating nodes in place, so root identity is a sound
+        staleness signal for the compiled node table.
+        """
+        return tuple(tree.root_ for tree in self._check_fitted())
+
+    def compile(self) -> CompiledEnsemble:
+        """Pack all trees into one compiled node table (cached).
+
+        Lazily invoked by the prediction methods on the first
+        large-enough batch; call explicitly to pay the flattening cost
+        up front (e.g. before serving).  The cache refreshes itself when
+        tree roots are replaced.
+        """
+        return ensure_compiled(self, self._roots_key(), lambda: compile_forest(self))
+
+    def _adopt_compiled(self, engine: CompiledEnsemble) -> None:
+        """Install a pre-built compiled table (persistence restore path)."""
+        adopt_compiled(self, self._roots_key(), engine)
+
+    def _compiled_engine(self, n_rows: int) -> CompiledEnsemble | None:
+        """Compiled engine to predict with, or ``None`` for object mode."""
+        return lazy_compiled(
+            self, self._roots_key(), n_rows, lambda: compile_forest(self)
+        )
+
+    def _check_n_features(self, X: np.ndarray) -> np.ndarray:
+        if X.shape[1] != self.n_features_in_:
+            raise ValidationError(
+                f"X has {X.shape[1]} features but the forest was fitted with "
+                f"{self.n_features_in_}"
+            )
+        return X
+
     def predict_all(self, X) -> np.ndarray:
         """Per-tree predictions, shape ``(n_trees, n_samples)``.
 
@@ -167,7 +210,10 @@ class RandomForestClassifier:
         is built entirely on it.
         """
         trees = self._check_fitted()
-        X = check_X(X)
+        X = self._check_n_features(check_X(X))
+        engine = self._compiled_engine(X.shape[0])
+        if engine is not None:
+            return engine.predict_all(X)
         return np.stack([tree.predict(X) for tree in trees], axis=0)
 
     def predict(self, X) -> np.ndarray:
@@ -179,8 +225,11 @@ class RandomForestClassifier:
     def predict_proba(self, X) -> np.ndarray:
         """Average of the trees' leaf-frequency probabilities."""
         trees = self._check_fitted()
-        X = check_X(X)
+        X = self._check_n_features(check_X(X))
         assert self.classes_ is not None
+        engine = self._compiled_engine(X.shape[0])
+        if engine is not None and engine.leaf_proba is not None:
+            return engine.predict_proba(X)
         class_position = {int(c): i for i, c in enumerate(self.classes_)}
         total = np.zeros((X.shape[0], self.classes_.shape[0]), dtype=np.float64)
         for tree in trees:

@@ -1,6 +1,8 @@
 """JSON persistence for models and watermark secrets."""
 
 from .serialize import (
+    compiled_from_dict,
+    compiled_to_dict,
     forest_from_dict,
     forest_to_dict,
     load_json,
@@ -12,6 +14,8 @@ from .serialize import (
 )
 
 __all__ = [
+    "compiled_from_dict",
+    "compiled_to_dict",
     "forest_from_dict",
     "forest_to_dict",
     "load_json",

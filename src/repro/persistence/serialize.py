@@ -15,6 +15,7 @@ import numpy as np
 
 from ..core.protocol import WatermarkSecret
 from ..core.signature import Signature
+from ..ensemble.compiled import CompiledEnsemble
 from ..ensemble.forest import RandomForestClassifier
 from ..exceptions import SerializationError
 from ..trees.node import InternalNode, Leaf, TreeNode
@@ -25,6 +26,8 @@ __all__ = [
     "node_from_dict",
     "forest_to_dict",
     "forest_from_dict",
+    "compiled_to_dict",
+    "compiled_from_dict",
     "secret_to_dict",
     "secret_from_dict",
     "save_json",
@@ -72,15 +75,167 @@ def node_from_dict(data: dict) -> TreeNode:
     raise SerializationError(f"unknown node kind {data.get('kind')!r}")
 
 
-def forest_to_dict(forest: RandomForestClassifier) -> dict:
-    """Serialise a fitted forest (params + trees + feature subspaces)."""
+def compiled_to_dict(engine: CompiledEnsemble) -> dict:
+    """Serialise a compiled ensemble node table.
+
+    Leaf thresholds are ``+inf`` by layout convention, which strict JSON
+    cannot carry; they are stored as ``null`` and restored on load.
+    """
+    return {
+        "format_version": FORMAT_VERSION,
+        "roots": engine.roots.tolist(),
+        "feature": engine.feature.tolist(),
+        "threshold": [
+            float(t) if np.isfinite(t) else None for t in engine.threshold
+        ],
+        "left": engine.left.tolist(),
+        "right": engine.right.tolist(),
+        "leaf_value": engine.leaf_value.tolist(),
+        "leaf_value_dtype": str(engine.leaf_value.dtype),
+        "depth": int(engine.depth),
+        "classes": None if engine.classes is None else [int(c) for c in engine.classes],
+        "leaf_proba": None if engine.leaf_proba is None else engine.leaf_proba.tolist(),
+    }
+
+
+def _table_depth(feature, left, right, roots) -> int:
+    """Depth of the deepest internal node reachable from ``roots``.
+
+    Level-synchronous frontier walk over the node arrays; bounded by
+    the table size so a (malformed) cyclic table raises instead of
+    looping forever.
+    """
+    frontier = np.unique(roots)
+    for depth in range(feature.shape[0] + 1):
+        internal = frontier[feature[frontier] >= 0]
+        if internal.size == 0:
+            return depth
+        frontier = np.unique(np.concatenate([left[internal], right[internal]]))
+    raise SerializationError("compiled node table contains a cycle")
+
+
+def compiled_from_dict(data: dict) -> CompiledEnsemble:
+    """Inverse of :func:`compiled_to_dict` — a ready-to-predict engine."""
+    try:
+        if data["format_version"] != FORMAT_VERSION:
+            raise SerializationError(
+                f"unsupported format version {data['format_version']}"
+            )
+        threshold = np.array(
+            [np.inf if t is None else float(t) for t in data["threshold"]],
+            dtype=np.float64,
+        )
+        feature = np.array(data["feature"], dtype=np.int64)
+        left = np.array(data["left"], dtype=np.int64)
+        right = np.array(data["right"], dtype=np.int64)
+        roots = np.array(data["roots"], dtype=np.int64)
+        n_nodes = feature.shape[0]
+        arrays_consistent = (
+            threshold.shape[0] == n_nodes
+            and left.shape[0] == n_nodes
+            and right.shape[0] == n_nodes
+            and len(data["leaf_value"]) == n_nodes
+        )
+        if not arrays_consistent:
+            raise SerializationError("compiled node arrays disagree on length")
+        for name, indices in (("roots", roots), ("left", left), ("right", right)):
+            if n_nodes == 0 or indices.min() < 0 or indices.max() >= n_nodes:
+                raise SerializationError(
+                    f"compiled {name} indices fall outside the node table"
+                )
+        depth = int(data["depth"])
+        actual_depth = _table_depth(feature, left, right, roots)
+        if depth != actual_depth:
+            raise SerializationError(
+                f"compiled depth {depth} disagrees with the node table "
+                f"(actual {actual_depth})"
+            )
+        value_dtype = str(data["leaf_value_dtype"])
+        if value_dtype not in ("int64", "float64"):
+            raise SerializationError(
+                f"compiled leaf_value_dtype must be 'int64' or 'float64', "
+                f"got {value_dtype!r}"
+            )
+        classes = None
+        if data.get("classes") is not None:
+            classes = np.array(data["classes"], dtype=np.int64)
+        leaf_proba = None
+        if data.get("leaf_proba") is not None:
+            if classes is None:
+                raise SerializationError(
+                    "compiled leaf_proba requires a classes array"
+                )
+            leaf_proba = np.array(data["leaf_proba"], dtype=np.float64)
+            if leaf_proba.shape != (n_nodes, classes.shape[0]):
+                raise SerializationError(
+                    f"compiled leaf_proba must have shape "
+                    f"({n_nodes}, {classes.shape[0]}), got {leaf_proba.shape}"
+                )
+        return CompiledEnsemble(
+            roots=roots,
+            feature=feature,
+            threshold=threshold,
+            left=left,
+            right=right,
+            leaf_value=np.array(data["leaf_value"], dtype=np.dtype(value_dtype)),
+            depth=depth,
+            classes=classes,
+            leaf_proba=leaf_proba,
+        )
+    except SerializationError:
+        raise
+    except (KeyError, TypeError, ValueError) as exc:
+        raise SerializationError(f"malformed compiled ensemble data: {exc}") from exc
+
+
+def _check_adopted_engine(
+    forest: RandomForestClassifier, engine: CompiledEnsemble
+) -> None:
+    """Guard against a stale or tampered serialized compiled table.
+
+    The ``trees`` section is the human-auditable source of truth; an
+    engine that disagrees with it must never be installed (verification
+    in an ownership dispute runs through the engine).  Structural checks
+    are exact; behavioural agreement is spot-checked on a fixed probe
+    batch, which catches stale/corrupted tables with high probability
+    without re-flattening the whole forest.
+    """
+    from ..trees.node import predict_batch
+
+    if engine.n_trees != len(forest.trees_):
+        raise SerializationError(
+            f"compiled table has {engine.n_trees} trees but the forest "
+            f"has {len(forest.trees_)}"
+        )
+    if engine.classes is None or not np.array_equal(engine.classes, forest.classes_):
+        raise SerializationError(
+            "compiled table classes disagree with the forest classes"
+        )
+    probe = np.random.default_rng(0).standard_normal((8, forest.n_features_in_))
+    expected = np.stack([predict_batch(tree.root_, probe) for tree in forest.trees_])
+    if not np.array_equal(engine.predict_all(probe), expected):
+        raise SerializationError(
+            "compiled node table disagrees with the serialized trees on a "
+            "probe batch; refusing to adopt it"
+        )
+
+
+def forest_to_dict(
+    forest: RandomForestClassifier, include_compiled: bool = False
+) -> dict:
+    """Serialise a fitted forest (params + trees + feature subspaces).
+
+    With ``include_compiled=True`` the compiled node table rides along
+    (compiling first if needed), so a deployment can reload the forest
+    ready to serve without paying the flattening cost again.
+    """
     if forest.trees_ is None:
         raise SerializationError("cannot serialise an unfitted forest")
     params = forest.get_params()
     # A shared Generator is not serialisable and not needed for replay.
     if isinstance(params.get("random_state"), np.random.Generator):
         params["random_state"] = None
-    return {
+    data = {
         "format_version": FORMAT_VERSION,
         "params": params,
         "classes": [int(c) for c in forest.classes_],
@@ -88,6 +243,9 @@ def forest_to_dict(forest: RandomForestClassifier) -> dict:
         "feature_subsets": [subset.tolist() for subset in forest.feature_subsets_],
         "trees": [node_to_dict(tree.root_) for tree in forest.trees_],
     }
+    if include_compiled:
+        data["compiled"] = compiled_to_dict(forest.compile())
+    return data
 
 
 def forest_from_dict(data: dict) -> RandomForestClassifier:
@@ -111,6 +269,10 @@ def forest_from_dict(data: dict) -> RandomForestClassifier:
             tree.n_features_in_ = forest.n_features_in_
             trees.append(tree)
         forest.trees_ = trees
+        if data.get("compiled") is not None:
+            engine = compiled_from_dict(data["compiled"])
+            _check_adopted_engine(forest, engine)
+            forest._adopt_compiled(engine)
         return forest
     except SerializationError:
         raise

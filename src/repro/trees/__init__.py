@@ -11,8 +11,19 @@ Public surface:
   solvers.
 - :func:`tree_stats`, :func:`ensemble_structure`, :func:`tree_to_text` —
   structural statistics (used by the detection attack) and export.
+- :class:`CompiledTree`, :func:`compile_tree` — flat-array inference
+  engine behind ``predict`` (see :mod:`repro.trees.compiled`), with
+  :func:`set_inference_backend` / :func:`inference_backend` as the
+  object-graph escape hatch.
 """
 
+from .compiled import (
+    CompiledTree,
+    compile_tree,
+    get_inference_backend,
+    inference_backend,
+    set_inference_backend,
+)
 from .criteria import entropy_impurity, gini_impurity
 from .export import TreeStats, ensemble_structure, tree_stats, tree_to_text
 from .node import InternalNode, Leaf, TreeNode, iter_leaves, iter_nodes, predict_batch, predict_one
@@ -23,7 +34,12 @@ from .tree import DecisionTreeClassifier, resolve_max_features
 
 __all__ = [
     "Box",
+    "CompiledTree",
+    "compile_tree",
     "DecisionTreeClassifier",
+    "get_inference_backend",
+    "inference_backend",
+    "set_inference_backend",
     "InternalNode",
     "Leaf",
     "TreeNode",

@@ -20,6 +20,12 @@ from .._validation import (
     check_X_y,
 )
 from ..exceptions import NotFittedError, ValidationError
+from .compiled import (
+    CompiledTree,
+    compile_tree,
+    ensure_compiled,
+    lazy_compiled,
+)
 from .criteria import get_criterion
 from .growth import GrowthParams, grow_tree
 from .node import TreeNode, iter_leaves, predict_batch
@@ -35,6 +41,13 @@ def resolve_max_features(max_features, n_features: int) -> int | None:
     """
     if max_features is None:
         return None
+    if isinstance(max_features, (bool, np.bool_)):
+        # bool is a subclass of int, so this must be rejected explicitly:
+        # silently treating True as "1 feature per split" cripples trees.
+        raise ValidationError(
+            f"max_features must be None, int, float or str, got bool "
+            f"({max_features!r})"
+        )
     if isinstance(max_features, str):
         if max_features == "sqrt":
             return max(1, int(np.sqrt(n_features)))
@@ -109,6 +122,8 @@ class DecisionTreeClassifier:
         self.root_: TreeNode | None = None
         self.classes_: np.ndarray | None = None
         self.n_features_in_: int | None = None
+        self._compiled_: CompiledTree | None = None
+        self._compiled_sources_: tuple | None = None
 
     # ------------------------------------------------------------------
     # Fitting
@@ -171,6 +186,8 @@ class DecisionTreeClassifier:
         self.root_ = grow_tree(X, codes, weights, subspace, classes, params, rng)
         self.classes_ = classes
         self.n_features_in_ = X.shape[1]
+        self._compiled_ = None
+        self._compiled_sources_ = None
         return self
 
     # ------------------------------------------------------------------
@@ -191,10 +208,43 @@ class DecisionTreeClassifier:
             )
         return X
 
+    def compile(self) -> CompiledTree:
+        """Flatten the fitted tree into its compiled array form.
+
+        The result is cached and reused by ``predict`` /
+        ``predict_proba`` until ``root_`` is replaced (refit, pruning,
+        modification attacks); call again after such surgery to refresh
+        eagerly.  See :mod:`repro.trees.compiled` for the engine and the
+        ``object`` backend escape hatch.
+        """
+        root = self._check_fitted()
+        return ensure_compiled(
+            self, (root,), lambda: compile_tree(root, classes=self.classes_)
+        )
+
+    def _compiled_engine(self, n_rows: int) -> CompiledTree | None:
+        """The compiled engine to predict with, or ``None`` for object mode.
+
+        Lazily compiles on first predict, except for tiny batches where
+        flattening would cost more than it saves (a cached engine is
+        used whatever the batch size).
+        """
+        root = self._check_fitted()
+        return lazy_compiled(
+            self,
+            (root,),
+            n_rows,
+            lambda: compile_tree(root, classes=self.classes_),
+        )
+
     def predict(self, X) -> np.ndarray:
         """Predict class labels for ``X``."""
         root = self._check_fitted()
-        return predict_batch(root, self._check_predict_input(X))
+        X = self._check_predict_input(X)
+        engine = self._compiled_engine(X.shape[0])
+        if engine is not None:
+            return engine.predict(X)
+        return predict_batch(root, X)
 
     def predict_proba(self, X) -> np.ndarray:
         """Predict class-membership probabilities from leaf class masses.
@@ -206,6 +256,9 @@ class DecisionTreeClassifier:
         root = self._check_fitted()
         X = self._check_predict_input(X)
         assert self.classes_ is not None
+        engine = self._compiled_engine(X.shape[0])
+        if engine is not None and engine.leaf_proba is not None:
+            return engine.predict_proba(X)
         class_position = {int(c): i for i, c in enumerate(self.classes_)}
         out = np.zeros((X.shape[0], self.classes_.shape[0]), dtype=np.float64)
 

@@ -68,6 +68,75 @@ class TestForestRoundtrip:
         with pytest.raises(SerializationError, match="unfitted"):
             forest_to_dict(RandomForestClassifier())
 
+
+class TestCompiledRoundtrip:
+    def test_compiled_arrays_roundtrip(self, bc_forest, bc_data):
+        import json
+
+        from repro.persistence import compiled_from_dict, compiled_to_dict
+
+        _, X_test, _, _ = bc_data
+        engine = bc_forest.compile()
+        data = json.loads(json.dumps(compiled_to_dict(engine)))
+        restored = compiled_from_dict(data)
+        assert restored.depth == engine.depth
+        assert np.array_equal(restored.predict_all(X_test), engine.predict_all(X_test))
+        np.testing.assert_allclose(
+            restored.predict_proba(X_test), engine.predict_proba(X_test), atol=0
+        )
+
+    def test_forest_dict_carries_compiled_table(self, bc_forest, bc_data, tmp_path):
+        _, X_test, _, _ = bc_data
+        path = tmp_path / "forest.json"
+        save_json(forest_to_dict(bc_forest, include_compiled=True), path)
+        restored = forest_from_dict(load_json(path))
+        # The engine was adopted as-is: predictions match without recompiling.
+        engine = restored._compiled_
+        assert engine is not None
+        assert np.array_equal(restored.predict_all(X_test), bc_forest.predict_all(X_test))
+        assert restored._compiled_ is engine
+
+    def test_forest_dict_without_compiled_still_loads(self, bc_forest):
+        data = forest_to_dict(bc_forest)
+        assert "compiled" not in data
+        restored = forest_from_dict(data)
+        assert restored._compiled_ is None
+
+    def test_malformed_compiled_rejected(self, bc_forest):
+        from repro.persistence import compiled_from_dict, compiled_to_dict
+
+        data = compiled_to_dict(bc_forest.compile())
+        data["left"] = [10**6] * len(data["left"])
+        with pytest.raises(SerializationError, match="outside the node table"):
+            compiled_from_dict(data)
+
+    def test_wrong_depth_rejected(self, bc_forest):
+        from repro.persistence import compiled_from_dict, compiled_to_dict
+
+        data = compiled_to_dict(bc_forest.compile())
+        data["depth"] = 0
+        with pytest.raises(SerializationError, match="depth"):
+            compiled_from_dict(data)
+
+    def test_misshaped_leaf_proba_rejected(self, bc_forest):
+        from repro.persistence import compiled_from_dict, compiled_to_dict
+
+        data = compiled_to_dict(bc_forest.compile())
+        data["leaf_proba"] = data["leaf_proba"][:-1]
+        with pytest.raises(SerializationError, match="leaf_proba"):
+            compiled_from_dict(data)
+
+    def test_tampered_compiled_table_not_adopted(self, bc_forest):
+        """A compiled table disagreeing with the trees must be refused:
+        verification would otherwise serve the tampered predictions."""
+        data = forest_to_dict(bc_forest, include_compiled=True)
+        # Flip every leaf label in the compiled table only.
+        data["compiled"]["leaf_value"] = [
+            -v for v in data["compiled"]["leaf_value"]
+        ]
+        with pytest.raises(SerializationError, match="disagrees with the serialized trees"):
+            forest_from_dict(data)
+
     def test_bad_version_rejected(self, bc_forest):
         data = forest_to_dict(bc_forest)
         data["format_version"] = 999

@@ -163,6 +163,15 @@ class TestResolveMaxFeatures:
         with pytest.raises(ValidationError):
             resolve_max_features(1.5, 10)
 
+    def test_bool_rejected(self):
+        # bool is a subclass of int; it must not slip through as 0 or 1.
+        with pytest.raises(ValidationError, match="bool"):
+            resolve_max_features(True, 10)
+        with pytest.raises(ValidationError, match="bool"):
+            resolve_max_features(False, 10)
+        with pytest.raises(ValidationError):
+            resolve_max_features(np.True_, 10)
+
 
 class TestPropertyBased:
     @given(st.integers(min_value=1, max_value=6), st.integers(min_value=0, max_value=2**31 - 1))
