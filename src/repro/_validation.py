@@ -20,6 +20,7 @@ __all__ = [
     "check_sample_weight",
     "check_random_state",
     "check_binary_labels",
+    "spawn_seed_sequences",
 ]
 
 
@@ -95,6 +96,39 @@ def check_random_state(seed) -> np.random.Generator:
     raise ValidationError(
         f"random_state must be None, an int or a numpy Generator, got {type(seed).__name__}"
     )
+
+
+def spawn_seed_sequences(random_state, n: int) -> list[np.random.SeedSequence]:
+    """Derive ``n`` independent child seed sequences from ``random_state``.
+
+    This is the determinism backbone of parallel training: every tree
+    slot receives its own :class:`numpy.random.SeedSequence` up front,
+    so its random stream is independent of fitting order (serial,
+    process pool, or selective refit) while remaining a pure function of
+    the caller's seed.
+
+    Accepts the same inputs as :func:`check_random_state`, plus a
+    :class:`numpy.random.SeedSequence` used as the parent directly.  A
+    shared :class:`~numpy.random.Generator` contributes a single draw of
+    entropy (advancing it once), keeping pipelines that thread one
+    generator through many components reproducible.
+    """
+    if n < 0:
+        raise ValidationError(f"cannot spawn {n} seed sequences")
+    if isinstance(random_state, np.random.SeedSequence):
+        parent = random_state
+    elif random_state is None:
+        parent = np.random.SeedSequence()
+    elif isinstance(random_state, numbers.Integral):
+        parent = np.random.SeedSequence(int(random_state))
+    elif isinstance(random_state, np.random.Generator):
+        parent = np.random.SeedSequence(int(random_state.integers(2**63)))
+    else:
+        raise ValidationError(
+            f"random_state must be None, an int, a numpy Generator or a "
+            f"SeedSequence, got {type(random_state).__name__}"
+        )
+    return parent.spawn(n)
 
 
 def check_binary_labels(y) -> np.ndarray:

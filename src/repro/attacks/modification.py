@@ -84,9 +84,22 @@ def flip_leaves(root: TreeNode, flip_probability: float, rng: np.random.Generato
     def walk(node: TreeNode) -> TreeNode:
         if node.is_leaf:
             prediction = node.prediction  # type: ignore[union-attr]
+            weights = dict(node.class_weights)  # type: ignore[union-attr]
             if rng.uniform() < flip_probability:
-                prediction = -prediction
-            return Leaf(prediction=int(prediction), class_weights=dict(node.class_weights))  # type: ignore[union-attr]
+                flipped = -prediction
+                if weights:
+                    # Swap the mass of the old and new label so the
+                    # recorded distribution still names the flipped
+                    # label as its majority: ``predict`` (leaf label)
+                    # and ``predict_proba`` (leaf distribution) must
+                    # agree on attacked models, on both the object and
+                    # the compiled inference paths.
+                    weights[prediction], weights[flipped] = (
+                        weights.get(flipped, 0.0),
+                        weights.get(prediction, 0.0),
+                    )
+                prediction = flipped
+            return Leaf(prediction=int(prediction), class_weights=weights)
         return InternalNode(
             feature=node.feature,
             threshold=node.threshold,
@@ -97,33 +110,16 @@ def flip_leaves(root: TreeNode, flip_probability: float, rng: np.random.Generato
     return walk(root)
 
 
-def _rebuild_forest(forest, new_roots: list[TreeNode]):
-    """Clone a fitted forest with replaced tree roots."""
-    from copy import copy
-
-    clone = forest.clone_with()
-    clone.classes_ = forest.classes_
-    clone.n_features_in_ = forest.n_features_in_
-    clone.feature_subsets_ = list(forest.feature_subsets_)
-    new_trees = []
-    for tree, root in zip(forest.trees_, new_roots):
-        new_tree = copy(tree)
-        new_tree.root_ = root
-        new_trees.append(new_tree)
-    clone.trees_ = new_trees
-    return clone
-
-
 def truncate_forest(forest, max_depth: int):
     """Apply depth truncation to every tree of a fitted forest."""
-    return _rebuild_forest(forest, [truncate_tree(r, max_depth) for r in forest.roots()])
+    return forest.with_roots([truncate_tree(r, max_depth) for r in forest.roots()])
 
 
 def flip_forest_leaves(forest, flip_probability: float, random_state=None):
     """Apply random leaf flipping to every tree of a fitted forest."""
     rng = check_random_state(random_state)
-    return _rebuild_forest(
-        forest, [flip_leaves(r, flip_probability, rng) for r in forest.roots()]
+    return forest.with_roots(
+        [flip_leaves(r, flip_probability, rng) for r in forest.roots()]
     )
 
 

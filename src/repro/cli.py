@@ -76,6 +76,14 @@ def build_parser() -> argparse.ArgumentParser:
     cmd_watermark.add_argument("--trigger-size", type=int, default=8)
     cmd_watermark.add_argument("--ones-fraction", type=float, default=0.5)
     cmd_watermark.add_argument("--max-depth", type=int, default=10)
+    cmd_watermark.add_argument("--n-jobs", type=int, default=None,
+                               help="worker processes for tree fitting "
+                               "(-1 = all cores; default serial); results "
+                               "are identical across settings")
+    cmd_watermark.add_argument("--full-retrain", action="store_true",
+                               help="disable incremental embedding and refit "
+                               "every tree each re-weighting round (the "
+                               "paper's literal loop; slower, same guarantees)")
     cmd_watermark.add_argument("--seed", type=int, default=0)
     cmd_watermark.add_argument("--out-dir", type=Path, required=True)
 
@@ -112,6 +120,8 @@ def _cmd_watermark(args) -> int:
         signature,
         trigger_size=args.trigger_size,
         base_params={"max_depth": args.max_depth},
+        incremental=not args.full_retrain,
+        n_jobs=args.n_jobs,
         random_state=args.seed + 3,
     )
 

@@ -54,6 +54,7 @@ def adjust_hyperparameters(
     n_estimators: int,
     base_params: dict,
     tree_feature_fraction: float = 0.7,
+    n_jobs: int | None = None,
     random_state=None,
 ) -> AdjustedHyperParameters:
     """Run the ``Adjust`` heuristic.
@@ -67,7 +68,7 @@ def adjust_hyperparameters(
     base_params:
         Hyper-parameters selected by grid search (e.g. ``max_depth``,
         ``min_samples_leaf``) used to train the probe ensemble.
-    tree_feature_fraction, random_state:
+    tree_feature_fraction, n_jobs, random_state:
         Forwarded to the probe forest.
 
     Returns
@@ -83,6 +84,7 @@ def adjust_hyperparameters(
         n_estimators=n_estimators,
         tree_feature_fraction=tree_feature_fraction,
         random_state=rng,
+        n_jobs=n_jobs,
         **base_params,
     )
     probe.fit(X_train, y_train)

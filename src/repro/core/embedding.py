@@ -7,6 +7,17 @@ sampling, the ``Adjust`` heuristic, training the two ensembles ``T0``
 (trigger classified correctly) and ``T1`` (trigger misclassified, via
 label flipping), and interleaving their trees according to the owner's
 signature.
+
+Embedding is the repo's training hot path, and two engine-level levers
+keep it fast without changing what Algorithm 1 computes:
+
+- **incremental re-weighting rounds** — trees that already satisfy the
+  trigger constraint are kept across rounds and only the stubborn ones
+  refit (valid because the forest has no bootstrap and trees are
+  independent given their feature subspaces);
+- **parallel tree fitting** — ``n_jobs`` fans tree fits out over a
+  process pool, bitwise-deterministically thanks to per-tree seed
+  streams.
 """
 
 from __future__ import annotations
@@ -77,18 +88,18 @@ def _forest_params(base_params: dict, adjusted: AdjustedHyperParameters | None) 
     return params
 
 
-def _trees_fit_trigger(
+def _misfit_mask(
     forest: RandomForestClassifier, trigger_X: np.ndarray, trigger_y: np.ndarray
-) -> bool:
-    """True when *every* tree predicts the required trigger labels.
+) -> np.ndarray:
+    """Boolean mask over trees: True where a tree misses any trigger label.
 
-    Each re-weighting round queries a *freshly retrained* forest on the
-    tiny trigger batch, so this deliberately rides the lazy-compilation
-    threshold of ``predict_all``: the object-graph path answers k-row
-    queries faster than flattening a forest that is about to be thrown
-    away.
+    Each re-weighting round queries a *freshly (re)trained* forest on
+    the tiny trigger batch, so this deliberately rides the
+    lazy-compilation threshold of ``predict_all``: the object-graph path
+    answers k-row queries faster than flattening a forest whose trees
+    are about to be replaced.
     """
-    return bool((forest.predict_all(trigger_X) == trigger_y[None, :]).all())
+    return (forest.predict_all(trigger_X) != trigger_y[None, :]).any(axis=1)
 
 
 def train_with_trigger(
@@ -101,6 +112,8 @@ def train_with_trigger(
     weight_increment: float = 1.0,
     escalation_factor: float = 1.0,
     max_rounds: int = 60,
+    incremental: bool = True,
+    n_jobs: int | None = None,
     random_state=None,
 ) -> tuple[RandomForestClassifier, int, float]:
     """The paper's ``TrainWithTrigger``: re-weight until all trees comply.
@@ -124,6 +137,19 @@ def train_with_trigger(
     max_rounds:
         Bound on retraining rounds; exceeded ⇒ :class:`ConvergenceError`
         (e.g. when the capped trees simply cannot isolate the triggers).
+    incremental:
+        When True (default), a failed round refits *only* the trees that
+        still misfit the trigger set (via
+        :meth:`~repro.ensemble.RandomForestClassifier.refit_trees`);
+        compliant trees are kept as-is.  The forest has no bootstrap and
+        its trees are independent given their feature subspaces, so a
+        kept tree is exactly as valid as one retrained from scratch —
+        each round costs ``O(#stubborn)`` tree fits instead of ``O(m)``.
+        ``False`` restores the paper's literal full-retrain loop (used
+        by the ablation benchmark).
+    n_jobs:
+        Parallel tree fitting within each round (see
+        :class:`~repro.ensemble.RandomForestClassifier`).
 
     Returns
     -------
@@ -148,31 +174,43 @@ def train_with_trigger(
     weights = np.ones(X_train.shape[0], dtype=np.float64)
     increment = float(weight_increment)
     rounds = 0
+    forest = RandomForestClassifier(
+        n_estimators=n_estimators,
+        tree_feature_fraction=tree_feature_fraction,
+        random_state=int(rng.integers(2**31 - 1)),
+        n_jobs=n_jobs,
+        **params,
+    )
+    forest.fit(X_train, y_train, sample_weight=weights)
     while True:
-        forest = RandomForestClassifier(
-            n_estimators=n_estimators,
-            tree_feature_fraction=tree_feature_fraction,
-            random_state=int(rng.integers(2**31 - 1)),
-            **params,
-        )
-        forest.fit(X_train, y_train, sample_weight=weights)
-        if _trees_fit_trigger(forest, trigger_X, trigger_y):
+        misfit = _misfit_mask(forest, trigger_X, trigger_y)
+        if not misfit.any():
             return forest, rounds, float(weights[trigger_indices].max())
         rounds += 1
         if rounds >= max_rounds:
-            misfit = int(
-                (forest.predict_all(trigger_X) != trigger_y[None, :]).any(axis=1).sum()
-            )
             raise ConvergenceError(
                 f"TrainWithTrigger did not converge after {rounds} rounds: "
-                f"{misfit}/{n_estimators} trees still misfit the trigger set "
-                f"(trigger weight reached {weights[trigger_indices].max():.1f}). "
-                f"Consider loosening max_depth/max_leaf_nodes or raising "
-                f"escalation_factor.",
+                f"{int(misfit.sum())}/{n_estimators} trees still misfit the "
+                f"trigger set (trigger weight reached "
+                f"{weights[trigger_indices].max():.1f}). Consider loosening "
+                f"max_depth/max_leaf_nodes or raising escalation_factor.",
                 rounds=rounds,
             )
         weights[trigger_indices] += increment
         increment *= escalation_factor
+        if incremental:
+            forest.refit_trees(
+                np.flatnonzero(misfit), X_train, y_train, sample_weight=weights
+            )
+        else:
+            forest = RandomForestClassifier(
+                n_estimators=n_estimators,
+                tree_feature_fraction=tree_feature_fraction,
+                random_state=int(rng.integers(2**31 - 1)),
+                n_jobs=n_jobs,
+                **params,
+            )
+            forest.fit(X_train, y_train, sample_weight=weights)
 
 
 def train_standard_forest(
@@ -181,6 +219,7 @@ def train_standard_forest(
     n_estimators: int,
     params: dict,
     tree_feature_fraction: float = 0.7,
+    n_jobs: int | None = None,
     random_state=None,
 ) -> RandomForestClassifier:
     """Train the non-watermarked baseline forest used throughout §4."""
@@ -188,6 +227,7 @@ def train_standard_forest(
         n_estimators=n_estimators,
         tree_feature_fraction=tree_feature_fraction,
         random_state=random_state,
+        n_jobs=n_jobs,
         **params,
     )
     return forest.fit(X_train, y_train)
@@ -231,6 +271,8 @@ def watermark(
     weight_increment: float = 1.0,
     escalation_factor: float = 1.0,
     max_rounds: int = 60,
+    incremental: bool = True,
+    n_jobs: int | None = None,
     random_state=None,
 ) -> WatermarkedModel:
     """The paper's ``Watermark(D_train, m, σ, k)`` (Algorithm 1).
@@ -253,8 +295,12 @@ def watermark(
     adjust:
         Apply the ``Adjust`` anti-detection heuristic (on by default;
         the ablation benchmark switches it off).
-    weight_increment, escalation_factor, max_rounds:
-        Re-weighting schedule, see :func:`train_with_trigger`.
+    weight_increment, escalation_factor, max_rounds, incremental:
+        Re-weighting schedule and retraining strategy, see
+        :func:`train_with_trigger`.
+    n_jobs:
+        Parallel tree fitting for the grid search and both trainings
+        (see :class:`~repro.ensemble.RandomForestClassifier`).
     random_state:
         Seed/generator; drives grid search, trigger sampling, adjustment
         and both trainings.
@@ -290,6 +336,7 @@ def watermark(
             n_estimators=len(signature),
             param_grid=param_grid,
             tree_feature_fraction=tree_feature_fraction,
+            n_jobs=n_jobs,
             random_state=rng,
         )
         base_params = search.best_params
@@ -306,6 +353,7 @@ def watermark(
             n_estimators=len(signature),
             base_params=base_params,
             tree_feature_fraction=tree_feature_fraction,
+            n_jobs=n_jobs,
             random_state=rng,
         )
     params = _forest_params(base_params, adjusted)
@@ -324,6 +372,8 @@ def watermark(
             weight_increment=weight_increment,
             escalation_factor=escalation_factor,
             max_rounds=max_rounds,
+            incremental=incremental,
+            n_jobs=n_jobs,
             random_state=rng,
         )
 
@@ -343,12 +393,14 @@ def watermark(
             weight_increment=weight_increment,
             escalation_factor=escalation_factor,
             max_rounds=max_rounds,
+            incremental=incremental,
+            n_jobs=n_jobs,
             random_state=rng,
         )
 
     # Lines 19-23: interleave trees by signature bit.
     template = RandomForestClassifier(
-        tree_feature_fraction=tree_feature_fraction, **params
+        tree_feature_fraction=tree_feature_fraction, n_jobs=n_jobs, **params
     )
     ensemble = _assemble(
         signature,

@@ -87,6 +87,10 @@ def match_signature(
             f"per_tree_predictions must be 2-D, got shape {per_tree_predictions.shape}"
         )
     n_trees, k = per_tree_predictions.shape
+    if k < 1:
+        # With zero trigger instances the boolean reductions below are
+        # vacuously true for every tree — any signature would "match".
+        raise ValidationError("per_tree_predictions must cover at least one trigger instance")
     if trigger_y.shape != (k,):
         raise ValidationError(
             f"trigger_y must have shape ({k},), got {trigger_y.shape}"
@@ -99,9 +103,12 @@ def match_signature(
         raise ValidationError(f"mode must be 'strict' or 'iff', got {mode!r}")
 
     correct = per_tree_predictions == trigger_y[None, :]
+    # Exact boolean reductions decide the match; ``per_tree_accuracy``
+    # is kept for reporting only (a float-equality test on the mean
+    # would make an acceptance decision hinge on rounding).
     per_tree_accuracy = correct.mean(axis=1)
-    all_correct = per_tree_accuracy == 1.0
-    all_wrong = per_tree_accuracy == 0.0
+    all_correct = correct.all(axis=1)
+    all_wrong = ~correct.any(axis=1)
 
     bits = signature.as_array()
     if mode == "strict":

@@ -12,15 +12,18 @@ This is the exact model class the paper watermarks:
 
 from __future__ import annotations
 
+from copy import copy
+
 import numpy as np
 
 from .._validation import (
-    check_random_state,
     check_sample_weight,
     check_X,
     check_X_y,
+    spawn_seed_sequences,
 )
 from ..exceptions import NotFittedError, ValidationError
+from ..parallel import partition, resolve_n_jobs, run_batches
 from ..trees.compiled import adopt_compiled, ensure_compiled, lazy_compiled
 from ..trees.export import ensemble_structure
 from ..trees.tree import DecisionTreeClassifier
@@ -28,6 +31,33 @@ from .compiled import CompiledEnsemble, compile_forest
 from .voting import majority_vote
 
 __all__ = ["RandomForestClassifier"]
+
+
+def _fit_tree_slots(
+    X: np.ndarray,
+    y: np.ndarray,
+    weights: np.ndarray,
+    tree_params: dict,
+    subspace_size: int,
+    seeds: list[np.random.SeedSequence],
+) -> list[tuple[DecisionTreeClassifier, np.ndarray]]:
+    """Fit one tree per seed sequence; the process-pool work unit.
+
+    Each slot's subspace draw and per-split sampling both come from the
+    slot's private stream, so the result depends only on
+    ``(X, y, weights, tree_params, seed)`` — not on which worker fits it
+    or which other slots are being (re)fitted alongside.
+    """
+    fitted = []
+    for seed in seeds:
+        rng = np.random.default_rng(seed)
+        subset = np.sort(rng.choice(X.shape[1], size=subspace_size, replace=False))
+        tree = DecisionTreeClassifier(
+            feature_subset=subset, random_state=rng, **tree_params
+        )
+        tree.fit(X, y, sample_weight=weights)
+        fitted.append((tree, subset))
+    return fitted
 
 
 class RandomForestClassifier:
@@ -46,7 +76,13 @@ class RandomForestClassifier:
         every tree the full feature set.
     random_state:
         Seed/generator controlling subspace assignment and per-split
-        feature sampling.
+        feature sampling.  Internally expanded into one
+        :class:`numpy.random.SeedSequence` child per tree slot, so trees
+        are deterministic and independent of fitting order.
+    n_jobs:
+        Trees fitted concurrently: ``None``/``1`` serial (default),
+        ``-1`` one process per core, ``k`` at most ``k`` worker
+        processes.  Results are bitwise-identical across all settings.
 
     Notes
     -----
@@ -67,6 +103,7 @@ class RandomForestClassifier:
         max_features=None,
         tree_feature_fraction: float = 0.7,
         random_state=None,
+        n_jobs: int | None = None,
     ) -> None:
         self.n_estimators = n_estimators
         self.criterion = criterion
@@ -78,8 +115,10 @@ class RandomForestClassifier:
         self.max_features = max_features
         self.tree_feature_fraction = tree_feature_fraction
         self.random_state = random_state
+        self.n_jobs = n_jobs
         self.trees_: list[DecisionTreeClassifier] | None = None
         self.feature_subsets_: list[np.ndarray] | None = None
+        self._tree_seeds_: list[np.random.SeedSequence] | None = None
         self.classes_: np.ndarray | None = None
         self.n_features_in_: int | None = None
         self._compiled_: CompiledEnsemble | None = None
@@ -100,6 +139,7 @@ class RandomForestClassifier:
             "max_features": self.max_features,
             "tree_feature_fraction": self.tree_feature_fraction,
             "random_state": self.random_state,
+            "n_jobs": self.n_jobs,
         }
 
     def clone_with(self, **overrides) -> "RandomForestClassifier":
@@ -121,42 +161,130 @@ class RandomForestClassifier:
             )
         return max(1, int(round(self.tree_feature_fraction * n_features)))
 
+    def _tree_params(self) -> dict:
+        """Constructor kwargs shared by every tree slot."""
+        return {
+            "criterion": self.criterion,
+            "max_depth": self.max_depth,
+            "max_leaf_nodes": self.max_leaf_nodes,
+            "min_samples_split": self.min_samples_split,
+            "min_samples_leaf": self.min_samples_leaf,
+            "min_impurity_decrease": self.min_impurity_decrease,
+            "max_features": self.max_features,
+        }
+
+    def _fit_slots(
+        self,
+        X: np.ndarray,
+        y: np.ndarray,
+        weights: np.ndarray,
+        seeds: list[np.random.SeedSequence],
+    ) -> list[tuple[DecisionTreeClassifier, np.ndarray]]:
+        """Fit one tree per seed, serially or in a process pool.
+
+        Work is batched one task per worker (not per tree) so the
+        training matrix is pickled at most ``n_jobs`` times; batch
+        results are flattened back into seed order, keeping the output
+        independent of the execution plan.
+        """
+        jobs = resolve_n_jobs(self.n_jobs, n_tasks=len(seeds))
+        subspace_size = self._subspace_size(X.shape[1])
+        batches = [
+            (X, y, weights, self._tree_params(), subspace_size, chunk)
+            for chunk in partition(seeds, jobs)
+        ]
+        results = run_batches(_fit_tree_slots, batches, jobs)
+        return [slot for batch in results for slot in batch]
+
     def fit(self, X, y, sample_weight=None) -> "RandomForestClassifier":
         """Fit ``n_estimators`` trees on the full (weighted) training set."""
         if self.n_estimators < 1:
             raise ValidationError(f"n_estimators must be >= 1, got {self.n_estimators}")
         X, y = check_X_y(X, y)
         weights = check_sample_weight(sample_weight, X.shape[0])
-        rng = check_random_state(self.random_state)
+        seeds = spawn_seed_sequences(self.random_state, self.n_estimators)
 
-        n_features = X.shape[1]
-        subspace_size = self._subspace_size(n_features)
-        trees: list[DecisionTreeClassifier] = []
-        subsets: list[np.ndarray] = []
-        for _ in range(self.n_estimators):
-            subset = np.sort(rng.choice(n_features, size=subspace_size, replace=False))
-            tree = DecisionTreeClassifier(
-                criterion=self.criterion,
-                max_depth=self.max_depth,
-                max_leaf_nodes=self.max_leaf_nodes,
-                min_samples_split=self.min_samples_split,
-                min_samples_leaf=self.min_samples_leaf,
-                min_impurity_decrease=self.min_impurity_decrease,
-                max_features=self.max_features,
-                feature_subset=subset,
-                random_state=rng,  # shared stream keeps the forest deterministic
-            )
-            tree.fit(X, y, sample_weight=weights)
-            trees.append(tree)
-            subsets.append(subset)
-
-        self.trees_ = trees
-        self.feature_subsets_ = subsets
+        fitted = self._fit_slots(X, y, weights, seeds)
+        self.trees_ = [tree for tree, _ in fitted]
+        self.feature_subsets_ = [subset for _, subset in fitted]
+        self._tree_seeds_ = seeds
         self.classes_ = np.unique(np.asarray(y))
-        self.n_features_in_ = n_features
+        self.n_features_in_ = X.shape[1]
         self._compiled_ = None
         self._compiled_sources_ = None
         return self
+
+    def refit_trees(self, indices, X, y, sample_weight=None) -> "RandomForestClassifier":
+        """Refit only the tree slots in ``indices`` on ``(X, y, weights)``.
+
+        Each refitted slot redraws its feature subspace and tree from
+        the next child of its private seed stream — exactly what a full
+        retrain would give that slot, without touching the others.  This
+        is the primitive behind incremental watermark embedding: trees
+        already compliant with the trigger constraint are kept, only the
+        stubborn ones retrain against the re-weighted data.
+
+        The slot streams make the result deterministic: it depends only
+        on the forest's seed and on *how many times each slot has been
+        refitted*, not on which other slots retrain in the same call.
+        """
+        trees = self._check_fitted()
+        X, y = check_X_y(X, y)
+        X = self._check_n_features(X)
+        weights = check_sample_weight(sample_weight, X.shape[0])
+        indices = np.unique(np.asarray(indices, dtype=np.int64))
+        if indices.size == 0:
+            return self
+        if indices.min() < 0 or indices.max() >= len(trees):
+            raise ValidationError(
+                f"tree indices must be in [0, {len(trees)}), got "
+                f"[{indices.min()}, {indices.max()}]"
+            )
+        if self._tree_seeds_ is None:
+            # Restored/hand-assembled forest with no recorded streams:
+            # fall back to fresh entropy (still correct, not replayable).
+            self._tree_seeds_ = spawn_seed_sequences(None, len(trees))
+
+        seeds = [self._tree_seeds_[i].spawn(1)[0] for i in indices]
+        fitted = self._fit_slots(X, y, weights, seeds)
+        assert self.feature_subsets_ is not None
+        for slot, (tree, subset) in zip(indices, fitted):
+            self.trees_[int(slot)] = tree
+            self.feature_subsets_[int(slot)] = subset
+        self._compiled_ = None
+        self._compiled_sources_ = None
+        return self
+
+    def with_roots(self, new_roots) -> "RandomForestClassifier":
+        """A fitted clone of this forest with every tree root replaced.
+
+        This is the single cloning path for model-surgery call sites
+        (modification attacks, pruning sweeps): the clone shares
+        training metadata (``classes_``, ``n_features_in_``, feature
+        subspaces) but carries fresh shallow-copied trees whose
+        compiled-engine caches are explicitly reset — a copied tree must
+        never serve predictions from the donor's node table, nor pin the
+        donor's root graph in memory through a stale cache entry.
+        """
+        trees = self._check_fitted()
+        new_roots = list(new_roots)
+        if len(new_roots) != len(trees):
+            raise ValidationError(
+                f"expected {len(trees)} roots, got {len(new_roots)}"
+            )
+        clone = self.clone_with()
+        clone.classes_ = self.classes_
+        clone.n_features_in_ = self.n_features_in_
+        clone.feature_subsets_ = list(self.feature_subsets_)
+        replaced = []
+        for tree, root in zip(trees, new_roots):
+            new_tree = copy(tree)
+            new_tree.root_ = root
+            new_tree._compiled_ = None
+            new_tree._compiled_sources_ = None
+            replaced.append(new_tree)
+        clone.trees_ = replaced
+        return clone
 
     # ------------------------------------------------------------------
 

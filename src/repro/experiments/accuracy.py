@@ -63,6 +63,7 @@ def _one_point(
         weight_increment=config.weight_increment,
         escalation_factor=config.escalation_factor,
         max_rounds=config.max_rounds,
+        n_jobs=config.n_jobs,
         random_state=seed,
     )
     standard = train_standard_forest(
@@ -71,6 +72,7 @@ def _one_point(
         n_estimators=config.n_estimators,
         params=config.base_params or model.report.base_params,
         tree_feature_fraction=config.tree_feature_fraction,
+        n_jobs=config.n_jobs,
         random_state=seed + 1,
     )
     return AccuracyRow(

@@ -25,7 +25,10 @@ class ExperimentConfig:
     hyper-parameters (the search itself is exercised separately); set it
     to ``None`` to run the full Algorithm 1 including line 12.
     ``escalation_factor > 1`` accelerates the re-weighting loop without
-    changing what it converges to.
+    changing what it converges to.  ``n_jobs`` fans tree fitting out
+    over worker processes (``-1`` = all cores) wherever a driver trains
+    a watermarked or standard forest (attacker-side surrogates in the
+    extraction study stay serial); results do not depend on it.
     """
 
     name: str
@@ -43,6 +46,7 @@ class ExperimentConfig:
     weight_increment: float = 1.0
     escalation_factor: float = 2.0
     max_rounds: int = 25
+    n_jobs: int | None = None
     seed: int = 20250612
 
     def with_overrides(self, **overrides) -> "ExperimentConfig":

@@ -60,6 +60,7 @@ def build_watermarked_model(
         weight_increment=config.weight_increment,
         escalation_factor=config.escalation_factor,
         max_rounds=config.max_rounds,
+        n_jobs=config.n_jobs,
         random_state=config.seed + seed_offset + 4,
     )
     return model, split

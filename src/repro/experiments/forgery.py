@@ -174,6 +174,7 @@ def forged_instance_study(
         n_estimators=config.n_estimators,
         params=config.base_params or model.report.base_params,
         tree_feature_fraction=config.tree_feature_fraction,
+        n_jobs=config.n_jobs,
         random_state=config.seed + 5,
     )
     rng = np.random.default_rng(config.seed + 77)

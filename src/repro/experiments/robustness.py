@@ -18,7 +18,6 @@ against the damage (fraction of trees still matching the signature).
 
 from __future__ import annotations
 
-from copy import copy
 from dataclasses import dataclass
 
 from ..attacks.extraction import extraction_study
@@ -95,17 +94,9 @@ def modification_table(
 
 def _pruned_forest(forest, alpha: float):
     """A clone of a fitted forest with every tree pruned at ``alpha``."""
-    clone = forest.clone_with()
-    clone.classes_ = forest.classes_
-    clone.n_features_in_ = forest.n_features_in_
-    clone.feature_subsets_ = list(forest.feature_subsets_)
-    trees = []
-    for tree in forest.trees_:
-        pruned = copy(tree)
-        pruned.root_ = prune_cost_complexity(tree.root_, alpha)
-        trees.append(pruned)
-    clone.trees_ = trees
-    return clone
+    return forest.with_roots(
+        [prune_cost_complexity(root, alpha) for root in forest.roots()]
+    )
 
 
 def pruning_table(
@@ -118,6 +109,10 @@ def pruning_table(
     rows: list[RobustnessRow] = []
     for alpha in alphas:
         attacked = _pruned_forest(model.ensemble, alpha)
+        # One compiled table serves both the trigger sweep and the
+        # test-set scoring (as in modification_robustness): the trigger
+        # batch alone is below the lazy-compilation threshold.
+        attacked.compile()
         report = verify_ownership(
             attacked, model.signature, model.trigger.X, model.trigger.y
         )

@@ -58,6 +58,7 @@ def grid_search_forest(
     param_grid: dict[str, list] | None = None,
     n_splits: int = 3,
     tree_feature_fraction: float = 0.7,
+    n_jobs: int | None = None,
     random_state=None,
 ) -> GridSearchResult:
     """Select forest hyper-parameters by mean CV accuracy.
@@ -77,6 +78,9 @@ def grid_search_forest(
         Stratified CV folds.
     tree_feature_fraction:
         Per-tree feature subspace fraction, forwarded to every candidate.
+    n_jobs:
+        Parallel tree fitting within each candidate forest (see
+        :class:`RandomForestClassifier`).
     random_state:
         Seed/generator; each fold/candidate gets a derived child seed so
         results are reproducible yet not artificially correlated.
@@ -110,6 +114,7 @@ def grid_search_forest(
                 n_estimators=n_estimators,
                 tree_feature_fraction=tree_feature_fraction,
                 random_state=int(rng.integers(2**31 - 1)),
+                n_jobs=n_jobs,
                 **params,
             )
             forest.fit(X[train_index], y[train_index])

@@ -232,8 +232,11 @@ def forest_to_dict(
     if forest.trees_ is None:
         raise SerializationError("cannot serialise an unfitted forest")
     params = forest.get_params()
-    # A shared Generator is not serialisable and not needed for replay.
-    if isinstance(params.get("random_state"), np.random.Generator):
+    # A shared Generator or SeedSequence is not JSON-serialisable and
+    # not needed for replay.
+    if isinstance(
+        params.get("random_state"), (np.random.Generator, np.random.SeedSequence)
+    ):
         params["random_state"] = None
     data = {
         "format_version": FORMAT_VERSION,

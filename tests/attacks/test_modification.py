@@ -74,6 +74,39 @@ class TestFlipLeaves:
         with pytest.raises(ValidationError):
             flip_leaves(_deep_tree(), 1.5, rng)
 
+    def test_flip_swaps_class_weight_mass(self, rng):
+        # Regression: a flipped leaf must move its recorded class mass
+        # with the label, otherwise the label says one class while the
+        # distribution still favours the other.
+        tree = InternalNode(0, 0.5, Leaf(-1, {-1: 3.0, 1: 1.0}), Leaf(1, {1: 5.0}))
+        flipped = flip_leaves(tree, 1.0, rng)
+        left, right = flipped.left, flipped.right
+        assert left.prediction == 1 and left.class_weights == {1: 3.0, -1: 1.0}
+        assert right.prediction == -1 and right.class_weights == {-1: 5.0, 1: 0.0}
+
+    def test_flip_keeps_predict_and_proba_consistent(self, bc_data, rng):
+        # Regression: on attacked models, `predict` (leaf labels) and
+        # `predict_proba` (leaf distributions) must name the same
+        # majority class — on the object path and the compiled path.
+        from repro.ensemble import RandomForestClassifier
+        from repro.trees import inference_backend
+
+        X_train, X_test, y_train, _ = bc_data
+        # Unconstrained trees reach pure leaves, so argmax is tie-free.
+        forest = RandomForestClassifier(
+            n_estimators=3, tree_feature_fraction=1.0, random_state=23
+        ).fit(X_train, y_train)
+        attacked = flip_forest_leaves(forest, 1.0, random_state=24)
+        for tree in attacked.trees_:
+            for backend in ("object", "compiled"):
+                with inference_backend(backend):
+                    if backend == "compiled":
+                        tree.compile()
+                    labels = tree.predict(X_test)
+                    proba = tree.predict_proba(X_test)
+                by_proba = tree.classes_[np.argmax(proba, axis=1)]
+                assert np.array_equal(labels, by_proba), backend
+
 
 def _leaves(root):
     from repro.trees.node import iter_leaves

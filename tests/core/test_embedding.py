@@ -3,8 +3,15 @@
 import numpy as np
 import pytest
 
-from repro.core import Signature, random_signature, train_with_trigger, watermark
+from repro.core import (
+    Signature,
+    random_signature,
+    train_with_trigger,
+    verify_ownership,
+    watermark,
+)
 from repro.exceptions import ConvergenceError, ValidationError
+from repro.persistence import node_to_dict
 
 BASE_PARAMS = {"max_depth": 8, "min_samples_leaf": 1}
 
@@ -43,9 +50,10 @@ class TestTrainWithTrigger:
         predictions = forest.predict_all(X_train[trigger_indices])
         assert (predictions == y_flipped[trigger_indices][None, :]).all()
 
-    def test_convergence_error_when_impossible(self, rng):
+    @pytest.mark.parametrize("incremental", [True, False])
+    def test_convergence_error_when_impossible(self, rng, incremental):
         # Two identical instances with opposite required labels cannot
-        # both be fitted by any tree.
+        # both be fitted by any tree — on either retraining strategy.
         X = rng.uniform(size=(40, 3))
         X[1] = X[0]
         y = rng.choice([-1, 1], size=40)
@@ -58,9 +66,79 @@ class TestTrainWithTrigger:
                 n_estimators=2,
                 params=BASE_PARAMS,
                 max_rounds=3,
+                incremental=incremental,
                 random_state=2,
             )
         assert excinfo.value.rounds == 3
+
+    def test_escalation_schedule_weights(self, bc_data):
+        # The final trigger weight is a pure function of the failed-round
+        # count: additive (1 + rounds) by default, geometric (2^rounds)
+        # at escalation_factor=2.
+        X_train, _, y_train, _ = bc_data
+        trigger_indices = np.arange(8)
+        y_flipped = y_train.copy()
+        y_flipped[trigger_indices] = -y_flipped[trigger_indices]
+        # Shallow trees cannot isolate eight flipped triggers in one
+        # round, forcing the re-weighting schedule to actually run.
+        params = {"max_depth": 3, "min_samples_leaf": 1}
+
+        _, rounds_add, weight_add = train_with_trigger(
+            X_train, y_flipped, trigger_indices, n_estimators=3,
+            params=params, random_state=1,
+        )
+        assert weight_add == pytest.approx(1.0 + rounds_add)
+
+        _, rounds_esc, weight_esc = train_with_trigger(
+            X_train, y_flipped, trigger_indices, n_estimators=3,
+            params=params, escalation_factor=2.0, random_state=1,
+        )
+        assert weight_esc == pytest.approx(2.0**rounds_esc)
+        # The forced-misclassification task needs at least one
+        # re-weighting round here, so the schedules actually differ.
+        assert rounds_esc >= 1
+
+    def test_full_retrain_equivalent_to_incremental(self, bc_data):
+        # Selective retraining must preserve Algorithm 1's postcondition:
+        # both strategies produce forests whose every tree fits the
+        # required trigger labels (the trees themselves may differ).
+        X_train, _, y_train, _ = bc_data
+        trigger_indices = np.array([0, 5, 10])
+        for incremental in (True, False):
+            forest, _, _ = train_with_trigger(
+                X_train,
+                y_train,
+                trigger_indices,
+                n_estimators=4,
+                params=BASE_PARAMS,
+                escalation_factor=2.0,
+                incremental=incremental,
+                random_state=3,
+            )
+            predictions = forest.predict_all(X_train[trigger_indices])
+            assert (predictions == y_train[trigger_indices][None, :]).all()
+
+    def test_parallel_matches_serial_bitwise(self, bc_data):
+        X_train, _, y_train, _ = bc_data
+        trigger_indices = np.array([2, 9])
+        forests = []
+        for n_jobs in (None, 2):
+            forest, rounds, weight = train_with_trigger(
+                X_train,
+                y_train,
+                trigger_indices,
+                n_estimators=4,
+                params=BASE_PARAMS,
+                escalation_factor=2.0,
+                n_jobs=n_jobs,
+                random_state=4,
+            )
+            forests.append((forest, rounds, weight))
+        (serial, r1, w1), (pooled, r2, w2) = forests
+        assert (r1, w1) == (r2, w2)
+        assert [node_to_dict(r) for r in serial.roots()] == [
+            node_to_dict(r) for r in pooled.roots()
+        ]
 
     def test_invalid_parameters(self, bc_data):
         X_train, _, y_train, _ = bc_data
@@ -175,6 +253,44 @@ class TestWatermark:
         assert np.array_equal(
             a.ensemble.predict_all(X_train[:20]), b.ensemble.predict_all(X_train[:20])
         )
+
+    def test_incremental_and_full_both_accepted(self, bc_data):
+        # The engine-level equivalence contract at the watermark level:
+        # either retraining strategy yields a model the verification
+        # protocol accepts in strict mode on the synthetic dataset.
+        X_train, _, y_train, _ = bc_data
+        sig = random_signature(6, ones_fraction=0.5, random_state=30)
+        for incremental in (True, False):
+            model = watermark(
+                X_train,
+                y_train,
+                sig,
+                trigger_size=4,
+                base_params=BASE_PARAMS,
+                escalation_factor=2.0,
+                incremental=incremental,
+                random_state=31,
+            )
+            report = verify_ownership(
+                model.ensemble, model.signature, model.trigger.X,
+                model.trigger.y, mode="strict",
+            )
+            assert report.accepted
+
+    def test_watermark_parallel_determinism(self, bc_data):
+        X_train, _, y_train, _ = bc_data
+        sig = random_signature(4, random_state=40)
+        kwargs = dict(
+            trigger_size=3,
+            base_params=BASE_PARAMS,
+            escalation_factor=2.0,
+            random_state=41,
+        )
+        serial = watermark(X_train, y_train, sig, **kwargs)
+        pooled = watermark(X_train, y_train, sig, n_jobs=2, **kwargs)
+        assert [node_to_dict(r) for r in serial.ensemble.roots()] == [
+            node_to_dict(r) for r in pooled.ensemble.roots()
+        ]
 
     def test_grid_search_path(self, bc_data):
         # base_params=None exercises line 12 of Algorithm 1.

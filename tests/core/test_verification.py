@@ -39,6 +39,25 @@ class TestMatchSignature:
         assert not report.accepted
         assert report.n_matching == 0
 
+    def test_match_uses_exact_boolean_reductions(self):
+        # Regression: the all-correct / all-wrong decision must come
+        # from exact boolean reductions over the comparison matrix, not
+        # from float equality on the accuracy mean.  A tree that misses
+        # exactly one of k triggers is neither, for any k.
+        trigger_y = np.repeat(np.array([1, -1]), 24)  # k = 48
+        sig = Signature.from_string("01")
+        predictions = _pattern_predictions(sig, trigger_y)
+        report = match_signature(predictions, trigger_y, sig)
+        assert report.accepted
+        predictions[0, -1] = -predictions[0, -1]
+        predictions[1, 0] = -predictions[1, 0]
+        report = match_signature(predictions, trigger_y, sig)
+        assert not report.accepted
+        assert report.recovered_bits == [None, None]
+        # Accuracy stays reported for diagnostics.
+        assert report.per_tree_accuracy[0] == pytest.approx(47 / 48)
+        assert report.per_tree_accuracy[1] == pytest.approx(1 / 48)
+
     def test_partial_tree_failure_rejected(self):
         sig = Signature.from_string("00")
         trigger_y = np.array([1, -1, 1])

@@ -5,6 +5,15 @@ import pytest
 
 from repro.ensemble import RandomForestClassifier
 from repro.exceptions import NotFittedError, ValidationError
+from repro.persistence import node_to_dict
+
+
+def _forest_fingerprint(forest):
+    """Bitwise-comparable snapshot of the fitted trees and subspaces."""
+    return (
+        [node_to_dict(root) for root in forest.roots()],
+        [subset.tolist() for subset in forest.feature_subsets_],
+    )
 
 
 class TestFit:
@@ -108,6 +117,138 @@ class TestStructure:
         roots = bc_forest.roots()
         assert len(roots) == 9
         assert all(root is tree.root_ for root, tree in zip(roots, bc_forest.trees_))
+
+
+class TestParallelFit:
+    def test_n_jobs_bitwise_identical(self, bc_data):
+        X_train, _, y_train, _ = bc_data
+        serial = RandomForestClassifier(
+            n_estimators=5, max_depth=5, random_state=3
+        ).fit(X_train, y_train)
+        pooled = RandomForestClassifier(
+            n_estimators=5, max_depth=5, random_state=3, n_jobs=2
+        ).fit(X_train, y_train)
+        assert _forest_fingerprint(serial) == _forest_fingerprint(pooled)
+
+    def test_n_jobs_minus_one_runs(self, bc_data):
+        X_train, _, y_train, _ = bc_data
+        forest = RandomForestClassifier(
+            n_estimators=3, max_depth=4, random_state=4, n_jobs=-1
+        ).fit(X_train, y_train)
+        assert forest.n_trees_ == 3
+
+    def test_invalid_n_jobs_rejected(self, bc_data):
+        X_train, _, y_train, _ = bc_data
+        for bad in (0, -2, 1.5, True):
+            with pytest.raises(ValidationError):
+                RandomForestClassifier(
+                    n_estimators=2, max_depth=3, n_jobs=bad
+                ).fit(X_train, y_train)
+
+
+class TestRefitTrees:
+    def test_only_selected_slots_change(self, bc_data):
+        X_train, _, y_train, _ = bc_data
+        forest = RandomForestClassifier(
+            n_estimators=5, max_depth=5, random_state=6
+        ).fit(X_train, y_train)
+        before = _forest_fingerprint(forest)
+        forest.refit_trees([1, 3], X_train, y_train)
+        after = _forest_fingerprint(forest)
+        for slot in (0, 2, 4):
+            assert after[0][slot] == before[0][slot]
+            assert after[1][slot] == before[1][slot]
+        # Refitted slots get a fresh draw from their private stream.
+        assert after[0][1] != before[0][1] or after[1][1] != before[1][1]
+
+    def test_refit_order_independent(self, bc_data):
+        X_train, _, y_train, _ = bc_data
+
+        def fresh():
+            return RandomForestClassifier(
+                n_estimators=5, max_depth=5, random_state=6
+            ).fit(X_train, y_train)
+
+        together = fresh().refit_trees([1, 3], X_train, y_train)
+        separately = fresh().refit_trees([3], X_train, y_train).refit_trees(
+            [1], X_train, y_train
+        )
+        assert _forest_fingerprint(together) == _forest_fingerprint(separately)
+
+    def test_refit_with_weights_changes_fit(self, bc_data):
+        X_train, _, y_train, _ = bc_data
+        forest = RandomForestClassifier(
+            n_estimators=3, max_depth=4, tree_feature_fraction=1.0, random_state=7
+        ).fit(X_train, y_train)
+        weights = np.ones(X_train.shape[0])
+        weights[:5] = 100.0
+        forest.refit_trees([0], X_train, y_train, sample_weight=weights)
+        assert forest.trees_[0].predict(X_train[:5]).tolist() == y_train[:5].tolist()
+
+    def test_refit_invalidates_compiled_cache(self, bc_data):
+        X_train, X_test, y_train, _ = bc_data
+        forest = RandomForestClassifier(
+            n_estimators=3, max_depth=4, random_state=8
+        ).fit(X_train, y_train)
+        forest.compile()
+        forest.refit_trees([2], X_train, y_train)
+        assert forest._compiled_ is None
+        # Predictions after refit come from the new trees.
+        expected = np.stack([t.predict(X_test) for t in forest.trees_])
+        assert np.array_equal(forest.predict_all(X_test), expected)
+
+    def test_out_of_range_indices_rejected(self, bc_data):
+        X_train, _, y_train, _ = bc_data
+        forest = RandomForestClassifier(
+            n_estimators=3, max_depth=3, random_state=9
+        ).fit(X_train, y_train)
+        with pytest.raises(ValidationError):
+            forest.refit_trees([3], X_train, y_train)
+        with pytest.raises(ValidationError):
+            forest.refit_trees([-1], X_train, y_train)
+
+    def test_empty_indices_noop(self, bc_data):
+        X_train, _, y_train, _ = bc_data
+        forest = RandomForestClassifier(
+            n_estimators=3, max_depth=3, random_state=10
+        ).fit(X_train, y_train)
+        before = _forest_fingerprint(forest)
+        forest.refit_trees([], X_train, y_train)
+        assert _forest_fingerprint(forest) == before
+
+    def test_unfitted_raises(self, bc_data):
+        X_train, _, y_train, _ = bc_data
+        with pytest.raises(NotFittedError):
+            RandomForestClassifier().refit_trees([0], X_train, y_train)
+
+
+class TestWithRoots:
+    def test_clone_shares_metadata_not_caches(self, bc_forest, bc_data):
+        _, X_test, _, _ = bc_data
+        bc_forest.compile()
+        clone = bc_forest.with_roots([t.root_ for t in bc_forest.trees_])
+        assert clone._compiled_ is None
+        assert all(t._compiled_ is None for t in clone.trees_)
+        assert all(t._compiled_sources_ is None for t in clone.trees_)
+        assert np.array_equal(clone.predict_all(X_test), bc_forest.predict_all(X_test))
+        assert clone.classes_ is bc_forest.classes_
+        assert clone.n_features_in_ == bc_forest.n_features_in_
+
+    def test_donor_unaffected(self, bc_forest):
+        from repro.trees.node import Leaf
+
+        roots_before = bc_forest.roots()
+        clone = bc_forest.with_roots([Leaf(1, {1: 1.0})] * bc_forest.n_trees_)
+        assert bc_forest.roots() == roots_before
+        assert all(root.is_leaf for root in clone.roots())
+
+    def test_wrong_root_count_rejected(self, bc_forest):
+        with pytest.raises(ValidationError, match="roots"):
+            bc_forest.with_roots([bc_forest.trees_[0].root_])
+
+    def test_unfitted_raises(self):
+        with pytest.raises(NotFittedError):
+            RandomForestClassifier().with_roots([])
 
 
 class TestCloneWith:

@@ -11,7 +11,8 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.core import Signature, random_signature, signature_from_identity
-from repro.core.verification import match_signature
+from repro.core.embedding import watermark
+from repro.core.verification import match_signature, verify_ownership
 from repro.ensemble import RandomForestClassifier, majority_vote
 from repro.solver import PatternProblem, required_labels, solve_pattern_smt
 from repro.trees import DecisionTreeClassifier, leaf_boxes
@@ -65,6 +66,45 @@ class TestForestVotingConsistency:
             forest.predict(probe),
             majority_vote(forest.predict_all(probe), forest.classes_),
         )
+
+
+class TestIncrementalEmbeddingInvariant:
+    """Algorithm 1's postcondition survives the incremental engine: for
+    any seed, every tree of the embedded forest fits its required
+    trigger labels (bit 0 → all correct, bit 1 → all wrong) and the
+    strict verification protocol accepts the claim."""
+
+    @given(seeds)
+    @settings(max_examples=5, deadline=None)
+    def test_incremental_embedding_accepted(self, seed):
+        gen = np.random.default_rng(seed)
+        n = 90
+        X = gen.uniform(size=(n, 6))
+        y = np.where(X[:, 0] + gen.normal(scale=0.3, size=n) > 0.5, 1, -1)
+        if len(np.unique(y)) < 2:
+            y[0] = -y[0]
+        signature = random_signature(
+            4, ones_fraction=0.5, random_state=int(gen.integers(2**31 - 1))
+        )
+        model = watermark(
+            X,
+            y,
+            signature,
+            trigger_size=3,
+            base_params={"max_depth": 8, "min_samples_leaf": 1},
+            adjust=False,
+            escalation_factor=2.0,
+            random_state=int(gen.integers(2**31 - 1)),
+        )
+        predictions = model.ensemble.predict_all(model.trigger.X)
+        correct = predictions == model.trigger.y[None, :]
+        for i, bit in enumerate(model.signature):
+            assert correct[i].all() if bit == 0 else (~correct[i]).all()
+        report = verify_ownership(
+            model.ensemble, model.signature, model.trigger.X,
+            model.trigger.y, mode="strict",
+        )
+        assert report.accepted
 
 
 class TestBoxesMatchRouting:
