@@ -1,0 +1,153 @@
+"""Engineering benchmark — the shared-encoding, parallel forgery engine.
+
+Not a paper artefact: this benchmark measures the forgery solver sweep
+(:func:`repro.attacks.forge_trigger_set` over the Fig. 4 ε grid) in its
+four operating modes:
+
+- **fresh** — the pre-engine behaviour: rebuild the forest's
+  path/threshold encoding for every instance, serially
+  (``reuse_encoding=False``);
+- **reuse** — layer 1: compile the encoding once per signature pattern
+  and re-solve it per instance with assumption-style incremental SAT
+  (the default);
+- **fresh+par** — layer 2 alone: per-instance rebuilds fanned out over
+  ``n_jobs=4`` worker processes;
+- **reuse+par** — both layers: the compiled encoding shared with every
+  fork worker copy-on-write.
+
+The determinism contract is asserted on every run, in both modes:
+all four modes must return **byte-identical** forged sets, source
+indices and status counts.  The acceptance bar (full mode) is a ≥ 3×
+end-to-end speedup of ``reuse+par`` (``n_jobs=4``) over the fresh
+serial baseline; on a single-core machine — where process fan-out
+cannot pay for itself — the bar falls to layer 1 alone (``reuse``),
+which carries the same contract.
+
+Run (full)::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_forgery.py -s
+
+Run (smoke mode, seconds)::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_forgery.py -s --quick
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from conftest import BENCH, emit, is_quick
+
+from repro.attacks import forge_trigger_set
+from repro.core import random_signature
+from repro.experiments import format_table
+from repro.experiments.detection import build_watermarked_model
+
+FULL_EPSILONS = (0.05, 0.1, 0.2, 0.3, 0.5, 0.7, 0.9)
+QUICK_EPSILONS = (0.1, 0.5)
+
+FULL_INSTANCES = 30
+QUICK_INSTANCES = 6
+
+PARALLEL_JOBS = 4
+MIN_SPEEDUP = 3.0
+
+MODES = [
+    ("fresh", dict(reuse_encoding=False)),
+    ("reuse", dict(reuse_encoding=True)),
+    ("fresh+par", dict(reuse_encoding=False, n_jobs=PARALLEL_JOBS)),
+    ("reuse+par", dict(reuse_encoding=True, n_jobs=PARALLEL_JOBS)),
+]
+
+
+def _sweep(model, X_test, y_test, fake, epsilons, max_instances, **mode):
+    """One timed Fig. 4-style ε sweep; returns (results, seconds)."""
+    start = time.perf_counter()
+    results = [
+        forge_trigger_set(
+            model.ensemble,
+            fake,
+            X_test,
+            y_test,
+            epsilon=eps,
+            max_instances=max_instances,
+            solver_budget=60_000,
+            random_state=97,
+            **mode,
+        )
+        for eps in epsilons
+    ]
+    return results, time.perf_counter() - start
+
+
+def _fingerprint(results):
+    return [
+        (
+            r.n_attempted,
+            r.forged_X.tobytes(),
+            tuple(int(i) for i in r.source_index),
+            tuple(sorted(r.statuses.items())),
+        )
+        for r in results
+    ]
+
+
+def test_forgery_engine_speedup(quick_mode):
+    epsilons = QUICK_EPSILONS if quick_mode else FULL_EPSILONS
+    max_instances = QUICK_INSTANCES if quick_mode else FULL_INSTANCES
+
+    model, (_X_train, X_test, _y_train, y_test) = build_watermarked_model(
+        BENCH, "mnist26"
+    )
+    fake = random_signature(BENCH.n_estimators, ones_fraction=0.5, random_state=96)
+
+    timings: dict[str, float] = {}
+    fingerprints: dict[str, list] = {}
+    forged_totals: dict[str, int] = {}
+    for name, mode in MODES:
+        results, seconds = _sweep(
+            model, X_test, y_test, fake, epsilons, max_instances, **mode
+        )
+        timings[name] = seconds
+        fingerprints[name] = _fingerprint(results)
+        forged_totals[name] = sum(r.n_forged for r in results)
+
+    baseline = timings["fresh"]
+    rows = [
+        [
+            name,
+            f"{timings[name]:.2f}",
+            f"{baseline / timings[name]:.2f}x",
+            forged_totals[name],
+        ]
+        for name, _mode in MODES
+    ]
+    text = format_table(
+        ["mode", "seconds", "speedup", "forged total"], rows
+    ) + (
+        f"\nmode: {'quick' if quick_mode else 'full'}"
+        f" | {len(epsilons)} eps x {max_instances} instances"
+        f" | cpus: {os.cpu_count()}"
+    )
+    emit("forgery_engine", text)
+
+    # Determinism contract: every mode forges byte-identical sets.
+    for name, _mode in MODES[1:]:
+        assert fingerprints[name] == fingerprints["fresh"], (
+            f"mode {name!r} diverged from the serial fresh baseline"
+        )
+    assert forged_totals["fresh"] > 0, "benchmark forged nothing — not measuring"
+
+    if quick_mode:
+        return  # smoke: exercise all modes + contract, skip the perf bar
+
+    # Acceptance: both layers together beat the serial baseline 3x.  A
+    # single-core runner cannot amortise process fan-out, so the same
+    # bar applies to the encoding-reuse layer alone there.
+    headline = "reuse+par" if (os.cpu_count() or 1) >= 2 else "reuse"
+    speedup = baseline / timings[headline]
+    assert speedup >= MIN_SPEEDUP, (
+        f"{headline} speedup {speedup:.2f}x below the {MIN_SPEEDUP}x bar "
+        f"(timings: { {k: round(v, 2) for k, v in timings.items()} })"
+    )

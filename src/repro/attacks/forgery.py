@@ -7,6 +7,23 @@ experiment, the attacker iterates over real test instances and asks a
 solver for a satisfying instance within ``L∞`` distance ``ε`` of each —
 the distance budget keeps forged triggers "reminiscent of real test
 instances".
+
+Two engine-level speedups apply on top of the paper's loop, neither of
+which changes what is computed:
+
+- **Encoding reuse** (``reuse_encoding=True``, the default): the
+  forest's leaf boxes, threshold atoms and clause skeleton are
+  compiled once per required-label pattern
+  (:class:`repro.solver.CompiledPatternEncoding`) and re-solved per
+  instance with only the ``L∞`` box supplied as assumptions.
+- **Parallel fan-out** (``n_jobs``): instance attempts are dispatched
+  in deterministic contiguous chunks over a process pool.  Every
+  per-instance solve is a pure function of the forest, the signature
+  and the instance bounds, so ``forged_X``, ``source_index`` and
+  ``statuses`` are bitwise identical for a fixed ``random_state``
+  regardless of worker count or the ``reuse_encoding`` flag — the
+  early stop at ``target_size`` consumes results in serial attempt
+  order and discards any speculative surplus the pool solved.
 """
 
 from __future__ import annotations
@@ -19,9 +36,23 @@ import numpy as np
 from .._validation import check_random_state, check_X_y
 from ..core.signature import Signature
 from ..exceptions import ValidationError
-from ..solver import PatternProblem, required_labels, solve_pattern
+from ..parallel import (
+    fork_available,
+    partition,
+    resolve_n_jobs,
+    run_batches,
+    shared_payload,
+)
+from ..solver import EncodingCache, compile_pattern_encoding, required_labels
 
 __all__ = ["ForgeryAttackResult", "forge_trigger_set", "forgery_distortion"]
+
+_ENGINES = ("smt", "boxes", "portfolio")
+
+#: Instances dispatched per worker per wave when an early-stop target
+#: is set.  Larger waves amortise pool/pickling overhead; smaller waves
+#: waste less speculative work once the target is reached.
+_WAVE_CHUNK = 8
 
 
 @dataclass
@@ -48,6 +79,77 @@ class ForgeryAttackResult:
         return int(self.forged_X.shape[0])
 
 
+def _solve_instance(
+    cache: EncodingCache | None,
+    roots,
+    signature: Signature,
+    label: int,
+    center: np.ndarray,
+    epsilon: float,
+    n_features: int,
+    engine: str,
+    budget: int | None,
+):
+    """Solve one forgery instance — a pure function of its arguments.
+
+    ``cache`` carries compiled encodings when reuse is on; ``None``
+    recompiles the skeleton for this instance alone.  Both paths run
+    the identical per-instance procedure, which is what the serial ==
+    parallel == fresh-encoding determinism contract rests on.
+    """
+    required = required_labels(signature, label)
+    if cache is not None:
+        encoding = cache.for_required(required)
+        return encoding.solve(
+            center=center, epsilon=epsilon, engine=engine, budget=budget, reuse=True
+        )
+    encoding = compile_pattern_encoding(roots, required, n_features)
+    return encoding.solve(
+        center=center, epsilon=epsilon, engine=engine, budget=budget, reuse=False
+    )
+
+
+def _forge_batch(
+    roots,
+    signature: Signature,
+    labels: np.ndarray,
+    centers: np.ndarray,
+    epsilon: float,
+    n_features: int,
+    engine: str,
+    budget: int | None,
+    reuse_encoding: bool,
+) -> list[tuple[str, np.ndarray | None]]:
+    """Worker entry point: solve a contiguous batch of instances.
+
+    Under a fork-based pool the parent's compiled encodings arrive for
+    free via :func:`repro.parallel.shared_payload`; otherwise (spawn
+    platforms, or reuse disabled) the worker builds its own.  Either
+    way each instance solve is the same pure function, so results do
+    not depend on which path was taken.
+    """
+    cache = None
+    if reuse_encoding:
+        inherited = shared_payload()
+        if isinstance(inherited, EncodingCache):
+            cache = inherited
+        else:
+            if roots is None:
+                raise RuntimeError(
+                    "forgery worker received no tree roots and no shared "
+                    "encoding cache — fork detection went wrong"
+                )
+            cache = EncodingCache(roots, n_features)
+    out: list[tuple[str, np.ndarray | None]] = []
+    for label, center in zip(labels, centers):
+        outcome = _solve_instance(
+            cache, roots, signature, int(label), center, epsilon,
+            n_features, engine, budget,
+        )
+        out.append((outcome.status, outcome.instance))
+    return out
+
+
 def forge_trigger_set(
     forest,
     fake_signature: Signature,
@@ -58,6 +160,8 @@ def forge_trigger_set(
     target_size: int | None = None,
     max_instances: int | None = None,
     solver_budget: int | None = 100_000,
+    n_jobs: int | None = None,
+    reuse_encoding: bool = True,
     random_state=None,
 ) -> ForgeryAttackResult:
     """Attempt to forge a trigger set against a (stolen) forest.
@@ -73,7 +177,8 @@ def forge_trigger_set(
     epsilon:
         ``L∞`` distortion budget relative to each test instance.
     engine:
-        Forgery solver: ``"smt"`` (eager encoding + CDCL) or ``"boxes"``.
+        Forgery solver: ``"smt"`` (eager encoding + CDCL), ``"boxes"``
+        (DPLL over leaf boxes) or ``"portfolio"`` (both, cross-checked).
     target_size:
         Stop once this many instances were forged (the paper compares
         against the original trigger-set size).  ``None`` = no target.
@@ -81,7 +186,16 @@ def forge_trigger_set(
         Cap on test instances attempted (``None`` = all of them).
     solver_budget:
         Per-instance solver budget (conflicts for ``smt``, nodes for
-        ``boxes``); exhausted attempts count as ``"unknown"``.
+        ``boxes``, both for ``portfolio``); exhausted attempts count as
+        ``"unknown"``.
+    n_jobs:
+        Worker processes for the instance sweep (``None``/``1`` serial,
+        ``-1`` all cores).  Results are identical across settings.
+    reuse_encoding:
+        Compile the forest's path/threshold encoding once per
+        required-label pattern and re-solve it per instance (default),
+        instead of rebuilding it from scratch every time.  Results are
+        identical either way; reuse is simply faster.
     random_state:
         Shuffles the attempt order over the test set.
     """
@@ -93,6 +207,10 @@ def forge_trigger_set(
         )
     if not 0.0 < epsilon < 1.0:
         raise ValidationError(f"epsilon must be in (0, 1), got {epsilon}")
+    if engine not in _ENGINES:
+        raise ValidationError(
+            f"unknown engine {engine!r}; expected one of {sorted(_ENGINES)}"
+        )
 
     rng = check_random_state(random_state)
     order = rng.permutation(X_test.shape[0])
@@ -100,33 +218,93 @@ def forge_trigger_set(
         order = order[:max_instances]
 
     roots = forest.roots()
-    budget_kwargs = (
-        {"max_conflicts": solver_budget} if engine == "smt" else {"max_nodes": solver_budget}
-    )
+    n_features = int(X_test.shape[1])
+    n_workers = resolve_n_jobs(n_jobs, n_tasks=len(order))
 
     forged: list[np.ndarray] = []
     sources: list[int] = []
     statuses: dict[str, int] = {"sat": 0, "unsat": 0, "unknown": 0}
     started = time.perf_counter()
     n_attempted = 0
-    for row in order:
+
+    def consume(row: int, status: str, instance: np.ndarray | None) -> bool:
+        """Fold one attempt into the result; False once the target is hit."""
+        nonlocal n_attempted
         if target_size is not None and len(forged) >= target_size:
-            break
+            return False
         n_attempted += 1
-        label = int(y_test[row])
-        problem = PatternProblem(
-            roots=roots,
-            required=required_labels(fake_signature, label),
-            n_features=X_test.shape[1],
-            center=X_test[row],
-            epsilon=float(epsilon),
-        )
-        outcome = solve_pattern(problem, engine=engine, **budget_kwargs)
-        statuses[outcome.status] = statuses.get(outcome.status, 0) + 1
-        if outcome.is_sat:
-            assert outcome.instance is not None
-            forged.append(outcome.instance)
+        statuses[status] = statuses.get(status, 0) + 1
+        if status == "sat":
+            assert instance is not None
+            forged.append(instance)
             sources.append(int(row))
+        return True
+
+    if n_workers == 1:
+        cache = EncodingCache(roots, n_features) if reuse_encoding else None
+        for row in order:
+            if target_size is not None and len(forged) >= target_size:
+                break
+            outcome = _solve_instance(
+                cache, roots, fake_signature, int(y_test[row]), X_test[row],
+                float(epsilon), n_features, engine, solver_budget,
+            )
+            consume(int(row), outcome.status, outcome.instance)
+    else:
+        # Deterministic waves: solve a contiguous slice of the attempt
+        # order across the pool, then fold results back *in attempt
+        # order*.  Without a target one wave covers everything; with a
+        # target the wave size bounds the speculative surplus.  The
+        # parent compiles the encodings once and shares them with every
+        # fork-based worker copy-on-write.
+        shared_cache = None
+        payload_roots = roots
+        if reuse_encoding and fork_available():
+            # Workers inherit the warmed cache copy-on-write; don't
+            # also pickle the tree roots into every payload.  On
+            # spawn-only platforms pre-compiling here would be wasted
+            # work — workers there build their own cache per batch.
+            shared_cache = EncodingCache(roots, n_features)
+            for label in np.unique(y_test[order]):
+                shared_cache.for_required(
+                    required_labels(fake_signature, int(label))
+                ).warm()
+            payload_roots = None
+        wave_size = (
+            len(order) if target_size is None else n_workers * _WAVE_CHUNK
+        )
+        position = 0
+        running = True
+        while running and position < len(order):
+            if target_size is not None and len(forged) >= target_size:
+                break
+            wave = order[position : position + wave_size]
+            position += len(wave)
+            batches = partition(list(wave), n_workers)
+            payloads = [
+                (
+                    payload_roots,
+                    fake_signature,
+                    y_test[batch],
+                    X_test[batch],
+                    float(epsilon),
+                    n_features,
+                    engine,
+                    solver_budget,
+                    reuse_encoding,
+                )
+                for batch in batches
+            ]
+            results = run_batches(
+                _forge_batch, payloads, n_workers, shared=shared_cache
+            )
+            rows = (int(row) for batch in batches for row in batch)
+            for row, (status, instance) in zip(
+                rows, (item for batch in results for item in batch)
+            ):
+                if not consume(row, status, instance):
+                    running = False
+                    break
 
     forged_X = (
         np.stack(forged, axis=0)

@@ -102,6 +102,12 @@ def build_parser() -> argparse.ArgumentParser:
     cmd_experiment.add_argument(
         "--name", choices=("table2", "sec422"), required=True
     )
+    cmd_experiment.add_argument(
+        "--n-jobs", type=int, default=None,
+        help="worker processes for forest training and the forgery "
+        "solver sweep (-1 = all cores; default serial); results are "
+        "identical across settings",
+    )
 
     return parser
 
@@ -167,7 +173,7 @@ def _cmd_verify(args) -> int:
 
 
 def _cmd_experiment(args) -> int:
-    config = SMALL
+    config = SMALL.with_overrides(n_jobs=args.n_jobs)
     if args.name == "table2":
         rows = detection_table(config)
         print(

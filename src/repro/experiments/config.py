@@ -25,10 +25,12 @@ class ExperimentConfig:
     hyper-parameters (the search itself is exercised separately); set it
     to ``None`` to run the full Algorithm 1 including line 12.
     ``escalation_factor > 1`` accelerates the re-weighting loop without
-    changing what it converges to.  ``n_jobs`` fans tree fitting out
-    over worker processes (``-1`` = all cores) wherever a driver trains
-    a watermarked or standard forest (attacker-side surrogates in the
-    extraction study stay serial); results do not depend on it.
+    changing what it converges to.  ``n_jobs`` fans work out over
+    worker processes (``-1`` = all cores) wherever a driver trains a
+    watermarked or standard forest (attacker-side surrogates in the
+    extraction study stay serial) and wherever the forgery drivers
+    sweep solver instances (:func:`repro.attacks.forge_trigger_set`);
+    results do not depend on it.
     """
 
     name: str

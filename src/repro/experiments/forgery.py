@@ -60,6 +60,11 @@ class ForgedInstanceRow:
     standard_accuracy_on_forged: float
 
 
+def _resolve_jobs(config: ExperimentConfig, n_jobs) -> int | None:
+    """Driver ``n_jobs`` override, falling back to the config's value."""
+    return config.n_jobs if n_jobs is None else n_jobs
+
+
 def _sweep_one_dataset(
     config: ExperimentConfig,
     dataset: str,
@@ -68,6 +73,8 @@ def _sweep_one_dataset(
     engine: str,
     max_instances: int | None,
     solver_budget: int,
+    n_jobs: int | None,
+    reuse_encoding: bool,
 ) -> list[ForgerySweepRow]:
     model, (X_train, X_test, y_train, y_test) = build_watermarked_model(config, dataset)
     original_k = model.trigger.size
@@ -99,6 +106,8 @@ def _sweep_one_dataset(
                 target_size=original_k,
                 max_instances=max_instances,
                 solver_budget=solver_budget,
+                n_jobs=n_jobs,
+                reuse_encoding=reuse_encoding,
                 random_state=attempt_seed,
             )
             sizes.append(result.n_forged)
@@ -125,15 +134,21 @@ def forgery_epsilon_sweep(
     engine: str = "smt",
     max_instances: int | None = 40,
     solver_budget: int = 50_000,
+    n_jobs: int | None = None,
+    reuse_encoding: bool = True,
 ) -> list[ForgerySweepRow]:
     """Fig. 4: forged trigger-set size vs ε (image dataset).
 
     The paper uses 10 fake signatures and the full test set; the
     defaults here are scaled down for laptop runtimes — override
-    ``n_signatures``/``max_instances`` to widen.
+    ``n_signatures``/``max_instances`` to widen.  ``n_jobs`` fans the
+    per-instance solver sweep over worker processes (``None`` defers to
+    ``config.n_jobs``); results are identical across settings and
+    across the ``reuse_encoding`` flag.
     """
     return _sweep_one_dataset(
-        config, dataset, epsilons, n_signatures, engine, max_instances, solver_budget
+        config, dataset, epsilons, n_signatures, engine, max_instances,
+        solver_budget, _resolve_jobs(config, n_jobs), reuse_encoding,
     )
 
 
@@ -145,13 +160,16 @@ def forgery_tabular_results(
     engine: str = "smt",
     max_instances: int | None = 40,
     solver_budget: int = 50_000,
+    n_jobs: int | None = None,
+    reuse_encoding: bool = True,
 ) -> list[ForgerySweepRow]:
     """§4.2.2 text results: forgery on the tabular datasets at small ε."""
     rows: list[ForgerySweepRow] = []
     for dataset in datasets:
         rows.extend(
             _sweep_one_dataset(
-                config, dataset, epsilons, n_signatures, engine, max_instances, solver_budget
+                config, dataset, epsilons, n_signatures, engine, max_instances,
+                solver_budget, _resolve_jobs(config, n_jobs), reuse_encoding,
             )
         )
     return rows
@@ -164,6 +182,8 @@ def forged_instance_study(
     engine: str = "smt",
     max_instances: int | None = 25,
     solver_budget: int = 50_000,
+    n_jobs: int | None = None,
+    reuse_encoding: bool = True,
 ) -> list[ForgedInstanceRow]:
     """Fig. 5: distortion of forged instances and the accuracy a standard
     ensemble loses on them relative to the originals."""
@@ -192,6 +212,8 @@ def forged_instance_study(
             engine=engine,
             max_instances=max_instances,
             solver_budget=solver_budget,
+            n_jobs=_resolve_jobs(config, n_jobs),
+            reuse_encoding=reuse_encoding,
             random_state=int(rng.integers(2**31 - 1)),
         )
         distortion = forgery_distortion(result, X_test)

@@ -27,9 +27,34 @@ from typing import Callable, Iterable, Sequence, TypeVar
 
 from .exceptions import ValidationError
 
-__all__ = ["resolve_n_jobs", "partition", "run_batches"]
+__all__ = [
+    "resolve_n_jobs",
+    "partition",
+    "run_batches",
+    "shared_payload",
+    "fork_available",
+]
 
 T = TypeVar("T")
+
+#: Copy-on-write payload for fork-based pools (see :func:`run_batches`).
+_SHARED: object | None = None
+
+
+def shared_payload() -> object | None:
+    """The ``shared`` object of the enclosing :func:`run_batches` call.
+
+    Under the ``fork`` start method workers inherit the parent's memory
+    at pool creation, so a large read-mostly object (e.g. the forgery
+    attack's compiled encodings) can be handed to every worker without
+    pickling: the parent passes it as ``run_batches(..., shared=obj)``
+    and workers retrieve it here.  Returns ``None`` outside a
+    ``run_batches`` call or when the platform had to fall back to
+    ``spawn`` (workers then rebuild whatever they need from their
+    pickled batch arguments — callers must treat the payload as an
+    optimisation, never the only source of an input).
+    """
+    return _SHARED
 
 
 def resolve_n_jobs(n_jobs, n_tasks: int | None = None) -> int:
@@ -75,17 +100,34 @@ def _pool_context():
     return multiprocessing.get_context()
 
 
-def run_batches(fn: Callable[..., T], batches: Iterable[tuple], n_workers: int) -> list[T]:
+def fork_available() -> bool:
+    """True when pools fork — i.e. :func:`shared_payload` reaches workers."""
+    return "fork" in multiprocessing.get_all_start_methods()
+
+
+def run_batches(
+    fn: Callable[..., T],
+    batches: Iterable[tuple],
+    n_workers: int,
+    shared: object | None = None,
+) -> list[T]:
     """Run ``fn(*batch)`` for every batch in a pool of ``n_workers``.
 
     Results come back in submission order.  With one worker (or one
-    batch) the calls run inline — no pool, no pickling.
+    batch) the calls run inline — no pool, no pickling.  ``shared`` is
+    made available to workers via :func:`shared_payload` for the
+    duration of the call (fork-inherited, never pickled).
     """
+    global _SHARED
     batches = list(batches)
-    if n_workers <= 1 or len(batches) <= 1:
-        return [fn(*batch) for batch in batches]
-    with ProcessPoolExecutor(
-        max_workers=min(n_workers, len(batches)), mp_context=_pool_context()
-    ) as pool:
-        futures = [pool.submit(fn, *batch) for batch in batches]
-        return [future.result() for future in futures]
+    _SHARED = shared
+    try:
+        if n_workers <= 1 or len(batches) <= 1:
+            return [fn(*batch) for batch in batches]
+        with ProcessPoolExecutor(
+            max_workers=min(n_workers, len(batches)), mp_context=_pool_context()
+        ) as pool:
+            futures = [pool.submit(fn, *batch) for batch in batches]
+            return [future.result() for future in futures]
+    finally:
+        _SHARED = None

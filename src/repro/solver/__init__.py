@@ -9,28 +9,56 @@ Layers:
   decided by the CDCL core (sound and complete on this fragment);
 - :func:`solve_pattern_boxes` — an independent theory-specific solver
   (DPLL over leaf boxes) used to cross-validate the encoding;
+- :class:`CompiledPatternEncoding` — the instance-independent skeleton
+  of a forgery query (per-tree leaf boxes, threshold atoms, clause
+  skeleton), built once per signature pattern and re-solved per test
+  instance with assumption-style incremental SAT;
 - :func:`solve_pattern` — engine dispatcher.
 """
 
 from ..exceptions import SolverError, ValidationError
-from .boxdpll import solve_pattern_boxes
+from .boxdpll import solve_clipped_boxes, solve_pattern_boxes
 from .cnf import CNF
-from .encoding import decode_model, encode_pattern_problem, solve_pattern_smt
-from .problem import PatternOutcome, PatternProblem, required_labels
+from .compiled_encoding import (
+    CompiledPatternEncoding,
+    EncodingCache,
+    compile_pattern_encoding,
+)
+from .encoding import (
+    decode_atom_intervals,
+    decode_model,
+    encode_pattern_problem,
+    solve_pattern_smt,
+)
+from .problem import (
+    PatternOutcome,
+    PatternProblem,
+    check_pattern,
+    compute_feature_bounds,
+    required_labels,
+)
 from .sat import SATResult, SATSolver, solve_cnf
 from .simplify import SimplifiedCNF, parse_dimacs, simplify_cnf
 from .optimize import MinimalDistortion, minimal_forgery_distortion
-from .portfolio import solve_pattern_portfolio
+from .portfolio import merge_portfolio_outcomes, solve_pattern_portfolio
 
 __all__ = [
     "CNF",
+    "CompiledPatternEncoding",
+    "EncodingCache",
     "PatternOutcome",
     "PatternProblem",
     "SATResult",
     "SATSolver",
+    "check_pattern",
+    "compile_pattern_encoding",
+    "compute_feature_bounds",
+    "decode_atom_intervals",
     "decode_model",
     "encode_pattern_problem",
+    "merge_portfolio_outcomes",
     "required_labels",
+    "solve_clipped_boxes",
     "solve_cnf",
     "solve_pattern",
     "solve_pattern_boxes",

@@ -10,24 +10,31 @@ This solver searches that space directly: depth-first over trees
 box, with forward-checking against the remaining trees' candidates.
 It is independent of the CNF machinery, which makes it a genuine
 cross-check for the eager SMT encoding (the two are compared in the
-test suite and the solver ablation benchmark).
+test suite, the solver ablation benchmark, and the standing
+differential fuzz test).
+
+The search core is exposed as :func:`solve_clipped_boxes` so the
+compiled encoding (:mod:`repro.solver.compiled_encoding`) can reuse a
+forest's leaf boxes across instances instead of re-enumerating them:
+both entry points clip the same candidate lists the same way, which
+keeps their witnesses bit-for-bit identical.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+from ..trees.node import TreeNode
 from ..trees.paths import Box
-from .problem import PatternOutcome, PatternProblem
+from .problem import PatternOutcome, PatternProblem, check_pattern
 
-__all__ = ["solve_pattern_boxes"]
+__all__ = ["solve_pattern_boxes", "solve_clipped_boxes", "bounds_box"]
 
 
-def _bounds_box(problem: PatternProblem) -> Box:
-    """The ε-ball ∩ domain constraint as a Box."""
-    lo, hi = problem.feature_bounds()
+def bounds_box(lo: np.ndarray, hi: np.ndarray) -> Box:
+    """The closed per-feature bounds ``[lo, hi]`` as a Box."""
     box = Box()
-    for feature in range(problem.n_features):
+    for feature in range(lo.shape[0]):
         if np.isfinite(hi[feature]):
             box.constrain_upper(feature, float(hi[feature]))
         if np.isfinite(lo[feature]):
@@ -36,36 +43,24 @@ def _bounds_box(problem: PatternProblem) -> Box:
     return box
 
 
-def solve_pattern_boxes(
-    problem: PatternProblem, max_nodes: int | None = 2_000_000
+def solve_clipped_boxes(
+    clipped: list[list[Box]],
+    start: Box,
+    *,
+    roots: list[TreeNode],
+    required: list[int],
+    n_features: int,
+    center: np.ndarray | None,
+    epsilon: float | None,
+    domain: tuple[float, float] | None,
+    max_nodes: int | None,
 ) -> PatternOutcome:
-    """Decide a pattern problem by DPLL over per-tree leaf boxes.
+    """DPLL over per-tree candidate boxes already clipped to the bounds.
 
-    Parameters
-    ----------
-    max_nodes:
-        Budget on search-tree nodes; exhausted ⇒ ``status="unknown"``.
+    ``clipped[i]`` must be non-empty for every tree (trivially
+    unsatisfiable instances are the caller's fast path) and every box
+    must already include the ball/domain constraints of ``start``.
     """
-    candidates = problem.candidate_boxes()
-    if candidates is None:
-        return PatternOutcome(status="unsat", stats={"trivial": True})
-
-    start = _bounds_box(problem)
-    if start.is_empty():
-        return PatternOutcome(status="unsat", stats={"trivial": True})
-
-    # Clip candidates to the bounds up front and drop empties.
-    clipped: list[list[Box]] = []
-    for boxes in candidates:
-        usable = []
-        for box in boxes:
-            merged = box.intersect(start)
-            if not merged.is_empty():
-                usable.append(merged)
-        if not usable:
-            return PatternOutcome(status="unsat", stats={"trivial": True})
-        clipped.append(usable)
-
     # Most-constrained trees first shrinks the branching factor early.
     order = sorted(range(len(clipped)), key=lambda i: len(clipped[i]))
     ordered = [clipped[i] for i in order]
@@ -108,13 +103,57 @@ def solve_pattern_boxes(
         return PatternOutcome(status="unsat", stats=stats)
 
     assert isinstance(outcome, Box)
-    instance = outcome.sample_point(problem.n_features, reference=problem.center)
-    if problem.domain is not None:
-        instance = np.clip(instance, problem.domain[0], problem.domain[1])
-    if not problem.check_solution(instance):
+    instance = outcome.sample_point(n_features, reference=center)
+    if domain is not None:
+        instance = np.clip(instance, domain[0], domain[1])
+    if not check_pattern(roots, required, instance, center, epsilon, domain):
         # Extremely thin intervals can fall foul of float nudging; treat
         # as a solver failure loudly rather than returning a bad witness.
         from ..exceptions import SolverError
 
         raise SolverError("box-DPLL produced a non-verifying witness")
     return PatternOutcome(status="sat", instance=instance, stats=stats)
+
+
+def solve_pattern_boxes(
+    problem: PatternProblem, max_nodes: int | None = 2_000_000
+) -> PatternOutcome:
+    """Decide a pattern problem by DPLL over per-tree leaf boxes.
+
+    Parameters
+    ----------
+    max_nodes:
+        Budget on search-tree nodes; exhausted ⇒ ``status="unknown"``.
+    """
+    candidates = problem.candidate_boxes()
+    if candidates is None:
+        return PatternOutcome(status="unsat", stats={"trivial": True})
+
+    lo, hi = problem.feature_bounds()
+    start = bounds_box(lo, hi)
+    if start.is_empty():
+        return PatternOutcome(status="unsat", stats={"trivial": True})
+
+    # Clip candidates to the bounds up front and drop empties.
+    clipped: list[list[Box]] = []
+    for boxes in candidates:
+        usable = []
+        for box in boxes:
+            merged = box.intersect(start)
+            if not merged.is_empty():
+                usable.append(merged)
+        if not usable:
+            return PatternOutcome(status="unsat", stats={"trivial": True})
+        clipped.append(usable)
+
+    return solve_clipped_boxes(
+        clipped,
+        start,
+        roots=problem.roots,
+        required=problem.required,
+        n_features=problem.n_features,
+        center=problem.center,
+        epsilon=problem.epsilon,
+        domain=problem.domain,
+        max_nodes=max_nodes,
+    )

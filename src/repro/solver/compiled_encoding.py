@@ -1,0 +1,425 @@
+"""Compiled, instance-independent forgery encodings.
+
+The forgery attack (§4.2.2) solves one :class:`PatternProblem` per test
+instance, but across a sweep only the ``L∞`` box around the test point
+changes — the forest, the fake signature and hence the required
+per-tree labels stay fixed.  The per-instance encoder
+(:mod:`repro.solver.encoding`) nevertheless re-enumerates every leaf
+box, re-discretises every threshold and rebuilds the clause skeleton
+from scratch on every call.
+
+:class:`CompiledPatternEncoding` hoists all of that out of the loop.
+Built once per ``(forest, required-label pattern)`` it precomputes:
+
+- the per-tree candidate leaf boxes (leaves carrying the required
+  label), in the same enumeration order the one-shot encoders use;
+- the threshold **atom table** — one propositional variable per
+  distinct ``x_f <= v`` predicate — as flat feature/threshold/variable
+  arrays, so the atoms decided by an instance's bounds fall out of two
+  vectorised comparisons;
+- the **clause skeleton**: selector-variable clauses for every
+  candidate leaf and the per-feature ordering axioms — everything
+  except the bound units, which are exactly the instance-specific part;
+- flattened constraint arrays for a vectorised **prescreen** that
+  detects trivially unsatisfiable instances (some tree keeps no
+  box compatible with the bounds) without touching the solver.
+
+Per instance the engine then computes the feature bounds, turns them
+into *assumptions* (see :meth:`repro.solver.sat.SATSolver.solve`), and
+re-solves the persistent solver after a :meth:`~repro.solver.sat.SATSolver.reset`
+— no clause re-encoding, no re-allocation.
+
+**Determinism contract.**  A reset solver is bit-for-bit equivalent to
+a freshly constructed one (learned clauses and heuristic state are
+discarded), so every instance solve is a pure function of the skeleton
+and the instance bounds.  Consequently ``reuse=True`` (cached skeleton
++ persistent solver) and ``reuse=False`` (rebuild per instance) return
+*identical* outcomes — statuses and witnesses — and the forgery attack
+can fan instances out over worker processes without changing results.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..exceptions import SolverError
+from ..trees.node import TreeNode
+from ..trees.paths import Box, leaf_boxes
+from .boxdpll import bounds_box, solve_clipped_boxes
+from .cnf import CNF
+from .encoding import decode_atom_intervals
+from .portfolio import merge_portfolio_outcomes
+from .problem import PatternOutcome, check_pattern, compute_feature_bounds
+from .sat import SATSolver
+
+__all__ = ["CompiledPatternEncoding", "compile_pattern_encoding", "EncodingCache"]
+
+_DEFAULT_CONFLICTS = 200_000
+_DEFAULT_NODES = 2_000_000
+
+
+@dataclass
+class _TreeScreen:
+    """Flattened box constraints of one tree, for vectorised screening."""
+
+    n_boxes: int
+    upper_box: np.ndarray  # box index per upper constraint
+    upper_feature: np.ndarray
+    upper_value: np.ndarray
+    lower_box: np.ndarray  # box index per lower constraint
+    lower_feature: np.ndarray
+    lower_value: np.ndarray
+
+    def compatible(self, lo: np.ndarray, hi: np.ndarray) -> np.ndarray:
+        """Mask of boxes intersecting the closed bounds ``[lo, hi]``."""
+        bad = np.zeros(self.n_boxes, dtype=bool)
+        if self.upper_box.size:
+            violated = self.upper_value < lo[self.upper_feature]
+            bad[self.upper_box[violated]] = True
+        if self.lower_box.size:
+            violated = self.lower_value >= hi[self.lower_feature]
+            bad[self.lower_box[violated]] = True
+        return ~bad
+
+
+def _tree_screen(boxes: list[Box]) -> _TreeScreen:
+    upper_box: list[int] = []
+    upper_feature: list[int] = []
+    upper_value: list[float] = []
+    lower_box: list[int] = []
+    lower_feature: list[int] = []
+    lower_value: list[float] = []
+    for index, box in enumerate(boxes):
+        for feature, value in box.upper.items():
+            upper_box.append(index)
+            upper_feature.append(feature)
+            upper_value.append(value)
+        for feature, value in box.lower.items():
+            lower_box.append(index)
+            lower_feature.append(feature)
+            lower_value.append(value)
+    return _TreeScreen(
+        n_boxes=len(boxes),
+        upper_box=np.asarray(upper_box, dtype=np.int64),
+        upper_feature=np.asarray(upper_feature, dtype=np.int64),
+        upper_value=np.asarray(upper_value, dtype=np.float64),
+        lower_box=np.asarray(lower_box, dtype=np.int64),
+        lower_feature=np.asarray(lower_feature, dtype=np.int64),
+        lower_value=np.asarray(lower_value, dtype=np.float64),
+    )
+
+
+@dataclass
+class CompiledPatternEncoding:
+    """The instance-independent part of a forgery query, precompiled.
+
+    Use :func:`compile_pattern_encoding` to build one; then call
+    :meth:`solve` once per test instance with only the box constraints.
+    """
+
+    roots: list[TreeNode]
+    required: list[int]
+    n_features: int
+    domain: tuple[float, float] | None
+    candidates: list[list[Box]]
+    cnf: CNF
+    atom_vars: dict[tuple[int, float], int]
+    # Atom table sorted by (feature, threshold); slices index per feature.
+    atom_features: np.ndarray
+    atom_thresholds: np.ndarray
+    atom_variables: np.ndarray
+    screens: list[_TreeScreen]
+    always_unsat: bool
+    _solver: SATSolver | None = field(default=None, repr=False)
+    _solver_dirty: bool = field(default=False, repr=False)
+
+    # -- per-instance pieces --------------------------------------------
+
+    def feature_bounds(
+        self, center: np.ndarray | None, epsilon: float | None
+    ) -> tuple[np.ndarray, np.ndarray]:
+        return compute_feature_bounds(self.n_features, center, epsilon, self.domain)
+
+    def compatible_masks(
+        self, lo: np.ndarray, hi: np.ndarray
+    ) -> list[np.ndarray] | None:
+        """Per-tree masks of bounds-compatible boxes; ``None`` when some
+        tree keeps no compatible box (trivially unsatisfiable)."""
+        masks: list[np.ndarray] = []
+        for screen in self.screens:
+            mask = screen.compatible(lo, hi)
+            if not mask.any():
+                return None
+            masks.append(mask)
+        return masks
+
+    def bound_assumptions(self, lo: np.ndarray, hi: np.ndarray) -> list[int]:
+        """Atoms decided by the bounds, as assumption literals.
+
+        Exactly the bound units of the one-shot encoder: an atom
+        ``x_f <= v`` is forced true when ``v >= hi_f`` and false when
+        ``v < lo_f``; atoms with ``v`` inside ``[lo_f, hi_f)`` stay free.
+        """
+        forced_false = self.atom_thresholds < lo[self.atom_features]
+        forced_true = self.atom_thresholds >= hi[self.atom_features]
+        return np.concatenate(
+            [-self.atom_variables[forced_false], self.atom_variables[forced_true]]
+        ).tolist()
+
+    def warm(self) -> "CompiledPatternEncoding":
+        """Prebuild the persistent solver (encode clauses, set watches).
+
+        The forgery attack calls this before forking workers so every
+        child inherits the encoded clause database copy-on-write
+        instead of re-encoding it.
+        """
+        if self._solver is None:
+            self._solver = SATSolver(self.cnf)
+            self._solver_dirty = False
+        return self
+
+    # -- engines ---------------------------------------------------------
+
+    def solve_smt(
+        self,
+        center: np.ndarray | None = None,
+        epsilon: float | None = None,
+        max_conflicts: int | None = _DEFAULT_CONFLICTS,
+        reuse: bool = True,
+    ) -> PatternOutcome:
+        """Decide one instance via assumption-style CDCL re-solving."""
+        lo, hi = self.feature_bounds(center, epsilon)
+        if self.always_unsat or (lo > hi).any():
+            return PatternOutcome(status="unsat", stats={"trivial": True})
+        if self.compatible_masks(lo, hi) is None:
+            return PatternOutcome(status="unsat", stats={"trivial": True})
+
+        if reuse:
+            solver = self.warm()._solver
+            assert solver is not None
+            if self._solver_dirty:
+                solver.reset()
+            self._solver_dirty = True
+        else:
+            solver = SATSolver(self.cnf)
+        solver.max_conflicts = max_conflicts
+
+        result = solver.solve(self.bound_assumptions(lo, hi))
+        stats = {
+            "conflicts": result.conflicts,
+            "decisions": result.decisions,
+            "propagations": result.propagations,
+            "n_vars": self.cnf.n_vars,
+            "n_clauses": len(self.cnf),
+            "reused": reuse,
+        }
+        if result.status != "sat":
+            return PatternOutcome(status=result.status, stats=stats)
+
+        assert result.model is not None
+        model = result.model
+        truth = np.fromiter(
+            (model[int(var)] for var in self.atom_variables),
+            dtype=bool,
+            count=self.atom_variables.shape[0],
+        )
+        instance = decode_atom_intervals(
+            self.atom_features, self.atom_thresholds, truth,
+            lo, hi, self.n_features, center,
+        )
+        if not check_pattern(
+            self.roots, self.required, instance, center, epsilon, self.domain
+        ):
+            raise SolverError(
+                "decoded instance does not realise the required pattern — "
+                "compiled encoding bug"
+            )
+        return PatternOutcome(status="sat", instance=instance, stats=stats)
+
+    def solve_boxes(
+        self,
+        center: np.ndarray | None = None,
+        epsilon: float | None = None,
+        max_nodes: int | None = _DEFAULT_NODES,
+    ) -> PatternOutcome:
+        """Decide one instance via box DPLL over the cached candidates."""
+        lo, hi = self.feature_bounds(center, epsilon)
+        if self.always_unsat or (lo > hi).any():
+            return PatternOutcome(status="unsat", stats={"trivial": True})
+        masks = self.compatible_masks(lo, hi)
+        if masks is None:
+            return PatternOutcome(status="unsat", stats={"trivial": True})
+
+        start = bounds_box(lo, hi)
+        clipped: list[list[Box]] = []
+        for boxes, mask in zip(self.candidates, masks):
+            usable = []
+            for box, ok in zip(boxes, mask):
+                if not ok:
+                    continue
+                merged = box.intersect(start)
+                if not merged.is_empty():
+                    usable.append(merged)
+            if not usable:
+                return PatternOutcome(status="unsat", stats={"trivial": True})
+            clipped.append(usable)
+
+        return solve_clipped_boxes(
+            clipped,
+            start,
+            roots=self.roots,
+            required=self.required,
+            n_features=self.n_features,
+            center=center,
+            epsilon=epsilon,
+            domain=self.domain,
+            max_nodes=max_nodes,
+        )
+
+    def solve(
+        self,
+        center: np.ndarray | None = None,
+        epsilon: float | None = None,
+        engine: str = "smt",
+        budget: int | None = None,
+        reuse: bool = True,
+    ) -> PatternOutcome:
+        """Engine dispatcher mirroring :func:`repro.solver.solve_pattern`.
+
+        ``budget`` maps to the engine's natural knob: conflicts for
+        ``smt``, search nodes for ``boxes``, both for ``portfolio``.
+        ``None`` keeps the module defaults.
+        """
+        if engine == "smt":
+            max_conflicts = _DEFAULT_CONFLICTS if budget is None else budget
+            return self.solve_smt(center, epsilon, max_conflicts, reuse=reuse)
+        if engine == "boxes":
+            max_nodes = _DEFAULT_NODES if budget is None else budget
+            return self.solve_boxes(center, epsilon, max_nodes)
+        if engine == "portfolio":
+            max_conflicts = _DEFAULT_CONFLICTS if budget is None else budget
+            max_nodes = _DEFAULT_NODES if budget is None else budget
+            smt = self.solve_smt(center, epsilon, max_conflicts, reuse=reuse)
+            boxes = self.solve_boxes(center, epsilon, max_nodes)
+            return merge_portfolio_outcomes(smt, boxes)
+        from ..exceptions import ValidationError
+
+        raise ValidationError(
+            f"unknown engine {engine!r}; expected 'smt', 'boxes' or 'portfolio'"
+        )
+
+
+def compile_pattern_encoding(
+    roots: list[TreeNode],
+    required: list[int],
+    n_features: int,
+    domain: tuple[float, float] | None = (0.0, 1.0),
+) -> CompiledPatternEncoding:
+    """Build the instance-independent encoding of a signature pattern.
+
+    Enumeration order matches the one-shot encoders exactly (leaf boxes
+    in :func:`repro.trees.paths.leaf_boxes` order, trees in ensemble
+    order), which is what keeps compiled and fresh solves bit-for-bit
+    interchangeable.
+    """
+    if len(roots) != len(required):
+        from ..exceptions import ValidationError
+
+        raise ValidationError(
+            f"{len(roots)} trees but {len(required)} required labels"
+        )
+
+    candidates: list[list[Box]] = []
+    always_unsat = False
+    for root, label in zip(roots, required):
+        boxes = [box for leaf, box in leaf_boxes(root) if leaf.prediction == label]
+        if not boxes:
+            always_unsat = True
+        candidates.append(boxes)
+
+    cnf = CNF()
+    atom_vars: dict[tuple[int, float], int] = {}
+
+    def atom(feature: int, threshold: float) -> int:
+        key = (feature, float(threshold))
+        if key not in atom_vars:
+            atom_vars[key] = cnf.new_var()
+        return atom_vars[key]
+
+    # Tree constraints: one selector variable per candidate leaf box.
+    # Unlike the one-shot encoder no clause is pruned against the
+    # bounds — the bounds arrive per instance as assumptions, and unit
+    # propagation performs the same pruning inside the solver.
+    for boxes in candidates:
+        selectors = []
+        for box in boxes:
+            selector = cnf.new_var()
+            selectors.append(selector)
+            for feature, upper in box.upper.items():
+                cnf.add_clause([-selector, atom(feature, upper)])
+            for feature, lower in box.lower.items():
+                cnf.add_clause([-selector, -atom(feature, lower)])
+        cnf.add_clause(selectors)
+
+    # Ordering axioms per feature over all atoms.
+    thresholds_by_feature: dict[int, list[float]] = {}
+    for feature, threshold in atom_vars:
+        thresholds_by_feature.setdefault(feature, []).append(threshold)
+    for feature, thresholds in sorted(thresholds_by_feature.items()):
+        thresholds.sort()
+        for smaller, larger in zip(thresholds, thresholds[1:]):
+            cnf.add_clause(
+                [-atom_vars[(feature, smaller)], atom_vars[(feature, larger)]]
+            )
+
+    # Atom table sorted by (feature, threshold) with per-feature slices.
+    items = sorted(atom_vars.items())
+    atom_features = np.array([key[0] for key, _ in items], dtype=np.int64)
+    atom_thresholds = np.array([key[1] for key, _ in items], dtype=np.float64)
+    atom_variables = np.array([var for _, var in items], dtype=np.int64)
+    return CompiledPatternEncoding(
+        roots=roots,
+        required=list(required),
+        n_features=n_features,
+        domain=domain,
+        candidates=candidates,
+        cnf=cnf,
+        atom_vars=atom_vars,
+        atom_features=atom_features,
+        atom_thresholds=atom_thresholds,
+        atom_variables=atom_variables,
+        screens=[_tree_screen(boxes) for boxes in candidates],
+        always_unsat=always_unsat,
+    )
+
+
+class EncodingCache:
+    """Compiled encodings for one forest, keyed by required-label pattern.
+
+    The forgery attack needs at most two patterns per fake signature
+    (one per test label ±1); this cache builds each lazily and hands
+    the same compiled object back for every subsequent instance.
+    """
+
+    def __init__(
+        self,
+        roots: list[TreeNode],
+        n_features: int,
+        domain: tuple[float, float] | None = (0.0, 1.0),
+    ) -> None:
+        self.roots = roots
+        self.n_features = n_features
+        self.domain = domain
+        self._by_pattern: dict[tuple[int, ...], CompiledPatternEncoding] = {}
+
+    def for_required(self, required: list[int]) -> CompiledPatternEncoding:
+        key = tuple(required)
+        encoding = self._by_pattern.get(key)
+        if encoding is None:
+            encoding = compile_pattern_encoding(
+                self.roots, list(required), self.n_features, self.domain
+            )
+            self._by_pattern[key] = encoding
+        return encoding

@@ -30,7 +30,13 @@ from .cnf import CNF
 from .problem import PatternOutcome, PatternProblem
 from .sat import solve_cnf
 
-__all__ = ["PatternEncoding", "encode_pattern_problem", "decode_model", "solve_pattern_smt"]
+__all__ = [
+    "PatternEncoding",
+    "encode_pattern_problem",
+    "decode_model",
+    "decode_atom_intervals",
+    "solve_pattern_smt",
+]
 
 
 @dataclass
@@ -97,6 +103,58 @@ def encode_pattern_problem(problem: PatternProblem) -> PatternEncoding:
     return PatternEncoding(cnf=cnf, atom_vars=atom_vars, lo=lo, hi=hi)
 
 
+def decode_atom_intervals(
+    atom_features: np.ndarray,
+    atom_thresholds: np.ndarray,
+    atom_truth: np.ndarray,
+    lo: np.ndarray,
+    hi: np.ndarray,
+    n_features: int,
+    center: np.ndarray | None,
+) -> np.ndarray:
+    """Vectorised core of model decoding, shared with the compiled path.
+
+    ``atom_features``/``atom_thresholds`` describe every threshold atom
+    ``x_f <= v`` and ``atom_truth`` its value in the propositional
+    model.  True atoms give per-feature upper bounds (their minimum
+    threshold), false atoms strict lower bounds (their maximum); the
+    result is the point of the induced interval ∩ ``[lo, hi]`` closest
+    to ``center`` (or to the bound midpoint when no ball is involved).
+    """
+    if center is not None:
+        x = center.astype(np.float64).copy()
+    else:
+        # Bound midpoint where finite; an infinite side falls back to
+        # the finite one (or 0) so unbounded features stay NaN-free.
+        x = np.zeros(n_features, dtype=np.float64)
+        finite_lo = np.isfinite(lo)
+        finite_hi = np.isfinite(hi)
+        both = finite_lo & finite_hi
+        x[both] = 0.5 * (lo[both] + hi[both])
+        x[finite_lo & ~finite_hi] = lo[finite_lo & ~finite_hi]
+        x[~finite_lo & finite_hi] = hi[~finite_lo & finite_hi]
+    # Features without atoms keep their default; clamp into bounds.
+    x = np.clip(x, lo, hi)
+
+    upper_bound = hi.astype(np.float64).copy()
+    np.minimum.at(upper_bound, atom_features[atom_truth], atom_thresholds[atom_truth])
+    strict_lower = np.full(n_features, -np.inf)
+    falsity = ~atom_truth
+    np.maximum.at(strict_lower, atom_features[falsity], atom_thresholds[falsity])
+
+    low = lo.astype(np.float64).copy()
+    bounded = strict_lower > -np.inf
+    low[bounded] = np.maximum(low[bounded], np.nextafter(strict_lower[bounded], np.inf))
+    broken = low > upper_bound
+    if broken.any():
+        feature = int(np.argmax(broken))
+        raise SolverError(
+            f"inconsistent decoded interval for feature {feature}: "
+            f"[{low[feature]}, {upper_bound[feature]}] — encoding invariant violated"
+        )
+    return np.minimum(np.maximum(x, low), upper_bound)
+
+
 def decode_model(
     encoding: PatternEncoding,
     model: dict[int, bool],
@@ -112,34 +170,18 @@ def decode_model(
     point closest to ``center`` (or to the interval's midpoint when no
     ball is involved).
     """
-    x = (
-        center.astype(np.float64).copy()
-        if center is not None
-        else 0.5 * (encoding.lo + encoding.hi)
+    n_atoms = len(encoding.atom_vars)
+    atom_features = np.empty(n_atoms, dtype=np.int64)
+    atom_thresholds = np.empty(n_atoms, dtype=np.float64)
+    atom_truth = np.empty(n_atoms, dtype=bool)
+    for i, ((feature, threshold), var) in enumerate(encoding.atom_vars.items()):
+        atom_features[i] = feature
+        atom_thresholds[i] = threshold
+        atom_truth[i] = model[var]
+    return decode_atom_intervals(
+        atom_features, atom_thresholds, atom_truth,
+        encoding.lo, encoding.hi, n_features, center,
     )
-    # Features without atoms keep their default; clamp into bounds.
-    x = np.clip(x, encoding.lo, encoding.hi)
-
-    upper_bound = encoding.hi.astype(np.float64).copy()
-    strict_lower = np.full(n_features, -np.inf)
-    for (feature, threshold), var in encoding.atom_vars.items():
-        if model[var]:
-            upper_bound[feature] = min(upper_bound[feature], threshold)
-        else:
-            strict_lower[feature] = max(strict_lower[feature], threshold)
-
-    for feature in range(n_features):
-        low = encoding.lo[feature]
-        if strict_lower[feature] > -np.inf:
-            low = max(low, float(np.nextafter(strict_lower[feature], np.inf)))
-        high = upper_bound[feature]
-        if low > high:
-            raise SolverError(
-                f"inconsistent decoded interval for feature {feature}: "
-                f"[{low}, {high}] — encoding invariant violated"
-            )
-        x[feature] = min(max(x[feature], low), high)
-    return x
 
 
 def solve_pattern_smt(

@@ -21,7 +21,7 @@ from .boxdpll import solve_pattern_boxes
 from .encoding import solve_pattern_smt
 from .problem import PatternOutcome, PatternProblem
 
-__all__ = ["solve_pattern_portfolio"]
+__all__ = ["solve_pattern_portfolio", "merge_portfolio_outcomes"]
 
 _DECIDED = ("sat", "unsat")
 
@@ -42,7 +42,18 @@ def solve_pattern_portfolio(
     """
     smt = solve_pattern_smt(problem, max_conflicts=max_conflicts)
     boxes = solve_pattern_boxes(problem, max_nodes=max_nodes)
+    return merge_portfolio_outcomes(smt, boxes)
 
+
+def merge_portfolio_outcomes(
+    smt: PatternOutcome, boxes: PatternOutcome
+) -> PatternOutcome:
+    """Cross-check and merge the two engines' verdicts.
+
+    Shared by the one-shot portfolio above and the compiled forgery
+    engine (:mod:`repro.solver.compiled_encoding`), so both enforce the
+    same disagreement-is-a-bug contract.
+    """
     if smt.status in _DECIDED and boxes.status in _DECIDED:
         if smt.status != boxes.status:
             raise SolverError(

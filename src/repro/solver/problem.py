@@ -21,7 +21,13 @@ from ..exceptions import ValidationError
 from ..trees.node import TreeNode, predict_one
 from ..trees.paths import Box, leaf_boxes
 
-__all__ = ["PatternProblem", "PatternOutcome", "required_labels"]
+__all__ = [
+    "PatternProblem",
+    "PatternOutcome",
+    "required_labels",
+    "compute_feature_bounds",
+    "check_pattern",
+]
 
 
 def required_labels(signature: Signature, label: int) -> list[int]:
@@ -29,6 +35,58 @@ def required_labels(signature: Signature, label: int) -> list[int]:
     if label not in (-1, 1):
         raise ValidationError(f"label must be -1 or +1, got {label}")
     return [label if bit == 0 else -label for bit in signature]
+
+
+def compute_feature_bounds(
+    n_features: int,
+    center: np.ndarray | None,
+    epsilon: float | None,
+    domain: tuple[float, float] | None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Per-feature closed bounds ``[lo_f, hi_f]`` from ball ∩ domain.
+
+    Shared by :meth:`PatternProblem.feature_bounds` and the compiled
+    encoding, which specialises a prebuilt skeleton with exactly these
+    bounds for every test instance.
+    """
+    if domain is not None:
+        lo = np.full(n_features, float(domain[0]))
+        hi = np.full(n_features, float(domain[1]))
+    else:
+        lo = np.full(n_features, -np.inf)
+        hi = np.full(n_features, np.inf)
+    if center is not None and epsilon is not None:
+        lo = np.maximum(lo, center - epsilon)
+        hi = np.minimum(hi, center + epsilon)
+    return lo, hi
+
+
+def check_pattern(
+    roots: list[TreeNode],
+    required: list[int],
+    x: np.ndarray,
+    center: np.ndarray | None = None,
+    epsilon: float | None = None,
+    domain: tuple[float, float] | None = (0.0, 1.0),
+) -> bool:
+    """True when ``x`` realises the required pattern and constraints.
+
+    The function form of :meth:`PatternProblem.check_solution`, usable
+    by per-instance solvers without constructing a problem object.
+    """
+    x = np.asarray(x, dtype=np.float64)
+    if x.ndim != 1:
+        return False
+    if domain is not None:
+        if (x < domain[0]).any() or (x > domain[1]).any():
+            return False
+    if center is not None and epsilon is not None:
+        # Tiny slack absorbs float rounding at the ball boundary.
+        if np.abs(x - center).max() > epsilon + 1e-9:
+            return False
+    return all(
+        predict_one(root, x) == label for root, label in zip(roots, required)
+    )
 
 
 @dataclass
@@ -82,16 +140,9 @@ class PatternProblem:
 
     def feature_bounds(self) -> tuple[np.ndarray, np.ndarray]:
         """Per-feature closed bounds ``[lo_f, hi_f]`` from ball ∩ domain."""
-        if self.domain is not None:
-            lo = np.full(self.n_features, float(self.domain[0]))
-            hi = np.full(self.n_features, float(self.domain[1]))
-        else:
-            lo = np.full(self.n_features, -np.inf)
-            hi = np.full(self.n_features, np.inf)
-        if self.center is not None and self.epsilon is not None:
-            lo = np.maximum(lo, self.center - self.epsilon)
-            hi = np.minimum(hi, self.center + self.epsilon)
-        return lo, hi
+        return compute_feature_bounds(
+            self.n_features, self.center, self.epsilon, self.domain
+        )
 
     def candidate_boxes(self) -> list[list[Box]] | None:
         """Per tree, the boxes of leaves with the required label that are
@@ -121,16 +172,8 @@ class PatternProblem:
         x = np.asarray(x, dtype=np.float64)
         if x.shape != (self.n_features,):
             return False
-        if self.domain is not None:
-            if (x < self.domain[0]).any() or (x > self.domain[1]).any():
-                return False
-        if self.center is not None and self.epsilon is not None:
-            # Tiny slack absorbs float rounding at the ball boundary.
-            if np.abs(x - self.center).max() > self.epsilon + 1e-9:
-                return False
-        return all(
-            predict_one(root, x) == label
-            for root, label in zip(self.roots, self.required)
+        return check_pattern(
+            self.roots, self.required, x, self.center, self.epsilon, self.domain
         )
 
 

@@ -5,11 +5,28 @@ plays in the paper.  It implements the standard modern architecture:
 
 - two-watched-literal unit propagation,
 - first-UIP conflict analysis with clause learning,
-- VSIDS-style variable activities with phase saving,
+- VSIDS-style variable activities (lazy binary heap) with phase saving,
 - Luby restarts,
 - a conflict budget so callers can bound worst-case work (the paper
   reports forgery runs that "do not scale"; the budget lets our
-  experiments report the same phenomenon instead of hanging).
+  experiments report the same phenomenon instead of hanging),
+- *assumption-style re-solving*: :meth:`SATSolver.solve` accepts a list
+  of assumption literals, and :meth:`SATSolver.reset` restores the
+  solver to its pristine post-construction state without re-encoding or
+  re-allocating the base clause database.  The compiled forgery
+  encoding (:mod:`repro.solver.compiled_encoding`) builds one solver
+  per signature pattern and re-solves it once per test instance, with
+  only the instance's box constraints supplied as assumptions.
+
+Assumptions are enqueued as root-level facts for the duration of a
+single :meth:`solve` call.  That is sound here because ``reset`` drops
+*everything* derived during the call — learned clauses included — so no
+consequence of one instance's assumptions can leak into the next
+instance.  Dropping learned clauses also makes every solve a pure
+function of ``(base clauses, assumptions)``: a reset solver behaves
+bit-for-bit like a freshly constructed one, which is what the forgery
+engine's determinism contract (serial == parallel == fresh-encoding)
+rests on.
 
 The implementation favours clarity over raw speed, but handles the
 tens-of-thousands-of-clauses encodings produced by
@@ -18,9 +35,9 @@ tens-of-thousands-of-clauses encodings produced by
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import heapq
+from dataclasses import dataclass
 
-from ..exceptions import SolverError
 from .cnf import CNF
 
 __all__ = ["SATResult", "SATSolver", "solve_cnf"]
@@ -34,7 +51,8 @@ class SATResult:
 
     ``status`` is ``"sat"``, ``"unsat"`` or ``"unknown"`` (conflict
     budget exhausted).  ``model`` maps every variable to a bool when
-    satisfiable.
+    satisfiable.  Under assumptions, ``"unsat"`` means *unsatisfiable
+    together with the assumptions*.
     """
 
     status: str
@@ -63,23 +81,47 @@ def _luby(i: int) -> int:
 
 
 class SATSolver:
-    """One-shot CDCL solver over a :class:`CNF` formula."""
+    """CDCL solver over a :class:`CNF` formula, re-solvable via reset().
+
+    The base formula is encoded once at construction.  ``solve()`` runs
+    the search (optionally under assumptions); ``reset()`` rewinds the
+    solver to its pristine state — base clause order restored in place,
+    learned clauses dropped, heuristic state zeroed — so the next
+    ``solve()`` behaves exactly like a fresh solver without paying for
+    clause re-encoding.
+    """
 
     def __init__(self, cnf: CNF, max_conflicts: int | None = None) -> None:
         self.n_vars = cnf.n_vars
         self.max_conflicts = max_conflicts
         # Clause database: clauses are lists of internal literal codes.
         # Internal code of DIMACS literal L: 2*(|L|-1) + (1 if L < 0 else 0).
+        base_clauses: list[list[int]] = []
+        base_units: list[int] = []
+        base_empty = False
+        for clause in cnf.clauses:
+            codes = [self._encode(literal) for literal in clause]
+            if not codes:
+                base_empty = True
+            elif len(codes) == 1:
+                base_units.append(codes[0])
+            else:
+                base_clauses.append(codes)
+        self._base_clauses = base_clauses
+        self._base_units = base_units
+        self._base_empty = base_empty
+
         self.clauses: list[list[int]] = []
         self.watches: list[list[int]] = [[] for _ in range(2 * self.n_vars)]
-        self.assign: list[int] = [_UNASSIGNED] * self.n_vars
-        self.level: list[int] = [0] * self.n_vars
-        self.reason: list[int] = [-1] * self.n_vars
+        self.assign: list[int] = []
+        self.level: list[int] = []
+        self.reason: list[int] = []
         self.trail: list[int] = []
         self.trail_lim: list[int] = []
         self.queue_head = 0
-        self.activity: list[float] = [0.0] * self.n_vars
-        self.phase: list[bool] = [False] * self.n_vars
+        self.activity: list[float] = []
+        self.phase: list[bool] = []
+        self._order: list[tuple[float, int]] = []
         self.var_inc = 1.0
         self.var_decay = 0.95
         self.conflicts = 0
@@ -87,9 +129,7 @@ class SATSolver:
         self.propagations = 0
         self.restarts = 0
         self._contradiction = False
-
-        for clause in cnf.clauses:
-            self._add_clause([self._encode(lit) for lit in clause])
+        self.reset()
 
     # -- literal helpers -------------------------------------------------
 
@@ -108,22 +148,52 @@ class SATSolver:
             return _UNASSIGNED
         return value ^ (code & 1)
 
-    # -- clause database -------------------------------------------------
+    # -- lifecycle -------------------------------------------------------
 
-    def _add_clause(self, codes: list[int]) -> None:
-        if self._contradiction:
-            return
-        if not codes:
-            self._contradiction = True
-            return
-        if len(codes) == 1:
-            if not self._enqueue(codes[0], reason=-1):
+    def reset(self) -> None:
+        """Rewind to the pristine post-construction state.
+
+        Base clauses keep their allocation: their literal order (mutated
+        by watched-literal swaps during search) is restored in place and
+        learned clauses are truncated away.  After a reset the solver is
+        bit-for-bit equivalent to ``SATSolver(cnf)`` — same watch lists,
+        same heuristic state, same future search trajectory.
+        """
+        n_base = len(self._base_clauses)
+        if len(self.clauses) >= n_base:
+            del self.clauses[n_base:]
+            for clause, base in zip(self.clauses, self._base_clauses):
+                clause[:] = base
+        else:
+            self.clauses = [list(base) for base in self._base_clauses]
+        for watch_list in self.watches:
+            watch_list.clear()
+        for index, clause in enumerate(self.clauses):
+            self.watches[clause[0]].append(index)
+            self.watches[clause[1]].append(index)
+
+        n = self.n_vars
+        self.assign = [_UNASSIGNED] * n
+        self.level = [0] * n
+        self.reason = [-1] * n
+        self.trail = []
+        self.trail_lim = []
+        self.queue_head = 0
+        self.activity = [0.0] * n
+        self.phase = [False] * n
+        # (-activity, var) entries; all-zero activities in var order is
+        # already a valid heap.
+        self._order = [(-0.0, var) for var in range(n)]
+        self.var_inc = 1.0
+        self.conflicts = 0
+        self.decisions = 0
+        self.propagations = 0
+        self.restarts = 0
+
+        self._contradiction = self._base_empty
+        for code in self._base_units:
+            if not self._enqueue(code, reason=-1):
                 self._contradiction = True
-            return
-        index = len(self.clauses)
-        self.clauses.append(codes)
-        self.watches[codes[0]].append(index)
-        self.watches[codes[1]].append(index)
 
     # -- assignment / propagation -----------------------------------------
 
@@ -141,39 +211,51 @@ class SATSolver:
         return True
 
     def _propagate(self) -> int:
-        """Unit propagation; returns a conflicting clause index or -1."""
-        while self.queue_head < len(self.trail):
-            code = self.trail[self.queue_head]
+        """Unit propagation; returns a conflicting clause index or -1.
+
+        The hottest loop in the solver: attribute lookups are hoisted
+        and literal values computed inline (a literal code ``c`` is true
+        iff ``assign[c >> 1] ^ (c & 1) == 1``, with -1 = unassigned).
+        """
+        trail = self.trail
+        watches = self.watches
+        clauses = self.clauses
+        assign = self.assign
+        while self.queue_head < len(trail):
+            code = trail[self.queue_head]
             self.queue_head += 1
             self.propagations += 1
-            false_code = self._negate(code)
-            watch_list = self.watches[false_code]
+            false_code = code ^ 1
+            watch_list = watches[false_code]
             i = 0
             while i < len(watch_list):
                 clause_index = watch_list[i]
-                clause = self.clauses[clause_index]
+                clause = clauses[clause_index]
                 # Normalise: watched literal under scrutiny at slot 1.
                 if clause[0] == false_code:
                     clause[0], clause[1] = clause[1], clause[0]
                 first = clause[0]
-                if self._value(first) == 1:
+                value = assign[first >> 1]
+                if value != _UNASSIGNED and value ^ (first & 1):
                     i += 1
                     continue
                 # Look for a replacement watch.
                 moved = False
                 for j in range(2, len(clause)):
-                    if self._value(clause[j]) != 0:
-                        clause[1], clause[j] = clause[j], clause[1]
+                    other = clause[j]
+                    value = assign[other >> 1]
+                    if value == _UNASSIGNED or value ^ (other & 1):
+                        clause[1], clause[j] = other, clause[1]
                         watch_list[i] = watch_list[-1]
                         watch_list.pop()
-                        self.watches[clause[1]].append(clause_index)
+                        watches[other].append(clause_index)
                         moved = True
                         break
                 if moved:
                     continue
                 # Clause is unit (or conflicting) on `first`.
                 if not self._enqueue(first, reason=clause_index):
-                    self.queue_head = len(self.trail)
+                    self.queue_head = len(trail)
                     return clause_index
                 i += 1
         return -1
@@ -182,10 +264,20 @@ class SATSolver:
 
     def _bump(self, var: int) -> None:
         self.activity[var] += self.var_inc
+        if self.assign[var] == _UNASSIGNED:
+            heapq.heappush(self._order, (-self.activity[var], var))
         if self.activity[var] > 1e100:
             for v in range(self.n_vars):
                 self.activity[v] *= 1e-100
             self.var_inc *= 1e-100
+            # Every heap entry is stale after a rescale: rebuild it from
+            # the currently unassigned variables.
+            self._order = [
+                (-self.activity[v], v)
+                for v in range(self.n_vars)
+                if self.assign[v] == _UNASSIGNED
+            ]
+            heapq.heapify(self._order)
 
     def _analyze(self, conflict_index: int) -> tuple[list[int], int]:
         """First-UIP learning; returns (learned clause codes, backjump level)."""
@@ -236,6 +328,7 @@ class SATSolver:
         return learned, self.level[learned[1] >> 1]
 
     def _backtrack(self, target_level: int) -> None:
+        order = self._order
         while len(self.trail_lim) > target_level:
             limit = self.trail_lim.pop()
             while len(self.trail) > limit:
@@ -244,17 +337,28 @@ class SATSolver:
                 self.phase[var] = self.assign[var] == 1
                 self.assign[var] = _UNASSIGNED
                 self.reason[var] = -1
+                heapq.heappush(order, (-self.activity[var], var))
         self.queue_head = min(self.queue_head, len(self.trail))
 
     # -- decisions ----------------------------------------------------------
 
     def _decide(self) -> bool:
+        # Lazy heap: pop entries that are assigned or carry a stale
+        # activity.  Every unassigned variable always has one fresh
+        # entry (pushed at reset, on unassignment, and on bumping), so
+        # an empty heap means a complete assignment.  Ties break toward
+        # the lowest variable index, like the linear scan this replaces.
+        order = self._order
+        assign = self.assign
+        activity = self.activity
         best_var = -1
-        best_activity = -1.0
-        for var in range(self.n_vars):
-            if self.assign[var] == _UNASSIGNED and self.activity[var] > best_activity:
+        while order:
+            neg_act, var = order[0]
+            if assign[var] == _UNASSIGNED and neg_act == -activity[var]:
                 best_var = var
-                best_activity = self.activity[var]
+                heapq.heappop(order)
+                break
+            heapq.heappop(order)
         if best_var == -1:
             return False
         self.decisions += 1
@@ -265,13 +369,30 @@ class SATSolver:
 
     # -- main loop ------------------------------------------------------------
 
-    def solve(self) -> SATResult:
-        """Run the search to completion (or to the conflict budget)."""
-        if self._contradiction:
-            return SATResult(status="unsat")
-        if self._propagate() != -1:
-            return SATResult(status="unsat")
+    def solve(self, assumptions=None) -> SATResult:
+        """Run the search to completion (or to the conflict budget).
 
+        Parameters
+        ----------
+        assumptions:
+            Optional iterable of DIMACS literals held true for this call
+            only.  They are enqueued as root-level facts; an ``"unsat"``
+            result then means *unsatisfiable under the assumptions*.
+            Call :meth:`reset` before re-solving with different
+            assumptions — it discards everything (learned clauses
+            included) that this call derived from them.
+        """
+        if self._contradiction:
+            return self._result("unsat")
+        if assumptions is not None:
+            for literal in assumptions:
+                if not self._enqueue(self._encode(int(literal)), reason=-1):
+                    return self._result("unsat")
+        if self._propagate() != -1:
+            return self._result("unsat")
+
+        budget = self.max_conflicts
+        base_conflicts = self.conflicts
         conflicts_until_restart = 100 * _luby(self.restarts + 1)
         while True:
             conflict = self._propagate()
@@ -279,7 +400,7 @@ class SATSolver:
                 self.conflicts += 1
                 if not self.trail_lim:
                     return self._result("unsat")
-                if self.max_conflicts is not None and self.conflicts >= self.max_conflicts:
+                if budget is not None and self.conflicts - base_conflicts >= budget:
                     return self._result("unknown")
                 learned, backjump_level = self._analyze(conflict)
                 self._backtrack(backjump_level)

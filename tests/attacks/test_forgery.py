@@ -9,20 +9,10 @@ from repro.exceptions import ValidationError
 
 
 class TestForgeTriggerSet:
-    def test_forged_instances_realise_fake_pattern(self, wm_model, bc_data):
+    def test_forged_instances_realise_fake_pattern(self, wm_model, bc_data, forged_result):
         _, X_test, _, y_test = bc_data
-        fake = random_signature(len(wm_model.signature), random_state=50)
-        result = forge_trigger_set(
-            wm_model.ensemble,
-            fake,
-            X_test,
-            y_test,
-            epsilon=0.8,  # generous budget so some instances succeed
-            max_instances=15,
-            random_state=51,
-        )
+        fake, result = forged_result
         assert result.n_attempted <= 15
-        predictions = None
         if result.n_forged:
             predictions = wm_model.ensemble.predict_all(result.forged_X)
             bits = fake.as_array()[:, None]
@@ -30,22 +20,12 @@ class TestForgeTriggerSet:
             required = np.where(bits == 0, labels, -labels)
             assert np.array_equal(predictions, required)
 
-    def test_forged_instances_respect_epsilon(self, wm_model, bc_data):
-        _, X_test, _, y_test = bc_data
-        fake = random_signature(len(wm_model.signature), random_state=52)
-        epsilon = 0.6
-        result = forge_trigger_set(
-            wm_model.ensemble,
-            fake,
-            X_test,
-            y_test,
-            epsilon=epsilon,
-            max_instances=12,
-            random_state=53,
-        )
+    def test_forged_instances_respect_epsilon(self, bc_data, forged_result):
+        _, X_test, _, _ = bc_data
+        _, result = forged_result
         if result.n_forged:
             deltas = np.abs(result.forged_X - X_test[result.source_index])
-            assert deltas.max() <= epsilon + 1e-6
+            assert deltas.max() <= result.epsilon + 1e-6
 
     def test_small_epsilon_mostly_fails(self, wm_model, bc_data):
         """The paper's claim: forging inside small balls around real
@@ -87,13 +67,8 @@ class TestForgeTriggerSet:
         boxes = forge_trigger_set(wm_model.ensemble, fake, X_test, y_test, engine="boxes", **kwargs)
         assert smt.n_forged == boxes.n_forged
 
-    def test_statuses_recorded(self, wm_model, bc_data):
-        _, X_test, _, y_test = bc_data
-        fake = random_signature(len(wm_model.signature), random_state=60)
-        result = forge_trigger_set(
-            wm_model.ensemble, fake, X_test, y_test, epsilon=0.3,
-            max_instances=6, random_state=61,
-        )
+    def test_statuses_recorded(self, forged_result):
+        _, result = forged_result
         assert sum(result.statuses.values()) == result.n_attempted
 
     def test_validation(self, wm_model, bc_data):
@@ -123,16 +98,11 @@ class TestForgeryDistortion:
             stats = forgery_distortion(result, X_test)
             assert stats["mean_linf"] == 0.0
 
-    def test_distortion_bounded_by_epsilon(self, wm_model, bc_data):
-        _, X_test, _, y_test = bc_data
-        fake = random_signature(len(wm_model.signature), random_state=65)
-        epsilon = 0.8
-        result = forge_trigger_set(
-            wm_model.ensemble, fake, X_test, y_test, epsilon=epsilon,
-            max_instances=10, random_state=66,
-        )
+    def test_distortion_bounded_by_epsilon(self, bc_data, forged_result):
+        _, X_test, _, _ = bc_data
+        _, result = forged_result
         if result.n_forged:
             stats = forgery_distortion(result, X_test)
-            assert 0.0 <= stats["mean_linf"] <= stats["max_linf"] <= epsilon + 1e-6
+            assert 0.0 <= stats["mean_linf"] <= stats["max_linf"] <= result.epsilon + 1e-6
             assert stats["mean_l2"] >= stats["mean_linf"] - 1e-9  # L2 >= Linf
             assert 0.0 <= stats["moved_fraction"] <= 1.0

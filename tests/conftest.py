@@ -1,19 +1,27 @@
 """Shared fixtures.
 
-Expensive artefacts (trained forests, watermarked models) are
-session-scoped so the suite stays fast; tests must treat them as
-read-only.
+Expensive artefacts (trained forests, watermarked models, forged
+trigger sets, solver problems) are session-scoped so the suite stays
+fast; tests must treat them as read-only.  That contract is *enforced*:
+the fitted-model fixtures register a serialised snapshot with
+``fixture_guard``, and the guard re-serialises them at session teardown
+— any test that mutated a shared model fails the whole session loudly.
 """
 
 from __future__ import annotations
 
+import json
+
 import numpy as np
 import pytest
 
+from repro.attacks import forge_trigger_set
 from repro.core import random_signature, watermark
 from repro.datasets import breast_cancer_like, ijcnn1_like, mnist26_like
 from repro.ensemble import RandomForestClassifier
 from repro.model_selection import train_test_split
+from repro.persistence import forest_to_dict
+from repro.solver import PatternProblem, required_labels
 
 BASE_PARAMS = {"max_depth": 8, "min_samples_leaf": 1}
 
@@ -39,8 +47,45 @@ def mnist_data():
     return train_test_split(ds.X, ds.y, test_size=0.3, random_state=16)
 
 
+# -- fixture-immutability guard -----------------------------------------
+
+
+def _forest_state(forest: RandomForestClassifier) -> str:
+    """Canonical serialised state of a fitted forest (no compiled cache)."""
+    return json.dumps(forest_to_dict(forest), sort_keys=True)
+
+
 @pytest.fixture(scope="session")
-def bc_forest(bc_data):
+def fixture_guard():
+    """Registry asserting shared fixtures come out as they went in.
+
+    Fixtures call ``register(name, obj, snapshot_fn)`` right after
+    building their artefact.  Because this fixture is a dependency of
+    theirs it tears down *after* them — at session end — and re-runs
+    every snapshot function, failing if any test mutated a shared
+    model in place.
+    """
+    registry: list[tuple] = []  # (name, baseline, snapshot_fn, obj)
+
+    def register(name, obj, snapshot_fn):
+        registry.append((name, snapshot_fn(obj), snapshot_fn, obj))
+
+    yield register
+
+    mutated = [
+        name
+        for name, baseline, snapshot_fn, obj in registry
+        if snapshot_fn(obj) != baseline
+    ]
+    assert not mutated, (
+        f"session-scoped fixtures mutated by the test run: {mutated} — "
+        "tests must treat shared models as read-only (clone via "
+        "with_roots or refit instead)"
+    )
+
+
+@pytest.fixture(scope="session")
+def bc_forest(bc_data, fixture_guard):
     """A standard (non-watermarked) forest on the bc split."""
     X_train, _X_test, y_train, _y_test = bc_data
     forest = RandomForestClassifier(
@@ -49,15 +94,17 @@ def bc_forest(bc_data):
         tree_feature_fraction=0.6,
         random_state=17,
     )
-    return forest.fit(X_train, y_train)
+    forest.fit(X_train, y_train)
+    fixture_guard("bc_forest", forest, _forest_state)
+    return forest
 
 
 @pytest.fixture(scope="session")
-def wm_model(bc_data):
+def wm_model(bc_data, fixture_guard):
     """A watermarked model on the bc split (m=10, 50% ones)."""
     X_train, _X_test, y_train, _y_test = bc_data
     signature = random_signature(10, ones_fraction=0.5, random_state=18)
-    return watermark(
+    model = watermark(
         X_train,
         y_train,
         signature,
@@ -67,6 +114,61 @@ def wm_model(bc_data):
         escalation_factor=2.0,
         random_state=19,
     )
+
+    def state(m):
+        return json.dumps(
+            {
+                "ensemble": forest_to_dict(m.ensemble),
+                "signature": list(m.signature),
+                "trigger_X": m.trigger.X.tolist(),
+                "trigger_y": m.trigger.y.tolist(),
+            },
+            sort_keys=True,
+        )
+
+    fixture_guard("wm_model", model, state)
+    return model
+
+
+# -- shared solver / attack artefacts ------------------------------------
+
+
+@pytest.fixture(scope="session")
+def forge_problem(bc_forest):
+    """A ready-made pattern problem over ``bc_forest`` (read-only).
+
+    Solver test modules share this instead of re-deriving the same
+    problem per test; it carries no ball constraint so individual tests
+    can clone-and-restrict via ``dataclasses.replace``.
+    """
+    signature = random_signature(bc_forest.n_trees_, random_state=0)
+    return PatternProblem(
+        roots=bc_forest.roots(),
+        required=required_labels(signature, +1),
+        n_features=bc_forest.n_features_in_,
+    )
+
+
+@pytest.fixture(scope="session")
+def forged_result(wm_model, bc_data):
+    """One completed forgery run against ``wm_model`` (read-only).
+
+    A generous ε so the run actually forges instances; attack tests
+    assert properties of this single shared result instead of each
+    re-running the solver sweep.
+    """
+    _, X_test, _, y_test = bc_data
+    fake = random_signature(len(wm_model.signature), random_state=50)
+    result = forge_trigger_set(
+        wm_model.ensemble,
+        fake,
+        X_test,
+        y_test,
+        epsilon=0.8,
+        max_instances=15,
+        random_state=51,
+    )
+    return fake, result
 
 
 @pytest.fixture()

@@ -74,3 +74,71 @@ class TestGridSearch:
         b = grid_search_forest(X_train, y_train, **kwargs)
         assert a.best_params == b.best_params
         assert a.best_score == pytest.approx(b.best_score)
+
+
+class TestGridSearchRegression:
+    """Regression contracts for tie-breaking and ``n_jobs`` invariance."""
+
+    def _separable_data(self):
+        """Trivially separable data where every candidate scores 1.0.
+
+        All three columns carry the identical binary feature, so every
+        tree is perfect regardless of its feature subspace and every
+        grid point ties at CV accuracy 1.0.
+        """
+        import numpy as np
+
+        rng = np.random.default_rng(31)
+        column = rng.choice([0.25, 0.75], size=120)
+        X = np.stack([column, column, column], axis=1)
+        y = np.where(column > 0.5, 1, -1)
+        return X, y
+
+    def test_tie_breaks_toward_earlier_grid_point(self):
+        X, y = self._separable_data()
+        result = grid_search_forest(
+            X,
+            y,
+            n_estimators=3,
+            param_grid={"max_depth": [2, 6, 16]},
+            n_splits=2,
+            random_state=3,
+        )
+        assert result.best_score == 1.0
+        assert all(mean == 1.0 for _params, mean, _scores in result.table)
+        # All grid points tie: the earliest one must win.
+        assert result.best_params == {"max_depth": 2}
+
+    def test_tie_break_with_two_parameters(self):
+        X, y = self._separable_data()
+        result = grid_search_forest(
+            X,
+            y,
+            n_estimators=2,
+            param_grid={"max_depth": [4, 8], "min_samples_leaf": [1, 4]},
+            n_splits=2,
+            random_state=4,
+        )
+        assert result.best_score == 1.0
+        # First point of the sorted-name product order wins the tie.
+        assert result.best_params == {"max_depth": 4, "min_samples_leaf": 1}
+
+    def test_n_jobs_invariance(self, bc_data):
+        X_train, _, y_train, _ = bc_data
+        kwargs = dict(
+            n_estimators=4,
+            param_grid={"max_depth": [3, 8]},
+            n_splits=2,
+            random_state=5,
+        )
+        serial = grid_search_forest(X_train, y_train, n_jobs=None, **kwargs)
+        parallel = grid_search_forest(X_train, y_train, n_jobs=2, **kwargs)
+        assert parallel.best_params == serial.best_params
+        assert parallel.best_score == serial.best_score  # exact, not approx
+        assert len(parallel.table) == len(serial.table)
+        for (p_params, p_mean, p_scores), (s_params, s_mean, s_scores) in zip(
+            parallel.table, serial.table
+        ):
+            assert p_params == s_params
+            assert p_mean == s_mean
+            assert p_scores == s_scores

@@ -1,0 +1,146 @@
+"""Tests for the compiled (instance-independent) pattern encoding."""
+
+import numpy as np
+import pytest
+
+from repro.core import random_signature
+from repro.exceptions import ValidationError
+from repro.solver import (
+    EncodingCache,
+    PatternProblem,
+    compile_pattern_encoding,
+    required_labels,
+    solve_pattern_boxes,
+    solve_pattern_smt,
+)
+from repro.trees.node import InternalNode, Leaf
+
+
+def _stump(feature=0, threshold=0.5):
+    return InternalNode(feature, threshold, Leaf(-1), Leaf(+1))
+
+
+class TestCompiledStatuses:
+    def test_matches_one_shot_engines_across_epsilons(self, bc_forest, bc_data):
+        _, X_test, _, _ = bc_data
+        signature = random_signature(bc_forest.n_trees_, random_state=21)
+        required = required_labels(signature, +1)
+        compiled = compile_pattern_encoding(
+            bc_forest.roots(), required, bc_forest.n_features_in_
+        )
+        for i, epsilon in enumerate((0.05, 0.2, 0.5, 0.9)):
+            center = X_test[i]
+            problem = PatternProblem(
+                roots=bc_forest.roots(),
+                required=required,
+                n_features=bc_forest.n_features_in_,
+                center=center,
+                epsilon=epsilon,
+            )
+            smt = solve_pattern_smt(problem)
+            boxes = solve_pattern_boxes(problem)
+            compiled_smt = compiled.solve(center=center, epsilon=epsilon)
+            compiled_boxes = compiled.solve(
+                center=center, epsilon=epsilon, engine="boxes"
+            )
+            assert compiled_smt.status == smt.status
+            assert compiled_boxes.status == boxes.status
+            if compiled_smt.is_sat:
+                assert problem.check_solution(compiled_smt.instance)
+            if compiled_boxes.is_sat:
+                assert problem.check_solution(compiled_boxes.instance)
+                # Same clipped candidates, same search: the box witness
+                # is bit-identical to the one-shot solver's.
+                assert np.array_equal(compiled_boxes.instance, boxes.instance)
+
+    def test_reuse_and_rebuild_identical_across_a_sweep(self, bc_forest, bc_data):
+        _, X_test, _, _ = bc_data
+        signature = random_signature(bc_forest.n_trees_, random_state=22)
+        required = required_labels(signature, -1)
+        compiled = compile_pattern_encoding(
+            bc_forest.roots(), required, bc_forest.n_features_in_
+        )
+        for i in range(6):
+            reused = compiled.solve(center=X_test[i], epsilon=0.4, reuse=True)
+            rebuilt = compiled.solve(center=X_test[i], epsilon=0.4, reuse=False)
+            assert reused.status == rebuilt.status
+            if reused.is_sat:
+                assert np.array_equal(reused.instance, rebuilt.instance)
+
+    def test_portfolio_engine_cross_checks(self):
+        encoding = compile_pattern_encoding([_stump()], [+1], 1)
+        outcome = encoding.solve(
+            center=np.array([0.8]), epsilon=0.3, engine="portfolio"
+        )
+        assert outcome.is_sat
+        assert outcome.stats["agreement"] is True
+
+    def test_unknown_engine_rejected(self):
+        encoding = compile_pattern_encoding([_stump()], [+1], 1)
+        with pytest.raises(ValidationError, match="unknown engine"):
+            encoding.solve(engine="z3")
+
+
+class TestCompiledStructure:
+    def test_always_unsat_without_required_leaves(self):
+        all_negative = InternalNode(0, 0.5, Leaf(-1), Leaf(-1))
+        encoding = compile_pattern_encoding([all_negative], [+1], 1)
+        assert encoding.always_unsat
+        outcome = encoding.solve()
+        assert outcome.is_unsat
+        assert outcome.stats["trivial"] is True
+
+    def test_prescreen_detects_ball_incompatibility(self):
+        encoding = compile_pattern_encoding([_stump()], [+1], 1)
+        # +1 needs x > 0.5; the ball [0.0, 0.2] keeps no compatible box.
+        outcome = encoding.solve(center=np.array([0.1]), epsilon=0.1)
+        assert outcome.is_unsat
+        assert outcome.stats["trivial"] is True
+
+    def test_atoms_shared_across_trees(self):
+        encoding = compile_pattern_encoding([_stump(), _stump()], [+1, +1], 1)
+        assert len(encoding.atom_vars) == 1
+        assert encoding.atom_features.shape == (1,)
+
+    def test_bound_assumptions_match_bound_units(self):
+        # Atoms at 0.3 and 0.7; bounds [0.4, 0.6] decide both: the 0.3
+        # atom is forced false, the 0.7 atom forced true.
+        encoding = compile_pattern_encoding(
+            [_stump(0, 0.3), _stump(0, 0.7)], [+1, +1], 1
+        )
+        lo, hi = np.array([0.4]), np.array([0.6])
+        literals = encoding.bound_assumptions(lo, hi)
+        var_03 = encoding.atom_vars[(0, 0.3)]
+        var_07 = encoding.atom_vars[(0, 0.7)]
+        assert set(literals) == {-var_03, var_07}
+
+    def test_mismatched_required_length_rejected(self):
+        with pytest.raises(ValidationError, match="required"):
+            compile_pattern_encoding([_stump()], [+1, -1], 1)
+
+    def test_domain_none_supported(self):
+        encoding = compile_pattern_encoding([_stump()], [-1], 1, domain=None)
+        outcome = encoding.solve()
+        assert outcome.is_sat
+        assert outcome.instance[0] <= 0.5
+
+
+class TestEncodingCache:
+    def test_same_pattern_returns_same_object(self, bc_forest):
+        cache = EncodingCache(bc_forest.roots(), bc_forest.n_features_in_)
+        signature = random_signature(bc_forest.n_trees_, random_state=23)
+        first = cache.for_required(required_labels(signature, +1))
+        again = cache.for_required(required_labels(signature, +1))
+        other = cache.for_required(required_labels(signature, -1))
+        assert first is again
+        assert other is not first
+
+    def test_warm_prebuilds_persistent_solver(self):
+        encoding = compile_pattern_encoding([_stump()], [+1], 1)
+        assert encoding._solver is None
+        encoding.warm()
+        solver = encoding._solver
+        assert solver is not None
+        encoding.warm()
+        assert encoding._solver is solver  # idempotent
+        assert encoding.solve(center=np.array([0.8]), epsilon=0.3).is_sat

@@ -100,16 +100,7 @@ class TestEncoding:
         assert x[0] == pytest.approx(0.8)
         assert x[1] == pytest.approx(0.33)
 
-    def test_encoding_size_scales_with_leaves(self, bc_forest):
-        from repro.solver import required_labels
-        from repro.core import random_signature
-
-        signature = random_signature(bc_forest.n_trees_, random_state=0)
-        problem = PatternProblem(
-            roots=bc_forest.roots(),
-            required=required_labels(signature, +1),
-            n_features=bc_forest.n_features_in_,
-        )
-        encoding = encode_pattern_problem(problem)
+    def test_encoding_size_scales_with_leaves(self, bc_forest, forge_problem):
+        encoding = encode_pattern_problem(forge_problem)
         assert encoding.cnf.n_vars > bc_forest.n_trees_
         assert len(encoding.cnf) > 0

@@ -139,23 +139,11 @@ class TestCrossCheck:
             if outcome.is_sat:
                 assert problem.check_solution(outcome.instance)
 
-    def test_unbounded_problem_engines_agree(self, bc_forest):
-        signature = random_signature(bc_forest.n_trees_, random_state=5)
-        problem = PatternProblem(
-            roots=bc_forest.roots(),
-            required=required_labels(signature, +1),
-            n_features=bc_forest.n_features_in_,
-        )
-        smt = solve_pattern_smt(problem)
-        boxes = solve_pattern_boxes(problem)
+    def test_unbounded_problem_engines_agree(self, forge_problem):
+        smt = solve_pattern_smt(forge_problem)
+        boxes = solve_pattern_boxes(forge_problem)
         assert smt.status == boxes.status
 
-    def test_budget_exhaustion_reports_unknown(self, bc_forest):
-        signature = random_signature(bc_forest.n_trees_, random_state=6)
-        problem = PatternProblem(
-            roots=bc_forest.roots(),
-            required=required_labels(signature, +1),
-            n_features=bc_forest.n_features_in_,
-        )
-        outcome = solve_pattern_boxes(problem, max_nodes=1)
+    def test_budget_exhaustion_reports_unknown(self, forge_problem):
+        outcome = solve_pattern_boxes(forge_problem, max_nodes=1)
         assert outcome.status in ("unknown", "unsat", "sat")  # tiny budget

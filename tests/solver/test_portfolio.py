@@ -38,25 +38,15 @@ class TestPortfolio:
         problem = PatternProblem(roots=[_stump()], required=[+1], n_features=1)
         assert solve_pattern(problem, engine="portfolio").is_sat
 
-    def test_one_engine_budget_exhausted_other_decides(self, bc_forest):
-        signature = random_signature(bc_forest.n_trees_, random_state=0)
-        problem = PatternProblem(
-            roots=bc_forest.roots(),
-            required=required_labels(signature, +1),
-            n_features=bc_forest.n_features_in_,
-        )
+    def test_one_engine_budget_exhausted_other_decides(self, forge_problem):
         # Starve the box engine; SMT should still decide.
-        outcome = solve_pattern_portfolio(problem, max_nodes=1)
+        outcome = solve_pattern_portfolio(forge_problem, max_nodes=1)
         assert outcome.status in ("sat", "unsat")
 
-    def test_both_budgets_exhausted_is_unknown(self, bc_forest):
-        signature = random_signature(bc_forest.n_trees_, random_state=1)
-        problem = PatternProblem(
-            roots=bc_forest.roots(),
-            required=required_labels(signature, +1),
-            n_features=bc_forest.n_features_in_,
+    def test_both_budgets_exhausted_is_unknown(self, forge_problem):
+        outcome = solve_pattern_portfolio(
+            forge_problem, max_conflicts=1, max_nodes=1
         )
-        outcome = solve_pattern_portfolio(problem, max_conflicts=1, max_nodes=1)
         assert outcome.status in ("unknown", "sat", "unsat")
 
     def test_agreement_on_random_forgeries(self, wm_model, bc_data):

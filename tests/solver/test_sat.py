@@ -7,7 +7,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.solver import CNF, solve_cnf
+from repro.solver import CNF, SATSolver, solve_cnf
 
 
 def _brute_force(cnf: CNF) -> bool:
@@ -91,6 +91,78 @@ class TestUnsatFamilies:
         assert result.status in ("unknown", "unsat")
         # With 5 conflicts PHP(8,7) cannot be refuted by this solver.
         assert result.status == "unknown"
+
+
+class TestAssumptionsAndReset:
+    def _xor_chain(self, n=6):
+        """x1 XOR x2, x2 XOR x3, ...: satisfiable with alternating bits."""
+        cnf = CNF()
+        cnf.new_vars(n)
+        for i in range(1, n):
+            cnf.add_clause([i, i + 1])
+            cnf.add_clause([-i, -(i + 1)])
+        return cnf
+
+    def test_assumptions_steer_the_model(self):
+        solver = SATSolver(self._xor_chain())
+        result = solver.solve(assumptions=[1])
+        assert result.is_sat
+        assert result.model[1] is True and result.model[2] is False
+        solver.reset()
+        result = solver.solve(assumptions=[-1])
+        assert result.is_sat
+        assert result.model[1] is False and result.model[2] is True
+
+    def test_conflicting_assumptions_are_unsat(self):
+        solver = SATSolver(self._xor_chain())
+        assert solver.solve(assumptions=[1, 2]).is_unsat
+        solver.reset()
+        assert solver.solve(assumptions=[1, -1]).is_unsat
+        # The base formula is still satisfiable after a reset.
+        solver.reset()
+        assert solver.solve().is_sat
+
+    def test_reset_restores_fresh_solver_behaviour(self):
+        """A reset solver must behave bit-for-bit like a fresh one —
+        same model, same statistics — even after an intervening search
+        that learned clauses and mutated watch order."""
+        cnf = _pigeonhole(4)
+        solver = SATSolver(cnf)
+        first = solver.solve()
+        solver.reset()
+        second = solver.solve()
+        fresh = SATSolver(cnf).solve()
+        for result in (second, fresh):
+            assert result.status == first.status
+            assert result.conflicts == first.conflicts
+            assert result.decisions == first.decisions
+            assert result.propagations == first.propagations
+
+    def test_reset_discards_assumption_consequences(self):
+        cnf = CNF()
+        cnf.new_vars(2)
+        cnf.add_clause([-1, 2])  # 1 -> 2
+        solver = SATSolver(cnf)
+        result = solver.solve(assumptions=[1])
+        assert result.is_sat and result.model[2] is True
+        solver.reset()
+        result = solver.solve(assumptions=[-2])
+        assert result.is_sat
+        assert result.model[1] is False  # 1 would force 2
+
+    def test_assumption_budget_counts_per_call(self):
+        solver = SATSolver(_pigeonhole(7), max_conflicts=5)
+        assert solver.solve().status == "unknown"
+        solver.reset()
+        # The second call gets its own budget, not the leftovers.
+        assert solver.solve().status == "unknown"
+
+    def test_assumptions_on_unsat_base_formula(self):
+        cnf = CNF()
+        cnf.new_var()
+        cnf.add_clause([])
+        solver = SATSolver(cnf)
+        assert solver.solve(assumptions=[1]).is_unsat
 
 
 class TestRandomisedAgainstBruteForce:
