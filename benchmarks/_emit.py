@@ -1,0 +1,95 @@
+"""Benchmark result emission: rendered text + machine-readable JSON.
+
+Every benchmark funnels its output through :func:`emit`, which
+
+- prints the rendered table (visible with ``pytest -s``),
+- persists it to ``benchmarks/results/<name>.txt`` (the historical
+  artefact format), and
+- writes ``benchmarks/results/<name>.json`` with the run mode and any
+  structured rows/metrics the benchmark supplies, so the perf
+  trajectory is tracked across PRs and uploadable as a CI artifact
+  without scraping ASCII tables.
+
+JSON payload shape::
+
+    {
+      "name":    "bench_tree_fit",
+      "mode":    "quick" | "full",
+      "rows":    [{"col": value, ...}, ...],   # tabular results
+      "metrics": {"headline_speedup": 6.1},     # scalar summaries
+      "text":    "rendered table"
+    }
+
+``rows`` accepts either a list of dicts or a ``headers`` list plus
+row-lists (the shape :func:`repro.experiments.format_table` consumes),
+which keeps the per-benchmark changes one-line.  Numpy scalars are
+converted to plain Python numbers.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def _env_quick() -> bool:
+    return os.environ.get("REPRO_BENCH_QUICK", "").strip().lower() in (
+        "1",
+        "true",
+        "yes",
+    )
+
+
+def _plain(value):
+    """Coerce numpy scalars (and anything item()-able) to plain Python."""
+    if hasattr(value, "item") and not isinstance(value, (str, bytes)):
+        try:
+            return value.item()
+        except (AttributeError, ValueError):  # pragma: no cover - defensive
+            return str(value)
+    return value
+
+
+def _normalise_rows(rows, headers):
+    if rows is None:
+        return []
+    normalised = []
+    for row in rows:
+        if isinstance(row, dict):
+            normalised.append({str(k): _plain(v) for k, v in row.items()})
+        elif headers is not None:
+            normalised.append(
+                {str(h): _plain(v) for h, v in zip(headers, row)}
+            )
+        else:
+            normalised.append([_plain(v) for v in row])
+    return normalised
+
+
+def emit(
+    name: str,
+    text: str,
+    *,
+    mode: str | None = None,
+    headers: list[str] | None = None,
+    rows=None,
+    metrics: dict | None = None,
+) -> None:
+    """Print a rendered table and persist it as both text and JSON."""
+    banner = f"\n=== {name} ===\n{text}\n"
+    print(banner)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n", encoding="utf-8")
+    payload = {
+        "name": name,
+        "mode": mode if mode is not None else ("quick" if _env_quick() else "full"),
+        "rows": _normalise_rows(rows, headers),
+        "metrics": {str(k): _plain(v) for k, v in (metrics or {}).items()},
+        "text": text,
+    }
+    (RESULTS_DIR / f"{name}.json").write_text(
+        json.dumps(payload, indent=2) + "\n", encoding="utf-8"
+    )

@@ -36,15 +36,13 @@ def test_ablation_adjust_heuristic(benchmark):
                 [label, r.dataset, r.statistic, r.strategy,
                  f"({r.mean:.2f} - {r.std:.2f})", r.n_correct, r.n_wrong, r.n_uncertain]
             )
-    text = format_table(
-        ["Variant", "Dataset", "Statistic", "Strategy", "(mean - std)", "#correct", "#wrong", "#uncertain"],
-        cells,
-    )
+    headers = ["Variant", "Dataset", "Statistic", "Strategy", "(mean - std)", "#correct", "#wrong", "#uncertain"]
+    text = format_table(headers, cells)
     text += (
         f"\n\npooled recovery with Adjust:    {_recovery(adjusted):.3f}"
         f"\npooled recovery without Adjust: {_recovery(unadjusted):.3f}"
     )
-    emit("ablation_adjustment", text)
+    emit("ablation_adjustment", text, headers=headers, rows=cells)
 
     # The adjusted model must never let the attack fully recover sigma.
     m = BENCH.n_estimators

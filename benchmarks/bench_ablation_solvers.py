@@ -67,11 +67,9 @@ def _run():
 
 def test_ablation_solver_engines(benchmark):
     rows = benchmark.pedantic(_run, rounds=1, iterations=1)
-    text = format_table(
-        ["m (trees)", "total leaves", "agree", "#sat", "smt s/query", "boxes s/query"],
-        rows,
-    )
-    emit("ablation_solvers", text)
+    headers = ["m (trees)", "total leaves", "agree", "#sat", "smt s/query", "boxes s/query"]
+    text = format_table(headers, rows)
+    emit("ablation_solvers", text, headers=headers, rows=rows)
     for row in rows:
         agreements, trials = row[2].split("/")
         assert agreements == trials

@@ -44,10 +44,9 @@ def _run():
 
 def test_ablation_reweighting_schedule(benchmark):
     rows = benchmark.pedantic(_run, rounds=1, iterations=1)
-    text = format_table(
-        ["Schedule", "trigger frac", "k", "total rounds", "max trigger weight"], rows
-    )
-    emit("ablation_weighting", text)
+    headers = ["Schedule", "trigger frac", "k", "total rounds", "max trigger weight"]
+    text = format_table(headers, rows)
+    emit("ablation_weighting", text, headers=headers, rows=rows)
 
     # Embedding must converge everywhere within the round budget.
     assert all(row[3] < 60 for row in rows)

@@ -99,6 +99,7 @@ def test_bench_compiled_inference(request):
     gen = np.random.default_rng(20250729)
 
     rows = []
+    data_rows = []
     speedups = {}
     for n_trees, depth, leaf_p, batch in scales:
         forest = _random_forest(gen, n_trees, depth, leaf_p)
@@ -127,6 +128,19 @@ def test_bench_compiled_inference(request):
             f"{1e3 * t_object_pred:>12.1f} {1e3 * t_compiled_pred:>12.1f} "
             f"{t_object_pred / t_compiled_pred:>9.1f}x"
         )
+        data_rows.append(
+            {
+                "trees": n_trees,
+                "nodes_per_tree": nodes_per_tree,
+                "batch": batch,
+                "object_all_ms": round(1e3 * t_object_all, 2),
+                "compiled_all_ms": round(1e3 * t_compiled_all, 2),
+                "speedup_all": round(speedup_all, 2),
+                "object_pred_ms": round(1e3 * t_object_pred, 2),
+                "compiled_pred_ms": round(1e3 * t_compiled_pred, 2),
+                "speedup_pred": round(t_object_pred / t_compiled_pred, 2),
+            }
+        )
 
     header = (
         f"{'trees':>6} {'nodes/t':>8} {'batch':>8} "
@@ -137,6 +151,9 @@ def test_bench_compiled_inference(request):
     emit(
         "compiled_inference",
         f"mode: {mode} (best of {repeats})\n" + header + "\n" + "\n".join(rows),
+        mode=mode,
+        rows=data_rows,
+        metrics={"headline_speedup": round(speedups.get(HEADLINE, 0.0), 2)},
     )
 
     if not quick:

@@ -87,6 +87,7 @@ def test_embedding_benchmark(request):
         f"{'bits':>5} {'mode':>14} {'wall s':>8} {'rounds':>7} "
         f"{'speedup':>8} {'accepted':>9}",
     ]
+    data_rows = []
     headline_speedup = None
     for bits in bits_grid:
         signature = random_signature(bits, ones_fraction=0.5, random_state=7)
@@ -110,6 +111,11 @@ def test_embedding_benchmark(request):
                 f"{bits:>5} {label:>14} {seconds:>8.2f} {rounds:>7} "
                 f"{speedup:>7.1f}x {str(report.accepted):>9}"
             )
+            data_rows.append(
+                {"bits": bits, "mode": label, "seconds": round(seconds, 3),
+                 "rounds": rounds, "speedup": round(speedup, 2),
+                 "accepted": bool(report.accepted)}
+            )
             if bits == HEADLINE_BITS and label == "incr+parallel":
                 headline_speedup = speedup
 
@@ -121,7 +127,13 @@ def test_embedding_benchmark(request):
             "embedding must be bitwise-reproducible for a fixed random_state"
         )
 
-    emit("bench_embedding", "\n".join(lines))
+    emit(
+        "bench_embedding",
+        "\n".join(lines),
+        mode="quick" if quick else "full",
+        rows=data_rows,
+        metrics={"headline_speedup": round(headline_speedup or 0.0, 2)},
+    )
 
     if not quick:
         assert headline_speedup is not None

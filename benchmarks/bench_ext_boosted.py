@@ -53,12 +53,10 @@ def _run():
 
 def test_extension_boosted_watermark(benchmark):
     rows = benchmark.pedantic(_run, rounds=1, iterations=1)
-    text = format_table(
-        ["Dataset", "WM GBDT acc", "Standard GBDT acc", "rounds",
-         "true sig accepted", "fake sig matches"],
-        rows,
-    )
-    emit("ext_boosted_watermark", text)
+    headers = ["Dataset", "WM GBDT acc", "Standard GBDT acc", "rounds",
+         "true sig accepted", "fake sig matches"]
+    text = format_table(headers, rows)
+    emit("ext_boosted_watermark", text, headers=headers, rows=rows)
 
     for row in rows:
         assert row[4] is True          # true signature verifies

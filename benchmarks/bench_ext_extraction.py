@@ -18,11 +18,10 @@ def _run():
 
 def test_extension_extraction_attack(benchmark):
     rows = benchmark.pedantic(_run, rounds=1, iterations=1)
-    text = format_table(
-        ["Query budget", "Surrogate accuracy", "WM match rate", "WM accepted"],
-        [[int(r.strength), r.accuracy, r.watermark_match_rate, r.watermark_accepted] for r in rows],
-    )
-    emit("ext_extraction_attack", text)
+    headers = ["Query budget", "Surrogate accuracy", "WM match rate", "WM accepted"]
+    cells = [[int(r.strength), r.accuracy, r.watermark_match_rate, r.watermark_accepted] for r in rows]
+    text = format_table(headers, cells)
+    emit("ext_extraction_attack", text, headers=headers, rows=cells)
 
     # The watermark must never survive extraction.
     assert all(not r.watermark_accepted for r in rows)

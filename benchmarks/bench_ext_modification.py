@@ -25,14 +25,13 @@ def _run():
 
 def test_extension_modification_attacks(benchmark):
     rows = benchmark.pedantic(_run, rounds=1, iterations=1)
-    text = format_table(
-        ["Attack", "Strength", "Accuracy after", "WM match rate", "WM accepted"],
-        [
+    headers = ["Attack", "Strength", "Accuracy after", "WM match rate", "WM accepted"]
+    cells = [
             [r.attack, r.strength, r.accuracy, r.watermark_match_rate, r.watermark_accepted]
             for r in rows
-        ],
-    )
-    emit("ext_modification_attacks", text)
+        ]
+    text = format_table(headers, cells)
+    emit("ext_modification_attacks", text, headers=headers, rows=cells)
 
     for r in rows:
         assert 0.0 <= r.watermark_match_rate <= 1.0

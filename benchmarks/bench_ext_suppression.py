@@ -28,10 +28,9 @@ def _run():
 
 def test_extension_suppression_distinguishers(benchmark):
     rows = benchmark.pedantic(_run, rounds=1, iterations=1)
-    text = format_table(
-        ["Dataset", "input-distance AUC", "vote-disagreement AUC"], rows
-    )
-    emit("ext_suppression", text)
+    headers = ["Dataset", "input-distance AUC", "vote-disagreement AUC"]
+    text = format_table(headers, rows)
+    emit("ext_suppression", text, headers=headers, rows=rows)
 
     for _dataset, input_auc, disagreement_auc in rows:
         # Paper's claim: inputs alone carry little signal.

@@ -20,14 +20,13 @@ def _run():
 
 def test_fig3a_accuracy_vs_trigger_size(benchmark):
     rows = benchmark.pedantic(_run, rounds=1, iterations=1)
-    text = format_table(
-        ["Dataset", "trigger/train", "WM RF acc", "Standard RF acc", "Loss"],
-        [
+    headers = ["Dataset", "trigger/train", "WM RF acc", "Standard RF acc", "Loss"]
+    cells = [
             [r.dataset, r.x_value, r.watermarked_accuracy, r.standard_accuracy, r.accuracy_loss]
             for r in rows
-        ],
-    )
-    emit("fig3a_accuracy_vs_trigger", text)
+        ]
+    text = format_table(headers, cells)
+    emit("fig3a_accuracy_vs_trigger", text, headers=headers, rows=cells)
 
     # Paper shape: accuracy loss stays small on every dataset.  The
     # tolerance is loose because the bench runs at reduced scale.

@@ -26,14 +26,13 @@ def _run():
 
 def test_fig4_forgery_vs_epsilon(benchmark):
     rows = benchmark.pedantic(_run, rounds=1, iterations=1)
-    text = format_table(
-        ["eps", "|D'_trigger| (mean)", "|D'_trigger| (max)", "|D_trigger|", "mean s"],
-        [
+    headers = ["eps", "|D'_trigger| (mean)", "|D'_trigger| (max)", "|D_trigger|", "mean s"]
+    cells = [
             [r.epsilon, r.mean_forged_size, r.max_forged_size, r.original_trigger_size, r.mean_seconds]
             for r in rows
-        ],
-    )
-    emit("fig4_forgery_sweep", text)
+        ]
+    text = format_table(headers, cells)
+    emit("fig4_forgery_sweep", text, headers=headers, rows=cells)
 
     # Monotone shape: more distortion budget never shrinks the forged set.
     sizes = [r.mean_forged_size for r in rows]

@@ -28,9 +28,8 @@ def _run():
 
 def test_fig5_forged_instance_distortion(benchmark):
     rows = benchmark.pedantic(_run, rounds=1, iterations=1)
-    text = format_table(
-        ["eps", "#forged", "mean Linf", "mean L2", "std acc (orig)", "std acc (forged)"],
-        [
+    headers = ["eps", "#forged", "mean Linf", "mean L2", "std acc (orig)", "std acc (forged)"]
+    cells = [
             [
                 r.epsilon,
                 r.n_forged,
@@ -40,9 +39,9 @@ def test_fig5_forged_instance_distortion(benchmark):
                 r.standard_accuracy_on_forged,
             ]
             for r in rows
-        ],
-    )
-    emit("fig5_forged_instances", text)
+        ]
+    text = format_table(headers, cells)
+    emit("fig5_forged_instances", text, headers=headers, rows=cells)
 
     for r in rows:
         if r.n_forged:

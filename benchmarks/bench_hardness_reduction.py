@@ -42,8 +42,9 @@ def _run():
 
 def test_theorem1_reduction_roundtrip(benchmark):
     rows = benchmark.pedantic(_run, rounds=1, iterations=1)
-    text = format_table(["n_vars", "n_clauses", "solver==oracle", "mean conflicts"], rows)
-    emit("hardness_reduction", text)
+    headers = ["n_vars", "n_clauses", "solver==oracle", "mean conflicts"]
+    text = format_table(headers, rows)
+    emit("hardness_reduction", text, headers=headers, rows=rows)
     for row in rows:
         agreements, trials = row[2].split("/")
         assert agreements == trials  # solver always agrees with the oracle

@@ -23,9 +23,8 @@ def _run():
 
 def test_sec422_forgery_on_tabular_datasets(benchmark):
     rows = benchmark.pedantic(_run, rounds=1, iterations=1)
-    text = format_table(
-        ["Dataset", "eps", "forged (mean)", "original k", "forged/original", "mean s"],
-        [
+    headers = ["Dataset", "eps", "forged (mean)", "original k", "forged/original", "mean s"]
+    cells = [
             [
                 r.dataset,
                 r.epsilon,
@@ -35,9 +34,9 @@ def test_sec422_forgery_on_tabular_datasets(benchmark):
                 r.mean_seconds,
             ]
             for r in rows
-        ],
-    )
-    emit("sec422_forgery_tabular", text)
+        ]
+    text = format_table(headers, cells)
+    emit("sec422_forgery_tabular", text, headers=headers, rows=cells)
 
     # Paper shape: at small eps the forged set is a small fraction of
     # the original trigger set on both tabular datasets.

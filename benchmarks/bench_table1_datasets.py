@@ -25,8 +25,9 @@ def _rows():
 
 def test_table1_dataset_statistics(benchmark):
     rows = benchmark.pedantic(_rows, rounds=1, iterations=1)
-    text = format_table(["Dataset", "Instances", "Features", "Distribution"], rows)
-    emit("table1_datasets", text)
+    headers = ["Dataset", "Instances", "Features", "Distribution"]
+    text = format_table(headers, rows)
+    emit("table1_datasets", text, headers=headers, rows=rows)
 
     # Shape assertions against the paper's Table 1.
     by_name = {row[0]: row for row in rows}

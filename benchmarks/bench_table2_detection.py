@@ -18,9 +18,8 @@ def _run():
 
 def test_table2_watermark_detection(benchmark):
     rows = benchmark.pedantic(_run, rounds=1, iterations=1)
-    text = format_table(
-        ["Dataset", "Hyper-Parameter", "Strategy", "(mean - std)", "#correct", "#wrong", "#uncertain"],
-        [
+    headers = ["Dataset", "Hyper-Parameter", "Strategy", "(mean - std)", "#correct", "#wrong", "#uncertain"]
+    cells = [
             [
                 r.dataset,
                 r.statistic,
@@ -31,9 +30,9 @@ def test_table2_watermark_detection(benchmark):
                 r.n_uncertain,
             ]
             for r in rows
-        ],
-    )
-    emit("table2_detection", text)
+        ]
+    text = format_table(headers, cells)
+    emit("table2_detection", text, headers=headers, rows=cells)
 
     m = BENCH.n_estimators
     for r in rows:

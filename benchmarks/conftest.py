@@ -2,9 +2,11 @@
 
 Every benchmark regenerates one table or figure of the paper at the
 ``BENCH`` scale (laptop-sized stand-in datasets, see DESIGN.md §2).
-Rendered tables are printed (visible with ``pytest -s``) and also
-written to ``benchmarks/results/<name>.txt`` so the artefacts survive
-output capture.
+Rendered tables are printed (visible with ``pytest -s``) and written to
+``benchmarks/results/<name>.txt``; alongside each table, ``emit`` (see
+``benchmarks/_emit.py``) also writes ``results/<name>.json`` with the
+run mode and the structured rows/metrics, so the perf trajectory is
+machine-readable from this PR on.
 """
 
 from __future__ import annotations
@@ -14,9 +16,15 @@ from pathlib import Path
 
 import pytest
 
+from _emit import RESULTS_DIR, emit  # noqa: F401  (re-exported for benchmarks)
 from repro.experiments import SMALL
 
-RESULTS_DIR = Path(__file__).parent / "results"
+
+def pytest_configure(config):
+    # Mirror --quick into the environment so helper modules (and any
+    # worker processes) see the same mode without a pytest config.
+    if config.getoption("--quick", default=False):
+        os.environ["REPRO_BENCH_QUICK"] = "1"
 
 
 def is_quick(config=None) -> bool:
@@ -47,14 +55,6 @@ BENCH = SMALL.with_overrides(
     tree_feature_fraction=0.35,
     escalation_factor=2.0,
 )
-
-
-def emit(name: str, text: str) -> None:
-    """Print a rendered table and persist it under benchmarks/results/."""
-    banner = f"\n=== {name} ===\n{text}\n"
-    print(banner)
-    RESULTS_DIR.mkdir(exist_ok=True)
-    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n", encoding="utf-8")
 
 
 @pytest.fixture(scope="session")

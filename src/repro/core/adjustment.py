@@ -11,6 +11,11 @@ signature through structural statistics.  The heuristic:
 
 so ``T0`` and ``T1`` trees end up structurally similar, defeating the
 detection strategies evaluated in Table 2.
+
+The probe ensemble trains on the same ``X_train`` object the embedding
+pipeline threads everywhere, so it reuses the dataset's cached presort
+(:mod:`repro.trees.presort`) rather than re-sorting — ``Adjust`` adds
+one forest's worth of split search, not one forest's worth of sorting.
 """
 
 from __future__ import annotations

@@ -8,7 +8,7 @@ sampling, the ``Adjust`` heuristic, training the two ensembles ``T0``
 label flipping), and interleaving their trees according to the owner's
 signature.
 
-Embedding is the repo's training hot path, and two engine-level levers
+Embedding is the repo's training hot path, and three engine-level levers
 keep it fast without changing what Algorithm 1 computes:
 
 - **incremental re-weighting rounds** — trees that already satisfy the
@@ -17,7 +17,14 @@ keep it fast without changing what Algorithm 1 computes:
   independent given their feature subspaces);
 - **parallel tree fitting** — ``n_jobs`` fans tree fits out over a
   process pool, bitwise-deterministically thanks to per-tree seed
-  streams.
+  streams;
+- **presorted split search** — every retraining round changes only the
+  sample weights, never ``X``, so the per-feature sort orders behind the
+  default ``splitter="presorted"`` engine (see
+  :mod:`repro.trees.presort`) are computed once and reused by ``T0``,
+  ``T1``, every escalation round, every ``refit_trees`` call and the
+  ``Adjust`` probe — trees still come out bit-for-bit identical to the
+  node-local splitter's.
 """
 
 from __future__ import annotations

@@ -23,8 +23,9 @@ from .._validation import (
     spawn_seed_sequences,
 )
 from ..exceptions import NotFittedError, ValidationError
-from ..parallel import partition, resolve_n_jobs, run_batches
+from ..parallel import partition, resolve_n_jobs, run_batches, shared_payload
 from ..trees.compiled import adopt_compiled, ensure_compiled, lazy_compiled
+from ..trees.presort import adopt_presort, presorted_dataset
 from ..trees.export import ensemble_structure
 from ..trees.tree import DecisionTreeClassifier
 from .compiled import CompiledEnsemble, compile_forest
@@ -47,7 +48,14 @@ def _fit_tree_slots(
     slot's private stream, so the result depends only on
     ``(X, y, weights, tree_params, seed)`` — not on which worker fits it
     or which other slots are being (re)fitted alongside.
+
+    The parent warms the dataset's presort cache and ships it as the
+    pool's shared payload; fork workers inherit it copy-on-write and
+    re-bind it to their pickled copy of ``X`` here, so no worker re-sorts
+    what the parent already sorted.  Adoption is best-effort — without
+    it (spawn platforms, no payload) each worker presorts once itself.
     """
+    adopt_presort(shared_payload(), X)
     fitted = []
     for seed in seeds:
         rng = np.random.default_rng(seed)
@@ -74,6 +82,12 @@ class RandomForestClassifier:
         Fraction of the features assigned to each tree's private
         subspace (sampled without replacement per tree).  ``1.0`` gives
         every tree the full feature set.
+    splitter:
+        Split-search engine for every tree: ``"presorted"`` (default)
+        presorts each feature column once per dataset and reuses the
+        orders across all trees, refit rounds and weight changes;
+        ``"local"`` is the node-local re-sorting escape hatch.  Fitted
+        forests are bit-for-bit identical across the two engines.
     random_state:
         Seed/generator controlling subspace assignment and per-split
         feature sampling.  Internally expanded into one
@@ -102,6 +116,7 @@ class RandomForestClassifier:
         min_impurity_decrease: float = 0.0,
         max_features=None,
         tree_feature_fraction: float = 0.7,
+        splitter: str = "presorted",
         random_state=None,
         n_jobs: int | None = None,
     ) -> None:
@@ -114,6 +129,7 @@ class RandomForestClassifier:
         self.min_impurity_decrease = min_impurity_decrease
         self.max_features = max_features
         self.tree_feature_fraction = tree_feature_fraction
+        self.splitter = splitter
         self.random_state = random_state
         self.n_jobs = n_jobs
         self.trees_: list[DecisionTreeClassifier] | None = None
@@ -138,6 +154,7 @@ class RandomForestClassifier:
             "min_impurity_decrease": self.min_impurity_decrease,
             "max_features": self.max_features,
             "tree_feature_fraction": self.tree_feature_fraction,
+            "splitter": self.splitter,
             "random_state": self.random_state,
             "n_jobs": self.n_jobs,
         }
@@ -171,6 +188,7 @@ class RandomForestClassifier:
             "min_samples_leaf": self.min_samples_leaf,
             "min_impurity_decrease": self.min_impurity_decrease,
             "max_features": self.max_features,
+            "splitter": self.splitter,
         }
 
     def _fit_slots(
@@ -186,14 +204,20 @@ class RandomForestClassifier:
         training matrix is pickled at most ``n_jobs`` times; batch
         results are flattened back into seed order, keeping the output
         independent of the execution plan.
+
+        With the presorted splitter the parent computes (or re-uses) the
+        dataset's sort orders *before* dispatch and hands them to the
+        pool as the fork-inherited shared payload — one presort serves
+        every tree of every round, in every worker.
         """
         jobs = resolve_n_jobs(self.n_jobs, n_tasks=len(seeds))
         subspace_size = self._subspace_size(X.shape[1])
+        presort = presorted_dataset(X) if self.splitter == "presorted" else None
         batches = [
             (X, y, weights, self._tree_params(), subspace_size, chunk)
             for chunk in partition(seeds, jobs)
         ]
-        results = run_batches(_fit_tree_slots, batches, jobs)
+        results = run_batches(_fit_tree_slots, batches, jobs, shared=presort)
         return [slot for batch in results for slot in batch]
 
     def fit(self, X, y, sample_weight=None) -> "RandomForestClassifier":

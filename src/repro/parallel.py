@@ -46,9 +46,10 @@ def shared_payload() -> object | None:
 
     Under the ``fork`` start method workers inherit the parent's memory
     at pool creation, so a large read-mostly object (e.g. the forgery
-    attack's compiled encodings) can be handed to every worker without
-    pickling: the parent passes it as ``run_batches(..., shared=obj)``
-    and workers retrieve it here.  Returns ``None`` outside a
+    attack's compiled encodings, or the training engine's presorted
+    dataset — see :func:`repro.trees.presort.adopt_presort`) can be
+    handed to every worker without pickling: the parent passes it as
+    ``run_batches(..., shared=obj)`` and workers retrieve it here.  Returns ``None`` outside a
     ``run_batches`` call or when the platform had to fall back to
     ``spawn`` (workers then rebuild whatever they need from their
     pickled batch arguments — callers must treat the payload as an

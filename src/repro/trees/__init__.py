@@ -15,6 +15,10 @@ Public surface:
   engine behind ``predict`` (see :mod:`repro.trees.compiled`), with
   :func:`set_inference_backend` / :func:`inference_backend` as the
   object-graph escape hatch.
+- :class:`SortedDataset`, :func:`presorted_dataset` — the training-side
+  per-dataset sort cache behind the default ``splitter="presorted"``
+  engine (see :mod:`repro.trees.presort`), with ``splitter="local"`` as
+  the node-local escape hatch.
 """
 
 from .compiled import (
@@ -28,9 +32,15 @@ from .criteria import entropy_impurity, gini_impurity
 from .export import TreeStats, ensemble_structure, tree_stats, tree_to_text
 from .node import InternalNode, Leaf, TreeNode, iter_leaves, iter_nodes, predict_batch, predict_one
 from .paths import Box, boxes_for_label, leaf_boxes
+from .presort import (
+    SortedDataset,
+    clear_presort_cache,
+    presort_cache_stats,
+    presorted_dataset,
+)
 from .pruning import prune_cost_complexity, pruning_path, subtree_risk
 from .regression import RegressionTree
-from .tree import DecisionTreeClassifier, resolve_max_features
+from .tree import SPLITTERS, DecisionTreeClassifier, resolve_max_features
 
 __all__ = [
     "Box",
@@ -56,6 +66,11 @@ __all__ = [
     "prune_cost_complexity",
     "pruning_path",
     "RegressionTree",
+    "SortedDataset",
+    "SPLITTERS",
+    "clear_presort_cache",
+    "presort_cache_stats",
+    "presorted_dataset",
     "subtree_risk",
     "resolve_max_features",
     "tree_stats",

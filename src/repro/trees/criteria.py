@@ -12,7 +12,27 @@ import numpy as np
 
 from ..exceptions import ValidationError
 
-__all__ = ["gini_impurity", "entropy_impurity", "get_criterion", "CRITERIA"]
+__all__ = [
+    "gini_impurity",
+    "entropy_impurity",
+    "get_criterion",
+    "weighted_class_counts",
+    "CRITERIA",
+]
+
+
+def weighted_class_counts(
+    codes: np.ndarray, weights: np.ndarray, n_classes: int
+) -> np.ndarray:
+    """Total weight per class: ``out[c] = sum(weights[codes == c])``.
+
+    ``np.bincount`` accumulates its float64 weights sequentially in
+    element order — the same order an unbuffered ``np.add.at`` scatter
+    uses — so the result is numerically identical to the historical
+    ``np.add.at(zeros, codes, weights)`` formulation while running
+    measurably faster (single C loop, no ufunc dispatch per element).
+    """
+    return np.bincount(codes, weights=weights, minlength=n_classes)
 
 
 def gini_impurity(counts: np.ndarray) -> np.ndarray:

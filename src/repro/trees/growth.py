@@ -5,6 +5,14 @@ Two builders are provided because the paper's ``Adjust`` heuristic caps
 on ``max_leaf_nodes`` only makes sense with best-first growth (always
 expand the frontier leaf with the largest impurity decrease, as sklearn
 does); without a leaf cap, classic depth-first growth is used.
+
+When a dataset presort is supplied, both builders maintain a
+:class:`~repro.trees.presort.NodeOrdering` per frame: the root's
+feature-sorted lanes come from the global sort cache, and every split
+*partitions* the parent's lanes into the children's with one stable
+boolean compress per lane — no node ever re-sorts, and no per-node work
+depends on the full dataset size.  Orderings are an acceleration only:
+the grown tree is bit-for-bit identical with and without them.
 """
 
 from __future__ import annotations
@@ -15,7 +23,9 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from .criteria import weighted_class_counts
 from .node import InternalNode, Leaf, TreeNode
+from .presort import NodeOrdering, partition_ordering, root_ordering
 from .splitter import Split, find_best_split
 
 __all__ = ["GrowthParams", "grow_tree"]
@@ -48,8 +58,7 @@ def _make_leaf(
     classes: np.ndarray,
 ) -> Leaf:
     """Build a leaf predicting the weighted-majority class of ``index``."""
-    counts = np.zeros(classes.shape[0], dtype=np.float64)
-    np.add.at(counts, codes[index], weights[index])
+    counts = weighted_class_counts(codes[index], weights[index], classes.shape[0])
     prediction = int(classes[int(np.argmax(counts))])
     class_weights = {
         int(classes[c]): float(counts[c]) for c in range(classes.shape[0]) if counts[c] > 0
@@ -59,12 +68,49 @@ def _make_leaf(
 
 def _candidate_features(
     subspace: np.ndarray, params: GrowthParams, rng: np.random.Generator
-) -> np.ndarray:
-    """Sample the features considered by one split."""
+) -> tuple[np.ndarray, np.ndarray | None]:
+    """Sample the features considered by one split.
+
+    Returns ``(features, positions)`` where ``positions`` locates the
+    sample within the subspace (``None`` when every subspace feature is
+    considered) — the positions index the node ordering's lanes.
+    """
     if params.max_features is None or params.max_features >= subspace.shape[0]:
-        return subspace
+        return subspace, None
     chosen = rng.choice(subspace.shape[0], size=params.max_features, replace=False)
-    return subspace[np.sort(chosen)]
+    positions = np.sort(chosen)
+    return subspace[positions], positions
+
+
+def _child_can_split(k: int, depth: int, params: GrowthParams) -> bool:
+    """Whether a child of size ``k`` at ``depth`` can possibly split.
+
+    Mirrors the early-out checks of :func:`_search_split`; children that
+    fail them become leaves, so partitioning an ordering for them would
+    be wasted work.
+    """
+    if params.max_depth is not None and depth >= params.max_depth:
+        return False
+    return k >= params.min_samples_split and k >= 2 * params.min_samples_leaf
+
+
+def _child_orderings(
+    presort,
+    ordering: NodeOrdering | None,
+    split: Split,
+    child_depth: int,
+    params: GrowthParams,
+) -> tuple[NodeOrdering | None, NodeOrdering | None]:
+    """Partition a split node's ordering for the children that need one."""
+    if ordering is None:
+        return None, None
+    want_left = _child_can_split(split.left_index.shape[0], child_depth, params)
+    want_right = _child_can_split(split.right_index.shape[0], child_depth, params)
+    if not (want_left or want_right):
+        return None, None
+    return partition_ordering(
+        presort, ordering, split.left_index, split.right_index, want_left, want_right
+    )
 
 
 def _search_split(
@@ -77,6 +123,7 @@ def _search_split(
     n_classes: int,
     params: GrowthParams,
     rng: np.random.Generator,
+    ordering: NodeOrdering | None = None,
 ) -> Split | None:
     """Find a split for a node, honouring all stopping criteria."""
     if params.max_depth is not None and depth >= params.max_depth:
@@ -85,21 +132,26 @@ def _search_split(
         return None
     if index.shape[0] < 2 * params.min_samples_leaf:
         return None
+    features, positions = _candidate_features(subspace, params, rng)
     split = find_best_split(
         X,
         codes,
         weights,
         index,
-        _candidate_features(subspace, params, rng),
+        features,
         n_classes,
         params.criterion,
         params.min_samples_leaf,
         params.min_impurity_decrease,
+        ordering=ordering,
+        lane_positions=positions,
     )
-    if split is None and params.max_features is not None:
+    if split is None and positions is not None:
         # The sampled feature subset may have been uninformative even
         # though the node is impure; retry once with the full subspace so
         # trees can still isolate heavily-weighted trigger samples.
+        # (``positions is None`` means the first search already covered
+        # the whole subspace — a retry would repeat it verbatim.)
         split = find_best_split(
             X,
             codes,
@@ -110,6 +162,7 @@ def _search_split(
             params.criterion,
             params.min_samples_leaf,
             params.min_impurity_decrease,
+            ordering=ordering,
         )
     return split
 
@@ -123,18 +176,26 @@ def _grow_depth_first(
     classes: np.ndarray,
     params: GrowthParams,
     rng: np.random.Generator,
+    presort=None,
 ) -> TreeNode:
     """Classic recursive growth (explicit stack, no recursion limits)."""
     n_classes = classes.shape[0]
-    # Each frame is (index, depth, parent, side); parent None means root.
+    ordering = (
+        root_ordering(presort, index, subspace, codes, weights)
+        if presort is not None
+        else None
+    )
+    # Each frame is (index, depth, parent, side, ordering); parent None
+    # means root.
     root_holder: list[TreeNode] = []
-    stack: list[tuple[np.ndarray, int, InternalNode | None, str]] = [
-        (index, 0, None, "left")
+    stack: list[tuple[np.ndarray, int, InternalNode | None, str, NodeOrdering | None]] = [
+        (index, 0, None, "left", ordering)
     ]
     while stack:
-        node_index, depth, parent, side = stack.pop()
+        node_index, depth, parent, side, node_ordering = stack.pop()
         split = _search_split(
-            X, codes, weights, node_index, depth, subspace, n_classes, params, rng
+            X, codes, weights, node_index, depth, subspace, n_classes, params, rng,
+            node_ordering,
         )
         node: TreeNode
         if split is None:
@@ -146,8 +207,11 @@ def _grow_depth_first(
                 left=None,  # type: ignore[arg-type]
                 right=None,  # type: ignore[arg-type]
             )
-            stack.append((split.left_index, depth + 1, node, "left"))
-            stack.append((split.right_index, depth + 1, node, "right"))
+            left_ordering, right_ordering = _child_orderings(
+                presort, node_ordering, split, depth + 1, params
+            )
+            stack.append((split.left_index, depth + 1, node, "left", left_ordering))
+            stack.append((split.right_index, depth + 1, node, "right", right_ordering))
         if parent is None:
             root_holder.append(node)
         elif side == "left":
@@ -166,6 +230,7 @@ def _grow_best_first(
     classes: np.ndarray,
     params: GrowthParams,
     rng: np.random.Generator,
+    presort=None,
 ) -> TreeNode:
     """Best-first growth: repeatedly expand the frontier leaf with the
     largest weighted impurity decrease until ``max_leaf_nodes`` is hit."""
@@ -182,6 +247,7 @@ def _grow_best_first(
         parent: InternalNode | None
         side: str
         split: Split | None
+        ordering: NodeOrdering | None
 
     def _attach(parent: InternalNode | None, side: str, node: TreeNode) -> None:
         nonlocal root
@@ -197,14 +263,26 @@ def _grow_best_first(
 
     def _push(entry: _Frontier) -> None:
         entry.split = _search_split(
-            X, codes, weights, entry.index, entry.depth, subspace, n_classes, params, rng
+            X, codes, weights, entry.index, entry.depth, subspace, n_classes, params,
+            rng, entry.ordering,
         )
         if entry.split is None:
+            entry.ordering = None  # nothing left to partition; free the lanes
             _attach(entry.parent, entry.side, _make_leaf(entry.index, codes, weights, classes))
         else:
             heapq.heappush(heap, (-entry.split.gain, next(counter), entry))
 
-    _push(_Frontier(index=index, depth=0, parent=None, side="left", split=None))
+    ordering = (
+        root_ordering(presort, index, subspace, codes, weights)
+        if presort is not None
+        else None
+    )
+    _push(
+        _Frontier(
+            index=index, depth=0, parent=None, side="left", split=None,
+            ordering=ordering,
+        )
+    )
     n_leaves = 1
     while heap and n_leaves < max_leaves:
         _, _, entry = heapq.heappop(heap)
@@ -218,8 +296,20 @@ def _grow_best_first(
         )
         _attach(entry.parent, entry.side, node)
         n_leaves += 1  # one leaf became two
-        _push(_Frontier(split.left_index, entry.depth + 1, node, "left", None))
-        _push(_Frontier(split.right_index, entry.depth + 1, node, "right", None))
+        left_ordering, right_ordering = _child_orderings(
+            presort, entry.ordering, split, entry.depth + 1, params
+        )
+        entry.ordering = None
+        _push(
+            _Frontier(
+                split.left_index, entry.depth + 1, node, "left", None, left_ordering
+            )
+        )
+        _push(
+            _Frontier(
+                split.right_index, entry.depth + 1, node, "right", None, right_ordering
+            )
+        )
     # Frontier nodes never expanded stay as the provisional leaves they
     # already are (attached when their parents were created).
     return root
@@ -233,17 +323,24 @@ def grow_tree(
     classes: np.ndarray,
     params: GrowthParams,
     rng: np.random.Generator,
+    presort=None,
 ) -> TreeNode:
     """Grow a decision tree over the full training set.
 
     Chooses best-first growth when ``max_leaf_nodes`` is set (so the cap
     binds on the most useful expansions first, like sklearn) and
-    depth-first growth otherwise.
+    depth-first growth otherwise.  ``presort`` optionally supplies the
+    dataset's :class:`~repro.trees.presort.SortedDataset`; split search
+    results are bit-identical with and without it.
     """
     index = np.arange(X.shape[0])
     positive_weight = weights[index] > 0
     if not positive_weight.all():
         index = index[positive_weight]
     if params.max_leaf_nodes is not None:
-        return _grow_best_first(X, codes, weights, index, subspace, classes, params, rng)
-    return _grow_depth_first(X, codes, weights, index, subspace, classes, params, rng)
+        return _grow_best_first(
+            X, codes, weights, index, subspace, classes, params, rng, presort
+        )
+    return _grow_depth_first(
+        X, codes, weights, index, subspace, classes, params, rng, presort
+    )

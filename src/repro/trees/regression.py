@@ -16,6 +16,7 @@ import numpy as np
 
 from .._validation import check_sample_weight, check_X, check_X_y
 from ..exceptions import NotFittedError, ValidationError
+from .presort import presorted_dataset
 
 __all__ = ["RegressionTree"]
 
@@ -48,13 +49,20 @@ def _best_split_sse(
     targets: np.ndarray,
     weights: np.ndarray,
     min_samples_leaf: int,
-) -> tuple[float, float, np.ndarray] | None:
+    order: np.ndarray | None = None,
+    sorted_values: np.ndarray | None = None,
+) -> tuple[float, float] | None:
     """Best threshold of one feature by weighted SSE reduction.
 
-    Returns ``(sse_after, threshold, go_left_mask)`` or ``None``.
+    Returns ``(sse_after, threshold)`` or ``None``.  ``order`` (and the
+    matching ``sorted_values``) may come from the dataset presort cache;
+    when omitted they are computed here.  Both routes are bit-identical
+    — a presorted order *is* the stable argsort.
     """
-    order = np.argsort(values, kind="stable")
-    sorted_values = values[order]
+    if order is None:
+        order = np.argsort(values, kind="stable")
+    if sorted_values is None:
+        sorted_values = values[order]
     if sorted_values[-1] - sorted_values[0] <= _MIN_VALUE_GAP:
         return None
     w = weights[order]
@@ -66,7 +74,9 @@ def _best_split_sse(
     prefix_wyy = np.cumsum(wyy)
     total_w, total_wy, total_wyy = prefix_w[-1], prefix_wy[-1], prefix_wyy[-1]
 
-    n = values.shape[0]
+    # Node size comes from the (possibly presorted) order, not from
+    # ``values`` — with an external order, ``values`` is the full column.
+    n = sorted_values.shape[0]
     positions = np.arange(1, n)
     distinct = sorted_values[1:] - sorted_values[:-1] > _MIN_VALUE_GAP
     big_enough = (positions >= min_samples_leaf) & (n - positions >= min_samples_leaf)
@@ -90,8 +100,7 @@ def _best_split_sse(
     threshold = 0.5 * (sorted_values[position - 1] + sorted_values[position])
     if threshold <= sorted_values[position - 1]:
         threshold = sorted_values[position - 1]
-    go_left = values <= threshold
-    return float(sse[best]), float(threshold), go_left
+    return float(sse[best]), float(threshold)
 
 
 class RegressionTree:
@@ -101,6 +110,12 @@ class RegressionTree:
     ``leaf_value_fn`` hook lets gradient boosting replace plain weighted
     means with Newton-step leaf values: it receives the index array of
     the samples in the leaf and returns the leaf's value.
+
+    ``splitter="presorted"`` (default) reuses the dataset's cached
+    per-feature sort orders — gradient boosting refits a tree per stage
+    on the *same* ``X`` with new residual targets, so the presort pays
+    for itself across all stages; ``"local"`` restores per-node
+    re-sorting.  Fitted trees are bit-identical either way.
     """
 
     def __init__(
@@ -108,13 +123,19 @@ class RegressionTree:
         max_depth: int | None = 3,
         min_samples_split: int = 2,
         min_samples_leaf: int = 1,
+        splitter: str = "presorted",
         random_state=None,
     ) -> None:
         if max_depth is not None and max_depth < 1:
             raise ValidationError(f"max_depth must be >= 1, got {max_depth}")
+        if splitter not in ("presorted", "local"):
+            raise ValidationError(
+                f"splitter must be one of ('presorted', 'local'), got {splitter!r}"
+            )
         self.max_depth = max_depth
         self.min_samples_split = min_samples_split
         self.min_samples_leaf = min_samples_leaf
+        self.splitter = splitter
         self.random_state = random_state
         self.root_ = None
         self.n_features_in_: int | None = None
@@ -134,6 +155,11 @@ class RegressionTree:
             def leaf_value_fn(index: np.ndarray) -> float:
                 return float(np.average(y[index], weights=weights[index]))
 
+        presort = (
+            presorted_dataset(X) if self.splitter == "presorted" else None
+        )
+        all_features = np.arange(X.shape[1])
+
         def build(index: np.ndarray, depth: int):
             can_split = (
                 (self.max_depth is None or depth < self.max_depth)
@@ -142,17 +168,36 @@ class RegressionTree:
             )
             split = None
             if can_split:
+                if presort is not None:
+                    # One membership filter yields every feature's node
+                    # ordering; the global rows double as gather indices
+                    # into the full y / weights arrays.
+                    rows, row_values = presort.node_sorted(index, all_features)
                 best_sse = np.inf
                 for feature in range(X.shape[1]):
-                    result = _best_split_sse(
-                        X[index, feature], y[index], weights[index], self.min_samples_leaf
-                    )
+                    if presort is not None:
+                        result = _best_split_sse(
+                            X[:, feature],
+                            y,
+                            weights,
+                            self.min_samples_leaf,
+                            order=rows[feature],
+                            sorted_values=row_values[feature],
+                        )
+                    else:
+                        result = _best_split_sse(
+                            X[index, feature],
+                            y[index],
+                            weights[index],
+                            self.min_samples_leaf,
+                        )
                     if result is not None and result[0] < best_sse - 1e-15:
                         best_sse = result[0]
-                        split = (feature, result[1], result[2])
+                        split = (feature, result[1])
             if split is None:
                 return _RegLeaf(value=leaf_value_fn(index))
-            feature, threshold, go_left = split
+            feature, threshold = split
+            go_left = X[index, feature] <= threshold
             return _RegNode(
                 feature=feature,
                 threshold=threshold,

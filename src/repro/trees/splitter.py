@@ -6,6 +6,25 @@ prefix sums of weighted class counts.  This reproduces the behaviour the
 paper relies on from sklearn: sample weights steer the chosen splits, so
 heavily re-weighted trigger instances dominate impurity and force the
 tree to carve them out correctly (Algorithm 1, ``TrainWithTrigger``).
+
+Two equivalent engines implement the search:
+
+- the **node-local** path (the seed implementation, kept as the
+  ``splitter="local"`` escape hatch): one Python iteration per candidate
+  feature, each re-running ``np.argsort`` on the node's values;
+- the **presorted** path (default): node orderings are derived from a
+  per-dataset :class:`~repro.trees.presort.SortedDataset` cache, and all
+  candidate features of a node are scored in one batched prefix-sum /
+  criterion evaluation — no per-node sorting, no per-feature Python
+  loop.
+
+The two paths are **bit-for-bit equivalent**: same thresholds, same
+equal-gain tie-break (lowest feature id), same midpoint-collapse guard.
+A stable global sort order filtered to an ascending-index subset *is*
+the stable argsort of that subset, and every arithmetic step of the
+batched evaluation is an element-wise image of the node-local one, so
+identical floats flow through identical operations.  The differential
+tests in ``tests/trees/test_presort.py`` pin this contract.
 """
 
 from __future__ import annotations
@@ -14,12 +33,19 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from .criteria import entropy_impurity, gini_impurity, weighted_class_counts
+
 __all__ = ["Split", "find_best_split"]
 
 # Two adjacent feature values closer than this are treated as equal and
 # never separated by a threshold, matching the float32-ish granularity
 # real tree learners use and keeping midpoint thresholds representable.
 _MIN_VALUE_GAP = 1e-12
+
+# Feature-block size cap for the batched evaluation: blocks are sized so
+# the (k, F, n_classes) prefix tensors stay within a few dozen MB even
+# at the root of a large dataset.
+_BLOCK_ELEMENTS = 1 << 21
 
 
 @dataclass
@@ -62,6 +88,7 @@ def _best_position_for_feature(
 
     ``position`` is the number of sorted samples that go to the left
     child.  Returns ``None`` when the feature admits no valid split.
+    This is the node-local engine: it re-sorts the node's values.
     """
     order = np.argsort(values, kind="stable")
     sorted_values = values[order]
@@ -100,6 +127,306 @@ def _best_position_for_feature(
     return float(gains[best]), float(threshold), position
 
 
+def _local_best(
+    X: np.ndarray,
+    codes: np.ndarray,
+    weights: np.ndarray,
+    index: np.ndarray,
+    candidate_features: np.ndarray,
+    n_classes: int,
+    criterion,
+    min_samples_leaf: int,
+    parent_weighted_impurity: float,
+) -> tuple[float, float, int] | None:
+    """Node-local engine: Python loop over candidate features."""
+    node_codes = codes[index]
+    node_weights = weights[index]
+    best: tuple[float, float, int] | None = None  # gain, threshold, feature
+    for feature in candidate_features:
+        result = _best_position_for_feature(
+            X[index, feature],
+            node_codes,
+            node_weights,
+            n_classes,
+            criterion,
+            min_samples_leaf,
+            parent_weighted_impurity,
+        )
+        if result is None:
+            continue
+        gain, threshold, _position = result
+        key = (gain, -int(feature))  # deterministic tie-break: lowest feature id
+        if best is None or key > (best[0], -best[2]):
+            best = (gain, threshold, int(feature))
+    return best
+
+
+def _binary_child_weighted(
+    sorted_codes: np.ndarray,
+    sorted_weights: np.ndarray,
+    criterion,
+    lo: int,
+    hi: int,
+) -> np.ndarray | None:
+    """Fused ``w_l·crit(left) + w_r·crit(right)`` for the two-class case.
+
+    Shape ``(F, hi-lo)``, one row per feature lane, covering the
+    admissible split positions ``lo+1 .. hi`` (the ``min_samples_leaf``
+    window — positions outside it are masked out downstream anyway, so
+    the division chain never runs there).  Every arithmetic step mirrors
+    the generic one-hot/criterion pipeline operation for operation —
+    ``x·x`` for ``np.square``, a single add for the two-element
+    class-axis sums — so the result is bitwise-identical while touching
+    a third of the memory.  Returns ``None`` for criteria without a
+    fused kernel (callers fall back to the generic path).
+    """
+    if criterion is gini_impurity:
+        fused = _binary_gini
+    elif criterion is entropy_impurity:
+        fused = _binary_entropy
+    else:
+        return None
+    # One-hot weights: class-1 weight is w - w0 — exact, because per
+    # element exactly one of the two terms is zero.
+    w0 = np.where(sorted_codes == 0, sorted_weights, 0.0)
+    w1 = sorted_weights - w0
+    c0 = np.cumsum(w0, axis=1)
+    c1 = np.cumsum(w1, axis=1)
+    l0 = c0[:, lo:hi]
+    l1 = c1[:, lo:hi]
+    r0 = c0[:, -1:] - l0
+    r1 = c1[:, -1:] - l1
+    left_weight = l0 + l1
+    right_weight = r0 + r1
+    # Strictly positive sample weights make every cumulative child
+    # weight positive, so the criterion's ``where(total > 0, ...)``
+    # guard is the identity and can be skipped; tree growth guarantees
+    # positivity (zero-weight rows never enter the root index), other
+    # callers get the guarded evaluation.
+    guarded = not sorted_weights[0].min() > 0.0
+    if guarded:
+        with np.errstate(divide="ignore", invalid="ignore"):
+            left = left_weight * fused(l0, l1, left_weight, guarded)
+            right = right_weight * fused(r0, r1, right_weight, guarded)
+    else:
+        # Positive child weights: no division can misfire, so the
+        # errstate context (a measurable per-node cost) is skipped too.
+        left = left_weight * fused(l0, l1, left_weight, guarded)
+        right = right_weight * fused(r0, r1, right_weight, guarded)
+    return left + right
+
+
+def _binary_gini(count0, count1, total, guarded):
+    """Two-class Gini, op-for-op equal to :func:`gini_impurity`."""
+    p0 = count0 / total
+    p1 = count1 / total
+    impurity = 1.0 - (p0 * p0 + p1 * p1)
+    if not guarded:
+        return impurity
+    return np.where(total > 0, impurity, 0.0)
+
+
+def _binary_entropy(count0, count1, total, guarded):
+    """Two-class entropy, op-for-op equal to :func:`entropy_impurity`."""
+    p0 = count0 / total
+    p1 = count1 / total
+    log0 = np.where(p0 > 0, np.log2(np.maximum(p0, 1e-300)), 0.0)
+    log1 = np.where(p1 > 0, np.log2(np.maximum(p1, 1e-300)), 0.0)
+    impurity = -(p0 * log0 + p1 * log1)
+    if not guarded:
+        return impurity
+    return np.where(total > 0, impurity, 0.0)
+
+
+def _generic_child_weighted(
+    sorted_codes: np.ndarray,
+    sorted_weights: np.ndarray,
+    n_classes: int,
+    criterion,
+    lo: int,
+    hi: int,
+) -> np.ndarray:
+    """Generic ``w_l·crit(left) + w_r·crit(right)``: any C, any criterion."""
+    n_features, k = sorted_codes.shape
+    one_hot = np.zeros((n_features, k, n_classes), dtype=np.float64)
+    one_hot[
+        np.arange(n_features)[:, None], np.arange(k)[None, :], sorted_codes
+    ] = sorted_weights
+    prefix = np.cumsum(one_hot, axis=1)
+    left_counts = prefix[:, lo:hi, :]  # position i+1 sends sorted rows 0..i left
+    right_counts = prefix[:, -1:, :] - left_counts
+    left_weight = left_counts.sum(axis=2)
+    right_weight = right_counts.sum(axis=2)
+    return left_weight * criterion(left_counts) + right_weight * criterion(
+        right_counts
+    )
+
+
+def _evaluate_feature_block(
+    sorted_codes: np.ndarray,
+    sorted_weights: np.ndarray,
+    sorted_values: np.ndarray,
+    features: np.ndarray,
+    n_classes: int,
+    criterion,
+    min_samples_leaf: int,
+    parent_weighted_impurity: float,
+) -> tuple[float, float, int] | None:
+    """Batched best split over one block of presorted features.
+
+    Lane ``j`` of each input holds the node's class codes, sample
+    weights and feature values sorted by ``features[j]`` (feature-major,
+    contiguous lanes).  Every step is the element-wise image of
+    :func:`_best_position_for_feature` run per feature, so the floats at
+    valid positions — and hence the selected split — are identical; the
+    lanes merely share one prefix-sum and one criterion evaluation.
+    """
+    n_features, k = sorted_codes.shape
+    # Admissible positions form the contiguous window
+    # ``min_samples_leaf <= position <= k - min_samples_leaf``; in the
+    # gains-column space (column c ↔ position c+1) that is [lo, hi).
+    # Positions are never below 1 or above k-1, so the window clamps to
+    # that range — which also keeps a (nonsensical but accepted)
+    # ``min_samples_leaf=0`` identical to the node-local path.
+    lo = max(0, min_samples_leaf - 1)
+    hi = min(k - min_samples_leaf, k - 1)
+    if lo >= hi:
+        return None
+
+    child_weighted = (
+        _binary_child_weighted(sorted_codes, sorted_weights, criterion, lo, hi)
+        if n_classes == 2
+        else None
+    )
+    if child_weighted is None:
+        child_weighted = _generic_child_weighted(
+            sorted_codes, sorted_weights, n_classes, criterion, lo, hi
+        )
+    gains = parent_weighted_impurity - child_weighted  # (F, hi-lo)
+
+    distinct = (
+        sorted_values[:, lo + 1 : hi + 1] - sorted_values[:, lo:hi] > _MIN_VALUE_GAP
+    )
+    if not distinct.any():
+        return None
+
+    masked = np.where(distinct, gains, -np.inf)
+    best_columns = np.argmax(masked, axis=1)  # first maximum per feature lane
+    best_gains = masked[np.arange(n_features), best_columns]
+    admissible = np.flatnonzero(best_gains > -np.inf)
+    if admissible.size == 0:
+        return None
+
+    # Cross-feature tie-break key (gain, -feature id): the maximal gain
+    # wins, exact ties resolve toward the lowest feature id.
+    top_gain = best_gains[admissible].max()
+    tied = admissible[best_gains[admissible] == top_gain]
+    j = int(tied[np.argmin(features[tied])])
+
+    position = int(best_columns[j]) + lo + 1
+    lane = sorted_values[j]
+    threshold = 0.5 * (lane[position - 1] + lane[position])
+    if threshold <= lane[position - 1]:
+        threshold = lane[position - 1]
+    return float(best_gains[j]), float(threshold), int(features[j])
+
+
+def _blocked_best(
+    sorted_codes: np.ndarray,
+    sorted_weights: np.ndarray,
+    sorted_values: np.ndarray,
+    candidate_features: np.ndarray,
+    n_classes: int,
+    criterion,
+    min_samples_leaf: int,
+    parent_weighted_impurity: float,
+) -> tuple[float, float, int] | None:
+    """Chunk the feature lanes so prefix tensors stay memory-bounded."""
+    k = sorted_codes.shape[1]
+    block = max(1, _BLOCK_ELEMENTS // max(1, k * n_classes))
+    best: tuple[float, float, int] | None = None
+    for start in range(0, candidate_features.shape[0], block):
+        stop = start + block
+        result = _evaluate_feature_block(
+            sorted_codes[start:stop],
+            sorted_weights[start:stop],
+            sorted_values[start:stop],
+            candidate_features[start:stop],
+            n_classes,
+            criterion,
+            min_samples_leaf,
+            parent_weighted_impurity,
+        )
+        if result is None:
+            continue
+        if best is None or (result[0], -result[2]) > (best[0], -best[2]):
+            best = result
+    return best
+
+
+def _presorted_best(
+    codes: np.ndarray,
+    weights: np.ndarray,
+    index: np.ndarray,
+    candidate_features: np.ndarray,
+    n_classes: int,
+    criterion,
+    min_samples_leaf: int,
+    parent_weighted_impurity: float,
+    presort,
+) -> tuple[float, float, int] | None:
+    """Presorted engine: derive lanes from the dataset cache, then batch."""
+    if index.shape[0] < 2:
+        return None
+    rows, sorted_values = presort.node_sorted(index, candidate_features)
+    return _blocked_best(
+        codes[rows],
+        weights[rows],
+        sorted_values,
+        candidate_features,
+        n_classes,
+        criterion,
+        min_samples_leaf,
+        parent_weighted_impurity,
+    )
+
+
+def _ordered_best(
+    ordering,
+    lane_positions: np.ndarray | None,
+    candidate_features: np.ndarray,
+    n_classes: int,
+    criterion,
+    min_samples_leaf: int,
+    parent_weighted_impurity: float,
+) -> tuple[float, float, int] | None:
+    """Growth-maintained engine: the node's lanes are already in hand.
+
+    ``lane_positions`` selects the candidate lanes out of the node's
+    subspace ordering (``None`` means every lane, in order).
+    """
+    if ordering.codes.shape[1] < 2:
+        return None
+    if lane_positions is None:
+        sorted_codes = ordering.codes
+        sorted_weights = ordering.weights
+        sorted_values = ordering.values
+    else:
+        sorted_codes = ordering.codes[lane_positions]
+        sorted_weights = ordering.weights[lane_positions]
+        sorted_values = ordering.values[lane_positions]
+    return _blocked_best(
+        sorted_codes,
+        sorted_weights,
+        sorted_values,
+        candidate_features,
+        n_classes,
+        criterion,
+        min_samples_leaf,
+        parent_weighted_impurity,
+    )
+
+
 def find_best_split(
     X: np.ndarray,
     codes: np.ndarray,
@@ -110,6 +437,9 @@ def find_best_split(
     criterion,
     min_samples_leaf: int,
     min_impurity_decrease: float,
+    presort=None,
+    ordering=None,
+    lane_positions: np.ndarray | None = None,
 ) -> Split | None:
     """Search for the best split of the node holding samples ``index``.
 
@@ -128,43 +458,81 @@ def find_best_split(
         Minimum number of samples (unweighted) in each child.
     min_impurity_decrease:
         Minimum absolute weighted impurity decrease to accept a split.
+    presort:
+        Optional :class:`~repro.trees.presort.SortedDataset` of ``X``.
+        When given, the batched presorted engine runs; when ``None``,
+        the node-local engine.  Both return bit-identical splits.
+    ordering:
+        Optional :class:`~repro.trees.presort.NodeOrdering` carrying the
+        node's already-partitioned sorted lanes (tree growth maintains
+        these); takes precedence over ``presort``.  ``lane_positions``
+        selects the candidate lanes within it (``None`` = all lanes).
 
     Returns
     -------
     Split | None
         The best admissible split, or ``None`` if the node must stay a leaf.
     """
-    node_codes = codes[index]
-    node_weights = weights[index]
-    node_counts = np.zeros(n_classes, dtype=np.float64)
-    np.add.at(node_counts, node_codes, node_weights)
-    parent_weighted_impurity = float(
-        node_counts.sum() * criterion(node_counts[None, :])[0]
-    )
+    node_counts = weighted_class_counts(codes[index], weights[index], n_classes)
+    if n_classes == 2 and criterion is gini_impurity:
+        # Scalar fast path for the dominant case: the same IEEE add /
+        # divide / multiply sequence as the vectorised criterion, minus
+        # ~10 numpy calls per node.  (Entropy stays on the array path —
+        # its log2 must come from the same libm to stay bit-identical.)
+        total = node_counts[0] + node_counts[1]
+        if total > 0:
+            p0 = node_counts[0] / total
+            p1 = node_counts[1] / total
+            impurity = 1.0 - (p0 * p0 + p1 * p1)
+        else:
+            impurity = 0.0
+        parent_weighted_impurity = float(total * impurity)
+    else:
+        parent_weighted_impurity = float(
+            node_counts.sum() * criterion(node_counts[None, :])[0]
+        )
     if parent_weighted_impurity <= 0.0:
         return None  # already pure
 
-    best: tuple[float, float, int, int] | None = None  # gain, threshold, pos, feature
-    for feature in candidate_features:
-        result = _best_position_for_feature(
-            X[index, feature],
-            node_codes,
-            node_weights,
+    candidate_features = np.asarray(candidate_features)
+    if ordering is not None:
+        best = _ordered_best(
+            ordering,
+            lane_positions,
+            candidate_features,
             n_classes,
             criterion,
             min_samples_leaf,
             parent_weighted_impurity,
         )
-        if result is None:
-            continue
-        gain, threshold, position = result
-        key = (gain, -int(feature))  # deterministic tie-break: lowest feature id
-        if best is None or key > (best[0], -best[3]):
-            best = (gain, threshold, position, int(feature))
+    elif presort is not None:
+        best = _presorted_best(
+            codes,
+            weights,
+            index,
+            candidate_features,
+            n_classes,
+            criterion,
+            min_samples_leaf,
+            parent_weighted_impurity,
+            presort,
+        )
+    else:
+        best = _local_best(
+            X,
+            codes,
+            weights,
+            index,
+            candidate_features,
+            n_classes,
+            criterion,
+            min_samples_leaf,
+            parent_weighted_impurity,
+        )
 
     if best is None:
         return None
-    gain, threshold, _position, feature = best
+    gain, threshold, feature = best
     if gain < min_impurity_decrease or gain <= 1e-15:
         return None
 

@@ -1,0 +1,394 @@
+"""Presorted training engine: cache mechanics + bitwise differential tests.
+
+The presorted splitter's contract is stronger than "statistically the
+same": trees grown through the sort cache must be **bit-for-bit
+identical** to the node-local (seed) splitter's — same thresholds, same
+tie-breaks, same serialised form, same predictions.  These tests pin
+that contract over seeded random datasets, including the degenerate
+shapes the watermarking pipeline produces (constant features, heavily
+re-weighted trigger rows, duplicated values), plus the cache's identity
+keying and fork-adoption behaviour.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.ensemble import RandomForestClassifier
+from repro.exceptions import ValidationError
+from repro.persistence import forest_to_dict
+from repro.persistence.serialize import node_to_dict
+from repro.trees import (
+    DecisionTreeClassifier,
+    RegressionTree,
+    SortedDataset,
+    clear_presort_cache,
+    presorted_dataset,
+)
+from repro.trees.presort import (
+    NodeOrdering,
+    adopt_presort,
+    partition_ordering,
+    presort_cache_stats,
+    root_ordering,
+)
+
+
+@pytest.fixture(autouse=True)
+def _fresh_cache():
+    clear_presort_cache()
+    yield
+    clear_presort_cache()
+
+
+def _forest_dicts_modulo_splitter(*forests):
+    out = []
+    for forest in forests:
+        data = forest_to_dict(forest)
+        data["params"].pop("splitter")
+        out.append(data)
+    return out
+
+
+# ----------------------------------------------------------------------
+# SortedDataset mechanics
+# ----------------------------------------------------------------------
+
+
+class TestSortedDataset:
+    def test_orders_are_stable_argsorts(self, rng):
+        X = rng.normal(size=(60, 5))
+        X[:, 2] = np.round(X[:, 2], 1)  # duplicated values exercise stability
+        ps = SortedDataset(X)
+        for f in range(5):
+            expected = np.argsort(X[:, f], kind="stable")
+            assert np.array_equal(ps.orders[f], expected)
+            assert np.array_equal(ps.sorted_values[f], X[expected, f])
+
+    @pytest.mark.parametrize("k", [3, 17, 58])
+    def test_node_sorted_matches_subset_argsort(self, rng, k):
+        X = rng.normal(size=(60, 4))
+        X[:, 1] = np.round(X[:, 1], 1)
+        ps = SortedDataset(X)
+        index = np.sort(rng.choice(60, size=k, replace=False))
+        features = np.arange(4)
+        rows, values = ps.node_sorted(index, features)
+        for j, f in enumerate(features):
+            expected = index[np.argsort(X[index, f], kind="stable")]
+            assert np.array_equal(rows[j], expected)
+            assert np.array_equal(values[j], X[expected, f])
+
+    def test_node_sorted_handles_unsorted_index(self, rng):
+        # Non-ascending index: the filter shortcut would be wrong, the
+        # implementation must fall back to a local argsort.
+        X = rng.normal(size=(40, 3))
+        ps = SortedDataset(X)
+        index = rng.permutation(40)[:25]
+        rows, values = ps.node_sorted(index, np.arange(3))
+        for f in range(3):
+            expected = index[np.argsort(X[index, f], kind="stable")]
+            assert np.array_equal(rows[f], expected)
+            assert np.array_equal(values[f], X[expected, f])
+
+    def test_node_sorted_feature_subsets_and_order(self, rng):
+        X = rng.normal(size=(30, 5))
+        ps = SortedDataset(X)
+        index = np.arange(30)
+        for features in ([4, 1], [2], [3, 2, 1, 0]):
+            rows, values = ps.node_sorted(index, np.asarray(features))
+            for j, f in enumerate(features):
+                expected = np.argsort(X[:, f], kind="stable")
+                assert np.array_equal(rows[j], expected)
+                assert np.array_equal(values[j], X[expected, f])
+
+    def test_partition_ordering_matches_refiltering(self, rng):
+        X = rng.normal(size=(50, 4))
+        y = rng.integers(0, 2, size=50)
+        w = rng.uniform(0.5, 2.0, size=50)
+        ps = SortedDataset(X)
+        index = np.arange(50)
+        features = np.arange(4)
+        ordering = root_ordering(ps, index, features, y, w)
+        left_index = index[X[:, 0] <= 0.0]
+        right_index = index[X[:, 0] > 0.0]
+        left, right = partition_ordering(ps, ordering, left_index, right_index)
+        for child, child_index in ((left, left_index), (right, right_index)):
+            fresh_rows, fresh_values = ps.node_sorted(child_index, features)
+            assert np.array_equal(child.rows, fresh_rows)
+            assert np.array_equal(child.values, fresh_values)
+            assert np.array_equal(child.codes, y[fresh_rows])
+            assert np.array_equal(child.weights, w[fresh_rows])
+
+    def test_partition_ordering_one_sided(self, rng):
+        X = rng.normal(size=(20, 2))
+        ps = SortedDataset(X)
+        index = np.arange(20)
+        ordering = root_ordering(
+            ps, index, np.arange(2), np.zeros(20, dtype=np.intp), np.ones(20)
+        )
+        left_index = index[:8]
+        right_index = index[8:]
+        left, right = partition_ordering(
+            ps, ordering, left_index, right_index, want_left=False, want_right=True
+        )
+        assert left is None
+        assert isinstance(right, NodeOrdering)
+        assert right.rows.shape == (2, 12)
+
+
+class TestPresortCache:
+    def test_identity_keyed_hit_and_miss(self, rng):
+        X = rng.normal(size=(30, 3))
+        before = presort_cache_stats()
+        first = presorted_dataset(X)
+        again = presorted_dataset(X)
+        other = presorted_dataset(X.copy())  # equal content, different object
+        after = presort_cache_stats()
+        assert first is again
+        assert other is not first
+        assert after["hits"] - before["hits"] == 1
+        assert after["misses"] - before["misses"] == 2
+
+    def test_adopt_binds_equal_array(self, rng):
+        X = rng.normal(size=(25, 4))
+        donor = SortedDataset(X)
+        worker_X = X.copy()  # a pickled copy in a real worker
+        adopted = adopt_presort(donor, worker_X)
+        assert adopted is not None
+        assert adopted.X is worker_X
+        assert adopted.orders is donor.orders  # tables shared, not rebuilt
+        assert presorted_dataset(worker_X) is adopted  # now cached
+
+    def test_adopt_rejects_mismatch_and_junk(self, rng):
+        X = rng.normal(size=(25, 4))
+        donor = SortedDataset(X)
+        different = rng.normal(size=(25, 4))
+        assert adopt_presort(donor, different) is None
+        assert adopt_presort(None, X) is None
+        assert adopt_presort("not a presort", X) is None
+
+    def test_concurrent_threaded_fits_share_one_entry(self, rng):
+        # The cached tables are read-only and every scratch buffer is
+        # call-local, so threads fitting on the same matrix must neither
+        # crash nor diverge from a serial fit.
+        import threading
+
+        X = rng.normal(size=(1500, 6))
+        y = rng.choice([-1, 1], size=1500)
+        expected = node_to_dict(
+            DecisionTreeClassifier(max_depth=8, random_state=0).fit(X, y).root_
+        )
+        failures = []
+
+        def fit_one():
+            try:
+                tree = DecisionTreeClassifier(max_depth=8, random_state=0).fit(X, y)
+                if node_to_dict(tree.root_) != expected:
+                    failures.append("tree diverged")
+            except Exception as exc:  # pragma: no cover - the failure path
+                failures.append(repr(exc))
+
+        threads = [threading.Thread(target=fit_one) for _ in range(6)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not failures, failures
+
+    def test_dropped_matrix_evicts_entry(self, rng):
+        # The cache must not pin training data beyond its lifetime: once
+        # the caller's matrix is collected, the entry (and its tables)
+        # evaporates.
+        import gc
+
+        from repro.trees.presort import _CACHE
+
+        X = rng.normal(size=(30, 3))
+        presorted_dataset(X)
+        assert len(_CACHE) == 1
+        del X
+        gc.collect()
+        assert len(_CACHE) == 0
+
+
+# ----------------------------------------------------------------------
+# Differential tests: presorted engine ≡ seed splitter, bit for bit
+# ----------------------------------------------------------------------
+
+
+def _random_problem(rng, trial):
+    """A seeded dataset in the shapes the watermarking pipeline produces."""
+    n = int(rng.integers(8, 250))
+    f = int(rng.integers(1, 10))
+    X = rng.normal(size=(n, f))
+    if f >= 3:
+        X[:, 0] = 7.5  # constant feature
+        X[:, 1] = np.round(X[:, 1], 1)  # heavy duplication
+    y = rng.choice([-1, 1], size=n)
+    if np.unique(y).size < 2:
+        y[0] = -y[0]
+    weights = np.ones(n)
+    # Trigger-style re-weighting: a few rows with overwhelming weight.
+    triggers = rng.choice(n, size=max(1, n // 15), replace=False)
+    weights[triggers] = float(rng.integers(10, 200))
+    params = dict(
+        criterion="entropy" if trial % 5 == 0 else "gini",
+        max_depth=int(rng.integers(2, 10)),
+        max_leaf_nodes=int(rng.integers(4, 24)) if trial % 3 == 0 else None,
+        min_samples_leaf=int(rng.integers(1, 5)),
+        max_features="sqrt" if trial % 4 == 0 else None,
+        random_state=trial,
+    )
+    return X, y, weights, params
+
+
+class TestDifferentialTrees:
+    def test_trees_bitwise_identical_across_engines(self):
+        rng = np.random.default_rng(1234)
+        for trial in range(25):
+            X, y, weights, params = _random_problem(rng, trial)
+            local = DecisionTreeClassifier(splitter="local", **params)
+            presorted = DecisionTreeClassifier(splitter="presorted", **params)
+            local.fit(X, y, sample_weight=weights)
+            presorted.fit(X, y, sample_weight=weights)
+            assert node_to_dict(local.root_) == node_to_dict(presorted.root_), (
+                f"trial {trial}: presorted tree differs from seed tree"
+            )
+
+    def test_multiclass_generic_kernel_identical(self):
+        rng = np.random.default_rng(99)
+        for trial in range(8):
+            n = int(rng.integers(20, 150))
+            X = rng.normal(size=(n, 5))
+            y = rng.integers(0, 4, size=n)
+            y[:4] = np.arange(4)  # ensure all classes appear
+            w = rng.uniform(0.1, 3.0, size=n)
+            for criterion in ("gini", "entropy"):
+                kw = dict(criterion=criterion, max_depth=6, random_state=trial)
+                a = DecisionTreeClassifier(splitter="local", **kw).fit(
+                    X, y, sample_weight=w
+                )
+                b = DecisionTreeClassifier(splitter="presorted", **kw).fit(
+                    X, y, sample_weight=w
+                )
+                assert node_to_dict(a.root_) == node_to_dict(b.root_)
+
+    def test_zero_weight_rows_identical(self):
+        rng = np.random.default_rng(7)
+        X = rng.normal(size=(80, 4))
+        y = rng.choice([-1, 1], size=80)
+        w = np.ones(80)
+        w[::3] = 0.0  # zero-weight rows are dropped from the root index
+        a = DecisionTreeClassifier(splitter="local", max_depth=5, random_state=0)
+        b = DecisionTreeClassifier(splitter="presorted", max_depth=5, random_state=0)
+        a.fit(X, y, sample_weight=w)
+        b.fit(X, y, sample_weight=w)
+        assert node_to_dict(a.root_) == node_to_dict(b.root_)
+
+
+class TestDifferentialForests:
+    def test_forests_bitwise_identical_and_predict_all_equal(self, rng):
+        X = rng.normal(size=(200, 8))
+        y = np.where(X[:, 0] - X[:, 3] > 0, 1, -1)
+        weights = np.ones(200)
+        weights[:6] = 80.0  # trigger-style mass
+        common = dict(
+            n_estimators=6,
+            max_depth=7,
+            tree_feature_fraction=0.6,
+            random_state=42,
+        )
+        local = RandomForestClassifier(splitter="local", **common)
+        presorted = RandomForestClassifier(splitter="presorted", **common)
+        local.fit(X, y, sample_weight=weights)
+        presorted.fit(X, y, sample_weight=weights)
+        dicts = _forest_dicts_modulo_splitter(local, presorted)
+        assert dicts[0] == dicts[1]
+        X_test = rng.normal(size=(64, 8))
+        assert np.array_equal(local.predict_all(X_test), presorted.predict_all(X_test))
+
+    def test_refit_rounds_reuse_presort_and_stay_identical(self, rng):
+        """Weight-only refresh: escalation rounds hit the cache, and the
+        refitted forests match a local-splitter replay bit for bit."""
+        X = rng.normal(size=(150, 6))
+        y = rng.choice([-1, 1], size=150)
+        weights = np.ones(150)
+        common = dict(n_estimators=5, max_depth=6, random_state=3)
+        local = RandomForestClassifier(splitter="local", **common)
+        presorted = RandomForestClassifier(splitter="presorted", **common)
+        local.fit(X, y, sample_weight=weights)
+        presorted.fit(X, y, sample_weight=weights)
+
+        before = presort_cache_stats()
+        for _ in range(3):  # escalation-style rounds: weights change, X doesn't
+            weights = weights.copy()
+            weights[:5] += 10.0
+            local.refit_trees([0, 2], X, y, sample_weight=weights)
+            presorted.refit_trees([0, 2], X, y, sample_weight=weights)
+        after = presort_cache_stats()
+        assert after["misses"] == before["misses"], "refit rounds must not re-sort"
+        assert after["hits"] - before["hits"] >= 3
+
+        dicts = _forest_dicts_modulo_splitter(local, presorted)
+        assert dicts[0] == dicts[1]
+
+    def test_parallel_presorted_fit_identical_to_serial(self, rng):
+        X = rng.normal(size=(120, 5))
+        y = rng.choice([-1, 1], size=120)
+        serial = RandomForestClassifier(n_estimators=4, max_depth=5, random_state=11)
+        pooled = RandomForestClassifier(
+            n_estimators=4, max_depth=5, random_state=11, n_jobs=2
+        )
+        serial.fit(X, y)
+        pooled.fit(X, y)
+        a = forest_to_dict(serial)
+        b = forest_to_dict(pooled)
+        a["params"].pop("n_jobs")
+        b["params"].pop("n_jobs")
+        assert a == b
+
+
+class TestDifferentialRegression:
+    def test_regression_trees_identical_across_engines(self):
+        rng = np.random.default_rng(2024)
+        for trial in range(10):
+            n = int(rng.integers(10, 200))
+            f = int(rng.integers(1, 7))
+            X = rng.normal(size=(n, f))
+            if f >= 2:
+                X[:, 0] = np.round(X[:, 0], 1)
+            y = rng.normal(size=n)
+            w = rng.uniform(0.1, 4.0, size=n)
+            a = RegressionTree(max_depth=4, splitter="local").fit(X, y, sample_weight=w)
+            b = RegressionTree(max_depth=4, splitter="presorted").fit(
+                X, y, sample_weight=w
+            )
+            X_test = rng.normal(size=(50, f))
+            assert np.array_equal(a.predict(X_test), b.predict(X_test))
+
+    def test_boosting_stages_reuse_presort(self, rng):
+        X = rng.normal(size=(100, 4))
+        y = rng.normal(size=100)
+        before = presort_cache_stats()
+        for _ in range(4):  # boosting refits on the same X every stage
+            RegressionTree(max_depth=3).fit(X, y)
+        after = presort_cache_stats()
+        assert after["misses"] - before["misses"] == 1
+        assert after["hits"] - before["hits"] == 3
+
+
+class TestSplitterParam:
+    def test_unknown_splitter_rejected(self, rng):
+        X = rng.normal(size=(10, 2))
+        y = np.array([0, 1] * 5)
+        with pytest.raises(ValidationError, match="splitter"):
+            DecisionTreeClassifier(splitter="fancy").fit(X, y)
+        with pytest.raises(ValidationError, match="splitter"):
+            RegressionTree(splitter="fancy")
+
+    def test_forest_get_params_roundtrip(self):
+        forest = RandomForestClassifier(splitter="local")
+        assert forest.get_params()["splitter"] == "local"
+        clone = forest.clone_with(splitter="presorted")
+        assert clone.splitter == "presorted"

@@ -3,11 +3,14 @@
 import numpy as np
 import pytest
 
-from repro.trees.criteria import gini_impurity
+from repro.trees.criteria import gini_impurity, weighted_class_counts
+from repro.trees.presort import SortedDataset
 from repro.trees.splitter import find_best_split
 
 
-def _split(X, y, weights=None, features=None, min_leaf=1, min_decrease=0.0):
+def _split(
+    X, y, weights=None, features=None, min_leaf=1, min_decrease=0.0, presort=False
+):
     X = np.asarray(X, dtype=np.float64)
     y = np.asarray(y)
     classes, codes = np.unique(y, return_inverse=True)
@@ -25,6 +28,7 @@ def _split(X, y, weights=None, features=None, min_leaf=1, min_decrease=0.0):
         gini_impurity,
         min_leaf,
         min_decrease,
+        presort=SortedDataset(X) if presort else None,
     )
 
 
@@ -127,3 +131,88 @@ class TestConstraints:
         assert split is not None
         # Parent: 4 samples, gini 0.5, weighted impurity 2.0; children pure.
         assert split.gain == pytest.approx(2.0)
+
+
+@pytest.mark.parametrize("presort", [False, True], ids=["local", "presorted"])
+class TestDeterminismContract:
+    """The splitter's tie-break and threshold guarantees, pinned for both
+    engines — these are the invariants the presorted engine must
+    reproduce bit for bit."""
+
+    def test_equal_gain_tie_breaks_to_lowest_feature_id(self, presort):
+        # Feature 1 duplicates feature 0, so every candidate threshold
+        # has an exactly equal gain on both; the contract picks id 0.
+        X = np.array([[0.0, 0.0], [1.0, 1.0], [2.0, 2.0], [3.0, 3.0]])
+        y = np.array([-1, -1, 1, 1])
+        split = _split(X, y, presort=presort)
+        assert split is not None
+        assert split.feature == 0
+
+    def test_tie_break_independent_of_candidate_order(self, presort):
+        X = np.array([[0.0, 0.0], [1.0, 1.0], [2.0, 2.0], [3.0, 3.0]])
+        y = np.array([-1, -1, 1, 1])
+        split = _split(X, y, features=[1, 0], presort=presort)
+        assert split is not None
+        assert split.feature == 0
+
+    def test_midpoint_collapse_guard_routes_boundary_left(self, presort):
+        # At 1e16 the float64 spacing is 2, so the midpoint of a=1e16
+        # and b=1e16+2 rounds back onto a.  The guard must pin the
+        # threshold to a itself and keep the boundary sample on the
+        # left, never letting rounding push it right.
+        a, b = 1e16, 1e16 + 2
+        assert 0.5 * (a + b) == a  # midpoint collapses onto the left value
+        X = np.array([[a], [a], [b], [b]])
+        y = np.array([-1, -1, 1, 1])
+        split = _split(X, y, presort=presort)
+        assert split is not None
+        assert split.threshold == a
+        assert sorted(split.left_index.tolist()) == [0, 1]
+        assert sorted(split.right_index.tolist()) == [2, 3]
+        # Boundary samples (value exactly a) satisfy x <= threshold.
+        assert (X[split.left_index, 0] <= split.threshold).all()
+
+    def test_min_samples_leaf_zero_matches_local(self, presort):
+        # Not a sensible setting, but the public API accepts it; both
+        # engines must agree (positions clamp to [1, n-1] either way).
+        X = np.array([[0.0], [1.0], [2.0], [3.0], [4.0]])
+        y = np.array([-1, -1, 1, 1, 1])
+        split = _split(X, y, min_leaf=0, presort=presort)
+        assert split is not None
+        assert split.feature == 0
+        assert 1.0 < split.threshold < 2.0
+
+    def test_value_gap_below_epsilon_never_split(self, presort):
+        # Adjacent values closer than the minimum gap are one plateau:
+        # no threshold may separate them.
+        X = np.array([[1.0], [1.0 + 1e-13], [1.0 + 2e-13], [1.0 + 3e-14]])
+        y = np.array([-1, 1, -1, 1])
+        assert _split(X, y, presort=presort) is None
+
+
+class TestWeightedClassCounts:
+    """The bincount accumulator must match the historical ``np.add.at``
+    scatter exactly — both sum float64 weights in element order."""
+
+    def test_matches_add_at_exactly(self, rng):
+        for _ in range(20):
+            n = int(rng.integers(1, 300))
+            n_classes = int(rng.integers(2, 6))
+            codes = rng.integers(0, n_classes, size=n)
+            weights = rng.uniform(0.0, 50.0, size=n)
+            # A few enormous weights surface any accumulation-order drift.
+            weights[rng.integers(0, n, size=max(1, n // 10))] = 1e12
+            expected = np.zeros(n_classes, dtype=np.float64)
+            np.add.at(expected, codes, weights)
+            result = weighted_class_counts(codes, weights, n_classes)
+            assert result.dtype == np.float64
+            assert result.shape == (n_classes,)
+            assert np.array_equal(result, expected)
+
+    def test_empty_and_missing_classes(self):
+        result = weighted_class_counts(
+            np.array([], dtype=np.intp), np.array([]), 3
+        )
+        assert np.array_equal(result, np.zeros(3))
+        result = weighted_class_counts(np.array([2]), np.array([1.5]), 4)
+        assert np.array_equal(result, np.array([0.0, 0.0, 1.5, 0.0]))
