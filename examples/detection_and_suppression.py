@@ -4,7 +4,9 @@ Run with::
 
     python examples/detection_and_suppression.py
 
-Two of the paper's threat vectors against a stolen watermarked model:
+Two of the paper's threat vectors against a stolen watermarked model,
+both run through the uniform :class:`repro.api` attack protocol —
+same ``run(target, rng)`` entry point, same ``AttackReport`` shape:
 
 1. **Detection** (Table 2): guess each tree's signature bit from its
    depth / leaf count.  With the Adjust heuristic the statistics carry
@@ -15,8 +17,10 @@ Two of the paper's threat vectors against a stolen watermarked model:
    shows why a thief should never expose per-tree outputs.
 """
 
-from repro import random_signature, watermark
-from repro.attacks import detection_report, suppression_analysis
+import numpy as np
+
+from repro import TrainerConfig, TriggerPolicy, Watermarker, make_attack, random_signature
+from repro.api import AttackTarget
 from repro.datasets import breast_cancer_like
 from repro.experiments import format_table
 from repro.model_selection import train_test_split
@@ -24,54 +28,48 @@ from repro.model_selection import train_test_split
 
 def main() -> None:
     dataset = breast_cancer_like(n_samples=500, random_state=40)
-    X_train, X_test, y_train, y_test = train_test_split(
-        dataset.X, dataset.y, test_size=0.3, random_state=41
-    )
-    model = watermark(
-        X_train,
-        y_train,
-        random_signature(m=20, ones_fraction=0.5, random_state=42),
-        trigger_size=8,
-        base_params={"max_depth": 10},
+    split = train_test_split(dataset.X, dataset.y, test_size=0.3, random_state=41)
+    X_train, X_test, y_train, y_test = split
+    model = Watermarker(
+        signature=random_signature(m=20, ones_fraction=0.5, random_state=42),
+        trigger=TriggerPolicy(size=8),
+        trainer=TrainerConfig(base_params={"max_depth": 10}),
         random_state=43,
-    )
+    ).fit(X_train, y_train)
+    target = AttackTarget.from_split(model, split)
+    rng = np.random.default_rng(44)
 
     # ----------------------------------------------- detection -------
-    rows = []
-    for result in detection_report(model):
-        rows.append(
-            [
-                result.statistic,
-                result.strategy,
-                f"({result.mean:.2f} - {result.std:.2f})",
-                result.n_correct,
-                result.n_wrong,
-                result.n_uncertain,
-                f"{result.recovery_rate:.2f}",
-            ]
-        )
+    detection = make_attack("detection").run(target, rng)
     print("Structural detection attack (Table 2 setting):")
     print(
         format_table(
             ["Statistic", "Strategy", "(mean - std)", "#correct", "#wrong",
              "#uncertain", "recovery"],
-            rows,
+            [
+                [a["statistic"], a["strategy"],
+                 f"({a['mean']:.2f} - {a['std']:.2f})", a["n_correct"],
+                 a["n_wrong"], a["n_uncertain"], f"{a['recovery_rate']:.2f}"]
+                for a in detection.details["attempts"]
+            ],
         )
     )
+    print(f"\n{detection.summary()}")
     print(
-        "\nRecovery near 0.5 means the attacker's decided guesses are no\n"
+        "Recovery near 0.5 means the attacker's decided guesses are no\n"
         "better than coin flips; uncertain trees cannot be guessed at all.\n"
     )
 
     # --------------------------------------------- suppression -------
-    analysis = suppression_analysis(
-        model.ensemble, model.trigger.X, X_test, X_train
-    )
+    suppression = make_attack("suppression").run(target, rng)
     print("Suppression distinguishers (AUC, 0.5 = no signal):")
-    print(f"  input-distance attacker  : {analysis.input_auc:.3f}  "
+    print(f"  input-distance attacker  : "
+          f"{suppression.details['input_auc']:.3f}  "
           f"(the paper's argument: triggers look like ordinary data)")
-    print(f"  vote-disagreement attacker: {analysis.disagreement_auc:.3f}  "
+    print(f"  vote-disagreement attacker: "
+          f"{suppression.details['disagreement_auc']:.3f}  "
           f"(our extension: per-tree outputs leak trigger queries)")
+    print(f"\n{suppression.summary()}")
 
 
 if __name__ == "__main__":

@@ -12,7 +12,7 @@ the L∞ distortion budget ε and reports how large a trigger set the
 attacker manages to forge, and how distorted it is.
 """
 
-from repro import random_signature, watermark
+from repro import TrainerConfig, TriggerPolicy, Watermarker, random_signature
 from repro.attacks import forge_trigger_set, forgery_distortion
 from repro.datasets import mnist26_like
 from repro.experiments import format_table
@@ -26,15 +26,14 @@ def main() -> None:
     )
 
     # The victim's watermarked model.
-    model = watermark(
-        X_train,
-        y_train,
-        random_signature(m=16, ones_fraction=0.5, random_state=32),
-        trigger_size=6,
-        base_params={"max_depth": 10},
-        tree_feature_fraction=0.35,
+    model = Watermarker(
+        signature=random_signature(m=16, ones_fraction=0.5, random_state=32),
+        trigger=TriggerPolicy(size=6),
+        trainer=TrainerConfig(
+            base_params={"max_depth": 10}, tree_feature_fraction=0.35
+        ),
         random_state=33,
-    )
+    ).fit(X_train, y_train)
     print(f"victim model: {model.ensemble.n_trees_} trees, "
           f"{model.ensemble.total_leaves()} leaves, "
           f"original trigger size {model.trigger.size}\n")

@@ -18,7 +18,15 @@ from pathlib import Path
 
 import numpy as np
 
-from repro import Judge, OwnershipClaim, WatermarkSecret, random_signature, watermark
+from repro import (
+    Judge,
+    OwnershipClaim,
+    TrainerConfig,
+    TriggerPolicy,
+    WatermarkSecret,
+    Watermarker,
+    random_signature,
+)
 from repro.datasets import ijcnn1_like
 from repro.model_selection import train_test_split
 from repro.persistence import (
@@ -40,14 +48,12 @@ def main() -> None:
 
     # ------------------------------------------------------ Alice ----
     signature = random_signature(m=16, ones_fraction=0.5, random_state=22)
-    model = watermark(
-        X_train,
-        y_train,
-        signature,
-        trigger_size=10,
-        base_params={"max_depth": 10},
+    model = Watermarker(
+        signature=signature,
+        trigger=TriggerPolicy(size=10),
+        trainer=TrainerConfig(base_params={"max_depth": 10}),
         random_state=23,
-    )
+    ).fit(X_train, y_train)
     save_json(forest_to_dict(model.ensemble), workdir / "deployed_model.json")
     save_json(
         secret_to_dict(

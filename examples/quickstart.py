@@ -2,39 +2,57 @@
 
 Run with::
 
-    python examples/quickstart.py
+    python examples/quickstart.py            # full demo (20 trees)
+    python examples/quickstart.py --quick    # CI smoke mode (8 trees)
 
-Trains a watermarked random forest on the breast-cancer stand-in
-dataset, checks that the accuracy cost is small, and verifies the
-watermark through the black-box per-tree interface.
+Composes a watermarking pipeline from the public API
+(:class:`repro.Watermarker` + its frozen configs), trains it on the
+breast-cancer stand-in dataset, checks that the accuracy cost is
+small, verifies the watermark through the black-box per-tree
+interface, and runs one registry attack against the deployed model.
 """
 
-from repro import random_signature, verify_ownership, watermark
+import sys
+
+import numpy as np
+
+from repro import (
+    EmbeddingSchedule,
+    TrainerConfig,
+    TriggerPolicy,
+    Watermarker,
+    make_attack,
+    random_signature,
+    verify_ownership,
+)
+from repro.api import AttackTarget
 from repro.core import false_claim_log10_probability, train_standard_forest
 from repro.datasets import breast_cancer_like
 from repro.model_selection import train_test_split
 
 
-def main() -> None:
+def main(quick: bool = False) -> None:
+    n_samples, n_trees = (240, 8) if quick else (500, 20)
+
     # --- The owner's training data -----------------------------------
-    dataset = breast_cancer_like(n_samples=500, random_state=7)
+    dataset = breast_cancer_like(n_samples=n_samples, random_state=7)
     X_train, X_test, y_train, y_test = train_test_split(
         dataset.X, dataset.y, test_size=0.3, random_state=8
     )
 
-    # --- Watermark creation (Algorithm 1) -----------------------------
+    # --- Watermark creation (Algorithm 1, composable pipeline) --------
     # The signature is the owner's secret bit string; its length fixes
-    # the ensemble size m.  Here: 20 trees, half forced to misclassify
-    # the trigger set.
-    signature = random_signature(m=20, ones_fraction=0.5, random_state=9)
-    model = watermark(
-        X_train,
-        y_train,
-        signature,
-        trigger_size=8,  # k = 8 trigger instances (~2% of the data)
-        base_params={"max_depth": 8},
+    # the ensemble size m.  Each config owns one concern: trigger-set
+    # sizing, the re-weighting schedule, and the underlying forests.
+    signature = random_signature(m=n_trees, ones_fraction=0.5, random_state=9)
+    watermarker = Watermarker(
+        signature=signature,
+        trigger=TriggerPolicy(size=8),          # k = 8 trigger instances
+        schedule=EmbeddingSchedule(),           # the paper's +1 re-weighting
+        trainer=TrainerConfig(base_params={"max_depth": 8}),
         random_state=10,
     )
+    model = watermarker.fit(X_train, y_train)
     print(f"signature        : {model.signature.to_string()}")
     print(f"trigger set size : {model.trigger.size}")
     print(
@@ -44,7 +62,8 @@ def main() -> None:
 
     # --- The watermarked model is still a good classifier -------------
     standard = train_standard_forest(
-        X_train, y_train, n_estimators=20, params={"max_depth": 8}, random_state=11
+        X_train, y_train, n_estimators=n_trees, params={"max_depth": 8},
+        random_state=11,
     )
     watermarked_accuracy = model.ensemble.score(X_test, y_test)
     standard_accuracy = standard.score(X_test, y_test)
@@ -65,6 +84,17 @@ def main() -> None:
     )
     print(f"coincidence prob : 10^{log_p:.1f}")
 
+    # --- One attack through the uniform protocol ----------------------
+    # Every attack is a registry entry with the same run() signature
+    # and the same AttackReport shape (`repro attack --list` shows all).
+    target = AttackTarget.from_split(
+        model, (X_train, X_test, y_train, y_test)
+    )
+    attack_report = make_attack("truncate", depth=3).run(
+        target, np.random.default_rng(12)
+    )
+    print(f"attack           : {attack_report.summary()}")
+
 
 if __name__ == "__main__":
-    main()
+    main(quick="--quick" in sys.argv[1:])

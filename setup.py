@@ -1,12 +1,36 @@
-"""Thin setup.py kept for legacy editable installs.
+"""Packaging metadata for the :mod:`repro` library.
 
 The offline environment lacks the ``wheel`` package, so PEP 660
 editable installs (``pip install -e .``) cannot build their editable
-wheel; ``pip install -e . --no-build-isolation --no-use-pep517`` (or
-``python setup.py develop``) uses this file instead.  All metadata
-lives in ``pyproject.toml``.
+wheel; use ``pip install -e . --no-build-isolation --no-use-pep517``
+(or ``python setup.py develop``) instead.
+
+The ``repro`` console script and ``python -m repro`` both invoke the
+same CLI entry point (:func:`repro.cli.main`).
 """
 
-from setuptools import setup
+import re
+from pathlib import Path
 
-setup()
+from setuptools import find_packages, setup
+
+# Single source of truth for the version: repro.__version__ (pinned by
+# tests/test_integration.py).  Read textually — importing the package
+# from setup.py would require numpy at build time.
+_init = Path(__file__).parent / "src" / "repro" / "__init__.py"
+_version = re.search(r'^__version__ = "([^"]+)"', _init.read_text(), re.M).group(1)
+
+setup(
+    name="repro",
+    version=_version,
+    description=(
+        "Reproduction of 'Watermarking Decision Tree Ensembles' "
+        "(EDBT 2025): watermarking pipeline, attack suite, experiment "
+        "harness"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages("src"),
+    python_requires=">=3.10",
+    install_requires=["numpy"],
+    entry_points={"console_scripts": ["repro = repro.cli:main"]},
+)

@@ -9,19 +9,25 @@ NP-hardness reduction, synthetic stand-ins for the evaluation datasets,
 an attack suite and an experiment harness regenerating every table and
 figure of the evaluation section.
 
-Quick start::
+Quick start (the composable pipeline API)::
 
-    from repro import watermark, random_signature, Judge
+    from repro import TriggerPolicy, Watermarker, random_signature
 
     sigma = random_signature(m=32, random_state=7)
-    wm = watermark(X_train, y_train, sigma, trigger_size=16, random_state=7)
+    wm = Watermarker(signature=sigma, trigger=TriggerPolicy(size=16),
+                     random_state=7).fit(X_train, y_train)
     wm.ensemble.predict(X_test)
 
-See ``examples/`` for complete scenarios and DESIGN.md for the system
-inventory.
+The legacy ``watermark(...)`` keyword-pile entry point remains as a
+thin shim over :class:`~repro.api.Watermarker` (bitwise-identical
+results).  Attacks share one protocol and registry (:mod:`repro.api`),
+and :func:`~repro.experiments.run_scenario_matrix` sweeps them across
+strengths and datasets.  See ``examples/`` for complete scenarios and
+``docs/api.md`` for the API reference.
 """
 
 from . import (
+    api,
     attacks,
     core,
     datasets,
@@ -32,6 +38,17 @@ from . import (
     persistence,
     solver,
     trees,
+)
+from .api import (
+    Attack,
+    AttackReport,
+    AttackTarget,
+    EmbeddingSchedule,
+    TrainerConfig,
+    TriggerPolicy,
+    Watermarker,
+    available_attacks,
+    make_attack,
 )
 from .core import (
     Judge,
@@ -55,13 +72,18 @@ from .exceptions import (
     ValidationError,
     VerificationError,
 )
+from .experiments import run_scenario_matrix
 from .trees import DecisionTreeClassifier
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
+    "Attack",
+    "AttackReport",
+    "AttackTarget",
     "ConvergenceError",
     "DecisionTreeClassifier",
+    "EmbeddingSchedule",
     "GradientBoostingClassifier",
     "Judge",
     "NotFittedError",
@@ -72,19 +94,26 @@ __all__ = [
     "SerializationError",
     "Signature",
     "SolverError",
+    "TrainerConfig",
+    "TriggerPolicy",
     "ValidationError",
     "VerificationError",
     "WatermarkSecret",
     "WatermarkedModel",
+    "Watermarker",
+    "api",
     "attacks",
+    "available_attacks",
     "core",
     "datasets",
     "ensemble",
     "experiments",
     "hardness",
+    "make_attack",
     "model_selection",
     "persistence",
     "random_signature",
+    "run_scenario_matrix",
     "signature_from_identity",
     "solver",
     "trees",

@@ -1,22 +1,29 @@
 """Command-line interface for the watermarking workflow.
 
-Three subcommands cover the owner/judge lifecycle end to end::
+Four subcommands cover the owner/judge/attacker lifecycle end to end::
 
     # Owner: train a watermarked forest on a stand-in dataset and save
     # the model + secret (+ a published commitment digest).
-    python -m repro.cli watermark --dataset breast-cancer --trees 16 \
+    repro watermark --dataset breast-cancer --trees 16 \
         --trigger-size 8 --out-dir ./artifacts
 
     # Judge: verify a claim against a (possibly stolen) model file.
-    python -m repro.cli verify --model ./artifacts/model.json \
+    repro verify --model ./artifacts/model.json \
         --secret ./artifacts/secret.json \
         --commitment ./artifacts/commitment.json
 
     # Anyone: regenerate one of the paper's experiments at small scale.
-    python -m repro.cli experiment --name table2
+    repro experiment --name table2
 
-The CLI works on the synthetic stand-in datasets; library users with
-real data call :func:`repro.watermark` directly.
+    # Attacker: run any registry attack against a freshly watermarked
+    # model (uniform AttackReport JSON with --json).
+    repro attack --list
+    repro attack --name flip --strength 0.05 --strength 0.3 --json
+
+(``repro`` is the installed console script; ``python -m repro`` and
+``python -m repro.cli`` are equivalent.)  The CLI works on the
+synthetic stand-in datasets; library users with real data call
+:class:`repro.Watermarker` directly.
 """
 
 from __future__ import annotations
@@ -28,6 +35,7 @@ from pathlib import Path
 
 import numpy as np
 
+from .api import available_attacks, make_attack
 from .core import (
     WatermarkSecret,
     commit_secret,
@@ -37,12 +45,13 @@ from .core import (
     watermark,
 )
 from .datasets import DATASET_NAMES, load_dataset
-from .exceptions import ReproError
+from .exceptions import ReproError, ValidationError
 from .experiments import (
     SMALL,
     detection_table,
     format_table,
     forgery_tabular_results,
+    run_scenario_matrix,
 )
 from .model_selection import train_test_split
 from .persistence import (
@@ -108,6 +117,31 @@ def build_parser() -> argparse.ArgumentParser:
         "solver sweep (-1 = all cores; default serial); results are "
         "identical across settings",
     )
+
+    cmd_attack = commands.add_parser(
+        "attack",
+        help="run a registry attack against a freshly watermarked model",
+    )
+    cmd_attack.add_argument("--list", action="store_true", dest="list_attacks",
+                            help="list the registered attacks and exit")
+    cmd_attack.add_argument("--name", choices=available_attacks(), default=None,
+                            help="registry name of the attack to run")
+    cmd_attack.add_argument("--dataset", choices=DATASET_NAMES,
+                            default="breast-cancer")
+    cmd_attack.add_argument("--strength", type=float, action="append",
+                            default=None,
+                            help="strength value for the attack's strength "
+                            "parameter (truncate: depth, flip: probability, "
+                            "prune: alpha, extract: query budget, forgery: "
+                            "epsilon); repeat to sweep")
+    cmd_attack.add_argument("--json", action="store_true",
+                            help="emit the uniform AttackReport cells as JSON "
+                            "instead of a table")
+    cmd_attack.add_argument("--n-jobs", type=int, default=None,
+                            help="worker processes for forest training "
+                            "(-1 = all cores; default serial)")
+    cmd_attack.add_argument("--seed", type=int, default=None,
+                            help="override the experiment config seed")
 
     return parser
 
@@ -202,6 +236,51 @@ def _cmd_experiment(args) -> int:
     return 0
 
 
+def _cmd_attack(args) -> int:
+    if args.list_attacks:
+        for name in available_attacks():
+            attack = make_attack(name)
+            strength = getattr(attack, "strength_param", None)
+            knob = f"strength = {strength}" if strength else "no strength sweep"
+            print(f"{name:<12} {knob:<24} defaults: {attack}")
+        return 0
+    if args.name is None:
+        raise ValidationError("attack needs --name (or --list)")
+
+    config = SMALL.with_overrides(
+        **({"n_jobs": args.n_jobs} if args.n_jobs is not None else {}),
+        **({"seed": args.seed} if args.seed is not None else {}),
+    )
+    # The CLI runs at demo scale: cap the forgery solver sweep so a
+    # one-line invocation answers in seconds, not hours.
+    overrides = {"forgery": {"max_instances": 10, "solver_budget": 20_000}}
+    attack = make_attack(args.name, **overrides.get(args.name, {}))
+    strengths = (
+        {args.name: args.strength} if args.strength is not None else None
+    )
+    cells = run_scenario_matrix(
+        config, attacks=(attack,), strengths=strengths, datasets=(args.dataset,)
+    )
+    if args.json:
+        print(json.dumps([cell.to_dict() for cell in cells], indent=2))
+    else:
+        print(
+            format_table(
+                ["Dataset", "Attack", "Strength", "Acc before", "Acc after",
+                 "WM match", "WM accepted", "Attack succeeded"],
+                [
+                    [c.dataset, c.attack,
+                     "-" if c.strength is None else c.strength,
+                     c.report.baseline_accuracy, c.report.attacked_accuracy,
+                     c.report.watermark_match_rate,
+                     c.report.watermark_accepted, c.report.succeeded]
+                    for c in cells
+                ],
+            )
+        )
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
@@ -209,6 +288,7 @@ def main(argv: list[str] | None = None) -> int:
         "watermark": _cmd_watermark,
         "verify": _cmd_verify,
         "experiment": _cmd_experiment,
+        "attack": _cmd_attack,
     }
     try:
         return handlers[args.command](args)

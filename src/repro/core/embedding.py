@@ -1,12 +1,13 @@
 """Watermark creation — Algorithm 1 of the paper.
 
 ``train_with_trigger`` forces a set of trees to exhibit prescribed
-behaviour on the trigger set by iterative sample re-weighting;
-``watermark`` orchestrates the full pipeline: grid search, trigger
-sampling, the ``Adjust`` heuristic, training the two ensembles ``T0``
-(trigger classified correctly) and ``T1`` (trigger misclassified, via
-label flipping), and interleaving their trees according to the owner's
-signature.
+behaviour on the trigger set by iterative sample re-weighting.  The
+full pipeline — grid search, trigger sampling, the ``Adjust``
+heuristic, training the two ensembles ``T0`` (trigger classified
+correctly) and ``T1`` (trigger misclassified, via label flipping), and
+interleaving their trees according to the owner's signature — lives in
+:class:`repro.api.Watermarker`; the ``watermark`` function here is the
+legacy keyword-pile shim over it (bitwise-identical output).
 
 Embedding is the repo's training hot path, and three engine-level levers
 keep it fast without changing what Algorithm 1 computes:
@@ -33,17 +34,12 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from .._validation import (
-    check_binary_labels,
-    check_random_state,
-    check_X_y,
-)
+from .._validation import check_random_state
 from ..ensemble.forest import RandomForestClassifier
 from ..exceptions import ConvergenceError, ValidationError
-from ..model_selection.grid_search import grid_search_forest
-from .adjustment import AdjustedHyperParameters, adjust_hyperparameters
+from .adjustment import AdjustedHyperParameters
 from .signature import Signature
-from .trigger import TriggerSet, sample_trigger_set
+from .trigger import TriggerSet
 
 __all__ = [
     "EmbeddingReport",
@@ -84,15 +80,6 @@ class WatermarkedModel:
     signature: Signature
     trigger: TriggerSet
     report: EmbeddingReport
-
-
-def _forest_params(base_params: dict, adjusted: AdjustedHyperParameters | None) -> dict:
-    """Merge grid-searched params with the Adjust caps (caps win)."""
-    params = dict(base_params)
-    if adjusted is not None:
-        params["max_depth"] = adjusted.max_depth
-        params["max_leaf_nodes"] = adjusted.max_leaf_nodes
-    return params
 
 
 def _misfit_mask(
@@ -240,32 +227,6 @@ def train_standard_forest(
     return forest.fit(X_train, y_train)
 
 
-def _assemble(
-    signature: Signature,
-    forest_zero: RandomForestClassifier | None,
-    forest_one: RandomForestClassifier | None,
-    n_features: int,
-    classes: np.ndarray,
-    template: RandomForestClassifier,
-) -> RandomForestClassifier:
-    """Interleave trees of ``T0``/``T1`` by signature bit (lines 19–22)."""
-    trees = []
-    subsets = []
-    it_zero = iter(zip(forest_zero.trees_, forest_zero.feature_subsets_)) if forest_zero else iter(())
-    it_one = iter(zip(forest_one.trees_, forest_one.feature_subsets_)) if forest_one else iter(())
-    for bit in signature:
-        tree, subset = next(it_one) if bit == 1 else next(it_zero)
-        trees.append(tree)
-        subsets.append(subset)
-
-    assembled = template.clone_with(n_estimators=len(signature))
-    assembled.trees_ = trees
-    assembled.feature_subsets_ = subsets
-    assembled.classes_ = classes
-    assembled.n_features_in_ = n_features
-    return assembled
-
-
 def watermark(
     X_train,
     y_train,
@@ -320,111 +281,36 @@ def watermark(
 
     Notes
     -----
-    The pseudo-code calls ``Adjust`` inside ``TrainWithTrigger``; since
-    the heuristic is a pure function of ``(D_train, H)`` we hoist it out
-    and compute it once for both ensembles — same result, half the probe
-    trainings.
+    This function is a thin compatibility shim: it bundles its keyword
+    pile into the composable pipeline configs and delegates to
+    :class:`repro.api.Watermarker`, which owns the one implementation
+    of Algorithm 1's orchestration.  Both entry points produce
+    bitwise-identical models for equal inputs (regression-tested).
+    New code should construct a ``Watermarker`` directly.
     """
-    X_train, y_train = check_X_y(X_train, y_train)
-    y_train = check_binary_labels(y_train)
-    rng = check_random_state(random_state)
+    # Imported lazily: repro.api.pipeline imports from this module.
+    from ..api.pipeline import (
+        EmbeddingSchedule,
+        TrainerConfig,
+        TriggerPolicy,
+        Watermarker,
+    )
 
-    if trigger_size > X_train.shape[0] // 2:
-        raise ValidationError(
-            f"trigger_size={trigger_size} is not small relative to the training set "
-            f"({X_train.shape[0]} samples); the scheme assumes k ≪ |D_train|"
-        )
-
-    # Line 12: grid search for H.
-    if base_params is None:
-        search = grid_search_forest(
-            X_train,
-            y_train,
-            n_estimators=len(signature),
-            param_grid=param_grid,
-            tree_feature_fraction=tree_feature_fraction,
-            n_jobs=n_jobs,
-            random_state=rng,
-        )
-        base_params = search.best_params
-
-    # Line 13: sample the trigger set.
-    trigger = sample_trigger_set(X_train, y_train, trigger_size, random_state=rng)
-
-    # Adjust(H): hide the watermark structurally.
-    adjusted = None
-    if adjust:
-        adjusted = adjust_hyperparameters(
-            X_train,
-            y_train,
-            n_estimators=len(signature),
+    return Watermarker(
+        signature=signature,
+        trigger=TriggerPolicy(size=trigger_size),
+        schedule=EmbeddingSchedule(
+            weight_increment=weight_increment,
+            escalation_factor=escalation_factor,
+            max_rounds=max_rounds,
+            incremental=incremental,
+        ),
+        trainer=TrainerConfig(
             base_params=base_params,
+            param_grid=param_grid,
+            adjust=adjust,
             tree_feature_fraction=tree_feature_fraction,
             n_jobs=n_jobs,
-            random_state=rng,
-        )
-    params = _forest_params(base_params, adjusted)
-
-    # Lines 14-15: T0 — trees classify the trigger set correctly.
-    n_zero = signature.n_zeros
-    forest_zero, rounds_t0, weight_t0 = (None, 0, 1.0)
-    if n_zero > 0:
-        forest_zero, rounds_t0, weight_t0 = train_with_trigger(
-            X_train,
-            y_train,
-            trigger.indices,
-            n_estimators=n_zero,
-            params=params,
-            tree_feature_fraction=tree_feature_fraction,
-            weight_increment=weight_increment,
-            escalation_factor=escalation_factor,
-            max_rounds=max_rounds,
-            incremental=incremental,
-            n_jobs=n_jobs,
-            random_state=rng,
-        )
-
-    # Lines 16-18: flip trigger labels and train T1 to misclassify.
-    n_one = signature.n_ones
-    forest_one, rounds_t1, weight_t1 = (None, 0, 1.0)
-    if n_one > 0:
-        y_flipped = y_train.copy()
-        y_flipped[trigger.indices] = trigger.flipped_y
-        forest_one, rounds_t1, weight_t1 = train_with_trigger(
-            X_train,
-            y_flipped,
-            trigger.indices,
-            n_estimators=n_one,
-            params=params,
-            tree_feature_fraction=tree_feature_fraction,
-            weight_increment=weight_increment,
-            escalation_factor=escalation_factor,
-            max_rounds=max_rounds,
-            incremental=incremental,
-            n_jobs=n_jobs,
-            random_state=rng,
-        )
-
-    # Lines 19-23: interleave trees by signature bit.
-    template = RandomForestClassifier(
-        tree_feature_fraction=tree_feature_fraction, n_jobs=n_jobs, **params
-    )
-    ensemble = _assemble(
-        signature,
-        forest_zero,
-        forest_one,
-        n_features=X_train.shape[1],
-        classes=np.unique(y_train),
-        template=template,
-    )
-    report = EmbeddingReport(
-        rounds_t0=rounds_t0,
-        rounds_t1=rounds_t1,
-        trigger_weight_t0=weight_t0,
-        trigger_weight_t1=weight_t1,
-        adjusted=adjusted,
-        base_params=dict(base_params),
-    )
-    return WatermarkedModel(
-        ensemble=ensemble, signature=signature, trigger=trigger, report=report
-    )
+        ),
+        random_state=random_state,
+    ).fit(X_train, y_train)

@@ -21,6 +21,7 @@ from .robustness import (
     modification_table,
     pruning_table,
 )
+from .scenarios import ScenarioCell, build_attack_target, run_scenario_matrix
 
 __all__ = [
     "FULL",
@@ -32,8 +33,10 @@ __all__ = [
     "ForgedInstanceRow",
     "ForgerySweepRow",
     "RobustnessRow",
+    "ScenarioCell",
     "accuracy_vs_ones_fraction",
     "accuracy_vs_trigger_fraction",
+    "build_attack_target",
     "build_watermarked_model",
     "detection_table",
     "extraction_table",
@@ -45,4 +48,5 @@ __all__ = [
     "prepare_split",
     "pruning_table",
     "rows_to_cells",
+    "run_scenario_matrix",
 ]

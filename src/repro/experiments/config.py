@@ -9,9 +9,10 @@ benchmark suite runs by default; ``MEDIUM`` gives tighter numbers;
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, field, fields, replace
 
 from ..datasets.registry import load_dataset
+from ..exceptions import ValidationError
 from ..model_selection.splits import train_test_split
 
 __all__ = ["ExperimentConfig", "SMALL", "MEDIUM", "FULL", "prepare_split"]
@@ -52,7 +53,19 @@ class ExperimentConfig:
     seed: int = 20250612
 
     def with_overrides(self, **overrides) -> "ExperimentConfig":
-        """A copy with selected fields replaced."""
+        """A copy with selected fields replaced.
+
+        Unknown field names raise a :class:`ValidationError` naming the
+        offending key(s) and listing the valid fields, instead of
+        leaking :func:`dataclasses.replace`'s raw :class:`TypeError`.
+        """
+        valid = {spec.name for spec in fields(self)}
+        unknown = sorted(set(overrides) - valid)
+        if unknown:
+            raise ValidationError(
+                f"unknown ExperimentConfig field(s) {', '.join(map(repr, unknown))}; "
+                f"valid fields: {', '.join(sorted(valid))}"
+            )
         return replace(self, **overrides)
 
     def trigger_size(self, n_train: int) -> int:

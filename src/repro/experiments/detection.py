@@ -10,7 +10,6 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from ..attacks.detection import detection_report
 from ..core.embedding import WatermarkedModel, watermark
 from ..core.signature import random_signature
 from ..datasets.registry import DATASET_NAMES
@@ -70,21 +69,29 @@ def detection_table(
     config: ExperimentConfig, datasets=DATASET_NAMES, adjust: bool = True
 ) -> list[DetectionRow]:
     """Regenerate Table 2 (optionally without the Adjust heuristic, for
-    the ablation benchmark)."""
-    rows: list[DetectionRow] = []
-    for dataset in datasets:
-        model, _split = build_watermarked_model(config, dataset, adjust=adjust)
-        for result in detection_report(model):
-            rows.append(
-                DetectionRow(
-                    dataset=dataset,
-                    statistic=result.statistic,
-                    strategy=result.strategy,
-                    mean=result.mean,
-                    std=result.std,
-                    n_correct=result.n_correct,
-                    n_wrong=result.n_wrong,
-                    n_uncertain=result.n_uncertain,
-                )
-            )
-    return rows
+    the ablation benchmark).
+
+    A projection of the generic scenario matrix: the ``"detection"``
+    registry attack runs every (statistic, strategy) combination and
+    reports them under ``details["attempts"]``; this table flattens
+    those attempts into the paper's row shape.
+    """
+    from .scenarios import run_scenario_matrix
+
+    cells = run_scenario_matrix(
+        config, attacks=("detection",), datasets=datasets, adjust=adjust
+    )
+    return [
+        DetectionRow(
+            dataset=cell.dataset,
+            statistic=attempt["statistic"],
+            strategy=attempt["strategy"],
+            mean=attempt["mean"],
+            std=attempt["std"],
+            n_correct=attempt["n_correct"],
+            n_wrong=attempt["n_wrong"],
+            n_uncertain=attempt["n_uncertain"],
+        )
+        for cell in cells
+        for attempt in cell.report.details["attempts"]
+    ]

@@ -6,26 +6,27 @@ the stolen model is served unmodified), each swept against the same
 watermarked models as Table 2:
 
 - **modification** — depth truncation and random leaf flipping
-  (:mod:`repro.attacks.modification`);
+  (:class:`~repro.api.attacks.TruncateAttack`,
+  :class:`~repro.api.attacks.LeafFlipAttack`);
 - **pruning** — cost-complexity pruning of each tree
-  (:mod:`repro.trees.pruning`);
+  (:class:`~repro.api.attacks.PruneAttack`);
 - **extraction** — surrogate training on black-box answers
-  (:mod:`repro.attacks.extraction`).
+  (:class:`~repro.api.attacks.ExtractionAttack`).
 
-Each row reports the attacker's cost (accuracy of the attacked model)
-against the damage (fraction of trees still matching the signature).
+Every table is a projection of the generic scenario matrix
+(:func:`~repro.experiments.scenarios.run_scenario_matrix`): one
+watermarked model per dataset, attacks × strengths from the registry,
+uniform :class:`~repro.api.attacks.AttackReport` cells.  Each row
+reports the attacker's cost (accuracy of the attacked model) against
+the damage (fraction of trees still matching the signature).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
-from ..attacks.extraction import extraction_study
-from ..attacks.modification import modification_robustness
-from ..core.verification import verify_ownership
-from ..trees.pruning import prune_cost_complexity
 from .config import ExperimentConfig
-from .detection import build_watermarked_model
+from .scenarios import ScenarioCell, run_scenario_matrix
 
 __all__ = [
     "RobustnessRow",
@@ -47,6 +48,21 @@ class RobustnessRow:
     watermark_accepted: bool
 
 
+def _to_rows(cells: list[ScenarioCell]) -> list[RobustnessRow]:
+    """Project scenario cells onto the table's row shape."""
+    return [
+        RobustnessRow(
+            dataset=cell.dataset,
+            attack=cell.attack,
+            strength=float(cell.strength),
+            accuracy=cell.report.attacked_accuracy,
+            watermark_match_rate=cell.report.watermark_match_rate,
+            watermark_accepted=cell.report.watermark_accepted,
+        )
+        for cell in cells
+    ]
+
+
 def modification_table(
     config: ExperimentConfig,
     dataset: str = "breast-cancer",
@@ -54,48 +70,13 @@ def modification_table(
     flip_probabilities=(0.05, 0.15, 0.3),
 ) -> list[RobustnessRow]:
     """Sweep truncation and leaf-flip attacks on one watermarked model."""
-    model, (X_train, X_test, y_train, y_test) = build_watermarked_model(config, dataset)
-    rows: list[RobustnessRow] = []
-    for depth in truncate_depths:
-        outcome = modification_robustness(
-            model, X_test, y_test, attack="truncate", strength=depth
+    return _to_rows(
+        run_scenario_matrix(
+            config,
+            attacks=("truncate", "flip"),
+            strengths={"truncate": truncate_depths, "flip": flip_probabilities},
+            datasets=(dataset,),
         )
-        rows.append(
-            RobustnessRow(
-                dataset=dataset,
-                attack="truncate",
-                strength=float(depth),
-                accuracy=outcome.accuracy,
-                watermark_match_rate=outcome.watermark_match_rate,
-                watermark_accepted=outcome.watermark_accepted,
-            )
-        )
-    for probability in flip_probabilities:
-        outcome = modification_robustness(
-            model,
-            X_test,
-            y_test,
-            attack="flip",
-            strength=probability,
-            random_state=config.seed + 7,
-        )
-        rows.append(
-            RobustnessRow(
-                dataset=dataset,
-                attack="flip",
-                strength=float(probability),
-                accuracy=outcome.accuracy,
-                watermark_match_rate=outcome.watermark_match_rate,
-                watermark_accepted=outcome.watermark_accepted,
-            )
-        )
-    return rows
-
-
-def _pruned_forest(forest, alpha: float):
-    """A clone of a fitted forest with every tree pruned at ``alpha``."""
-    return forest.with_roots(
-        [prune_cost_complexity(root, alpha) for root in forest.roots()]
     )
 
 
@@ -105,28 +86,14 @@ def pruning_table(
     alphas=(0.0, 0.5, 2.0, 8.0),
 ) -> list[RobustnessRow]:
     """Sweep cost-complexity pruning strength against the watermark."""
-    model, (X_train, X_test, y_train, y_test) = build_watermarked_model(config, dataset)
-    rows: list[RobustnessRow] = []
-    for alpha in alphas:
-        attacked = _pruned_forest(model.ensemble, alpha)
-        # One compiled table serves both the trigger sweep and the
-        # test-set scoring (as in modification_robustness): the trigger
-        # batch alone is below the lazy-compilation threshold.
-        attacked.compile()
-        report = verify_ownership(
-            attacked, model.signature, model.trigger.X, model.trigger.y
+    return _to_rows(
+        run_scenario_matrix(
+            config,
+            attacks=("prune",),
+            strengths={"prune": alphas},
+            datasets=(dataset,),
         )
-        rows.append(
-            RobustnessRow(
-                dataset=dataset,
-                attack="prune",
-                strength=float(alpha),
-                accuracy=attacked.score(X_test, y_test),
-                watermark_match_rate=report.n_matching / report.n_trees,
-                watermark_accepted=report.accepted,
-            )
-        )
-    return rows
+    )
 
 
 def extraction_table(
@@ -135,23 +102,10 @@ def extraction_table(
     query_budgets=(100, 200),
 ) -> list[RobustnessRow]:
     """Surrogate-training attack: fidelity vs watermark survival."""
-    model, (X_train, X_test, y_train, y_test) = build_watermarked_model(config, dataset)
-    outcomes = extraction_study(
-        model,
-        X_pool=X_train,
-        X_test=X_test,
-        y_test=y_test,
-        query_budgets=query_budgets,
-        random_state=config.seed + 13,
+    cells = run_scenario_matrix(
+        config,
+        attacks=("extract",),
+        strengths={"extract": query_budgets},
+        datasets=(dataset,),
     )
-    return [
-        RobustnessRow(
-            dataset=dataset,
-            attack="extract",
-            strength=float(outcome.query_budget),
-            accuracy=outcome.surrogate_accuracy,
-            watermark_match_rate=outcome.watermark_match_rate,
-            watermark_accepted=outcome.watermark_accepted,
-        )
-        for outcome in outcomes
-    ]
+    return _to_rows(cells)

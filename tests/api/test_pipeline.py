@@ -1,0 +1,153 @@
+"""Tests for the composable pipeline layer (`repro.api.pipeline`).
+
+The load-bearing contract: the legacy ``watermark(...)`` shim and a
+directly-constructed :class:`Watermarker` produce **bitwise-identical**
+models — serialised trees, trigger sets and per-tree predictions.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.api import EmbeddingSchedule, TrainerConfig, TriggerPolicy, Watermarker
+from repro.core import random_signature, watermark
+from repro.exceptions import ValidationError
+from repro.persistence import forest_to_dict
+
+BASE_PARAMS = {"max_depth": 8, "min_samples_leaf": 1}
+
+
+def _model_state(model) -> str:
+    """Canonical serialised state: forest + signature + trigger set."""
+    return json.dumps(
+        {
+            "forest": forest_to_dict(model.ensemble),
+            "signature": model.signature.to_string(),
+            "trigger_X": model.trigger.X.tolist(),
+            "trigger_y": model.trigger.y.tolist(),
+            "trigger_indices": model.trigger.indices.tolist(),
+        },
+        sort_keys=True,
+    )
+
+
+class TestLegacyShimEquivalence:
+    @pytest.fixture(scope="class")
+    def paths(self, bc_data):
+        X_train, X_test, y_train, _y_test = bc_data
+        signature = random_signature(8, ones_fraction=0.5, random_state=41)
+        legacy = watermark(
+            X_train,
+            y_train,
+            signature,
+            trigger_size=5,
+            base_params=BASE_PARAMS,
+            tree_feature_fraction=0.6,
+            escalation_factor=2.0,
+            random_state=42,
+        )
+        pipeline = Watermarker(
+            signature=signature,
+            trigger=TriggerPolicy(size=5),
+            schedule=EmbeddingSchedule(escalation_factor=2.0),
+            trainer=TrainerConfig(
+                base_params=BASE_PARAMS, tree_feature_fraction=0.6
+            ),
+            random_state=42,
+        ).fit(X_train, y_train)
+        return legacy, pipeline, X_test
+
+    def test_serialized_forests_identical(self, paths):
+        legacy, pipeline, _X_test = paths
+        assert _model_state(legacy) == _model_state(pipeline)
+
+    def test_predict_all_identical(self, paths):
+        legacy, pipeline, X_test = paths
+        assert np.array_equal(
+            legacy.ensemble.predict_all(X_test),
+            pipeline.ensemble.predict_all(X_test),
+        )
+
+    def test_reports_identical(self, paths):
+        legacy, pipeline, _X_test = paths
+        assert legacy.report == pipeline.report
+
+    def test_refit_is_deterministic(self, paths, bc_data):
+        _legacy, pipeline, _X_test = paths
+        X_train, _X_test, y_train, _y_test = bc_data
+        signature = random_signature(8, ones_fraction=0.5, random_state=41)
+        again = Watermarker(
+            signature=signature,
+            trigger=TriggerPolicy(size=5),
+            schedule=EmbeddingSchedule(escalation_factor=2.0),
+            trainer=TrainerConfig(
+                base_params=BASE_PARAMS, tree_feature_fraction=0.6
+            ),
+            random_state=42,
+        ).fit(X_train, y_train)
+        assert _model_state(again) == _model_state(pipeline)
+
+
+class TestTriggerPolicy:
+    def test_requires_exactly_one_of_size_and_fraction(self):
+        with pytest.raises(ValidationError, match="exactly one"):
+            TriggerPolicy()
+        with pytest.raises(ValidationError, match="exactly one"):
+            TriggerPolicy(size=4, fraction=0.02)
+
+    def test_rejects_bad_values(self):
+        with pytest.raises(ValidationError):
+            TriggerPolicy(size=0)
+        with pytest.raises(ValidationError):
+            TriggerPolicy(fraction=0.0)
+        with pytest.raises(ValidationError):
+            TriggerPolicy(fraction=0.7)
+
+    def test_resolve_fraction(self):
+        assert TriggerPolicy(fraction=0.02).resolve(500) == 10
+        assert TriggerPolicy(fraction=0.001).resolve(100) == 1  # floor of 1
+
+    def test_resolve_enforces_small_k(self):
+        with pytest.raises(ValidationError, match="small"):
+            TriggerPolicy(size=80).resolve(100)
+
+    def test_fraction_fit_matches_equivalent_size(self, bc_data):
+        X_train, _X_test, y_train, _y_test = bc_data
+        signature = random_signature(6, ones_fraction=0.5, random_state=51)
+        k = TriggerPolicy(fraction=0.03).resolve(X_train.shape[0])
+        by_fraction = Watermarker(
+            signature=signature,
+            trigger=TriggerPolicy(fraction=0.03),
+            trainer=TrainerConfig(base_params=BASE_PARAMS),
+            schedule=EmbeddingSchedule(escalation_factor=2.0),
+            random_state=52,
+        ).fit(X_train, y_train)
+        by_size = Watermarker(
+            signature=signature,
+            trigger=TriggerPolicy(size=k),
+            trainer=TrainerConfig(base_params=BASE_PARAMS),
+            schedule=EmbeddingSchedule(escalation_factor=2.0),
+            random_state=52,
+        ).fit(X_train, y_train)
+        assert by_fraction.trigger.size == k
+        assert _model_state(by_fraction) == _model_state(by_size)
+
+
+class TestConfigValidation:
+    def test_embedding_schedule_rejects_bad_values(self):
+        with pytest.raises(ValidationError):
+            EmbeddingSchedule(weight_increment=0.0)
+        with pytest.raises(ValidationError):
+            EmbeddingSchedule(escalation_factor=0.5)
+        with pytest.raises(ValidationError):
+            EmbeddingSchedule(max_rounds=0)
+
+    def test_trainer_config_rejects_bad_fraction(self):
+        with pytest.raises(ValidationError):
+            TrainerConfig(tree_feature_fraction=0.0)
+
+    def test_configs_are_frozen(self):
+        policy = TriggerPolicy(size=4)
+        with pytest.raises(AttributeError):
+            policy.size = 8

@@ -25,6 +25,17 @@ class TestConfig:
         assert config.dataset_sizes == SMALL.dataset_sizes
         assert SMALL.n_estimators != 4  # original untouched
 
+    def test_with_overrides_names_unknown_fields(self):
+        from repro.exceptions import ValidationError
+
+        with pytest.raises(ValidationError, match="'n_estimator'"):
+            SMALL.with_overrides(n_estimator=4)  # typo'd field
+        with pytest.raises(ValidationError, match="valid fields.*n_estimators"):
+            SMALL.with_overrides(n_estimator=4)
+        # Multiple offenders are all named.
+        with pytest.raises(ValidationError, match="'bad_one'.*'bad_two'"):
+            SMALL.with_overrides(bad_two=1, bad_one=2)
+
     def test_trigger_size(self):
         config = SMALL.with_overrides(trigger_fraction=0.02)
         assert config.trigger_size(500) == 10

@@ -1,0 +1,113 @@
+"""Tests for the generic scenario-matrix runner."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.api import LeafFlipAttack, make_attack
+from repro.exceptions import ValidationError
+from repro.experiments import (
+    SMALL,
+    build_attack_target,
+    run_scenario_matrix,
+)
+
+TINY = SMALL.with_overrides(
+    dataset_sizes={"mnist26": 120, "breast-cancer": 200, "ijcnn1": 260},
+    n_estimators=6,
+    base_params={"max_depth": 7, "min_samples_leaf": 1},
+    escalation_factor=3.0,
+)
+
+
+class TestBuildAttackTarget:
+    def test_bundles_model_and_split(self):
+        target = build_attack_target(TINY, "breast-cancer")
+        assert target.model.ensemble.n_trees_ == TINY.n_estimators
+        assert target.X_test.shape[0] == target.y_test.shape[0]
+        assert 0.0 <= target.baseline_accuracy <= 1.0
+
+
+class TestRunScenarioMatrix:
+    def test_cell_grid_shape_and_order(self):
+        cells = run_scenario_matrix(
+            TINY,
+            attacks=("truncate", "flip"),
+            strengths={"truncate": (5, 1), "flip": (0.0, 0.5)},
+            datasets=("breast-cancer",),
+        )
+        assert [(c.attack, c.strength) for c in cells] == [
+            ("truncate", 5.0), ("truncate", 1.0), ("flip", 0.0), ("flip", 0.5),
+        ]
+        assert all(c.dataset == "breast-cancer" for c in cells)
+
+    def test_same_seed_couples_flip_strengths_monotonically(self):
+        cells = run_scenario_matrix(
+            TINY,
+            attacks=("flip",),
+            strengths={"flip": (0.05, 0.15, 0.3)},
+            datasets=("breast-cancer",),
+        )
+        rates = [c.report.watermark_match_rate for c in cells]
+        assert rates == sorted(rates, reverse=True)
+
+    def test_accepts_configured_instances(self):
+        cells = run_scenario_matrix(
+            TINY,
+            attacks=(LeafFlipAttack(probability=0.0),),
+            datasets=("breast-cancer",),
+        )
+        assert len(cells) == 1
+        assert cells[0].strength is None
+        assert cells[0].report.watermark_match_rate == 1.0
+
+    def test_composite_attack_runs_through_matrix(self):
+        cells = run_scenario_matrix(
+            TINY, attacks=("chain",), datasets=("breast-cancer",)
+        )
+        assert cells[0].attack == "chain"
+        assert [s["name"] for s in cells[0].report.params["stages"]] == [
+            "truncate", "flip", "prune",
+        ]
+
+    def test_cells_serialise_to_json(self):
+        cells = run_scenario_matrix(
+            TINY,
+            attacks=("truncate",),
+            strengths={"truncate": (3,)},
+            datasets=("breast-cancer",),
+        )
+        payload = json.loads(json.dumps([c.to_dict() for c in cells]))
+        assert payload[0]["dataset"] == "breast-cancer"
+        assert payload[0]["report"]["attack"] == "truncate"
+
+    def test_deterministic_across_runs(self):
+        kwargs = dict(
+            attacks=("flip",),
+            strengths={"flip": (0.4,)},
+            datasets=("breast-cancer",),
+        )
+        first = run_scenario_matrix(TINY, **kwargs)[0].report.to_dict()
+        second = run_scenario_matrix(TINY, **kwargs)[0].report.to_dict()
+        first.pop("cost"), second.pop("cost")  # wall-clock timings differ
+        assert first == second
+
+    def test_rejects_bad_specs(self):
+        with pytest.raises(ValidationError, match="at least one attack"):
+            run_scenario_matrix(TINY, attacks=(), datasets=("breast-cancer",))
+        with pytest.raises(ValidationError, match="unknown attack"):
+            run_scenario_matrix(
+                TINY, attacks=("nope",), datasets=("breast-cancer",)
+            )
+        with pytest.raises(ValidationError, match="no strength"):
+            run_scenario_matrix(
+                TINY,
+                attacks=("chain",),
+                strengths={"chain": (1, 2)},
+                datasets=("breast-cancer",),
+            )
+        with pytest.raises(ValidationError, match="Attack instances"):
+            run_scenario_matrix(
+                TINY, attacks=(object(),), datasets=("breast-cancer",)
+            )

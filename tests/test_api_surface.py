@@ -1,0 +1,119 @@
+"""Public-API surface snapshot.
+
+Pins ``repro.__all__`` and the ``repro.api`` exports so accidental
+breaks of the public surface (a removed re-export, a renamed class, a
+new symbol nobody reviewed) fail tier-1 instead of shipping silently.
+When a change here is *intentional*, update the snapshot in the same
+commit that changes the surface.
+"""
+
+import repro
+import repro.api
+
+REPRO_ALL = [
+    "Attack",
+    "AttackReport",
+    "AttackTarget",
+    "ConvergenceError",
+    "DecisionTreeClassifier",
+    "EmbeddingSchedule",
+    "GradientBoostingClassifier",
+    "Judge",
+    "NotFittedError",
+    "OwnershipClaim",
+    "RandomForestClassifier",
+    "ReproError",
+    "ResourceLimitError",
+    "SerializationError",
+    "Signature",
+    "SolverError",
+    "TrainerConfig",
+    "TriggerPolicy",
+    "ValidationError",
+    "VerificationError",
+    "WatermarkSecret",
+    "WatermarkedModel",
+    "Watermarker",
+    "api",
+    "attacks",
+    "available_attacks",
+    "core",
+    "datasets",
+    "ensemble",
+    "experiments",
+    "hardness",
+    "make_attack",
+    "model_selection",
+    "persistence",
+    "random_signature",
+    "run_scenario_matrix",
+    "signature_from_identity",
+    "solver",
+    "trees",
+    "verify_ownership",
+    "watermark",
+]
+
+API_ALL = [
+    "Attack",
+    "AttackReport",
+    "AttackTarget",
+    "ChainedAttack",
+    "DetectionAttack",
+    "EmbeddingSchedule",
+    "ExtractionAttack",
+    "ForgeryAttack",
+    "LeafFlipAttack",
+    "ModelEditAttack",
+    "PruneAttack",
+    "ScenarioCell",
+    "SuppressionAttack",
+    "TrainerConfig",
+    "TriggerPolicy",
+    "TruncateAttack",
+    "Watermarker",
+    "attack_params",
+    "available_attacks",
+    "build_attack_target",
+    "make_attack",
+    "register_attack",
+    "run_scenario_matrix",
+]
+
+REGISTERED_ATTACKS = (
+    "chain",
+    "detection",
+    "extract",
+    "flip",
+    "forgery",
+    "prune",
+    "suppression",
+    "truncate",
+)
+
+
+class TestTopLevelSurface:
+    def test_all_is_pinned(self):
+        assert sorted(repro.__all__) == repro.__all__  # kept sorted
+        assert repro.__all__ == REPRO_ALL
+
+    def test_every_export_resolves(self):
+        for name in repro.__all__:
+            assert getattr(repro, name) is not None
+
+
+class TestApiSurface:
+    def test_all_is_pinned(self):
+        assert sorted(repro.api.__all__) == repro.api.__all__
+        assert repro.api.__all__ == API_ALL
+
+    def test_every_export_resolves(self):
+        # Includes the lazily-bound scenario-layer names (PEP 562).
+        for name in repro.api.__all__:
+            assert getattr(repro.api, name) is not None
+
+    def test_dir_covers_all(self):
+        assert set(repro.api.__all__) <= set(dir(repro.api))
+
+    def test_attack_registry_is_pinned(self):
+        assert repro.api.available_attacks() == REGISTERED_ATTACKS

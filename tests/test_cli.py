@@ -1,10 +1,16 @@
 """Tests for the command-line interface."""
 
 import json
+import os
+import subprocess
+import sys
+from pathlib import Path
 
 import pytest
 
 from repro.cli import build_parser, main
+
+SRC_DIR = str(Path(__file__).resolve().parent.parent / "src")
 
 
 class TestParser:
@@ -100,3 +106,61 @@ class TestEndToEnd:
             ]
         )
         assert code == 2
+
+
+class TestAttackCommand:
+    def test_list_names_all_registered_attacks(self, capsys):
+        assert main(["attack", "--list"]) == 0
+        out = capsys.readouterr().out
+        for name in ("truncate", "flip", "prune", "extract", "forgery",
+                     "suppression", "detection", "chain"):
+            assert name in out
+
+    def test_requires_name_or_list(self, capsys):
+        assert main(["attack"]) == 2
+        assert "--name" in capsys.readouterr().err
+
+    def test_run_emits_uniform_json_cells(self, capsys):
+        code = main(
+            ["attack", "--name", "flip", "--dataset", "breast-cancer",
+             "--strength", "0.0", "--strength", "0.4", "--json"]
+        )
+        assert code == 0
+        cells = json.loads(capsys.readouterr().out)
+        assert [c["strength"] for c in cells] == [0.0, 0.4]
+        report = cells[0]["report"]
+        assert report["attack"] == "flip"
+        assert report["watermark_accepted"] is True  # p=0 is the identity
+        assert report["watermark_match_rate"] == 1.0
+
+    def test_run_renders_table_by_default(self, capsys):
+        code = main(
+            ["attack", "--name", "truncate", "--dataset", "breast-cancer",
+             "--strength", "3"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "WM accepted" in out
+        assert "truncate" in out
+
+    def test_unknown_attack_rejected_by_parser(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["attack", "--name", "nope"])
+
+
+class TestModuleEntryPoint:
+    def test_python_dash_m_repro_invokes_the_cli(self):
+        result = subprocess.run(
+            [sys.executable, "-m", "repro", "--help"],
+            capture_output=True,
+            text=True,
+            env={**os.environ, "PYTHONPATH": SRC_DIR},
+        )
+        assert result.returncode == 0
+        assert "watermark" in result.stdout
+        assert "attack" in result.stdout
+
+    def test_console_script_declared_in_setup(self):
+        setup_py = (Path(SRC_DIR).parent / "setup.py").read_text()
+        assert "console_scripts" in setup_py
+        assert "repro = repro.cli:main" in setup_py

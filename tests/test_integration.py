@@ -144,7 +144,7 @@ class TestOwnershipDispute:
 
 class TestPublicAPI:
     def test_version(self):
-        assert repro.__version__ == "1.0.0"
+        assert repro.__version__ == "1.1.0"
 
     def test_top_level_exports(self):
         for name in repro.__all__:
