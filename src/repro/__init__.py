@@ -37,6 +37,7 @@ from . import (
     model_selection,
     persistence,
     solver,
+    traffic,
     trees,
 )
 from .api import (
@@ -116,6 +117,7 @@ __all__ = [
     "run_scenario_matrix",
     "signature_from_identity",
     "solver",
+    "traffic",
     "trees",
     "verify_ownership",
     "watermark",

@@ -9,7 +9,12 @@
   (the paper's future-work threat model).
 """
 
-from .detection import DetectionResult, detect_bits, detection_report
+from .detection import (
+    DetectionResult,
+    behavioural_rates,
+    detect_bits,
+    detection_report,
+)
 from .extraction import ExtractionOutcome, extract_surrogate, extraction_study
 from .forgery import ForgeryAttackResult, forge_trigger_set, forgery_distortion
 from .modification import (
@@ -35,6 +40,7 @@ __all__ = [
     "ModificationOutcome",
     "SuppressionAnalysis",
     "auc_from_scores",
+    "behavioural_rates",
     "detect_bits",
     "detection_report",
     "disagreement_score",

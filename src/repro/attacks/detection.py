@@ -20,9 +20,15 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..core.embedding import WatermarkedModel
+from ..ensemble.voting import majority_vote
 from ..exceptions import ValidationError
 
-__all__ = ["DetectionResult", "detect_bits", "detection_report"]
+__all__ = [
+    "DetectionResult",
+    "behavioural_rates",
+    "detect_bits",
+    "detection_report",
+]
 
 STRATEGIES = ("bands", "mean")
 STATISTICS = ("depth", "n_leaves")
@@ -110,6 +116,39 @@ def detect_bits(values: np.ndarray, true_bits, strategy: str) -> DetectionResult
         n_wrong=n_wrong,
         n_uncertain=n_uncertain,
     )
+
+
+def behavioural_rates(all_predictions) -> np.ndarray:
+    """Per-tree rate of disagreement with the ensemble majority vote.
+
+    The *behavioural* analogue of the structural statistics above: the
+    attacker watches the deployed per-tree interface instead of the
+    white-box structure.  On benign traffic every tree disagrees with
+    the majority at roughly its own error rate; trigger queries force
+    the bit-1 trees (or, on a tied vote, the bit-0 trees) to split off
+    sharply, so the per-tree rates are a Table-2 statistic that can be
+    *streamed*: the counts are integers, so accumulating them chunk by
+    chunk and dividing at the end is bit-for-bit equal to this batch
+    computation under any chunking of the query stream
+    (:class:`repro.traffic.OnlineSuppressionDistinguisher` does exactly
+    that; ``tests/traffic/test_batch_equivalence.py`` pins the
+    equality).
+
+    Parameters
+    ----------
+    all_predictions:
+        Per-tree ±1 labels, shape ``(n_trees, n_queries)`` — the
+        ``predict_all`` matrix of the observed queries.
+    """
+    predictions = np.asarray(all_predictions)
+    if predictions.ndim != 2:
+        raise ValidationError(
+            f"all_predictions must be 2-D (n_trees, n_queries), got shape "
+            f"{predictions.shape}"
+        )
+    majority = majority_vote(predictions, np.array([-1, 1]))
+    counts = (predictions != majority[None, :]).sum(axis=1)
+    return counts / predictions.shape[1]
 
 
 def detection_report(model: WatermarkedModel) -> list[DetectionResult]:

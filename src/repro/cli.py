@@ -20,6 +20,11 @@ Four subcommands cover the owner/judge/attacker lifecycle end to end::
     repro attack --list
     repro attack --name flip --strength 0.05 --strength 0.3 --json
 
+    # Operator: replay a named adversarial traffic scenario against a
+    # freshly watermarked deployment with the online defenders attached.
+    repro traffic --list
+    repro traffic --scenario verification-probe --queries 20000 --json
+
 (``repro`` is the installed console script; ``python -m repro`` and
 ``python -m repro.cli`` are equivalent.)  The CLI works on the
 synthetic stand-in datasets; library users with real data call
@@ -142,6 +147,32 @@ def build_parser() -> argparse.ArgumentParser:
                             "(-1 = all cores; default serial)")
     cmd_attack.add_argument("--seed", type=int, default=None,
                             help="override the experiment config seed")
+
+    cmd_traffic = commands.add_parser(
+        "traffic",
+        help="replay an adversarial traffic scenario against a "
+        "watermarked deployment with online defenders attached",
+    )
+    cmd_traffic.add_argument("--list", action="store_true", dest="list_scenarios",
+                             help="list the named traffic scenarios and exit")
+    cmd_traffic.add_argument("--scenario", default=None,
+                             help="named scenario to replay (see --list)")
+    cmd_traffic.add_argument("--dataset", choices=DATASET_NAMES,
+                             default="breast-cancer")
+    cmd_traffic.add_argument("--queries", type=int, default=10_000,
+                             help="stream length (default 10000)")
+    cmd_traffic.add_argument("--batch-size", type=int, default=1024,
+                             help="queries served per chunk (default 1024)")
+    cmd_traffic.add_argument("--alpha", type=float, default=0.05,
+                             help="defenders' overall false-alarm budget")
+    cmd_traffic.add_argument("--json", action="store_true",
+                             help="emit the TrafficReport as JSON instead of "
+                             "a summary")
+    cmd_traffic.add_argument("--n-jobs", type=int, default=None,
+                             help="worker processes for forest training "
+                             "(-1 = all cores; default serial)")
+    cmd_traffic.add_argument("--seed", type=int, default=None,
+                             help="override the experiment config seed")
 
     return parser
 
@@ -281,6 +312,50 @@ def _cmd_attack(args) -> int:
     return 0
 
 
+def _cmd_traffic(args) -> int:
+    from .experiments.scenarios import _cell_seed, build_attack_target
+    from .traffic import replay_scenario, scenario_description, traffic_scenarios
+
+    if args.list_scenarios:
+        for name in traffic_scenarios():
+            print(f"{name:<20} {scenario_description(name)}")
+        return 0
+    if args.scenario is None:
+        raise ValidationError("traffic needs --scenario (or --list)")
+
+    config = SMALL.with_overrides(
+        **({"n_jobs": args.n_jobs} if args.n_jobs is not None else {}),
+        **({"seed": args.seed} if args.seed is not None else {}),
+    )
+    target = build_attack_target(config, args.dataset)
+    report = replay_scenario(
+        args.scenario,
+        target.model,
+        target.X_train,
+        n_queries=args.queries,
+        batch_size=args.batch_size,
+        random_state=_cell_seed(config.seed, args.dataset, f"traffic:{args.scenario}"),
+        alpha=args.alpha,
+    )
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2))
+        return 0
+
+    print(f"scenario    {args.scenario} — {scenario_description(args.scenario)}")
+    print(f"served      {report.n_queries} queries in {report.n_batches} batches "
+          f"({report.queries_per_second:,.0f} queries/sec)")
+    sources = ", ".join(f"{k}: {v}" for k, v in sorted(report.source_counts.items()))
+    print(f"sources     {sources}")
+    print(f"triggers    {report.n_trigger_queries} trigger queries in the stream")
+    for verdict in report.verdicts:
+        status = (
+            f"FIRED at query {verdict.fired_at}" if verdict.fired else "silent"
+        )
+        print(f"defender    {verdict.defender:<28} {status}  "
+              f"(stat {verdict.statistic:.4f} vs threshold {verdict.threshold:.4f})")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
@@ -289,6 +364,7 @@ def main(argv: list[str] | None = None) -> int:
         "verify": _cmd_verify,
         "experiment": _cmd_experiment,
         "attack": _cmd_attack,
+        "traffic": _cmd_traffic,
     }
     try:
         return handlers[args.command](args)

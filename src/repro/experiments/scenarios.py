@@ -35,20 +35,33 @@ __all__ = ["ScenarioCell", "build_attack_target", "run_scenario_matrix"]
 
 @dataclass(frozen=True)
 class ScenarioCell:
-    """One (dataset, attack, strength) cell of a scenario matrix."""
+    """One (dataset, attack, strength[, traffic]) cell of a scenario matrix.
+
+    The traffic axis is optional: without it ``traffic`` and
+    ``traffic_report`` stay ``None`` and a cell is exactly the pre-axis
+    shape.  With it, each cell additionally carries the
+    :class:`~repro.traffic.replay.TrafficReport` of replaying the named
+    traffic scenario against the same deployed model the attack ran on.
+    """
 
     dataset: str
     attack: str
     strength: float | None
     report: AttackReport
+    traffic: str | None = None
+    traffic_report: object | None = None
 
     def to_dict(self) -> dict:
-        """JSON-serialisable view (the report via its own ``to_dict``)."""
+        """JSON-serialisable view (the reports via their own ``to_dict``)."""
         return {
             "dataset": self.dataset,
             "attack": self.attack,
             "strength": self.strength,
             "report": self.report.to_dict(),
+            "traffic": self.traffic,
+            "traffic_report": (
+                None if self.traffic_report is None else self.traffic_report.to_dict()
+            ),
         }
 
 
@@ -114,6 +127,9 @@ def run_scenario_matrix(
     strengths: Mapping[str, Sequence] | None = None,
     datasets: Sequence[str] = DATASET_NAMES,
     adjust: bool = True,
+    traffic: Sequence[str] | None = None,
+    traffic_queries: int = 4096,
+    traffic_batch_size: int = 512,
 ) -> list[ScenarioCell]:
     """Run every attack × strength against one watermarked model per dataset.
 
@@ -138,27 +154,78 @@ def run_scenario_matrix(
     adjust:
         Build the target models with the ``Adjust`` anti-detection
         heuristic (off for the ablation study).
+    traffic:
+        Optional traffic axis: named scenarios from
+        :func:`repro.traffic.traffic_scenarios`.  Each named stream is
+        replayed once per dataset against the same deployed model the
+        attacks target (seeded per (dataset, scenario), independent of
+        the attack cells), and the matrix becomes the cross product —
+        every cell carries its (attack report, traffic report) pair.
+    traffic_queries, traffic_batch_size:
+        Stream length and chunking of each traffic replay.
 
     Returns
     -------
     list[ScenarioCell]
-        Cells in (dataset-major, attack, strength) order, each with a
-        uniform :class:`~repro.api.attacks.AttackReport`.
+        Cells in (dataset-major, attack, strength, traffic) order, each
+        with a uniform :class:`~repro.api.attacks.AttackReport`.
     """
     matrix = _resolve_attacks(attacks, strengths)
+    traffic_names = list(traffic) if traffic is not None else []
     cells: list[ScenarioCell] = []
     for dataset in datasets:
         target = build_attack_target(config, dataset, adjust=adjust)
+        traffic_reports = {
+            name: _replay_traffic(
+                config, dataset, name, target, traffic_queries, traffic_batch_size
+            )
+            for name in traffic_names
+        }
         for attack, strength in matrix:
             rng = np.random.default_rng(
                 _cell_seed(config.seed, dataset, attack.name)
             )
-            cells.append(
+            report = attack.run(target, rng)
+            if not traffic_names:
+                cells.append(
+                    ScenarioCell(
+                        dataset=dataset,
+                        attack=attack.name,
+                        strength=strength,
+                        report=report,
+                    )
+                )
+                continue
+            cells.extend(
                 ScenarioCell(
                     dataset=dataset,
                     attack=attack.name,
                     strength=strength,
-                    report=attack.run(target, rng),
+                    report=report,
+                    traffic=name,
+                    traffic_report=traffic_reports[name],
                 )
+                for name in traffic_names
             )
     return cells
+
+
+def _replay_traffic(
+    config: ExperimentConfig,
+    dataset: str,
+    scenario: str,
+    target: AttackTarget,
+    n_queries: int,
+    batch_size: int,
+):
+    """One seeded traffic replay against the dataset's deployed model."""
+    from ..traffic import replay_scenario
+
+    return replay_scenario(
+        scenario,
+        target.model,
+        target.X_train,
+        n_queries=n_queries,
+        batch_size=batch_size,
+        random_state=_cell_seed(config.seed, dataset, f"traffic:{scenario}"),
+    )

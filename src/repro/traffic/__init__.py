@@ -1,0 +1,67 @@
+"""Adversarial traffic simulation: streaming red team vs. online blue team.
+
+The paper's deployment serves millions of black-box ``predict.all``
+queries; this package turns the repo's one-shot attacks into that
+stream problem.  Generators (:mod:`~repro.traffic.generators`) compose
+benign and adversarial query sources under a strict seeding contract;
+defenders (:mod:`~repro.traffic.defenders`) watch the served traffic
+in O(1) memory; :func:`~repro.traffic.replay.replay` drives a stream
+through the compiled inference engine with defenders attached; and
+:mod:`~repro.traffic.scenarios` names the standard red-team/blue-team
+match-ups for the CLI, the scenario matrix and the benchmark.
+"""
+
+from .base import (
+    BaseGenerator,
+    QueryBatch,
+    QueryStream,
+    as_seed_sequence,
+    child_seed,
+    concat_batches,
+)
+from .defenders import (
+    ExtractionRateMonitor,
+    OnlineSuppressionDistinguisher,
+    StreamDefender,
+    Verdict,
+)
+from .generators import (
+    ExtractionHarvestGenerator,
+    LegitTrafficGenerator,
+    MixedStream,
+    SuppressionEvasionGenerator,
+    TriggerProbeGenerator,
+)
+from .replay import TrafficReport, replay
+from .scenarios import (
+    TrafficScenario,
+    build_scenario,
+    replay_scenario,
+    scenario_description,
+    traffic_scenarios,
+)
+
+__all__ = [
+    "BaseGenerator",
+    "ExtractionHarvestGenerator",
+    "ExtractionRateMonitor",
+    "LegitTrafficGenerator",
+    "MixedStream",
+    "OnlineSuppressionDistinguisher",
+    "QueryBatch",
+    "QueryStream",
+    "StreamDefender",
+    "SuppressionEvasionGenerator",
+    "TrafficReport",
+    "TrafficScenario",
+    "TriggerProbeGenerator",
+    "Verdict",
+    "as_seed_sequence",
+    "build_scenario",
+    "child_seed",
+    "concat_batches",
+    "replay",
+    "replay_scenario",
+    "scenario_description",
+    "traffic_scenarios",
+]

@@ -1,0 +1,256 @@
+"""Streaming query traffic: batch container, stream protocol, generator base.
+
+The paper's threat model is a *deployed* model answering millions of
+black-box ``predict.all`` queries; this package simulates that traffic.
+A :class:`QueryStream` produces :class:`QueryBatch` es — feature rows
+plus ground-truth simulation metadata (which rows are trigger probes,
+which component of a mixture emitted them, and optionally the per-tree
+answers an evasive server would give instead of the honest model).
+
+Seeding contract
+----------------
+Every generator owns one :class:`numpy.random.SeedSequence` and derives
+an independent child per internal *block* of queries purely from
+``(root entropy, spawn key, block index)``.  Consequences, all
+regression-tested in ``tests/traffic/``:
+
+- same seed ⇒ byte-identical streams, batch after batch;
+- the stream does not depend on how consumers chunk it: ``take(7)``
+  thirty times equals ``take(210)`` once;
+- :meth:`BaseGenerator.reset` rewinds to query 0 and replays exactly;
+- mixture components draw from private sub-streams, so changing one
+  component's mixing rate never changes what another component emits
+  (only how fast its sequence is consumed).
+
+Blocks are an internal amortisation detail (vectorised draws instead of
+per-query RNG construction); ``block_size`` is part of a generator's
+identity — two generators with equal seeds but different block sizes
+are different streams.
+"""
+
+from __future__ import annotations
+
+import numbers
+from dataclasses import dataclass, field
+from typing import Iterator, Protocol, runtime_checkable
+
+import numpy as np
+
+from ..exceptions import ValidationError
+
+__all__ = [
+    "BaseGenerator",
+    "QueryBatch",
+    "QueryStream",
+    "as_seed_sequence",
+    "child_seed",
+    "concat_batches",
+]
+
+
+def as_seed_sequence(seed) -> np.random.SeedSequence:
+    """Normalise ``seed`` to a :class:`numpy.random.SeedSequence`.
+
+    Accepts ``None`` (fresh entropy), an int, or a ``SeedSequence``
+    (returned unchanged).  Generators are deliberately *not* accepted:
+    a shared mutable generator would couple sub-streams, which is
+    exactly what the seeding contract forbids.
+    """
+    if seed is None:
+        return np.random.SeedSequence()
+    if isinstance(seed, np.random.SeedSequence):
+        return seed
+    if isinstance(seed, numbers.Integral):
+        return np.random.SeedSequence(int(seed))
+    raise ValidationError(
+        f"seed must be None, an int or a numpy SeedSequence, got "
+        f"{type(seed).__name__}"
+    )
+
+
+def child_seed(seed: np.random.SeedSequence, index: int) -> np.random.SeedSequence:
+    """The ``index``-th child stream of ``seed``, as a pure function.
+
+    Unlike ``SeedSequence.spawn`` this does not mutate the parent, so
+    any component of a composite stream can be re-derived (and replayed
+    in isolation) from the root seed and its position alone.
+    """
+    return np.random.SeedSequence(
+        entropy=seed.entropy, spawn_key=seed.spawn_key + (int(index),)
+    )
+
+
+@dataclass(frozen=True)
+class QueryBatch:
+    """One chunk of simulated traffic.
+
+    ``X`` are the queries; the remaining fields are simulation
+    metadata.  ``is_trigger`` is the evaluation ground truth (which
+    rows probe the watermark trigger set); ``source`` indexes into
+    ``sources`` naming the generator that emitted each row.  An
+    *evasive* server is modelled by ``y_override``/``override_mask``:
+    where the mask is True, the replay harness serves the override's
+    per-tree labels instead of querying the honest model.
+    """
+
+    X: np.ndarray
+    is_trigger: np.ndarray
+    source: np.ndarray
+    sources: tuple[str, ...]
+    y_override: np.ndarray | None = None
+    override_mask: np.ndarray | None = None
+
+    def __post_init__(self) -> None:
+        n = self.X.shape[0]
+        if self.is_trigger.shape != (n,) or self.source.shape != (n,):
+            raise ValidationError(
+                "is_trigger and source must have one entry per query"
+            )
+        if (self.y_override is None) != (self.override_mask is None):
+            raise ValidationError(
+                "y_override and override_mask must be given together"
+            )
+        if self.y_override is not None and (
+            self.y_override.shape[1] != n or self.override_mask.shape != (n,)
+        ):
+            raise ValidationError(
+                "y_override must be (n_trees, n_queries) with a per-query mask"
+            )
+
+    @property
+    def n_queries(self) -> int:
+        return int(self.X.shape[0])
+
+
+def concat_batches(batches) -> QueryBatch:
+    """Concatenate batches sharing one ``sources`` tuple into one batch."""
+    batches = list(batches)
+    if not batches:
+        raise ValidationError("cannot concatenate zero batches")
+    sources = batches[0].sources
+    if any(b.sources != sources for b in batches):
+        raise ValidationError("batches disagree on their source names")
+    overrides = [b.y_override is not None for b in batches]
+    y_override = override_mask = None
+    if any(overrides):
+        n_trees = next(
+            b.y_override.shape[0] for b in batches if b.y_override is not None
+        )
+        y_parts, mask_parts = [], []
+        for b in batches:
+            if b.y_override is None:
+                y_parts.append(
+                    np.zeros((n_trees, b.n_queries), dtype=np.int64)
+                )
+                mask_parts.append(np.zeros(b.n_queries, dtype=bool))
+            else:
+                y_parts.append(b.y_override)
+                mask_parts.append(b.override_mask)
+        y_override = np.concatenate(y_parts, axis=1)
+        override_mask = np.concatenate(mask_parts)
+    return QueryBatch(
+        X=np.concatenate([b.X for b in batches], axis=0),
+        is_trigger=np.concatenate([b.is_trigger for b in batches]),
+        source=np.concatenate([b.source for b in batches]),
+        sources=sources,
+        y_override=y_override,
+        override_mask=override_mask,
+    )
+
+
+@runtime_checkable
+class QueryStream(Protocol):
+    """What every traffic source exposes.
+
+    ``take(n)`` returns the next ``n`` queries of the (conceptually
+    infinite) stream; ``batches`` chunks the stream for a replay loop;
+    ``reset`` rewinds to query 0.
+    """
+
+    name: str
+
+    def take(self, n: int) -> QueryBatch: ...
+
+    def batches(self, n_queries: int, batch_size: int) -> Iterator[QueryBatch]: ...
+
+    def reset(self) -> None: ...
+
+
+class BaseGenerator:
+    """Block-buffered generator base implementing the seeding contract.
+
+    Subclasses implement :meth:`_generate_block`, a vectorised draw of
+    ``size`` queries from a private per-block RNG.  The base class owns
+    positioning: block ``b`` of the stream always uses the RNG derived
+    from ``child_seed(seed, b)``, regardless of how ``take`` chunks the
+    stream, so the emitted sequence is a pure function of
+    ``(parameters, seed, block_size)``.
+    """
+
+    name = "base"
+
+    def __init__(self, seed=None, block_size: int = 1024) -> None:
+        if block_size < 1:
+            raise ValidationError(f"block_size must be >= 1, got {block_size}")
+        self._seed = as_seed_sequence(seed)
+        self._block_size = int(block_size)
+        self._block_index = 0
+        self._buffer: QueryBatch | None = None
+        self._buffer_offset = 0
+
+    # -- subclass hook --------------------------------------------------
+
+    def _generate_block(self, rng: np.random.Generator, size: int) -> QueryBatch:
+        raise NotImplementedError
+
+    # -- the stream -----------------------------------------------------
+
+    def _next_block(self) -> QueryBatch:
+        rng = np.random.default_rng(child_seed(self._seed, self._block_index))
+        block = self._generate_block(rng, self._block_size)
+        self._block_index += 1
+        return block
+
+    def take(self, n: int) -> QueryBatch:
+        """The next ``n`` queries of the stream."""
+        if n < 1:
+            raise ValidationError(f"take needs n >= 1, got {n}")
+        parts: list[QueryBatch] = []
+        remaining = int(n)
+        while remaining > 0:
+            if self._buffer is None or self._buffer_offset >= self._buffer.n_queries:
+                self._buffer = self._next_block()
+                self._buffer_offset = 0
+            start = self._buffer_offset
+            stop = min(start + remaining, self._buffer.n_queries)
+            parts.append(_slice_batch(self._buffer, start, stop))
+            remaining -= stop - start
+            self._buffer_offset = stop
+        return parts[0] if len(parts) == 1 else concat_batches(parts)
+
+    def batches(self, n_queries: int, batch_size: int = 1024) -> Iterator[QueryBatch]:
+        """Chunk the next ``n_queries`` of the stream into batches."""
+        if n_queries < 1:
+            raise ValidationError(f"n_queries must be >= 1, got {n_queries}")
+        served = 0
+        while served < n_queries:
+            size = min(int(batch_size), n_queries - served)
+            yield self.take(size)
+            served += size
+
+    def reset(self) -> None:
+        """Rewind to query 0; the replayed stream is byte-identical."""
+        self._block_index = 0
+        self._buffer = None
+        self._buffer_offset = 0
+
+
+def _slice_batch(batch: QueryBatch, start: int, stop: int) -> QueryBatch:
+    return QueryBatch(
+        X=batch.X[start:stop],
+        is_trigger=batch.is_trigger[start:stop],
+        source=batch.source[start:stop],
+        sources=batch.sources,
+        y_override=None if batch.y_override is None else batch.y_override[:, start:stop],
+        override_mask=None if batch.override_mask is None else batch.override_mask[start:stop],
+    )

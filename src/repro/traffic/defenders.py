@@ -1,0 +1,343 @@
+"""Online stream defenders: the blue team.
+
+Both defenders consume the deployed model's traffic in batches through
+one uniform interface — ``observe(X, y_pred) -> Verdict`` where
+``y_pred`` is the per-tree ``predict_all`` matrix of the batch — and
+keep **O(1) memory**: a fixed number of scalar accumulators (plus one
+length-``n_trees`` count vector for the suppression distinguisher),
+constant in the stream length.  That lets them ride the compiled
+inference engine over millions of queries.
+
+- :class:`OnlineSuppressionDistinguisher` streams the Table-2
+  behavioural statistic: exact integer counts of each tree's
+  disagreement with the majority vote.  Folded over *any* chunking of
+  a finite stream, its per-tree rates are bit-for-bit equal to the
+  batch :func:`repro.attacks.detection.behavioural_rates` on the
+  concatenated queries (integer sums are associative; the single
+  division happens at read time).  It fires when any tree's rate
+  deviates from its calibrated baseline by more than a
+  Hoeffding (default) or binomial-CLT threshold.
+- :class:`ExtractionRateMonitor` tracks the running mean of the
+  vote-disagreement score and fires on a two-sided CLT test against
+  the calibrated benign mean — harvesting queries (off-manifold
+  synthesis) shift tree disagreement, in either direction.
+
+Sequential testing honesty: a threshold crossed once in a million peeks
+is not a detection at level ``alpha``.  Both defenders therefore test
+only at geometrically spaced checkpoints (``min_queries``, then
+doubling) and spend ``alpha`` across them (``alpha / 2^(k+1)`` at
+checkpoint ``k``), so the *overall* false-alarm probability over an
+unbounded stream stays below ``alpha`` — the property
+``tests/traffic/test_defenders.py`` measures over seeded trials.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from statistics import NormalDist
+
+import numpy as np
+
+from .._validation import check_X
+from ..attacks.detection import behavioural_rates, detect_bits
+from ..ensemble.voting import majority_vote, vote_margin
+from ..exceptions import ValidationError
+
+__all__ = [
+    "ExtractionRateMonitor",
+    "OnlineSuppressionDistinguisher",
+    "StreamDefender",
+    "Verdict",
+]
+
+_CLASSES = np.array([-1, 1])
+
+
+@dataclass(frozen=True)
+class Verdict:
+    """One defender's standing after a batch.
+
+    ``fired`` latches: once a defender has detected, it stays fired and
+    ``fired_at`` records the stream position (queries seen) at the
+    detecting checkpoint — the detection latency the benchmark reports.
+    ``statistic``/``threshold`` are the values at the most recent
+    checkpoint test (NaN before the first one).
+    """
+
+    defender: str
+    fired: bool
+    n_queries: int
+    statistic: float
+    threshold: float
+    fired_at: int | None = None
+
+    def to_dict(self) -> dict:
+        return {
+            "defender": self.defender,
+            "fired": bool(self.fired),
+            "n_queries": int(self.n_queries),
+            "statistic": float(self.statistic),
+            "threshold": float(self.threshold),
+            "fired_at": None if self.fired_at is None else int(self.fired_at),
+        }
+
+
+class StreamDefender:
+    """Uniform defender base: checkpointed sequential testing.
+
+    Subclasses implement ``_update(X, y_pred)`` (accumulate the batch
+    into O(1) state) and ``_test(alpha_k) -> (statistic, threshold)``;
+    the base runs the geometric checkpoint schedule with alpha
+    spending, latches the verdict, and enforces the shared interface
+    (``observe`` / ``reset`` / ``state_size``).
+    """
+
+    name = "defender"
+
+    def __init__(self, alpha: float = 0.05, min_queries: int = 256) -> None:
+        if not 0.0 < alpha < 1.0:
+            raise ValidationError(f"alpha must be in (0, 1), got {alpha}")
+        if min_queries < 1:
+            raise ValidationError(f"min_queries must be >= 1, got {min_queries}")
+        self.alpha = float(alpha)
+        self.min_queries = int(min_queries)
+        self.reset()
+
+    # -- subclass hooks -------------------------------------------------
+
+    def _update(self, X: np.ndarray, y_pred: np.ndarray) -> None:
+        raise NotImplementedError
+
+    def _test(self, alpha_k: float) -> tuple[float, float]:
+        raise NotImplementedError
+
+    def _reset_state(self) -> None:
+        raise NotImplementedError
+
+    def _state_arrays(self) -> tuple[np.ndarray, ...]:
+        """Arrays held as state (for the O(1)-memory regression test)."""
+        return ()
+
+    # -- the uniform interface ------------------------------------------
+
+    def observe(self, X, y_pred) -> Verdict:
+        """Fold one batch into the defender state and report the verdict.
+
+        ``y_pred`` is the served per-tree ±1 label matrix, shape
+        ``(n_trees, n_queries)`` — what the deployment actually
+        answered, which under an evasive server differs from the honest
+        model's output.
+        """
+        y_pred = np.asarray(y_pred)
+        if y_pred.ndim != 2:
+            raise ValidationError(
+                f"y_pred must be 2-D (n_trees, n_queries), got shape {y_pred.shape}"
+            )
+        X = check_X(X)
+        if X.shape[0] != y_pred.shape[1]:
+            raise ValidationError(
+                f"X and y_pred disagree on the batch size: "
+                f"{X.shape[0]} != {y_pred.shape[1]}"
+            )
+        self._update(X, y_pred)
+        self._n += int(y_pred.shape[1])
+
+        while not self._fired and self._n >= self._next_check:
+            alpha_k = self.alpha * 2.0 ** -(self._checkpoint + 1)
+            self._statistic, self._threshold = self._test(alpha_k)
+            if self._statistic > self._threshold:
+                self._fired = True
+                self._fired_at = self._n
+            self._checkpoint += 1
+            self._next_check *= 2
+        return self.verdict()
+
+    def verdict(self) -> Verdict:
+        """The current (latched) verdict without observing anything."""
+        return Verdict(
+            defender=self.name,
+            fired=self._fired,
+            n_queries=self._n,
+            statistic=self._statistic,
+            threshold=self._threshold,
+            fired_at=self._fired_at,
+        )
+
+    def reset(self) -> None:
+        """Forget the stream (calibration is kept)."""
+        self._n = 0
+        self._checkpoint = 0
+        self._next_check = self.min_queries
+        self._fired = False
+        self._fired_at: int | None = None
+        self._statistic = float("nan")
+        self._threshold = float("nan")
+        self._reset_state()
+
+    def state_size(self) -> int:
+        """Total scalar slots of mutable state — constant in stream length."""
+        return 7 + sum(int(array.size) for array in self._state_arrays())
+
+
+class OnlineSuppressionDistinguisher(StreamDefender):
+    """Streaming Table-2 behavioural statistic with a deviation test.
+
+    State: one int64 disagreement count per tree plus the query count.
+    ``rates()`` exposes the streaming statistic itself — bit-for-bit
+    what :func:`repro.attacks.detection.behavioural_rates` computes on
+    the concatenated stream — and :meth:`detection_result` feeds it to
+    the *existing* Table-2 decision rule
+    (:func:`repro.attacks.detection.detect_bits`), closing the loop
+    from live traffic back to the paper's detection table.
+
+    ``threshold="hoeffding"`` (default) is distribution-free:
+    ``eps(n) = sqrt(ln(2 m / alpha_k) / (2 n))`` union-bounded over the
+    ``m`` trees.  ``threshold="clt"`` uses the per-tree binomial normal
+    approximation (tighter, approximate).
+    """
+
+    name = "suppression-distinguisher"
+
+    def __init__(
+        self,
+        baseline_rates,
+        alpha: float = 0.05,
+        min_queries: int = 256,
+        threshold: str = "hoeffding",
+        n_reference: int | None = None,
+    ) -> None:
+        baseline = np.asarray(baseline_rates, dtype=np.float64)
+        if baseline.ndim != 1 or baseline.size == 0:
+            raise ValidationError("baseline_rates must be a non-empty 1-D array")
+        if threshold not in ("hoeffding", "clt"):
+            raise ValidationError(
+                f"threshold must be 'hoeffding' or 'clt', got {threshold!r}"
+            )
+        # Degenerate calibrated rates (a tree never/always disagreeing
+        # on the reference sample) would give the CLT test zero
+        # variance; clip by the reference resolution.
+        resolution = 1.0 / (2 * max(int(n_reference or baseline.size), 2))
+        self.baseline = np.clip(baseline, resolution, 1.0 - resolution)
+        self.threshold_kind = threshold
+        super().__init__(alpha=alpha, min_queries=min_queries)
+
+    @classmethod
+    def calibrate(
+        cls,
+        model,
+        X_reference,
+        alpha: float = 0.05,
+        min_queries: int = 256,
+        threshold: str = "hoeffding",
+    ) -> "OnlineSuppressionDistinguisher":
+        """Calibrate per-tree baseline rates on benign reference data."""
+        X_reference = check_X(X_reference, name="X_reference")
+        rates = behavioural_rates(model.predict_all(X_reference))
+        return cls(
+            rates,
+            alpha=alpha,
+            min_queries=min_queries,
+            threshold=threshold,
+            n_reference=X_reference.shape[0],
+        )
+
+    # -- state ----------------------------------------------------------
+
+    def _reset_state(self) -> None:
+        self._counts = np.zeros(self.baseline.size, dtype=np.int64)
+
+    def _state_arrays(self) -> tuple[np.ndarray, ...]:
+        return (self._counts, self.baseline)
+
+    def _update(self, X: np.ndarray, y_pred: np.ndarray) -> None:
+        if y_pred.shape[0] != self.baseline.size:
+            raise ValidationError(
+                f"y_pred has {y_pred.shape[0]} trees, calibrated for "
+                f"{self.baseline.size}"
+            )
+        majority = majority_vote(y_pred, _CLASSES)
+        self._counts += (y_pred != majority[None, :]).sum(axis=1)
+
+    # -- the statistic --------------------------------------------------
+
+    def rates(self) -> np.ndarray:
+        """Per-tree disagreement rates over everything observed so far."""
+        if self._n == 0:
+            raise ValidationError("no queries observed yet")
+        return self._counts / self._n
+
+    def detection_result(self, true_bits, strategy: str = "bands"):
+        """Score the streamed statistic as a Table-2 detection attempt."""
+        return detect_bits(self.rates(), true_bits, strategy)
+
+    def _test(self, alpha_k: float) -> tuple[float, float]:
+        deviation = np.abs(self.rates() - self.baseline)
+        m = self.baseline.size
+        if self.threshold_kind == "hoeffding":
+            eps = math.sqrt(math.log(2.0 * m / alpha_k) / (2.0 * self._n))
+            return float(deviation.max()), eps
+        z = NormalDist().inv_cdf(1.0 - alpha_k / (2.0 * m))
+        eps_t = z * np.sqrt(self.baseline * (1.0 - self.baseline) / self._n)
+        # Normalise so one scalar statistic/threshold pair is reported:
+        # the worst per-tree deviation in threshold units.
+        return float((deviation / eps_t).max()), 1.0
+
+
+class ExtractionRateMonitor(StreamDefender):
+    """Running-mean shift test on the vote-disagreement score.
+
+    Extraction harvesters query off the data manifold (synthesised or
+    spread-out points), where trees disagree very differently than on
+    benign traffic; the monitor accumulates the disagreement-score sum
+    in O(1) and fires a two-sided CLT test against the calibrated
+    benign mean and variance.
+    """
+
+    name = "extraction-monitor"
+
+    def __init__(
+        self,
+        baseline_mean: float,
+        baseline_var: float,
+        alpha: float = 0.05,
+        min_queries: int = 256,
+    ) -> None:
+        if baseline_var < 0.0:
+            raise ValidationError(f"baseline_var must be >= 0, got {baseline_var}")
+        self.baseline_mean = float(baseline_mean)
+        self.baseline_var = max(float(baseline_var), 1e-6)
+        super().__init__(alpha=alpha, min_queries=min_queries)
+
+    @classmethod
+    def calibrate(
+        cls, model, X_reference, alpha: float = 0.05, min_queries: int = 256
+    ) -> "ExtractionRateMonitor":
+        """Calibrate the benign disagreement-score distribution."""
+        X_reference = check_X(X_reference, name="X_reference")
+        scores = 1.0 - np.abs(2.0 * vote_margin(model.predict_all(X_reference)) - 1.0)
+        return cls(
+            baseline_mean=float(scores.mean()),
+            baseline_var=float(scores.var()),
+            alpha=alpha,
+            min_queries=min_queries,
+        )
+
+    def _reset_state(self) -> None:
+        self._score_sum = 0.0
+
+    def _update(self, X: np.ndarray, y_pred: np.ndarray) -> None:
+        scores = 1.0 - np.abs(2.0 * vote_margin(y_pred) - 1.0)
+        self._score_sum += float(scores.sum())
+
+    def observed_mean(self) -> float:
+        """Mean disagreement score over everything observed so far."""
+        if self._n == 0:
+            raise ValidationError("no queries observed yet")
+        return self._score_sum / self._n
+
+    def _test(self, alpha_k: float) -> tuple[float, float]:
+        z = abs(self.observed_mean() - self.baseline_mean) * math.sqrt(
+            self._n / self.baseline_var
+        )
+        return z, NormalDist().inv_cdf(1.0 - alpha_k / 2.0)

@@ -1,0 +1,290 @@
+"""Composable query-stream generators: the red team.
+
+Each generator models one adversarial (or benign) traffic source the
+paper's deployment scenario must withstand:
+
+- :class:`LegitTrafficGenerator` — ordinary users resampling the
+  attacker-visible data split (optionally jittered off the rows);
+- :class:`TriggerProbeGenerator` — a judge (or a thief hunting the
+  trigger set) probing at or near the watermark triggers;
+- :class:`SuppressionEvasionGenerator` — a model thief *serving* the
+  stolen model but answering suspected trigger queries with perturbed
+  per-tree labels (the suppression counter-attack the paper argues is
+  impossible input-side; here the thief flags by vote disagreement);
+- :class:`ExtractionHarvestGenerator` — a surrogate trainer harvesting
+  labels over the feature box (uniform synthesis, optionally anchored
+  at visible data);
+- :class:`MixedStream` — any of the above mixed at configurable rates
+  with independent sub-streams per component.
+
+All generators follow the block-indexed seeding contract of
+:mod:`repro.traffic.base`: same seed ⇒ byte-identical stream,
+independent of consumer chunking, replayable via ``reset``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .._validation import check_X
+from ..ensemble.voting import vote_margin
+from ..exceptions import ValidationError
+from .base import BaseGenerator, QueryBatch, as_seed_sequence, child_seed
+
+__all__ = [
+    "ExtractionHarvestGenerator",
+    "LegitTrafficGenerator",
+    "MixedStream",
+    "SuppressionEvasionGenerator",
+    "TriggerProbeGenerator",
+]
+
+
+def _plain_batch(name: str, X: np.ndarray, is_trigger: np.ndarray) -> QueryBatch:
+    return QueryBatch(
+        X=X,
+        is_trigger=is_trigger,
+        source=np.zeros(X.shape[0], dtype=np.int64),
+        sources=(name,),
+    )
+
+
+def _jittered(rows: np.ndarray, jitter: float, rng: np.random.Generator) -> np.ndarray:
+    if jitter <= 0.0:
+        return rows.copy()
+    noisy = rows + rng.normal(0.0, jitter, size=rows.shape)
+    return np.clip(noisy, 0.0, 1.0)
+
+
+class LegitTrafficGenerator(BaseGenerator):
+    """Benign traffic: i.i.d. resampling of a reference pool.
+
+    ``X_pool`` is whatever slice of the input distribution the scenario
+    grants (typically the attacker-visible training split, matching
+    ``AttackTarget.X_train``).  ``jitter > 0`` adds clipped Gaussian
+    noise so queries are near, not on, the pool rows.
+    """
+
+    name = "legit"
+
+    def __init__(self, X_pool, seed=None, jitter: float = 0.0, block_size: int = 1024) -> None:
+        super().__init__(seed=seed, block_size=block_size)
+        self.X_pool = check_X(X_pool, name="X_pool")
+        if jitter < 0.0:
+            raise ValidationError(f"jitter must be >= 0, got {jitter}")
+        self.jitter = float(jitter)
+
+    def _generate_block(self, rng: np.random.Generator, size: int) -> QueryBatch:
+        rows = rng.integers(0, self.X_pool.shape[0], size=size)
+        X = _jittered(self.X_pool[rows], self.jitter, rng)
+        return _plain_batch(self.name, X, np.zeros(size, dtype=bool))
+
+
+class TriggerProbeGenerator(BaseGenerator):
+    """Trigger probing: queries at (``jitter=0``) or near the triggers.
+
+    Models the judge's verification queries — or a thief probing the
+    trigger neighbourhood — as a stream.  Every emitted query is marked
+    ``is_trigger`` (the ground truth defenders are scored against).
+    """
+
+    name = "probe"
+
+    def __init__(self, trigger_X, seed=None, jitter: float = 0.0, block_size: int = 1024) -> None:
+        super().__init__(seed=seed, block_size=block_size)
+        self.trigger_X = check_X(trigger_X, name="trigger_X")
+        if jitter < 0.0:
+            raise ValidationError(f"jitter must be >= 0, got {jitter}")
+        self.jitter = float(jitter)
+
+    def _generate_block(self, rng: np.random.Generator, size: int) -> QueryBatch:
+        rows = rng.integers(0, self.trigger_X.shape[0], size=size)
+        X = _jittered(self.trigger_X[rows], self.jitter, rng)
+        return _plain_batch(self.name, X, np.ones(size, dtype=bool))
+
+
+class ExtractionHarvestGenerator(BaseGenerator):
+    """Label harvesting for surrogate training.
+
+    Pure synthesis (uniform over the feature box) when no pool is
+    given; anchored harvesting (pool rows plus uniform spread) when the
+    extractor also holds visible data — the classic query strategies of
+    the model-stealing literature.
+    """
+
+    name = "harvest"
+
+    def __init__(
+        self,
+        n_features: int,
+        seed=None,
+        low: float = 0.0,
+        high: float = 1.0,
+        X_pool=None,
+        spread: float = 0.25,
+        block_size: int = 1024,
+    ) -> None:
+        super().__init__(seed=seed, block_size=block_size)
+        if n_features < 1:
+            raise ValidationError(f"n_features must be >= 1, got {n_features}")
+        if not high > low:
+            raise ValidationError(f"need high > low, got [{low}, {high}]")
+        self.n_features = int(n_features)
+        self.low = float(low)
+        self.high = float(high)
+        self.X_pool = None if X_pool is None else check_X(X_pool, name="X_pool")
+        if self.X_pool is not None and self.X_pool.shape[1] != self.n_features:
+            raise ValidationError(
+                f"X_pool has {self.X_pool.shape[1]} features, expected {n_features}"
+            )
+        self.spread = float(spread)
+
+    def _generate_block(self, rng: np.random.Generator, size: int) -> QueryBatch:
+        if self.X_pool is None:
+            X = rng.uniform(self.low, self.high, size=(size, self.n_features))
+        else:
+            rows = rng.integers(0, self.X_pool.shape[0], size=size)
+            offsets = rng.uniform(
+                -self.spread, self.spread, size=(size, self.n_features)
+            )
+            X = np.clip(self.X_pool[rows] + offsets, self.low, self.high)
+        return _plain_batch(self.name, X, np.zeros(size, dtype=bool))
+
+
+class SuppressionEvasionGenerator(BaseGenerator):
+    """A model thief serving suppressed/perturbed answers.
+
+    Wraps the deployment itself: the block carries both the queries (a
+    legit/probe mix at ``probe_rate``) and the per-tree labels the
+    thief's server *actually answers* (``y_override``, mask all-True).
+    The thief cannot identify triggers input-side (the paper's claim),
+    so it flags by the model's own vote disagreement: any query whose
+    disagreement score reaches ``flag_threshold`` gets each per-tree
+    label independently re-randomised — destroying the signature
+    pattern on exactly the queries verification needs.
+    """
+
+    name = "evasion"
+
+    def __init__(
+        self,
+        model,
+        X_pool,
+        trigger_X,
+        seed=None,
+        probe_rate: float = 0.1,
+        flag_threshold: float = 0.9,
+        block_size: int = 1024,
+    ) -> None:
+        super().__init__(seed=seed, block_size=block_size)
+        self.model = model
+        self.X_pool = check_X(X_pool, name="X_pool")
+        self.trigger_X = check_X(trigger_X, name="trigger_X")
+        if not 0.0 <= probe_rate <= 1.0:
+            raise ValidationError(f"probe_rate must be in [0, 1], got {probe_rate}")
+        if not 0.0 < flag_threshold <= 1.0:
+            raise ValidationError(
+                f"flag_threshold must be in (0, 1], got {flag_threshold}"
+            )
+        self.probe_rate = float(probe_rate)
+        self.flag_threshold = float(flag_threshold)
+
+    def _generate_block(self, rng: np.random.Generator, size: int) -> QueryBatch:
+        is_probe = rng.random(size) < self.probe_rate
+        pool_rows = rng.integers(0, self.X_pool.shape[0], size=size)
+        trigger_rows = rng.integers(0, self.trigger_X.shape[0], size=size)
+        X = self.X_pool[pool_rows].copy()
+        X[is_probe] = self.trigger_X[trigger_rows[is_probe]]
+
+        honest = self.model.predict_all(X)
+        disagreement = 1.0 - np.abs(2.0 * vote_margin(honest) - 1.0)
+        flagged = disagreement >= self.flag_threshold
+        served = honest.copy()
+        if flagged.any():
+            shape = (served.shape[0], int(flagged.sum()))
+            served[:, flagged] = np.where(rng.random(shape) < 0.5, -1, 1)
+        return QueryBatch(
+            X=X,
+            is_trigger=is_probe,
+            source=np.zeros(size, dtype=np.int64),
+            sources=(self.name,),
+            y_override=served,
+            override_mask=np.ones(size, dtype=bool),
+        )
+
+
+class MixedStream(BaseGenerator):
+    """Mix component streams at configurable rates.
+
+    Each query of a block is assigned to a component by an i.i.d. draw
+    from ``rates`` (the mixture's own sub-stream); the assigned
+    components then contribute their next queries *from their own
+    streams*.  Because components consume private block-indexed seeds,
+    changing one component's rate re-paces the others but never changes
+    the sequence each emits — any component is reproducible in
+    isolation from its own seed.
+
+    When ``seed`` is given and components carry none of their own, use
+    :func:`repro.traffic.base.child_seed` to derive per-component seeds
+    (the scenario builders in :mod:`repro.traffic.scenarios` do this).
+    """
+
+    name = "mixed"
+
+    def __init__(self, components, rates, seed=None, block_size: int = 1024) -> None:
+        super().__init__(seed=seed, block_size=block_size)
+        self.components = tuple(components)
+        if not self.components:
+            raise ValidationError("MixedStream needs at least one component")
+        names = [component.name for component in self.components]
+        if len(set(names)) != len(names):
+            raise ValidationError(
+                f"component names must be unique, got {names}"
+            )
+        rates = np.asarray(list(rates), dtype=np.float64)
+        if rates.shape != (len(self.components),):
+            raise ValidationError(
+                f"need one rate per component, got {rates.shape[0]} rates "
+                f"for {len(self.components)} components"
+            )
+        if (rates < 0).any() or rates.sum() <= 0:
+            raise ValidationError("rates must be non-negative with positive sum")
+        self.rates = rates / rates.sum()
+        self.sources = tuple(names)
+
+    def _generate_block(self, rng: np.random.Generator, size: int) -> QueryBatch:
+        labels = rng.choice(len(self.components), size=size, p=self.rates)
+        n_features = None
+        X = is_trigger = y_override = override_mask = None
+        n_trees = None
+        for index, component in enumerate(self.components):
+            where = np.flatnonzero(labels == index)
+            if where.size == 0:
+                continue
+            part = component.take(where.size)
+            if X is None:
+                n_features = part.X.shape[1]
+                X = np.empty((size, n_features), dtype=part.X.dtype)
+                is_trigger = np.zeros(size, dtype=bool)
+            X[where] = part.X
+            is_trigger[where] = part.is_trigger
+            if part.y_override is not None:
+                if y_override is None:
+                    n_trees = part.y_override.shape[0]
+                    y_override = np.zeros((n_trees, size), dtype=part.y_override.dtype)
+                    override_mask = np.zeros(size, dtype=bool)
+                y_override[:, where] = part.y_override
+                override_mask[where] = part.override_mask
+        return QueryBatch(
+            X=X,
+            is_trigger=is_trigger,
+            source=labels.astype(np.int64),
+            sources=self.sources,
+            y_override=y_override,
+            override_mask=override_mask,
+        )
+
+    def reset(self) -> None:
+        super().reset()
+        for component in self.components:
+            component.reset()

@@ -1,0 +1,126 @@
+"""Replay a query stream against a deployed model, defenders watching.
+
+The red-team/blue-team loop: a :class:`~repro.traffic.base.QueryStream`
+emits batches, the deployment answers them through the compiled
+per-tree interface (or the batch's evasive ``y_override``), and every
+:class:`~repro.traffic.defenders.StreamDefender` folds the served
+``(X, y_pred)`` into its O(1) state.  The harness runs in chunks so
+millions of queries stream through one compiled node table without the
+stream ever being materialised.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..exceptions import ValidationError
+from .base import QueryStream
+from .defenders import Verdict
+
+__all__ = ["TrafficReport", "replay"]
+
+
+@dataclass(frozen=True)
+class TrafficReport:
+    """Outcome of one stream replay.
+
+    ``detection latency`` is per defender: ``verdicts[i].fired_at`` is
+    the number of queries the stream had served when the defender
+    fired (``None`` = never fired).  ``source_counts`` attributes the
+    served queries to the stream's components; ``n_trigger_queries``
+    counts the ground-truth trigger probes among them.
+    """
+
+    stream: str
+    n_queries: int
+    n_batches: int
+    n_trigger_queries: int
+    source_counts: dict[str, int]
+    elapsed_seconds: float
+    queries_per_second: float
+    verdicts: tuple[Verdict, ...] = field(default_factory=tuple)
+
+    def verdict(self, defender: str) -> Verdict:
+        """The final verdict of the named defender."""
+        for verdict in self.verdicts:
+            if verdict.defender == defender:
+                return verdict
+        raise ValidationError(
+            f"no defender named {defender!r} in this replay; present: "
+            f"{[v.defender for v in self.verdicts]}"
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "stream": self.stream,
+            "n_queries": int(self.n_queries),
+            "n_batches": int(self.n_batches),
+            "n_trigger_queries": int(self.n_trigger_queries),
+            "source_counts": {k: int(v) for k, v in self.source_counts.items()},
+            "elapsed_seconds": float(self.elapsed_seconds),
+            "queries_per_second": float(self.queries_per_second),
+            "verdicts": [verdict.to_dict() for verdict in self.verdicts],
+        }
+
+
+def replay(
+    stream: QueryStream,
+    model,
+    defenders=(),
+    n_queries: int = 10_000,
+    batch_size: int = 1024,
+) -> TrafficReport:
+    """Stream ``n_queries`` through ``model``, defenders observing.
+
+    ``model`` is anything with ``predict_all`` (a forest, a compiled
+    ensemble, a boosted model); when it also has ``compile``, the node
+    table is packed once up front.  Batches carrying a full
+    ``y_override`` (an evasive server simulated inside the generator)
+    skip the honest model entirely; partial overrides are spliced over
+    the honest answers.
+    """
+    if n_queries < 1:
+        raise ValidationError(f"n_queries must be >= 1, got {n_queries}")
+    if batch_size < 1:
+        raise ValidationError(f"batch_size must be >= 1, got {batch_size}")
+    defenders = tuple(defenders)
+    compile_model = getattr(model, "compile", None)
+    if callable(compile_model):
+        compile_model()
+
+    n_trigger = 0
+    n_batches = 0
+    source_counts: dict[str, int] = {}
+    started = time.perf_counter()
+    for batch in stream.batches(n_queries, batch_size):
+        if batch.y_override is not None and bool(batch.override_mask.all()):
+            y_pred = batch.y_override
+        else:
+            y_pred = model.predict_all(batch.X)
+            if batch.y_override is not None:
+                y_pred = y_pred.copy()
+                y_pred[:, batch.override_mask] = (
+                    batch.y_override[:, batch.override_mask]
+                )
+        for defender in defenders:
+            defender.observe(batch.X, y_pred)
+        n_trigger += int(batch.is_trigger.sum())
+        n_batches += 1
+        counts = np.bincount(batch.source, minlength=len(batch.sources))
+        for name, count in zip(batch.sources, counts):
+            source_counts[name] = source_counts.get(name, 0) + int(count)
+    elapsed = time.perf_counter() - started
+
+    return TrafficReport(
+        stream=stream.name,
+        n_queries=int(n_queries),
+        n_batches=n_batches,
+        n_trigger_queries=n_trigger,
+        source_counts=source_counts,
+        elapsed_seconds=elapsed,
+        queries_per_second=n_queries / elapsed if elapsed > 0 else float("inf"),
+        verdicts=tuple(defender.verdict() for defender in defenders),
+    )

@@ -1,0 +1,212 @@
+"""Named red-team/blue-team traffic scenarios.
+
+A scenario binds a stream composition to the standard defender pair,
+parameterised only by the deployment (a
+:class:`~repro.core.embedding.WatermarkedModel`), the attacker-visible
+data pool, and one root seed.  Scenarios are what the ``repro
+traffic`` CLI subcommand replays, what the
+:func:`~repro.experiments.run_scenario_matrix` traffic axis sweeps,
+and what ``benchmarks/bench_traffic.py`` measures.
+
+Seeding: the root seed derives one child per role —
+``child_seed(root, 0)`` legit, ``1`` probe, ``2`` harvest, ``3``
+evasion, ``4`` the mixture — so any component stream can be
+re-instantiated and replayed in isolation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from ..exceptions import ValidationError
+from .base import as_seed_sequence, child_seed
+from .defenders import ExtractionRateMonitor, OnlineSuppressionDistinguisher
+from .generators import (
+    ExtractionHarvestGenerator,
+    LegitTrafficGenerator,
+    MixedStream,
+    SuppressionEvasionGenerator,
+    TriggerProbeGenerator,
+)
+from .replay import TrafficReport, replay
+
+__all__ = [
+    "TrafficScenario",
+    "build_scenario",
+    "replay_scenario",
+    "scenario_description",
+    "traffic_scenarios",
+]
+
+#: Mixing rate of adversarial components in the named scenarios —
+#: the paper-strength setting: probing hides ~1 trigger query in 10.
+ADVERSARIAL_RATE = 0.1
+
+
+@dataclass(frozen=True)
+class TrafficScenario:
+    """A named stream/defender composition."""
+
+    name: str
+    description: str
+    build_stream: Callable
+
+
+def _legit(model, X_pool, root):
+    return LegitTrafficGenerator(X_pool, seed=child_seed(root, 0))
+
+
+def _probe(model, X_pool, root, jitter: float = 0.0):
+    return TriggerProbeGenerator(
+        model.trigger.X, seed=child_seed(root, 1), jitter=jitter
+    )
+
+
+def _harvest(model, X_pool, root):
+    return ExtractionHarvestGenerator(
+        X_pool.shape[1], seed=child_seed(root, 2)
+    )
+
+
+def _evasion(model, X_pool, root):
+    return SuppressionEvasionGenerator(
+        model.ensemble,
+        X_pool,
+        model.trigger.X,
+        seed=child_seed(root, 3),
+        probe_rate=ADVERSARIAL_RATE,
+    )
+
+
+def _mix(root, components, rates):
+    return MixedStream(components, rates, seed=child_seed(root, 4))
+
+
+SCENARIOS: dict[str, TrafficScenario] = {
+    scenario.name: scenario
+    for scenario in (
+        TrafficScenario(
+            "legit",
+            "pure benign traffic — defenders must stay silent (false-alarm "
+            "control)",
+            lambda model, X_pool, root: _legit(model, X_pool, root),
+        ),
+        TrafficScenario(
+            "verification-probe",
+            "a judge's trigger queries hidden in benign traffic at rate "
+            f"{ADVERSARIAL_RATE} — the stream a suppressing thief must "
+            "distinguish",
+            lambda model, X_pool, root: _mix(
+                root,
+                (_legit(model, X_pool, root), _probe(model, X_pool, root)),
+                (1.0 - ADVERSARIAL_RATE, ADVERSARIAL_RATE),
+            ),
+        ),
+        TrafficScenario(
+            "suppression-evasion",
+            "a thief serving the stolen model but re-randomising per-tree "
+            "answers on high-disagreement queries",
+            lambda model, X_pool, root: _evasion(model, X_pool, root),
+        ),
+        TrafficScenario(
+            "extraction-harvest",
+            "a surrogate trainer harvesting labels over the feature box, "
+            "hidden in benign traffic",
+            lambda model, X_pool, root: _mix(
+                root,
+                (_legit(model, X_pool, root), _harvest(model, X_pool, root)),
+                (1.0 - ADVERSARIAL_RATE, ADVERSARIAL_RATE),
+            ),
+        ),
+        TrafficScenario(
+            "mixed",
+            "everything at once: benign traffic, trigger probes and "
+            "harvesting in one stream",
+            lambda model, X_pool, root: _mix(
+                root,
+                (
+                    _legit(model, X_pool, root),
+                    _probe(model, X_pool, root),
+                    _harvest(model, X_pool, root),
+                ),
+                (0.8, 0.1, 0.1),
+            ),
+        ),
+    )
+}
+
+
+def traffic_scenarios() -> tuple[str, ...]:
+    """Registered scenario names, in definition order."""
+    return tuple(SCENARIOS)
+
+
+def scenario_description(name: str) -> str:
+    """Human-readable description of a named scenario."""
+    return _get(name).description
+
+
+def _get(name: str) -> TrafficScenario:
+    try:
+        return SCENARIOS[name]
+    except KeyError:
+        raise ValidationError(
+            f"unknown traffic scenario {name!r}; available: "
+            f"{', '.join(traffic_scenarios())}"
+        ) from None
+
+
+def build_scenario(
+    name: str,
+    model,
+    X_pool,
+    random_state=None,
+    alpha: float = 0.05,
+    min_queries: int = 256,
+):
+    """Instantiate a named scenario's stream and calibrated defenders.
+
+    Returns ``(stream, defenders)``; the defenders are calibrated on
+    ``X_pool`` (the benign reference the deployment operator holds).
+    """
+    scenario = _get(name)
+    root = as_seed_sequence(random_state)
+    stream = scenario.build_stream(model, X_pool, root)
+    defenders = (
+        OnlineSuppressionDistinguisher.calibrate(
+            model.ensemble, X_pool, alpha=alpha, min_queries=min_queries
+        ),
+        ExtractionRateMonitor.calibrate(
+            model.ensemble, X_pool, alpha=alpha, min_queries=min_queries
+        ),
+    )
+    return stream, defenders
+
+
+def replay_scenario(
+    name: str,
+    model,
+    X_pool,
+    n_queries: int = 10_000,
+    batch_size: int = 1024,
+    random_state=None,
+    alpha: float = 0.05,
+    min_queries: int = 256,
+) -> TrafficReport:
+    """Build and replay a named scenario end to end."""
+    stream, defenders = build_scenario(
+        name,
+        model,
+        X_pool,
+        random_state=random_state,
+        alpha=alpha,
+        min_queries=min_queries,
+    )
+    return replay(
+        stream,
+        model.ensemble,
+        defenders,
+        n_queries=n_queries,
+        batch_size=batch_size,
+    )

@@ -77,3 +77,39 @@ class TestExtractionStudy:
                 y_test=y_test,
                 query_budgets=(X_train.shape[0] + 1,),
             )
+
+
+class TestSweepCellIndependence:
+    """Regression for the shared-RNG-across-cells bug class: one
+    generator threaded through the budget loop made every cell depend
+    on which budgets ran before it.  Cells are now keyed by budget
+    *value*, so sweeps are order-invariant and each cell matches a
+    standalone run."""
+
+    @staticmethod
+    def _fingerprint(outcome, X_test):
+        return (
+            outcome.query_budget,
+            outcome.agreement,
+            outcome.surrogate_accuracy,
+            outcome.watermark_match_rate,
+            outcome.surrogate.predict(X_test).tobytes(),
+        )
+
+    def test_cell_matches_standalone_run(self, wm_model, bc_data):
+        X_train, X_test, y_train, y_test = bc_data
+        kwargs = dict(X_pool=X_train, X_test=X_test, y_test=y_test, random_state=7)
+        swept = extraction_study(wm_model, query_budgets=(60, 120), **kwargs)
+        alone = extraction_study(wm_model, query_budgets=(120,), **kwargs)
+        assert self._fingerprint(swept[1], X_test) == self._fingerprint(
+            alone[0], X_test
+        )
+
+    def test_sweep_order_invariance(self, wm_model, bc_data):
+        X_train, X_test, y_train, y_test = bc_data
+        kwargs = dict(X_pool=X_train, X_test=X_test, y_test=y_test, random_state=7)
+        forward = extraction_study(wm_model, query_budgets=(60, 120), **kwargs)
+        reverse = extraction_study(wm_model, query_budgets=(120, 60), **kwargs)
+        assert [self._fingerprint(o, X_test) for o in forward] == [
+            self._fingerprint(o, X_test) for o in reverse[::-1]
+        ]

@@ -93,6 +93,46 @@ class TestRunScenarioMatrix:
         first.pop("cost"), second.pop("cost")  # wall-clock timings differ
         assert first == second
 
+    def test_traffic_axis_cross_product(self):
+        cells = run_scenario_matrix(
+            TINY,
+            attacks=("truncate",),
+            strengths={"truncate": (5, 3)},
+            datasets=("breast-cancer",),
+            traffic=("legit", "verification-probe"),
+            traffic_queries=1024,
+            traffic_batch_size=256,
+        )
+        # 2 strengths × 2 traffic scenarios, traffic-minor order
+        assert [(c.strength, c.traffic) for c in cells] == [
+            (5.0, "legit"), (5.0, "verification-probe"),
+            (3.0, "legit"), (3.0, "verification-probe"),
+        ]
+        # one replay per (dataset, scenario), shared across attack cells
+        assert cells[0].traffic_report is cells[2].traffic_report
+        legit = cells[0].traffic_report
+        probe = cells[1].traffic_report
+        assert legit.n_queries == probe.n_queries == 1024
+        assert not any(v.fired for v in legit.verdicts)
+        assert probe.n_trigger_queries > 0
+        # the attack report is the same object regardless of traffic
+        assert cells[0].report is cells[1].report
+        payload = json.loads(json.dumps([c.to_dict() for c in cells]))
+        assert payload[1]["traffic"] == "verification-probe"
+        assert payload[1]["traffic_report"]["stream"] == "mixed"
+
+    def test_no_traffic_axis_keeps_legacy_shape(self):
+        cells = run_scenario_matrix(
+            TINY,
+            attacks=("truncate",),
+            strengths={"truncate": (5,)},
+            datasets=("breast-cancer",),
+        )
+        assert len(cells) == 1
+        assert cells[0].traffic is None
+        assert cells[0].traffic_report is None
+        assert cells[0].to_dict()["traffic_report"] is None
+
     def test_rejects_bad_specs(self):
         with pytest.raises(ValidationError, match="at least one attack"):
             run_scenario_matrix(TINY, attacks=(), datasets=("breast-cancer",))

@@ -49,6 +49,7 @@ REPRO_ALL = [
     "run_scenario_matrix",
     "signature_from_identity",
     "solver",
+    "traffic",
     "trees",
     "verify_ownership",
     "watermark",

@@ -148,6 +148,51 @@ class TestAttackCommand:
             build_parser().parse_args(["attack", "--name", "nope"])
 
 
+class TestTrafficCommand:
+    def test_list_names_all_scenarios(self, capsys):
+        assert main(["traffic", "--list"]) == 0
+        out = capsys.readouterr().out
+        for name in ("legit", "verification-probe", "suppression-evasion",
+                     "extraction-harvest", "mixed"):
+            assert name in out
+
+    def test_requires_scenario_or_list(self, capsys):
+        assert main(["traffic"]) == 2
+        assert "--scenario" in capsys.readouterr().err
+
+    def test_unknown_scenario_reports_error(self, capsys):
+        assert main(["traffic", "--scenario", "nope", "--queries", "512"]) == 2
+        assert "unknown traffic scenario" in capsys.readouterr().err
+
+    def test_replay_emits_traffic_report_json(self, capsys):
+        code = main(
+            ["traffic", "--scenario", "legit", "--dataset", "breast-cancer",
+             "--queries", "1024", "--batch-size", "256", "--json"]
+        )
+        assert code == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["stream"] == "legit"
+        assert report["n_queries"] == 1024
+        assert report["source_counts"] == {"legit": 1024}
+        verdicts = {v["defender"]: v for v in report["verdicts"]}
+        assert set(verdicts) == {"suppression-distinguisher",
+                                 "extraction-monitor"}
+        # pure benign traffic: the defenders must stay silent
+        assert not any(v["fired"] for v in verdicts.values())
+
+    def test_replay_renders_summary_by_default(self, capsys):
+        code = main(
+            ["traffic", "--scenario", "verification-probe",
+             "--dataset", "breast-cancer", "--queries", "2048",
+             "--batch-size", "512"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "verification-probe" in out
+        assert "queries/sec" in out
+        assert "defender" in out
+
+
 class TestModuleEntryPoint:
     def test_python_dash_m_repro_invokes_the_cli(self):
         result = subprocess.run(

@@ -1,0 +1,104 @@
+"""Streaming statistic ≡ batch statistic, bit for bit.
+
+The :class:`~repro.traffic.defenders.OnlineSuppressionDistinguisher`
+accumulates exact int64 disagreement counts — integer addition is
+associative, so folding *any* chunking of a finite stream and dividing
+once must equal the one-shot batch computation
+(:func:`repro.attacks.detection.behavioural_rates`) on the
+concatenated queries, to the last bit.  No tolerance anywhere in this
+module: every comparison is on raw bytes or exact equality.
+"""
+
+import numpy as np
+import pytest
+
+from repro.attacks.detection import behavioural_rates, detect_bits
+from repro.traffic import LegitTrafficGenerator, OnlineSuppressionDistinguisher
+
+
+@pytest.fixture(scope="module")
+def served(wm_model, bc_data):
+    """One fixed 3000-query traffic slice and its per-tree answers."""
+    X_train = bc_data[0]
+    model = wm_model.ensemble
+    model.compile()
+    X = LegitTrafficGenerator(X_train, seed=8).take(3000).X
+    return model, X, model.predict_all(X)
+
+
+def _chunkings(n):
+    rng = np.random.default_rng(1234)
+    cuts = np.sort(rng.choice(np.arange(1, n), size=17, replace=False))
+    random_sizes = np.diff(np.concatenate([[0], cuts, [n]]))
+    return {
+        "one-by-one": [1] * n,
+        "sevens": [7] * (n // 7) + ([n % 7] if n % 7 else []),
+        "pow2": [256] * (n // 256) + ([n % 256] if n % 256 else []),
+        "whole": [n],
+        "random": random_sizes.tolist(),
+    }
+
+
+def _stream_rates(model, X, y_pred, sizes):
+    defender = OnlineSuppressionDistinguisher.calibrate(model, X[:50])
+    offset = 0
+    for size in sizes:
+        defender.observe(X[offset : offset + size], y_pred[:, offset : offset + size])
+        offset += size
+    assert offset == X.shape[0]
+    return defender
+
+
+@pytest.mark.parametrize("chunking", ["one-by-one", "sevens", "pow2", "whole", "random"])
+def test_rates_bitwise_equal_under_any_chunking(served, chunking):
+    model, X, y_pred = served
+    # "one-by-one" over 3000 queries is slow-ish; trim it.
+    if chunking == "one-by-one":
+        X, y_pred = X[:400], y_pred[:, :400]
+    sizes = _chunkings(X.shape[0])[chunking]
+    streamed = _stream_rates(model, X, y_pred, sizes).rates()
+    batch = behavioural_rates(y_pred)
+    assert streamed.dtype == batch.dtype
+    assert streamed.tobytes() == batch.tobytes()
+
+
+def test_all_chunkings_agree_with_each_other(served):
+    model, X, y_pred = served
+    fingerprints = {
+        name: _stream_rates(model, X, y_pred, sizes).rates().tobytes()
+        for name, sizes in _chunkings(X.shape[0]).items()
+        if name != "one-by-one"
+    }
+    assert len(set(fingerprints.values())) == 1
+
+
+@pytest.mark.parametrize("strategy", ["bands", "mean"])
+def test_detection_decision_identical(served, wm_model, strategy):
+    """Identical rates ⇒ the downstream Table-2 decision is identical —
+    the full DetectionResult, not just the headline counts."""
+    model, X, y_pred = served
+    sizes = _chunkings(X.shape[0])["random"]
+    streamed = _stream_rates(model, X, y_pred, sizes)
+    via_stream = streamed.detection_result(wm_model.signature, strategy=strategy)
+    via_batch = detect_bits(behavioural_rates(y_pred), wm_model.signature, strategy)
+    assert via_stream.predicted == via_batch.predicted
+    assert via_stream.mean == via_batch.mean
+    assert via_stream.std == via_batch.std
+    assert (via_stream.n_correct, via_stream.n_wrong, via_stream.n_uncertain) == (
+        via_batch.n_correct,
+        via_batch.n_wrong,
+        via_batch.n_uncertain,
+    )
+
+
+def test_behavioural_rates_matches_naive_definition(served):
+    """The batch reference itself: per-tree fraction of disagreement
+    with the ensemble's majority vote."""
+    from repro.ensemble.voting import majority_vote
+
+    _, _, y_pred = served
+    majority = majority_vote(y_pred, np.array([-1, 1]))
+    naive = np.array(
+        [np.mean(tree_answers != majority) for tree_answers in y_pred]
+    )
+    assert behavioural_rates(y_pred).tobytes() == naive.tobytes()

@@ -1,0 +1,269 @@
+"""Statistical guarantees of the online defenders.
+
+Three properties the docstrings promise, measured rather than assumed:
+
+- **false-alarm control** — on pure benign traffic, over many seeded
+  trials, the fraction of trials where a defender fires stays within
+  its ``alpha`` budget (the alpha-spending checkpoint schedule at
+  work);
+- **power** — under the adversarial scenarios at paper strength the
+  defenders fire within a bounded query budget;
+- **O(1) memory** — defender state does not grow with the stream.
+"""
+
+import numpy as np
+import pytest
+
+from repro.attacks.detection import detect_bits
+from repro.exceptions import ValidationError
+from repro.traffic import (
+    ExtractionRateMonitor,
+    LegitTrafficGenerator,
+    OnlineSuppressionDistinguisher,
+    SuppressionEvasionGenerator,
+    TriggerProbeGenerator,
+    MixedStream,
+    child_seed,
+    replay,
+)
+
+ALPHA = 0.05
+N_TRIALS = 200
+TRIAL_QUERIES = 2048
+BATCH = 512
+
+
+@pytest.fixture(scope="module")
+def deployment(wm_model, bc_data):
+    """Compiled deployment + calibrated defenders (calibration reused
+    across trials; ``reset`` forgets the stream, keeps calibration)."""
+    X_train = bc_data[0]
+    model = wm_model.ensemble
+    model.compile()
+    distinguisher = OnlineSuppressionDistinguisher.calibrate(
+        model, X_train, alpha=ALPHA, min_queries=256
+    )
+    monitor = ExtractionRateMonitor.calibrate(
+        model, X_train, alpha=ALPHA, min_queries=256
+    )
+    return model, X_train, distinguisher, monitor
+
+
+def _run_trial(defender, model, stream, n_queries=TRIAL_QUERIES):
+    defender.reset()
+    for batch in stream.batches(n_queries, BATCH):
+        y_pred = (
+            batch.y_override
+            if batch.y_override is not None and batch.override_mask.all()
+            else model.predict_all(batch.X)
+        )
+        verdict = defender.observe(batch.X, y_pred)
+        if verdict.fired:
+            break
+    return defender.verdict()
+
+
+class TestFalseAlarmControl:
+    @pytest.mark.parametrize("threshold", ["hoeffding", "clt"])
+    def test_distinguisher_false_alarms_within_alpha(
+        self, deployment, threshold
+    ):
+        model, X_train, _, _ = deployment
+        defender = OnlineSuppressionDistinguisher.calibrate(
+            model, X_train, alpha=ALPHA, min_queries=256, threshold=threshold
+        )
+        fired = sum(
+            _run_trial(
+                defender, model, LegitTrafficGenerator(X_train, seed=trial)
+            ).fired
+            for trial in range(N_TRIALS)
+        )
+        # alpha bounds the *per-trial* firing probability; allow two
+        # binomial standard deviations of slack on the empirical rate.
+        slack = 2.0 * np.sqrt(ALPHA * (1 - ALPHA) / N_TRIALS)
+        assert fired / N_TRIALS <= ALPHA + slack
+
+    def test_monitor_false_alarms_within_alpha(self, deployment):
+        model, X_train, _, monitor = deployment
+        fired = sum(
+            _run_trial(
+                monitor, model, LegitTrafficGenerator(X_train, seed=trial)
+            ).fired
+            for trial in range(N_TRIALS)
+        )
+        slack = 2.0 * np.sqrt(ALPHA * (1 - ALPHA) / N_TRIALS)
+        assert fired / N_TRIALS <= ALPHA + slack
+
+
+class TestPower:
+    def test_distinguisher_fires_on_probe_traffic(self, deployment, wm_model):
+        """A judge probing at rate 0.1 shifts the per-tree rates enough
+        to fire within a small budget, across seeds."""
+        model, X_train, distinguisher, _ = deployment
+        for trial in range(20):
+            root = np.random.SeedSequence(1000 + trial)
+            stream = MixedStream(
+                (
+                    LegitTrafficGenerator(X_train, seed=child_seed(root, 0)),
+                    TriggerProbeGenerator(
+                        wm_model.trigger.X, seed=child_seed(root, 1)
+                    ),
+                ),
+                (0.9, 0.1),
+                seed=child_seed(root, 4),
+            )
+            verdict = _run_trial(distinguisher, model, stream, n_queries=8192)
+            assert verdict.fired, f"trial {trial} never fired"
+            assert verdict.fired_at <= 8192
+
+    def test_distinguisher_fires_on_evasive_server(self, deployment, wm_model):
+        model, X_train, distinguisher, _ = deployment
+        for trial in range(20):
+            stream = SuppressionEvasionGenerator(
+                model,
+                X_train,
+                wm_model.trigger.X,
+                seed=2000 + trial,
+                probe_rate=0.1,
+            )
+            verdict = _run_trial(distinguisher, model, stream, n_queries=8192)
+            assert verdict.fired, f"trial {trial} never fired"
+
+    def test_monitor_fires_on_probe_traffic(self, deployment, wm_model):
+        """Trigger probes sit in maximally-contested regions, shifting
+        the disagreement-score mean the monitor watches."""
+        model, X_train, _, monitor = deployment
+        root = np.random.SeedSequence(3000)
+        stream = MixedStream(
+            (
+                LegitTrafficGenerator(X_train, seed=child_seed(root, 0)),
+                TriggerProbeGenerator(
+                    wm_model.trigger.X, seed=child_seed(root, 1)
+                ),
+            ),
+            (0.9, 0.1),
+            seed=child_seed(root, 4),
+        )
+        assert _run_trial(monitor, model, stream, n_queries=8192).fired
+
+    def test_verdict_latches(self, deployment, wm_model):
+        model, X_train, distinguisher, _ = deployment
+        distinguisher.reset()
+        stream = SuppressionEvasionGenerator(
+            model, X_train, wm_model.trigger.X, seed=5, probe_rate=0.2
+        )
+        fired_at = None
+        for batch in stream.batches(8192, BATCH):
+            verdict = distinguisher.observe(batch.X, batch.y_override)
+            if verdict.fired and fired_at is None:
+                fired_at = verdict.fired_at
+        final = distinguisher.verdict()
+        assert final.fired and final.fired_at == fired_at
+        assert final.n_queries == 8192
+
+
+class TestConstantMemory:
+    def test_state_does_not_grow_with_stream(self, deployment):
+        model, X_train, distinguisher, monitor = deployment
+        stream = LegitTrafficGenerator(X_train, seed=77)
+        for defender in (distinguisher, monitor):
+            defender.reset()
+        sizes, nbytes = [], []
+        for batch in stream.batches(16 * BATCH, BATCH):
+            y_pred = model.predict_all(batch.X)
+            for defender in (distinguisher, monitor):
+                defender.observe(batch.X, y_pred)
+            sizes.append(
+                (distinguisher.state_size(), monitor.state_size())
+            )
+            nbytes.append(
+                sum(a.nbytes for a in distinguisher._state_arrays())
+            )
+        assert len(set(sizes)) == 1
+        assert len(set(nbytes)) == 1
+        # and the footprint is tiny: scalars plus two length-m vectors
+        assert distinguisher.state_size() == 7 + 2 * model.n_trees_
+        assert monitor.state_size() == 7
+
+
+class TestStreamedDetectionResult:
+    def test_detection_result_matches_detect_bits(self, deployment, wm_model):
+        model, X_train, distinguisher, _ = deployment
+        distinguisher.reset()
+        stream = LegitTrafficGenerator(X_train, seed=11)
+        for batch in stream.batches(2048, BATCH):
+            distinguisher.observe(batch.X, model.predict_all(batch.X))
+        for strategy in ("bands", "mean"):
+            streamed = distinguisher.detection_result(
+                wm_model.signature, strategy=strategy
+            )
+            direct = detect_bits(
+                distinguisher.rates(), wm_model.signature, strategy
+            )
+            assert streamed.predicted == direct.predicted
+            assert streamed.n_correct == direct.n_correct
+            assert streamed.n_wrong == direct.n_wrong
+            assert streamed.n_uncertain == direct.n_uncertain
+
+
+class TestValidation:
+    def test_bad_parameters(self, deployment):
+        model, X_train, *_ = deployment
+        with pytest.raises(ValidationError, match="alpha"):
+            ExtractionRateMonitor(0.5, 0.1, alpha=1.5)
+        with pytest.raises(ValidationError, match="min_queries"):
+            ExtractionRateMonitor(0.5, 0.1, min_queries=0)
+        with pytest.raises(ValidationError, match="baseline_var"):
+            ExtractionRateMonitor(0.5, -1.0)
+        with pytest.raises(ValidationError, match="threshold"):
+            OnlineSuppressionDistinguisher(np.array([0.1]), threshold="bogus")
+        with pytest.raises(ValidationError, match="non-empty"):
+            OnlineSuppressionDistinguisher(np.zeros((2, 2)))
+
+    def test_observe_shape_mismatches(self, deployment):
+        model, X_train, distinguisher, _ = deployment
+        distinguisher.reset()
+        X = X_train[:4]
+        with pytest.raises(ValidationError, match="2-D"):
+            distinguisher.observe(X, np.ones(4))
+        with pytest.raises(ValidationError, match="batch size"):
+            distinguisher.observe(X, np.ones((model.n_trees_, 3)))
+        with pytest.raises(ValidationError, match="trees"):
+            distinguisher.observe(X, np.ones((model.n_trees_ + 1, 4)))
+        with pytest.raises(ValidationError, match="no queries"):
+            OnlineSuppressionDistinguisher(np.array([0.1])).rates()
+
+
+class TestReplayHarness:
+    def test_replay_reports_and_verdicts(self, deployment, wm_model):
+        model, X_train, distinguisher, monitor = deployment
+        distinguisher.reset()
+        monitor.reset()
+        stream = LegitTrafficGenerator(X_train, seed=21)
+        report = replay(
+            stream,
+            model,
+            (distinguisher, monitor),
+            n_queries=1024,
+            batch_size=256,
+        )
+        assert report.n_queries == 1024
+        assert report.n_batches == 4
+        assert report.source_counts == {"legit": 1024}
+        assert report.n_trigger_queries == 0
+        assert report.verdict("suppression-distinguisher").n_queries == 1024
+        with pytest.raises(ValidationError, match="no defender"):
+            report.verdict("nonexistent")
+
+    def test_replay_serves_evasive_overrides(self, deployment, wm_model):
+        """Under a full override the defender must see the *served*
+        labels, not the honest model's."""
+        model, X_train, distinguisher, _ = deployment
+        distinguisher.reset()
+        stream = SuppressionEvasionGenerator(
+            model, X_train, wm_model.trigger.X, seed=31, probe_rate=0.3
+        )
+        report = replay(
+            stream, model, (distinguisher,), n_queries=4096, batch_size=512
+        )
+        assert report.verdict("suppression-distinguisher").fired

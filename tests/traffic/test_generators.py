@@ -1,0 +1,274 @@
+"""Property tests for the streaming query generators.
+
+The seeding contract of :mod:`repro.traffic.base` in executable form:
+same seed ⇒ byte-identical streams; the stream never depends on how a
+consumer chunks it; ``reset`` replays exactly; mixture components draw
+from private sub-streams (changing one rate re-paces, never re-draws,
+the others); mixing rates converge to what was asked.
+"""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.traffic import (
+    ExtractionHarvestGenerator,
+    LegitTrafficGenerator,
+    MixedStream,
+    QueryStream,
+    SuppressionEvasionGenerator,
+    TriggerProbeGenerator,
+    child_seed,
+    concat_batches,
+)
+
+ROOT = 424242
+
+
+@pytest.fixture(scope="module")
+def pool():
+    rng = np.random.default_rng(99)
+    return rng.uniform(size=(64, 5))
+
+
+@pytest.fixture(scope="module")
+def triggers():
+    rng = np.random.default_rng(100)
+    return rng.uniform(size=(6, 5))
+
+
+def _make(kind, pool, triggers, seed=ROOT, **kwargs):
+    if kind == "legit":
+        return LegitTrafficGenerator(pool, seed=seed, **kwargs)
+    if kind == "probe":
+        return TriggerProbeGenerator(triggers, seed=seed, **kwargs)
+    if kind == "harvest":
+        return ExtractionHarvestGenerator(pool.shape[1], seed=seed, **kwargs)
+    if kind == "mixed":
+        root = np.random.SeedSequence(seed)
+        return MixedStream(
+            (
+                LegitTrafficGenerator(pool, seed=child_seed(root, 0)),
+                TriggerProbeGenerator(triggers, seed=child_seed(root, 1)),
+            ),
+            (0.9, 0.1),
+            seed=child_seed(root, 4),
+            **kwargs,
+        )
+    raise AssertionError(kind)
+
+
+KINDS = ("legit", "probe", "harvest", "mixed")
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("kind", KINDS)
+    def test_same_seed_byte_identical(self, kind, pool, triggers):
+        a = _make(kind, pool, triggers).take(3000)
+        b = _make(kind, pool, triggers).take(3000)
+        assert a.X.tobytes() == b.X.tobytes()
+        assert a.is_trigger.tobytes() == b.is_trigger.tobytes()
+        assert a.source.tobytes() == b.source.tobytes()
+
+    @pytest.mark.parametrize("kind", KINDS)
+    def test_different_seeds_differ(self, kind, pool, triggers):
+        a = _make(kind, pool, triggers, seed=1).take(2000)
+        b = _make(kind, pool, triggers, seed=2).take(2000)
+        assert a.X.tobytes() != b.X.tobytes()
+
+    @pytest.mark.parametrize("kind", KINDS)
+    def test_chunking_invariance(self, kind, pool, triggers):
+        """take(7) × many == take(whole) once: blocks, not consumers,
+        position the RNG."""
+        whole = _make(kind, pool, triggers).take(2100)
+        chunked = _make(kind, pool, triggers)
+        parts = [chunked.take(7) for _ in range(300)]
+        rebuilt = concat_batches(parts)
+        assert rebuilt.X.tobytes() == whole.X.tobytes()
+        assert rebuilt.is_trigger.tobytes() == whole.is_trigger.tobytes()
+        assert rebuilt.source.tobytes() == whole.source.tobytes()
+
+    @pytest.mark.parametrize("kind", KINDS)
+    def test_reset_replays_exactly(self, kind, pool, triggers):
+        gen = _make(kind, pool, triggers)
+        first = gen.take(1500)
+        gen.reset()
+        replay = gen.take(1500)
+        assert replay.X.tobytes() == first.X.tobytes()
+        assert replay.is_trigger.tobytes() == first.is_trigger.tobytes()
+
+    @pytest.mark.parametrize("kind", KINDS)
+    def test_batches_equals_take(self, kind, pool, triggers):
+        via_batches = concat_batches(
+            _make(kind, pool, triggers).batches(1800, batch_size=256)
+        )
+        via_take = _make(kind, pool, triggers).take(1800)
+        assert via_batches.X.tobytes() == via_take.X.tobytes()
+
+    @pytest.mark.parametrize("kind", KINDS)
+    def test_satisfies_stream_protocol(self, kind, pool, triggers):
+        assert isinstance(_make(kind, pool, triggers), QueryStream)
+
+
+class TestGeneratorShapes:
+    def test_legit_rows_come_from_pool(self, pool, triggers):
+        batch = LegitTrafficGenerator(pool, seed=ROOT).take(500)
+        assert not batch.is_trigger.any()
+        # every emitted row is literally a pool row (jitter=0)
+        matches = (batch.X[:, None, :] == pool[None, :, :]).all(axis=2)
+        assert matches.any(axis=1).all()
+
+    def test_probe_rows_are_triggers(self, pool, triggers):
+        batch = TriggerProbeGenerator(triggers, seed=ROOT).take(500)
+        assert batch.is_trigger.all()
+        matches = (batch.X[:, None, :] == triggers[None, :, :]).all(axis=2)
+        assert matches.any(axis=1).all()
+
+    def test_jitter_moves_off_rows_but_stays_clipped(self, pool, triggers):
+        batch = LegitTrafficGenerator(pool, seed=ROOT, jitter=0.05).take(500)
+        matches = (batch.X[:, None, :] == pool[None, :, :]).all(axis=2)
+        assert not matches.any(axis=1).all()
+        assert batch.X.min() >= 0.0 and batch.X.max() <= 1.0
+
+    def test_harvest_fills_the_feature_box(self, pool, triggers):
+        batch = ExtractionHarvestGenerator(3, seed=ROOT, low=-1.0, high=2.0).take(
+            4000
+        )
+        assert batch.X.shape == (4000, 3)
+        assert batch.X.min() >= -1.0 and batch.X.max() <= 2.0
+        assert batch.X.min() < -0.5 and batch.X.max() > 1.5  # actually spreads
+
+    def test_harvest_anchored_stays_near_pool(self, pool, triggers):
+        gen = ExtractionHarvestGenerator(
+            pool.shape[1], seed=ROOT, X_pool=pool, spread=0.1
+        )
+        batch = gen.take(1000)
+        dist = np.abs(batch.X[:, None, :] - pool[None, :, :]).max(axis=2).min(axis=1)
+        assert dist.max() <= 0.1 + 1e-12
+
+    def test_validation(self, pool, triggers):
+        with pytest.raises(ValidationError):
+            LegitTrafficGenerator(pool, seed=ROOT, jitter=-0.1)
+        with pytest.raises(ValidationError):
+            ExtractionHarvestGenerator(0, seed=ROOT)
+        with pytest.raises(ValidationError):
+            ExtractionHarvestGenerator(3, seed=ROOT, low=1.0, high=1.0)
+        with pytest.raises(ValidationError):
+            LegitTrafficGenerator(pool, seed=ROOT).take(0)
+        with pytest.raises(ValidationError):
+            LegitTrafficGenerator(pool, seed=np.random.default_rng(0))
+
+
+class TestMixedStream:
+    def test_rates_converge(self, pool, triggers):
+        root = np.random.SeedSequence(ROOT)
+        mix = MixedStream(
+            (
+                LegitTrafficGenerator(pool, seed=child_seed(root, 0)),
+                TriggerProbeGenerator(triggers, seed=child_seed(root, 1)),
+                ExtractionHarvestGenerator(
+                    pool.shape[1], seed=child_seed(root, 2)
+                ),
+            ),
+            (0.7, 0.2, 0.1),
+            seed=child_seed(root, 4),
+        )
+        batch = mix.take(20_000)
+        observed = np.bincount(batch.source, minlength=3) / batch.n_queries
+        assert np.abs(observed - np.array([0.7, 0.2, 0.1])).max() < 0.02
+
+    def test_sub_streams_independent_of_rates(self, pool, triggers):
+        """Changing one component's rate re-paces the other's
+        consumption but never changes the sequence it emits (prefix
+        property): the probe rows seen under rates (0.9, 0.1) are a
+        prefix of the probe stream, identical to what the same-seeded
+        probe generator emits standalone."""
+        root = np.random.SeedSequence(ROOT)
+
+        def probe_rows(rates, n):
+            mix = _mix_with(pool, triggers, root, rates)
+            batch = mix.take(n)
+            return batch.X[batch.source == 1]
+
+        standalone = TriggerProbeGenerator(triggers, seed=child_seed(root, 1))
+        low = probe_rows((0.9, 0.1), 4000)
+        high = probe_rows((0.5, 0.5), 4000)
+        ref = standalone.take(max(len(low), len(high))).X
+        assert low.tobytes() == ref[: len(low)].tobytes()
+        assert high.tobytes() == ref[: len(high)].tobytes()
+
+    def test_source_labels_match_emitters(self, pool, triggers):
+        root = np.random.SeedSequence(ROOT)
+        mix = _mix_with(pool, triggers, root, (0.8, 0.2))
+        batch = mix.take(2000)
+        assert batch.sources == ("legit", "probe")
+        assert batch.is_trigger[batch.source == 1].all()
+        assert not batch.is_trigger[batch.source == 0].any()
+
+    def test_validation(self, pool, triggers):
+        root = np.random.SeedSequence(ROOT)
+        legit = LegitTrafficGenerator(pool, seed=child_seed(root, 0))
+        with pytest.raises(ValidationError, match="at least one"):
+            MixedStream((), (), seed=ROOT)
+        with pytest.raises(ValidationError, match="unique"):
+            MixedStream(
+                (legit, LegitTrafficGenerator(pool, seed=child_seed(root, 1))),
+                (0.5, 0.5),
+                seed=ROOT,
+            )
+        with pytest.raises(ValidationError, match="one rate per component"):
+            MixedStream((legit,), (0.5, 0.5), seed=ROOT)
+        with pytest.raises(ValidationError, match="non-negative"):
+            MixedStream((legit,), (-1.0,), seed=ROOT)
+
+
+def _mix_with(pool, triggers, root, rates):
+    return MixedStream(
+        (
+            LegitTrafficGenerator(pool, seed=child_seed(root, 0)),
+            TriggerProbeGenerator(triggers, seed=child_seed(root, 1)),
+        ),
+        rates,
+        seed=child_seed(root, 4),
+    )
+
+
+class TestSuppressionEvasionGenerator:
+    def test_deterministic_and_resettable(self, wm_model, bc_data):
+        X_train = bc_data[0]
+
+        def make():
+            return SuppressionEvasionGenerator(
+                wm_model.ensemble,
+                X_train,
+                wm_model.trigger.X,
+                seed=ROOT,
+                block_size=256,
+            )
+
+        a, b = make().take(700), make().take(700)
+        assert a.X.tobytes() == b.X.tobytes()
+        assert a.y_override.tobytes() == b.y_override.tobytes()
+        gen = make()
+        first = gen.take(700)
+        gen.reset()
+        assert gen.take(700).y_override.tobytes() == first.y_override.tobytes()
+
+    def test_overrides_destroy_trigger_answers_only(self, wm_model, bc_data):
+        X_train = bc_data[0]
+        gen = SuppressionEvasionGenerator(
+            wm_model.ensemble,
+            X_train,
+            wm_model.trigger.X,
+            seed=ROOT,
+            probe_rate=0.3,
+            block_size=512,
+        )
+        batch = gen.take(512)
+        assert batch.override_mask.all()
+        honest = wm_model.ensemble.predict_all(batch.X)
+        changed = (batch.y_override != honest).any(axis=0)
+        # served answers differ somewhere (the thief suppressed), and
+        # almost exclusively on flagged high-disagreement queries
+        assert changed.any()
+        assert batch.is_trigger[changed].mean() > 0.5
