@@ -27,6 +27,15 @@ sklearn-style ``fit``:
     )
     model = wm.fit(X_train, y_train)      # -> WatermarkedModel
 
+    model.save("model.rfbin")             # mmap-able binary artefact
+    model.save("model.json")              # inspectable escape hatch
+    again = WatermarkedModel.load("model.rfbin", mmap_mode="r")
+
+The returned model persists through the pluggable exporter family
+(:mod:`repro.persistence.exporters`): ``save(path, format=...)`` picks
+the format by name or extension, and ``load(..., mmap_mode="r")`` maps
+the binary format zero-copy for serving.
+
 The legacy ``watermark(...)`` entry point is now a thin shim over this
 class; for equal inputs both produce **bitwise-identical** models
 (serialised trees and ``predict_all`` outputs — regression-tested in

@@ -12,6 +12,11 @@ Four subcommands cover the owner/judge/attacker lifecycle end to end::
         --secret ./artifacts/secret.json \
         --commitment ./artifacts/commitment.json
 
+    # Operator: re-export / convert artefacts between formats (json
+    # escape hatch, mmap-able .rfbin, sklearn-interop .npz).
+    repro convert ./artifacts/model.json ./artifacts/model.rfbin
+    repro export --model ./artifacts/model.rfbin --out ./interop.npz
+
     # Anyone: regenerate one of the paper's experiments at small scale.
     repro experiment --name table2
 
@@ -60,13 +65,14 @@ from .experiments import (
 )
 from .model_selection import train_test_split
 from .persistence import (
-    forest_from_dict,
-    forest_to_dict,
+    available_formats,
     load_json,
     save_json,
     secret_from_dict,
     secret_to_dict,
 )
+from .persistence import load as load_model
+from .persistence import save as save_model
 
 __all__ = ["main", "build_parser"]
 
@@ -100,15 +106,52 @@ def build_parser() -> argparse.ArgumentParser:
                                "paper's literal loop; slower, same guarantees)")
     cmd_watermark.add_argument("--seed", type=int, default=0)
     cmd_watermark.add_argument("--out-dir", type=Path, required=True)
+    cmd_watermark.add_argument("--format", choices=("json", "binary"),
+                               default="json", dest="model_format",
+                               help="model artefact format: json (inspectable, "
+                               "default) or binary (.rfbin, mmap-able for "
+                               "serving)")
 
     cmd_verify = commands.add_parser(
         "verify", help="verify an ownership claim against a model file"
     )
-    cmd_verify.add_argument("--model", type=Path, required=True)
+    cmd_verify.add_argument("--model", type=Path, required=True,
+                            help="model artefact in any registered format "
+                            "(detected from its content)")
     cmd_verify.add_argument("--secret", type=Path, required=True)
     cmd_verify.add_argument("--commitment", type=Path, default=None,
                             help="optional commitment file to check the reveal against")
     cmd_verify.add_argument("--mode", choices=("strict", "iff"), default="strict")
+
+    cmd_export = commands.add_parser(
+        "export",
+        help="re-export a model artefact in another registered format",
+    )
+    cmd_export.add_argument("--model", type=Path, required=True,
+                            help="source artefact (format detected from content)")
+    cmd_export.add_argument("--out", type=Path, required=True,
+                            help="destination path; format inferred from the "
+                            "extension unless --format is given")
+    cmd_export.add_argument("--format", default=None, dest="out_format",
+                            help="destination format "
+                            f"({', '.join(available_formats())})")
+    cmd_export.add_argument("--ensemble-only", action="store_true",
+                            help="export only the forest of a watermarked "
+                            "model (strips the secret — required for "
+                            "formats that refuse to carry it)")
+
+    cmd_convert = commands.add_parser(
+        "convert",
+        help="convert a model artefact between registered formats",
+    )
+    cmd_convert.add_argument("input", type=Path,
+                             help="source artefact (format detected from content)")
+    cmd_convert.add_argument("output", type=Path,
+                             help="destination path; format inferred from the "
+                             "extension unless --to is given")
+    cmd_convert.add_argument("--to", default=None, dest="to_format",
+                             help="destination format "
+                             f"({', '.join(available_formats())})")
 
     cmd_experiment = commands.add_parser(
         "experiment", help="regenerate a paper experiment at small scale"
@@ -197,7 +240,8 @@ def _cmd_watermark(args) -> int:
     )
 
     args.out_dir.mkdir(parents=True, exist_ok=True)
-    save_json(forest_to_dict(model.ensemble), args.out_dir / "model.json")
+    model_name = "model.rfbin" if args.model_format == "binary" else "model.json"
+    save_model(model.ensemble, args.out_dir / model_name, format=args.model_format)
     secret = WatermarkSecret(
         signature=model.signature,
         trigger_X=model.trigger.X,
@@ -211,7 +255,7 @@ def _cmd_watermark(args) -> int:
     )
 
     accuracy = model.ensemble.score(X_test, y_test)
-    print(f"watermarked model written to {args.out_dir / 'model.json'}")
+    print(f"watermarked model written to {args.out_dir / model_name}")
     print(f"secret written to          {args.out_dir / 'secret.json'}  (keep private!)")
     print(f"commitment digest          {commitment.digest}  (publish/timestamp this)")
     print(f"test accuracy              {accuracy:.3f}")
@@ -219,7 +263,10 @@ def _cmd_watermark(args) -> int:
 
 
 def _cmd_verify(args) -> int:
-    model = forest_from_dict(load_json(args.model))
+    # Any registered artefact format works; a watermarked artefact is
+    # verified through its embedded ensemble.
+    model = load_model(args.model)
+    model = getattr(model, "ensemble", model)
     secret = secret_from_dict(load_json(args.secret))
 
     if args.commitment is not None:
@@ -235,6 +282,24 @@ def _cmd_verify(args) -> int:
     )
     print(f"verification           {report.summary()}")
     return 0 if report.accepted else 1
+
+
+def _cmd_export(args) -> int:
+    model = load_model(args.model)
+    if args.ensemble_only:
+        model = getattr(model, "ensemble", model)
+    args.out.parent.mkdir(parents=True, exist_ok=True)
+    save_model(model, args.out, format=args.out_format)
+    print(f"exported {args.model} -> {args.out}")
+    return 0
+
+
+def _cmd_convert(args) -> int:
+    model = load_model(args.input)
+    args.output.parent.mkdir(parents=True, exist_ok=True)
+    save_model(model, args.output, format=args.to_format)
+    print(f"converted {args.input} -> {args.output}")
+    return 0
 
 
 def _cmd_experiment(args) -> int:
@@ -362,6 +427,8 @@ def main(argv: list[str] | None = None) -> int:
     handlers = {
         "watermark": _cmd_watermark,
         "verify": _cmd_verify,
+        "export": _cmd_export,
+        "convert": _cmd_convert,
         "experiment": _cmd_experiment,
         "attack": _cmd_attack,
         "traffic": _cmd_traffic,

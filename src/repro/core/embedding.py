@@ -81,6 +81,37 @@ class WatermarkedModel:
     trigger: TriggerSet
     report: EmbeddingReport
 
+    def save(self, path, format: str | None = None, **kwargs) -> None:
+        """Write this model via :func:`repro.persistence.save`.
+
+        The format is ``format`` or inferred from the extension
+        (``.rfbin`` binary, ``.json`` inspectable).  The artefact
+        contains the owner's secret — store it accordingly.
+        """
+        from ..persistence import save as _save
+
+        _save(self, path, format=format, **kwargs)
+
+    @classmethod
+    def load(
+        cls, path, format: str | None = None, mmap_mode: str | None = None
+    ) -> "WatermarkedModel":
+        """Load a watermarked model saved with :meth:`save`.
+
+        ``mmap_mode="r"`` maps a binary artefact zero-copy: the forest
+        serves predictions straight from the file-backed node tables and
+        only rebuilds its object trees when something inspects them.
+        """
+        from ..exceptions import SerializationError
+        from ..persistence import load as _load
+
+        model = _load(path, format=format, mmap_mode=mmap_mode)
+        if not isinstance(model, cls):
+            raise SerializationError(
+                f"{path} holds a {type(model).__name__}, not a WatermarkedModel"
+            )
+        return model
+
 
 def _misfit_mask(
     forest: RandomForestClassifier, trigger_X: np.ndarray, trigger_y: np.ndarray

@@ -65,11 +65,95 @@ class GradientBoostingClassifier:
         self.max_depth = max_depth
         self.min_samples_leaf = min_samples_leaf
         self.random_state = random_state
-        self.trees_: list[RegressionTree] | None = None
+        self._trees_: list[RegressionTree] | None = None
         self.init_score_: float = 0.0
         self.n_features_in_: int | None = None
         self._compiled_: CompiledEnsemble | None = None
         self._compiled_sources_: tuple | None = None
+        # Lazy-restore state, mirroring RandomForestClassifier: while
+        # ``_lazy_key_`` is set only the compiled table is resident.
+        self._lazy_key_: object | None = None
+        self._mmap_source_: tuple | None = None
+
+    # ------------------------------------------------------------------
+
+    def get_params(self) -> dict:
+        """Constructor parameters as a dict (persistence support)."""
+        return {
+            "n_estimators": self.n_estimators,
+            "learning_rate": self.learning_rate,
+            "max_depth": self.max_depth,
+            "min_samples_leaf": self.min_samples_leaf,
+            "random_state": self.random_state,
+        }
+
+    @property
+    def trees_(self) -> list[RegressionTree] | None:
+        """The fitted stage trees, rebuilt from the engine if lazy."""
+        if self._trees_ is None and self._lazy_key_ is not None:
+            self._materialize_trees()
+        return self._trees_
+
+    @trees_.setter
+    def trees_(self, value: list[RegressionTree] | None) -> None:
+        self._trees_ = value
+        self._lazy_key_ = None
+        self._mmap_source_ = None
+
+    def _adopt_lazy(self, engine: CompiledEnsemble, mmap_source: tuple | None = None) -> None:
+        """Install an engine-only restore (binary load path)."""
+        self._trees_ = None
+        self._lazy_key_ = object()
+        self._mmap_source_ = mmap_source
+        self._compiled_ = engine
+        self._compiled_sources_ = (self._lazy_key_,)
+
+    def _materialize_trees(self) -> None:
+        from ..exceptions import SerializationError
+
+        engine = self._compiled_
+        assert engine is not None  # _adopt_lazy always installs one
+        roots = engine.to_roots()
+        trees = []
+        for root in roots:
+            tree = RegressionTree(
+                max_depth=self.max_depth,
+                min_samples_leaf=self.min_samples_leaf,
+            )
+            tree.root_ = root
+            tree.n_features_in_ = self.n_features_in_
+            trees.append(tree)
+        probe = np.random.default_rng(0).standard_normal((8, self.n_features_in_))
+        expected = np.stack([tree.predict(probe) for tree in trees])
+        if not np.array_equal(engine.predict_all(probe), expected):
+            raise SerializationError(
+                "compiled node table disagrees with its reconstructed object "
+                "graph on a probe batch; refusing to materialise it"
+            )
+        self._trees_ = trees
+        self._lazy_key_ = None
+        self._compiled_sources_ = tuple(tree.root_ for tree in trees)
+
+    def __getstate__(self) -> dict:
+        if self._mmap_source_ is not None and self._trees_ is None:
+            return {"__load_from__": self._mmap_source_}
+        state = dict(self.__dict__)
+        if self._mmap_source_ is not None:
+            state["_compiled_"] = None
+            state["_compiled_sources_"] = None
+            state["_mmap_source_"] = None
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        if "__load_from__" in state:
+            from ..persistence import load
+
+            path, fmt, mmap_mode = state["__load_from__"]
+            loaded = load(path, format=fmt, mmap_mode=mmap_mode)
+            model = getattr(loaded, "ensemble", loaded)
+            self.__dict__.update(model.__dict__)
+            return
+        self.__dict__.update(state)
 
     # ------------------------------------------------------------------
 
@@ -131,14 +215,20 @@ class GradientBoostingClassifier:
 
     # ------------------------------------------------------------------
 
-    def _check_fitted(self) -> list[RegressionTree]:
-        if self.trees_ is None:
+    def _ensure_fitted(self) -> None:
+        if self._trees_ is None and self._lazy_key_ is None:
             raise NotFittedError("this GradientBoostingClassifier is not fitted yet")
-        return self.trees_
+
+    def _check_fitted(self) -> list[RegressionTree]:
+        self._ensure_fitted()
+        return self.trees_  # materialises if lazy
 
     def _roots_key(self) -> tuple:
         """The fitted stage roots, the cache-freshness key for the engine."""
-        return tuple(tree.root_ for tree in self._check_fitted())
+        self._ensure_fitted()
+        if self._trees_ is None:
+            return (self._lazy_key_,)
+        return tuple(tree.root_ for tree in self._trees_)
 
     def compile(self) -> CompiledEnsemble:
         """Pack all stages into one compiled node table (cached).
@@ -162,7 +252,7 @@ class GradientBoostingClassifier:
         The boosted-watermark extension reads the *signs* of these
         contributions the way the forest scheme reads per-tree labels.
         """
-        trees = self._check_fitted()
+        self._ensure_fitted()
         X = check_X(X)
         if X.shape[1] != self.n_features_in_:
             raise ValidationError(
@@ -173,7 +263,8 @@ class GradientBoostingClassifier:
         if engine is not None:
             return self.learning_rate * engine.predict_all(X)
         return np.stack(
-            [self.learning_rate * tree.predict(X) for tree in trees], axis=0
+            [self.learning_rate * tree.predict(X) for tree in self._check_fitted()],
+            axis=0,
         )
 
     def decision_function(self, X) -> np.ndarray:

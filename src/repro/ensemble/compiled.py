@@ -19,7 +19,14 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..exceptions import NotFittedError, ValidationError
-from ..trees.compiled import _COLUMN_CHUNK, _descend, flatten_tree
+from ..trees.compiled import (
+    _COLUMN_CHUNK,
+    _descend,
+    classification_leaf_builder,
+    flatten_tree,
+    table_to_node,
+    validate_node_tables,
+)
 from .voting import majority_vote
 
 __all__ = [
@@ -28,6 +35,21 @@ __all__ = [
     "compile_forest",
     "compile_boosted",
 ]
+
+#: Section names of the canonical tables dict, in on-disk order.  The
+#: binary exporter writes exactly these (present) arrays as its payload
+#: sections; ``roots`` first so a reader can size the rest.
+TABLE_KEYS = (
+    "roots",
+    "feature",
+    "threshold",
+    "left",
+    "right",
+    "leaf_value",
+    "classes",
+    "leaf_proba",
+    "leaf_weight",
+)
 
 
 @dataclass
@@ -51,6 +73,11 @@ class CompiledEnsemble:
     depth: int
     classes: np.ndarray | None = None
     leaf_proba: np.ndarray | None = None
+    #: Optional raw per-leaf class masses (``(n_nodes, n_classes)``),
+    #: collected on request so the exact ``class_weights`` dicts can be
+    #: rebuilt from the table (persistence bijection); not used by the
+    #: descent kernels.
+    leaf_weight: np.ndarray | None = None
 
     def __post_init__(self) -> None:
         self._gather_feature = np.where(self.feature >= 0, self.feature, 0)
@@ -121,14 +148,148 @@ class CompiledEnsemble:
             )
         return self.leaf_proba[self.apply_all(X)].sum(axis=0) / self.n_trees
 
+    # ------------------------------------------------------------------
+    # The canonical tables contract (persistence / interop boundary)
+    # ------------------------------------------------------------------
+
+    def to_tables(self) -> dict:
+        """The whole ensemble as a plain dict of arrays plus ``depth``.
+
+        Keys follow :data:`TABLE_KEYS` (absent optionals map to
+        ``None``); the dict round-trips through :meth:`from_tables`.
+        The arrays are the engine's own (no copies) — treat them as
+        read-only.
+        """
+        return {
+            "roots": self.roots,
+            "feature": self.feature,
+            "threshold": self.threshold,
+            "left": self.left,
+            "right": self.right,
+            "leaf_value": self.leaf_value,
+            "depth": int(self.depth),
+            "classes": self.classes,
+            "leaf_proba": self.leaf_proba,
+            "leaf_weight": self.leaf_weight,
+        }
+
+    @classmethod
+    def from_tables(cls, tables: dict) -> "CompiledEnsemble":
+        """Build a validated engine from a tables dict.
+
+        This is the one entry point for node tables from *outside the
+        process* — deserialised JSON, memory-mapped binary sections,
+        hand-written arrays.  Integer/float sections are coerced to the
+        canonical dtypes without copying when already conformant (a
+        memory-mapped section stays a view into the file); the table is
+        structurally validated (lengths, index bounds, recorded depth,
+        dtypes, row shapes) before an engine is returned, so a malformed
+        file raises :class:`~repro.exceptions.SerializationError` here
+        rather than mispredicting later.
+        """
+        feature = np.asarray(tables["feature"], dtype=np.int64)
+        threshold = np.asarray(tables["threshold"], dtype=np.float64)
+        left = np.asarray(tables["left"], dtype=np.int64)
+        right = np.asarray(tables["right"], dtype=np.int64)
+        roots = np.asarray(tables["roots"], dtype=np.int64)
+        leaf_value = np.asarray(tables["leaf_value"])
+        classes = tables.get("classes")
+        if classes is not None:
+            classes = np.asarray(classes, dtype=np.int64)
+        leaf_proba = tables.get("leaf_proba")
+        if leaf_proba is not None:
+            leaf_proba = np.asarray(leaf_proba, dtype=np.float64)
+        leaf_weight = tables.get("leaf_weight")
+        if leaf_weight is not None:
+            leaf_weight = np.asarray(leaf_weight, dtype=np.float64)
+        depth = int(tables["depth"])
+        validate_node_tables(
+            feature=feature,
+            threshold=threshold,
+            left=left,
+            right=right,
+            leaf_value=leaf_value,
+            roots=roots,
+            depth=depth,
+            classes=classes,
+            leaf_proba=leaf_proba,
+            leaf_weight=leaf_weight,
+        )
+        return cls(
+            roots=roots,
+            feature=feature,
+            threshold=threshold,
+            left=left,
+            right=right,
+            leaf_value=leaf_value,
+            depth=depth,
+            classes=classes,
+            leaf_proba=leaf_proba,
+            leaf_weight=leaf_weight,
+        )
+
+    def to_roots(self, make_leaf_factory=None) -> list:
+        """Rebuild one object-graph root per tree (inverse of compiling).
+
+        For classification tables (int64 ``leaf_value`` with a
+        ``classes`` array) leaves come back as
+        :class:`~repro.trees.node.Leaf`, with their exact
+        ``class_weights`` when the table carries a ``leaf_weight``
+        section; for regression/boosted tables (float64 ``leaf_value``)
+        leaves are the regression tree's value nodes.  Together with
+        :func:`compile_trees` this is the tables ↔ object-tree bijection
+        the binary persistence format is built on.
+        """
+        if make_leaf_factory is not None:
+            make_leaf = make_leaf_factory(self)
+            make_internal = None
+        elif self.leaf_value.dtype == np.int64 and self.classes is not None:
+            make_leaf = classification_leaf_builder(
+                self.leaf_value, self.classes, self.leaf_weight
+            )
+            make_internal = None
+        else:
+            from ..trees.regression import _RegLeaf, _RegNode
+
+            leaf_value = self.leaf_value
+
+            def make_leaf(index: int):
+                return _RegLeaf(value=float(leaf_value[index]))
+
+            feature, threshold = self.feature, self.threshold
+
+            def make_internal(index, left_child, right_child):
+                return _RegNode(
+                    feature=int(feature[index]),
+                    threshold=float(threshold[index]),
+                    left=left_child,
+                    right=right_child,
+                )
+
+        return [
+            table_to_node(
+                self.feature,
+                self.threshold,
+                self.left,
+                self.right,
+                int(root),
+                make_leaf,
+                make_internal,
+            )
+            for root in self.roots
+        ]
+
 
 def compile_trees(
-    tree_roots, classes=None, value_dtype=np.int64
+    tree_roots, classes=None, value_dtype=np.int64, collect_leaf_weight=False
 ) -> CompiledEnsemble:
     """Pack a list of tree roots into one :class:`CompiledEnsemble`.
 
     Parameters mirror :func:`repro.trees.compiled.compile_tree`, applied
     to every root with all nodes appended to the same table.
+    ``collect_leaf_weight=True`` additionally records the raw per-leaf
+    class masses (exporter support; the prediction hot path never pays
+    for it).
     """
     tree_roots = list(tree_roots)
     if not tree_roots:
@@ -140,10 +301,13 @@ def compile_trees(
     leaf_value: list = []
     class_position = None
     proba_rows: list | None = None
+    weight_rows: list | None = None
     if classes is not None:
         classes = np.asarray(classes)
         class_position = {int(c): i for i, c in enumerate(classes)}
         proba_rows = []
+        if collect_leaf_weight:
+            weight_rows = []
 
     roots = []
     depth = 0
@@ -156,6 +320,7 @@ def compile_trees(
             right=right,
             leaf_value=leaf_value,
             leaf_proba=proba_rows,
+            leaf_weight=weight_rows,
             class_position=class_position,
         )
         roots.append(root_index)
@@ -173,10 +338,13 @@ def compile_trees(
         leaf_proba=np.asarray(proba_rows, dtype=np.float64)
         if proba_rows is not None
         else None,
+        leaf_weight=np.asarray(weight_rows, dtype=np.float64)
+        if weight_rows is not None
+        else None,
     )
 
 
-def compile_forest(forest) -> CompiledEnsemble:
+def compile_forest(forest, collect_leaf_weight=False) -> CompiledEnsemble:
     """Compile a fitted :class:`~repro.ensemble.RandomForestClassifier`."""
     if forest.trees_ is None:
         raise NotFittedError("cannot compile an unfitted forest")
@@ -184,6 +352,7 @@ def compile_forest(forest) -> CompiledEnsemble:
         [tree.root_ for tree in forest.trees_],
         classes=forest.classes_,
         value_dtype=np.int64,
+        collect_leaf_weight=collect_leaf_weight,
     )
 
 

@@ -132,13 +132,43 @@ class RandomForestClassifier:
         self.splitter = splitter
         self.random_state = random_state
         self.n_jobs = n_jobs
-        self.trees_: list[DecisionTreeClassifier] | None = None
+        self._trees_: list[DecisionTreeClassifier] | None = None
         self.feature_subsets_: list[np.ndarray] | None = None
         self._tree_seeds_: list[np.random.SeedSequence] | None = None
         self.classes_: np.ndarray | None = None
         self.n_features_in_: int | None = None
         self._compiled_: CompiledEnsemble | None = None
         self._compiled_sources_: tuple | None = None
+        # Lazy-restore state (binary/mmap load path): while ``_lazy_key_``
+        # is set the object trees have not been rebuilt yet and the
+        # compiled engine answers everything; ``_mmap_source_`` remembers
+        # ``(path, format, mmap_mode)`` so pickling ships a file handle
+        # instead of the node tables.
+        self._lazy_key_: object | None = None
+        self._mmap_source_: tuple | None = None
+
+    # ------------------------------------------------------------------
+
+    @property
+    def trees_(self) -> list[DecisionTreeClassifier] | None:
+        """The fitted trees, rebuilding them from the engine if lazy.
+
+        A forest restored from the binary format starts *lazy*: only the
+        compiled node table is resident and predictions run through it.
+        First access to ``trees_`` (audits, serialisation, refitting)
+        reconstructs the ``InternalNode``/``Leaf`` object graph from the
+        table and probe-checks it against the engine.
+        """
+        if self._trees_ is None and self._lazy_key_ is not None:
+            self._materialize_trees()
+        return self._trees_
+
+    @trees_.setter
+    def trees_(self, value: list[DecisionTreeClassifier] | None) -> None:
+        # Assigning trees makes the object graph authoritative again.
+        self._trees_ = value
+        self._lazy_key_ = None
+        self._mmap_source_ = None
 
     # ------------------------------------------------------------------
 
@@ -312,19 +342,87 @@ class RandomForestClassifier:
 
     # ------------------------------------------------------------------
 
-    def _check_fitted(self) -> list[DecisionTreeClassifier]:
-        if self.trees_ is None:
+    def _ensure_fitted(self) -> None:
+        """Raise :class:`NotFittedError` if unfitted — without forcing a
+        lazy forest to materialise its object trees."""
+        if self._trees_ is None and self._lazy_key_ is None:
             raise NotFittedError("this RandomForestClassifier is not fitted yet")
-        return self.trees_
+
+    def _check_fitted(self) -> list[DecisionTreeClassifier]:
+        self._ensure_fitted()
+        return self.trees_  # materialises if lazy
 
     def _roots_key(self) -> tuple:
         """The fitted roots, the cache-freshness key for the engine.
 
         Attacks and pruning replace ``root_`` objects wholesale rather
         than mutating nodes in place, so root identity is a sound
-        staleness signal for the compiled node table.
+        staleness signal for the compiled node table.  A lazy forest has
+        no roots yet; its sentinel key pins the adopted engine until the
+        object graph is rebuilt.
         """
-        return tuple(tree.root_ for tree in self._check_fitted())
+        self._ensure_fitted()
+        if self._trees_ is None:
+            return (self._lazy_key_,)
+        return tuple(tree.root_ for tree in self._trees_)
+
+    def _adopt_lazy(self, engine: CompiledEnsemble, mmap_source: tuple | None = None) -> None:
+        """Install an engine-only restore (binary load path).
+
+        The forest is immediately servable through ``engine``; the
+        auditable object trees are rebuilt on first ``trees_`` access.
+        ``mmap_source`` is the ``(path, format, mmap_mode)`` triple to
+        reopen on unpickle so worker processes share the page cache
+        instead of each holding a private copy of the node tables.
+        """
+        self._trees_ = None
+        self._lazy_key_ = object()
+        self._mmap_source_ = mmap_source
+        self._compiled_ = engine
+        self._compiled_sources_ = (self._lazy_key_,)
+
+    def _trees_from_engine(self, engine: CompiledEnsemble) -> list[DecisionTreeClassifier]:
+        """Rebuild per-tree object graphs from the compiled node table.
+
+        The rebuilt trees are probe-checked against the engine before
+        being returned — the binary loader trusts nothing it cannot
+        verify (CRCs catch corruption, the probe catches table/metadata
+        mismatches), mirroring ``_check_adopted_engine`` on the JSON
+        restore path.
+        """
+        from ..exceptions import SerializationError
+        from ..trees.node import predict_batch
+
+        if self.feature_subsets_ is None or len(self.feature_subsets_) != engine.n_trees:
+            raise SerializationError(
+                "feature subsets disagree with the compiled table tree count"
+            )
+        roots = engine.to_roots()
+        trees = []
+        for root, subset in zip(roots, self.feature_subsets_):
+            tree = DecisionTreeClassifier(feature_subset=subset, **self._tree_params())
+            tree.root_ = root
+            tree.classes_ = self.classes_
+            tree.n_features_in_ = self.n_features_in_
+            trees.append(tree)
+        probe = np.random.default_rng(0).standard_normal((8, self.n_features_in_))
+        expected = np.stack([predict_batch(tree.root_, probe) for tree in trees])
+        if not np.array_equal(engine.predict_all(probe), expected):
+            raise SerializationError(
+                "compiled node table disagrees with its reconstructed object "
+                "graph on a probe batch; refusing to materialise it"
+            )
+        return trees
+
+    def _materialize_trees(self) -> None:
+        engine = self._compiled_
+        assert engine is not None  # _adopt_lazy always installs one
+        trees = self._trees_from_engine(engine)
+        self._trees_ = trees
+        self._lazy_key_ = None
+        # Re-pin the engine cache to the real roots so it stays fresh
+        # across the materialisation boundary.
+        adopt_compiled(self, tuple(tree.root_ for tree in trees), engine)
 
     def compile(self) -> CompiledEnsemble:
         """Pack all trees into one compiled node table (cached).
@@ -361,12 +459,12 @@ class RandomForestClassifier:
         exposes (R's ``predict.all``); black-box watermark verification
         is built entirely on it.
         """
-        trees = self._check_fitted()
+        self._ensure_fitted()
         X = self._check_n_features(check_X(X))
         engine = self._compiled_engine(X.shape[0])
         if engine is not None:
             return engine.predict_all(X)
-        return np.stack([tree.predict(X) for tree in trees], axis=0)
+        return np.stack([tree.predict(X) for tree in self._check_fitted()], axis=0)
 
     def predict(self, X) -> np.ndarray:
         """Majority-vote ensemble prediction."""
@@ -376,12 +474,13 @@ class RandomForestClassifier:
 
     def predict_proba(self, X) -> np.ndarray:
         """Average of the trees' leaf-frequency probabilities."""
-        trees = self._check_fitted()
+        self._ensure_fitted()
         X = self._check_n_features(check_X(X))
         assert self.classes_ is not None
         engine = self._compiled_engine(X.shape[0])
         if engine is not None and engine.leaf_proba is not None:
             return engine.predict_proba(X)
+        trees = self._check_fitted()
         class_position = {int(c): i for i, c in enumerate(self.classes_)}
         total = np.zeros((X.shape[0], self.classes_.shape[0]), dtype=np.float64)
         for tree in trees:
@@ -403,7 +502,11 @@ class RandomForestClassifier:
     @property
     def n_trees_(self) -> int:
         """Number of fitted trees."""
-        return len(self._check_fitted())
+        self._ensure_fitted()
+        if self._trees_ is None:
+            assert self._compiled_ is not None
+            return int(self._compiled_.n_trees)
+        return len(self._trees_)
 
     def roots(self) -> list:
         """Root nodes of the fitted trees (for solvers and analysis)."""
@@ -421,3 +524,36 @@ class RandomForestClassifier:
         its satisfiability instances much harder.
         """
         return int(self.structure()["n_leaves"].sum())
+
+    # ------------------------------------------------------------------
+    # Pickling — worker processes share the artefact, not a copy
+    # ------------------------------------------------------------------
+
+    def __getstate__(self) -> dict:
+        if self._mmap_source_ is not None and self._trees_ is None:
+            # Lazy mmap-backed forest: ship the reopen handle.  The
+            # receiver maps the same file, so N workers share one
+            # physical page-cache copy of the node tables.
+            return {"__load_from__": self._mmap_source_}
+        state = dict(self.__dict__)
+        if self._mmap_source_ is not None:
+            # Materialised object graph travels by value, but mmap-backed
+            # engine arrays must not be pickled (that would copy them
+            # into every receiver); the receiver recompiles on demand.
+            state["_compiled_"] = None
+            state["_compiled_sources_"] = None
+            state["_mmap_source_"] = None
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        if "__load_from__" in state:
+            from ..persistence import load
+
+            path, fmt, mmap_mode = state["__load_from__"]
+            loaded = load(path, format=fmt, mmap_mode=mmap_mode)
+            # A watermarked artefact reloads as a WatermarkedModel;
+            # unwrap to the ensemble this pickle actually carried.
+            forest = getattr(loaded, "ensemble", loaded)
+            self.__dict__.update(forest.__dict__)
+            return
+        self.__dict__.update(state)

@@ -1,0 +1,39 @@
+"""The pluggable exporter family.
+
+Importing this package registers the built-in formats:
+
+- ``binary`` — flat ``.rfbin`` node tables, mmap-able zero-copy serving
+  format (:mod:`.binary`);
+- ``json`` — the inspectable, court-facing escape hatch, byte-compatible
+  with pre-exporter artefacts (:mod:`.json`);
+- ``sklearn`` — ``tree_``-convention ``.npz`` arrays for interop
+  (:mod:`.sklearn`).
+
+Third-party formats subclass :class:`~.base.Exporter` and call
+:func:`~.base.register`.
+"""
+
+from .base import (
+    Exporter,
+    available_formats,
+    detect_format,
+    format_for_path,
+    get_exporter,
+    register,
+)
+from .binary import MAGIC, BinaryExporter
+from .json import JsonExporter
+from .sklearn import SklearnExporter
+
+__all__ = [
+    "Exporter",
+    "register",
+    "get_exporter",
+    "available_formats",
+    "detect_format",
+    "format_for_path",
+    "BinaryExporter",
+    "JsonExporter",
+    "SklearnExporter",
+    "MAGIC",
+]

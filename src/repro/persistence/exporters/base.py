@@ -1,0 +1,122 @@
+"""Exporter ABC and the persistence format registry.
+
+Every on-disk model format is an :class:`Exporter`: a named strategy
+with a uniform ``save(model, path)`` / ``load(path, mmap_mode=...)``
+surface, registered once at import time.  The registry is keyed two
+ways — by *name* (explicit ``format="binary"`` arguments, CLI flags)
+and by *file magic* (the leading bytes of an artefact), so
+``repro.persistence.load`` can dispatch on content without trusting
+file extensions.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from pathlib import Path
+
+from ...exceptions import SerializationError
+
+__all__ = [
+    "Exporter",
+    "register",
+    "get_exporter",
+    "available_formats",
+    "detect_format",
+    "format_for_path",
+]
+
+
+class Exporter(ABC):
+    """One on-disk model format.
+
+    Class attributes
+    ----------------
+    name:
+        Registry key, e.g. ``"binary"`` — what users pass as ``format=``.
+    extensions:
+        File extensions (with dot) that default to this format on save.
+    magic:
+        Leading bytes identifying an artefact of this format; used by
+        :func:`detect_format` for content-based dispatch on load.
+    supports_mmap:
+        Whether ``load(path, mmap_mode="r")`` can map the artefact
+        zero-copy instead of parsing it.
+    """
+
+    name: str
+    extensions: tuple[str, ...] = ()
+    magic: bytes = b""
+    supports_mmap: bool = False
+
+    @abstractmethod
+    def save(self, model, path) -> None:
+        """Write ``model`` to ``path`` in this format."""
+
+    @abstractmethod
+    def load(self, path, mmap_mode: str | None = None):
+        """Load the artefact at ``path``; ``mmap_mode`` is advisory for
+        formats that cannot map (they parse as usual)."""
+
+
+_REGISTRY: dict[str, Exporter] = {}
+
+
+def register(exporter: Exporter) -> Exporter:
+    """Add an exporter to the registry (last registration wins)."""
+    _REGISTRY[exporter.name] = exporter
+    return exporter
+
+
+def available_formats() -> list[str]:
+    """Registered format names, sorted."""
+    return sorted(_REGISTRY)
+
+
+def get_exporter(name: str) -> Exporter:
+    """The registered exporter called ``name``."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise SerializationError(
+            f"unknown persistence format {name!r}; available formats: "
+            f"{', '.join(available_formats())}"
+        ) from None
+
+
+def detect_format(path) -> Exporter:
+    """The exporter whose magic matches the artefact's leading bytes.
+
+    The longest matching magic wins, so specific signatures beat
+    single-byte ones (JSON's ``{``).
+    """
+    path = Path(path)
+    try:
+        with open(path, "rb") as fh:
+            head = fh.read(16)
+    except OSError as exc:
+        raise SerializationError(f"cannot read {path}: {exc}") from exc
+    best = None
+    for exporter in _REGISTRY.values():
+        if exporter.magic and head.startswith(exporter.magic):
+            if best is None or len(exporter.magic) > len(best.magic):
+                best = exporter
+    if best is None:
+        raise SerializationError(
+            f"{path} does not start with any known format magic "
+            f"(formats: {', '.join(available_formats())})"
+        )
+    return best
+
+
+def format_for_path(path, format: str | None = None) -> Exporter:
+    """Resolve the exporter to *save* with: explicit name, else extension."""
+    if format is not None:
+        return get_exporter(format)
+    suffix = Path(path).suffix.lower()
+    for exporter in _REGISTRY.values():
+        if suffix in exporter.extensions:
+            return exporter
+    raise SerializationError(
+        f"cannot infer a persistence format from {str(path)!r}; pass "
+        f"format= explicitly (available: {', '.join(available_formats())})"
+    )

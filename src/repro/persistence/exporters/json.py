@@ -1,0 +1,83 @@
+"""The JSON escape hatch — inspectable, court-facing, byte-compatible.
+
+This exporter rehomes the original ``serialize.py`` behaviour behind
+the registry: artefacts written by pre-exporter versions of the library
+load unchanged, and forests saved here are byte-identical to what
+``save_json(forest_to_dict(...))`` produced before.  JSON is the format
+for audits and ownership disputes — every node of every tree is
+human-readable — not for serving (see :mod:`.binary` for that).
+"""
+
+from __future__ import annotations
+
+from ...exceptions import SerializationError
+from ..serialize import (
+    boosted_from_dict,
+    boosted_to_dict,
+    forest_from_dict,
+    forest_to_dict,
+    load_json,
+    save_json,
+    secret_from_dict,
+    secret_to_dict,
+    watermarked_from_dict,
+    watermarked_to_dict,
+)
+from .base import Exporter, register
+
+__all__ = ["JsonExporter"]
+
+
+class JsonExporter(Exporter):
+    """Nested-dict JSON artefacts (the original persistence format)."""
+
+    name = "json"
+    extensions = (".json",)
+    magic = b"{"
+    supports_mmap = False
+
+    def save(self, model, path, include_compiled: bool = False) -> None:
+        from ...core.embedding import WatermarkedModel
+        from ...core.protocol import WatermarkSecret
+        from ...ensemble.boosting import GradientBoostingClassifier
+        from ...ensemble.forest import RandomForestClassifier
+
+        if isinstance(model, WatermarkedModel):
+            data = watermarked_to_dict(model, include_compiled=include_compiled)
+        elif isinstance(model, RandomForestClassifier):
+            data = forest_to_dict(model, include_compiled=include_compiled)
+        elif isinstance(model, GradientBoostingClassifier):
+            data = boosted_to_dict(model)
+        elif isinstance(model, WatermarkSecret):
+            data = secret_to_dict(model)
+        else:
+            raise SerializationError(
+                f"the json exporter cannot serialise {type(model).__name__!r}"
+            )
+        save_json(data, path)
+
+    def load(self, path, mmap_mode: str | None = None):
+        # mmap_mode is advisory; JSON always parses.
+        data = load_json(path)
+        if not isinstance(data, dict):
+            raise SerializationError(
+                f"{path} does not contain a JSON object artefact"
+            )
+        kind = data.get("kind")
+        if kind == "watermarked":
+            return watermarked_from_dict(data)
+        if kind == "gradient_boosting":
+            return boosted_from_dict(data)
+        if kind is not None:
+            raise SerializationError(f"unknown artefact kind {kind!r} in {path}")
+        if "trees" in data:
+            return forest_from_dict(data)
+        if "signature" in data:
+            return secret_from_dict(data)
+        raise SerializationError(
+            f"{path} is not a recognised repro JSON artefact "
+            "(expected a forest, boosted ensemble, watermarked model or secret)"
+        )
+
+
+register(JsonExporter())

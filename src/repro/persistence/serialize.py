@@ -15,17 +15,25 @@ import numpy as np
 
 from ..core.protocol import WatermarkSecret
 from ..core.signature import Signature
+from ..ensemble.boosting import GradientBoostingClassifier
 from ..ensemble.compiled import CompiledEnsemble
 from ..ensemble.forest import RandomForestClassifier
 from ..exceptions import SerializationError
 from ..trees.node import InternalNode, Leaf, TreeNode
+from ..trees.regression import RegressionTree, _RegLeaf, _RegNode
 from ..trees.tree import DecisionTreeClassifier
 
 __all__ = [
     "node_to_dict",
     "node_from_dict",
+    "regression_node_to_dict",
+    "regression_node_from_dict",
     "forest_to_dict",
     "forest_from_dict",
+    "boosted_to_dict",
+    "boosted_from_dict",
+    "watermarked_to_dict",
+    "watermarked_from_dict",
     "compiled_to_dict",
     "compiled_from_dict",
     "secret_to_dict",
@@ -38,56 +46,152 @@ FORMAT_VERSION = 1
 
 
 def node_to_dict(node: TreeNode) -> dict:
-    """Recursively serialise a tree node."""
-    if node.is_leaf:
-        return {
-            "kind": "leaf",
-            "prediction": int(node.prediction),  # type: ignore[union-attr]
-            "class_weights": {str(k): float(v) for k, v in node.class_weights.items()},  # type: ignore[union-attr]
-        }
-    return {
-        "kind": "node",
-        "feature": int(node.feature),
-        "threshold": float(node.threshold),
-        "left": node_to_dict(node.left),
-        "right": node_to_dict(node.right),
-    }
+    """Serialise a tree node (and its subtree) to nested dicts.
+
+    The traversal is iterative — child dicts are allocated empty and
+    filled from an explicit stack — so chain-shaped trees thousands of
+    levels deep serialise without touching Python's recursion limit.
+    Key insertion order matches the original recursive implementation,
+    keeping ``json.dumps`` output byte-identical to pre-existing
+    artefacts.
+    """
+    root: dict = {}
+    stack = [(node, root)]
+    while stack:
+        current, out = stack.pop()
+        if current.is_leaf:
+            out["kind"] = "leaf"
+            out["prediction"] = int(current.prediction)  # type: ignore[union-attr]
+            out["class_weights"] = {
+                str(k): float(v)
+                for k, v in current.class_weights.items()  # type: ignore[union-attr]
+            }
+        else:
+            out["kind"] = "node"
+            out["feature"] = int(current.feature)
+            out["threshold"] = float(current.threshold)
+            out["left"] = {}
+            out["right"] = {}
+            stack.append((current.right, out["right"]))
+            stack.append((current.left, out["left"]))
+    return root
 
 
 def node_from_dict(data: dict) -> TreeNode:
-    """Inverse of :func:`node_to_dict`."""
-    try:
-        kind = data["kind"]
+    """Inverse of :func:`node_to_dict` (iterative, deep-tree safe)."""
+
+    def build_shallow(item: dict) -> TreeNode:
+        kind = item["kind"]
         if kind == "leaf":
             return Leaf(
-                prediction=int(data["prediction"]),
-                class_weights={int(k): float(v) for k, v in data.get("class_weights", {}).items()},
+                prediction=int(item["prediction"]),
+                class_weights={
+                    int(k): float(v)
+                    for k, v in item.get("class_weights", {}).items()
+                },
             )
         if kind == "node":
+            # Children are attached by the driver loop below; the
+            # placeholders keep the dataclass happy meanwhile.
+            item["left"], item["right"]  # noqa: B018 - raise KeyError early
             return InternalNode(
-                feature=int(data["feature"]),
-                threshold=float(data["threshold"]),
-                left=node_from_dict(data["left"]),
-                right=node_from_dict(data["right"]),
+                feature=int(item["feature"]),
+                threshold=float(item["threshold"]),
+                left=None,  # type: ignore[arg-type]
+                right=None,  # type: ignore[arg-type]
             )
-    except (KeyError, TypeError, ValueError) as exc:
+        raise SerializationError(f"unknown node kind {item.get('kind')!r}")
+
+    try:
+        root = build_shallow(data)
+        stack = [(data, root)]
+        while stack:
+            item, node = stack.pop()
+            if node.is_leaf:
+                continue
+            node.left = build_shallow(item["left"])
+            node.right = build_shallow(item["right"])
+            stack.append((item["right"], node.right))
+            stack.append((item["left"], node.left))
+        return root
+    except SerializationError:
+        raise
+    except (KeyError, TypeError, ValueError, AttributeError) as exc:
         raise SerializationError(f"malformed tree node data: {exc}") from exc
-    raise SerializationError(f"unknown node kind {data.get('kind')!r}")
+
+
+def regression_node_to_dict(node) -> dict:
+    """Serialise a regression-tree node (iterative, deep-tree safe)."""
+    root: dict = {}
+    stack = [(node, root)]
+    while stack:
+        current, out = stack.pop()
+        if current.is_leaf:
+            out["kind"] = "leaf"
+            out["value"] = float(current.value)
+        else:
+            out["kind"] = "node"
+            out["feature"] = int(current.feature)
+            out["threshold"] = float(current.threshold)
+            out["left"] = {}
+            out["right"] = {}
+            stack.append((current.right, out["right"]))
+            stack.append((current.left, out["left"]))
+    return root
+
+
+def regression_node_from_dict(data: dict):
+    """Inverse of :func:`regression_node_to_dict`."""
+
+    def build_shallow(item: dict):
+        kind = item["kind"]
+        if kind == "leaf":
+            return _RegLeaf(value=float(item["value"]))
+        if kind == "node":
+            item["left"], item["right"]  # noqa: B018 - raise KeyError early
+            return _RegNode(
+                feature=int(item["feature"]),
+                threshold=float(item["threshold"]),
+                left=None,
+                right=None,
+            )
+        raise SerializationError(f"unknown node kind {item.get('kind')!r}")
+
+    try:
+        root = build_shallow(data)
+        stack = [(data, root)]
+        while stack:
+            item, node = stack.pop()
+            if node.is_leaf:
+                continue
+            node.left = build_shallow(item["left"])
+            node.right = build_shallow(item["right"])
+            stack.append((item["right"], node.right))
+            stack.append((item["left"], node.left))
+        return root
+    except SerializationError:
+        raise
+    except (KeyError, TypeError, ValueError, AttributeError) as exc:
+        raise SerializationError(f"malformed regression node data: {exc}") from exc
 
 
 def compiled_to_dict(engine: CompiledEnsemble) -> dict:
     """Serialise a compiled ensemble node table.
 
     Leaf thresholds are ``+inf`` by layout convention, which strict JSON
-    cannot carry; they are stored as ``null`` and restored on load.
+    cannot carry; they are stored as ``null`` and restored on load.  The
+    null substitution is vectorised (one ``astype(object)`` pass plus a
+    masked assignment) — on 100k-node tables the old per-element Python
+    loop dominated serialisation time.
     """
-    return {
+    threshold = np.asarray(engine.threshold, dtype=np.float64)
+    threshold_obj = threshold.astype(object)
+    threshold_obj[~np.isfinite(threshold)] = None
+    data = {
         "format_version": FORMAT_VERSION,
         "roots": engine.roots.tolist(),
         "feature": engine.feature.tolist(),
-        "threshold": [
-            float(t) if np.isfinite(t) else None for t in engine.threshold
-        ],
+        "threshold": threshold_obj.tolist(),
         "left": engine.left.tolist(),
         "right": engine.right.tolist(),
         "leaf_value": engine.leaf_value.tolist(),
@@ -96,26 +200,21 @@ def compiled_to_dict(engine: CompiledEnsemble) -> dict:
         "classes": None if engine.classes is None else [int(c) for c in engine.classes],
         "leaf_proba": None if engine.leaf_proba is None else engine.leaf_proba.tolist(),
     }
-
-
-def _table_depth(feature, left, right, roots) -> int:
-    """Depth of the deepest internal node reachable from ``roots``.
-
-    Level-synchronous frontier walk over the node arrays; bounded by
-    the table size so a (malformed) cyclic table raises instead of
-    looping forever.
-    """
-    frontier = np.unique(roots)
-    for depth in range(feature.shape[0] + 1):
-        internal = frontier[feature[frontier] >= 0]
-        if internal.size == 0:
-            return depth
-        frontier = np.unique(np.concatenate([left[internal], right[internal]]))
-    raise SerializationError("compiled node table contains a cycle")
+    # Only engines compiled for export carry leaf weights; the key is
+    # omitted otherwise so default artefacts stay byte-identical to the
+    # pre-exporter format.
+    if engine.leaf_weight is not None:
+        data["leaf_weight"] = engine.leaf_weight.tolist()
+    return data
 
 
 def compiled_from_dict(data: dict) -> CompiledEnsemble:
-    """Inverse of :func:`compiled_to_dict` — a ready-to-predict engine."""
+    """Inverse of :func:`compiled_to_dict` — a ready-to-predict engine.
+
+    Structural validation (lengths, bounds, depth, row shapes) lives in
+    :meth:`CompiledEnsemble.from_tables`, the shared gatekeeper for all
+    externally-sourced node tables.
+    """
     try:
         if data["format_version"] != FORMAT_VERSION:
             raise SerializationError(
@@ -125,62 +224,27 @@ def compiled_from_dict(data: dict) -> CompiledEnsemble:
             [np.inf if t is None else float(t) for t in data["threshold"]],
             dtype=np.float64,
         )
-        feature = np.array(data["feature"], dtype=np.int64)
-        left = np.array(data["left"], dtype=np.int64)
-        right = np.array(data["right"], dtype=np.int64)
-        roots = np.array(data["roots"], dtype=np.int64)
-        n_nodes = feature.shape[0]
-        arrays_consistent = (
-            threshold.shape[0] == n_nodes
-            and left.shape[0] == n_nodes
-            and right.shape[0] == n_nodes
-            and len(data["leaf_value"]) == n_nodes
-        )
-        if not arrays_consistent:
-            raise SerializationError("compiled node arrays disagree on length")
-        for name, indices in (("roots", roots), ("left", left), ("right", right)):
-            if n_nodes == 0 or indices.min() < 0 or indices.max() >= n_nodes:
-                raise SerializationError(
-                    f"compiled {name} indices fall outside the node table"
-                )
-        depth = int(data["depth"])
-        actual_depth = _table_depth(feature, left, right, roots)
-        if depth != actual_depth:
-            raise SerializationError(
-                f"compiled depth {depth} disagrees with the node table "
-                f"(actual {actual_depth})"
-            )
         value_dtype = str(data["leaf_value_dtype"])
         if value_dtype not in ("int64", "float64"):
             raise SerializationError(
                 f"compiled leaf_value_dtype must be 'int64' or 'float64', "
                 f"got {value_dtype!r}"
             )
-        classes = None
-        if data.get("classes") is not None:
-            classes = np.array(data["classes"], dtype=np.int64)
-        leaf_proba = None
-        if data.get("leaf_proba") is not None:
-            if classes is None:
-                raise SerializationError(
-                    "compiled leaf_proba requires a classes array"
-                )
-            leaf_proba = np.array(data["leaf_proba"], dtype=np.float64)
-            if leaf_proba.shape != (n_nodes, classes.shape[0]):
-                raise SerializationError(
-                    f"compiled leaf_proba must have shape "
-                    f"({n_nodes}, {classes.shape[0]}), got {leaf_proba.shape}"
-                )
-        return CompiledEnsemble(
-            roots=roots,
-            feature=feature,
-            threshold=threshold,
-            left=left,
-            right=right,
-            leaf_value=np.array(data["leaf_value"], dtype=np.dtype(value_dtype)),
-            depth=depth,
-            classes=classes,
-            leaf_proba=leaf_proba,
+        return CompiledEnsemble.from_tables(
+            {
+                "roots": np.array(data["roots"], dtype=np.int64),
+                "feature": np.array(data["feature"], dtype=np.int64),
+                "threshold": threshold,
+                "left": np.array(data["left"], dtype=np.int64),
+                "right": np.array(data["right"], dtype=np.int64),
+                "leaf_value": np.array(
+                    data["leaf_value"], dtype=np.dtype(value_dtype)
+                ),
+                "depth": int(data["depth"]),
+                "classes": data.get("classes"),
+                "leaf_proba": data.get("leaf_proba"),
+                "leaf_weight": data.get("leaf_weight"),
+            }
         )
     except SerializationError:
         raise
@@ -281,6 +345,147 @@ def forest_from_dict(data: dict) -> RandomForestClassifier:
         raise
     except (KeyError, TypeError, ValueError) as exc:
         raise SerializationError(f"malformed forest data: {exc}") from exc
+
+
+def boosted_to_dict(model: GradientBoostingClassifier) -> dict:
+    """Serialise a fitted gradient-boosted ensemble.
+
+    The ``kind`` discriminator lets format-agnostic loaders dispatch
+    between artefact families without guessing from key shapes.
+    """
+    if model.trees_ is None:
+        raise SerializationError("cannot serialise an unfitted ensemble")
+    return {
+        "format_version": FORMAT_VERSION,
+        "kind": "gradient_boosting",
+        "params": model.get_params(),
+        "init_score": float(model.init_score_),
+        "n_features_in": int(model.n_features_in_),
+        "trees": [regression_node_to_dict(tree.root_) for tree in model.trees_],
+    }
+
+
+def boosted_from_dict(data: dict) -> GradientBoostingClassifier:
+    """Inverse of :func:`boosted_to_dict` — ready-to-predict ensemble."""
+    try:
+        if data["format_version"] != FORMAT_VERSION:
+            raise SerializationError(
+                f"unsupported format version {data['format_version']}"
+            )
+        kind = data.get("kind", "gradient_boosting")
+        if kind != "gradient_boosting":
+            raise SerializationError(
+                f"expected a gradient_boosting artefact, got kind {kind!r}"
+            )
+        model = GradientBoostingClassifier(**data["params"])
+        model.init_score_ = float(data["init_score"])
+        model.n_features_in_ = int(data["n_features_in"])
+        trees = []
+        for tree_data in data["trees"]:
+            tree = RegressionTree(
+                max_depth=model.max_depth,
+                min_samples_leaf=model.min_samples_leaf,
+            )
+            tree.root_ = regression_node_from_dict(tree_data)
+            tree.n_features_in_ = model.n_features_in_
+            trees.append(tree)
+        model.trees_ = trees
+        return model
+    except SerializationError:
+        raise
+    except (KeyError, TypeError, ValueError) as exc:
+        raise SerializationError(f"malformed boosted ensemble data: {exc}") from exc
+
+
+def _report_to_dict(report) -> dict:
+    adjusted = None
+    if report.adjusted is not None:
+        adjusted = {
+            "max_depth": int(report.adjusted.max_depth),
+            "max_leaf_nodes": int(report.adjusted.max_leaf_nodes),
+            "probe_depth_mean": float(report.adjusted.probe_depth_mean),
+            "probe_depth_std": float(report.adjusted.probe_depth_std),
+            "probe_leaves_mean": float(report.adjusted.probe_leaves_mean),
+            "probe_leaves_std": float(report.adjusted.probe_leaves_std),
+        }
+    return {
+        "rounds_t0": int(report.rounds_t0),
+        "rounds_t1": int(report.rounds_t1),
+        "trigger_weight_t0": float(report.trigger_weight_t0),
+        "trigger_weight_t1": float(report.trigger_weight_t1),
+        "adjusted": adjusted,
+        "base_params": dict(report.base_params),
+    }
+
+
+def _report_from_dict(data: dict):
+    from ..core.adjustment import AdjustedHyperParameters
+    from ..core.embedding import EmbeddingReport
+
+    adjusted = None
+    if data.get("adjusted") is not None:
+        adjusted = AdjustedHyperParameters(**data["adjusted"])
+    return EmbeddingReport(
+        rounds_t0=int(data["rounds_t0"]),
+        rounds_t1=int(data["rounds_t1"]),
+        trigger_weight_t0=float(data["trigger_weight_t0"]),
+        trigger_weight_t1=float(data["trigger_weight_t1"]),
+        adjusted=adjusted,
+        base_params=dict(data["base_params"]),
+    )
+
+
+def watermarked_to_dict(model, include_compiled: bool = False) -> dict:
+    """Serialise a :class:`~repro.core.embedding.WatermarkedModel`.
+
+    The artefact contains the owner's secret (signature + trigger set)
+    — treat it like the secret itself.  The binary exporter's audit
+    trailer, by contrast, is secrets-free.
+    """
+    return {
+        "format_version": FORMAT_VERSION,
+        "kind": "watermarked",
+        "ensemble": forest_to_dict(model.ensemble, include_compiled=include_compiled),
+        "signature": model.signature.to_string(),
+        "trigger": {
+            "indices": model.trigger.indices.tolist(),
+            "X": model.trigger.X.tolist(),
+            "y": [int(v) for v in model.trigger.y],
+        },
+        "report": _report_to_dict(model.report),
+    }
+
+
+def watermarked_from_dict(data: dict):
+    """Inverse of :func:`watermarked_to_dict`."""
+    from ..core.embedding import WatermarkedModel
+    from ..core.trigger import TriggerSet
+
+    try:
+        if data["format_version"] != FORMAT_VERSION:
+            raise SerializationError(
+                f"unsupported format version {data['format_version']}"
+            )
+        kind = data.get("kind", "watermarked")
+        if kind != "watermarked":
+            raise SerializationError(
+                f"expected a watermarked artefact, got kind {kind!r}"
+            )
+        trigger = TriggerSet(
+            indices=np.array(data["trigger"]["indices"], dtype=np.int64),
+            X=np.array(data["trigger"]["X"], dtype=np.float64),
+            y=np.array(data["trigger"]["y"], dtype=np.int64),
+        )
+        return WatermarkedModel(
+            ensemble=forest_from_dict(data["ensemble"]),
+            signature=Signature.from_string(data["signature"]),
+            trigger=trigger,
+            report=_report_from_dict(data["report"]),
+        )
+    except SerializationError:
+        raise
+    except (KeyError, TypeError, ValueError) as exc:
+        raise SerializationError(f"malformed watermarked model data: {exc}") from exc
 
 
 def secret_to_dict(secret: WatermarkSecret) -> dict:

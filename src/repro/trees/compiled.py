@@ -52,8 +52,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from ..exceptions import ValidationError
-from .node import TreeNode
+from ..exceptions import SerializationError, ValidationError
+from .node import InternalNode, Leaf, TreeNode
 
 __all__ = [
     "CompiledTree",
@@ -61,6 +61,11 @@ __all__ = [
     "flatten_tree",
     "leaf_payload",
     "leaf_proba_row",
+    "leaf_weight_row",
+    "table_depth",
+    "validate_node_tables",
+    "table_to_node",
+    "classification_leaf_builder",
     "cached_engine",
     "lazy_compiled",
     "ensure_compiled",
@@ -215,6 +220,26 @@ def leaf_proba_row(node, class_position: dict[int, int]) -> np.ndarray:
     return row
 
 
+def leaf_weight_row(node, class_position: dict[int, int]) -> np.ndarray:
+    """Per-leaf *raw* class masses aligned to ``class_position``.
+
+    Unlike :func:`leaf_proba_row` this keeps the unnormalised training
+    masses, so the leaf's ``class_weights`` dict can be rebuilt exactly
+    from the table (the bijection the binary persistence format relies
+    on).  Leaves without recorded masses yield an all-zero row.
+    """
+    row = np.zeros(len(class_position), dtype=np.float64)
+    weights = getattr(node, "class_weights", None) or {}
+    try:
+        for label, mass in weights.items():
+            row[class_position[int(label)]] = mass
+    except KeyError as exc:
+        raise ValidationError(
+            f"leaf label {exc.args[0]!r} is not in the classes array"
+        ) from exc
+    return row
+
+
 def flatten_tree(
     root,
     *,
@@ -224,6 +249,7 @@ def flatten_tree(
     right: list,
     leaf_value: list,
     leaf_proba: list | None = None,
+    leaf_weight: list | None = None,
     class_position: dict[int, int] | None = None,
 ) -> tuple[int, int]:
     """Append the subtree at ``root`` to the array-builder lists.
@@ -247,7 +273,12 @@ def flatten_tree(
         leaf_value.append(0.0)
         if leaf_proba is not None:
             leaf_proba.append(None)
+        if leaf_weight is not None:
+            leaf_weight.append(None)
         return index
+
+    def zeros_row() -> np.ndarray:
+        return np.zeros(len(class_position), dtype=np.float64)
 
     root_index = allocate()
     max_depth = 0
@@ -261,6 +292,8 @@ def flatten_tree(
             leaf_value[slot] = leaf_payload(node)
             if leaf_proba is not None:
                 leaf_proba[slot] = leaf_proba_row(node, class_position)
+            if leaf_weight is not None:
+                leaf_weight[slot] = leaf_weight_row(node, class_position)
         else:
             left_slot = allocate()
             right_slot = allocate()
@@ -269,14 +302,198 @@ def flatten_tree(
             left[slot] = left_slot
             right[slot] = right_slot
             if leaf_proba is not None:
-                leaf_proba[slot] = np.zeros(len(class_position), dtype=np.float64)
+                leaf_proba[slot] = zeros_row()
+            if leaf_weight is not None:
+                leaf_weight[slot] = zeros_row()
             queue.append((node.left, left_slot, depth + 1))
             queue.append((node.right, right_slot, depth + 1))
-    if leaf_proba is not None:
-        for index in range(root_index, len(leaf_proba)):
-            if leaf_proba[index] is None:  # pragma: no cover - defensive
-                leaf_proba[index] = np.zeros(len(class_position), dtype=np.float64)
+    for rows in (leaf_proba, leaf_weight):
+        if rows is not None:
+            for index in range(root_index, len(rows)):
+                if rows[index] is None:  # pragma: no cover - defensive
+                    rows[index] = zeros_row()
     return root_index, max_depth
+
+
+# ----------------------------------------------------------------------
+# The canonical node-table contract
+# ----------------------------------------------------------------------
+#
+# A *node table* is the struct-of-arrays form every engine, exporter and
+# solver bridge agrees on: ``feature``/``threshold``/``left``/``right``/
+# ``leaf_value`` (plus optional ``classes``/``leaf_proba``/``leaf_weight``)
+# and a ``roots`` array locating each tree.  ``validate_node_tables``
+# is the single gatekeeper for tables arriving from outside the process
+# (deserialised JSON, binary files, hand-built arrays); ``table_to_node``
+# is the inverse of :func:`flatten_tree`, rebuilding the auditable
+# object graph from table rows.
+
+
+def table_depth(feature, left, right, roots) -> int:
+    """Depth of the deepest internal node reachable from ``roots``.
+
+    Level-synchronous frontier walk over the node arrays; bounded by
+    the table size so a (malformed) cyclic table raises instead of
+    looping forever.
+    """
+    n_nodes = np.asarray(feature).shape[0]
+    visited = np.zeros(n_nodes, dtype=bool)
+    frontier = np.unique(np.asarray(roots, dtype=np.int64))
+    visited[frontier] = True
+    for depth in range(n_nodes + 1):
+        internal = frontier[feature[frontier] >= 0]
+        if internal.size == 0:
+            return depth
+        children = np.concatenate([left[internal], right[internal]])
+        if visited[children].any():
+            raise SerializationError("compiled node table contains a cycle")
+        level = np.zeros(n_nodes, dtype=bool)
+        level[children] = True
+        visited |= level
+        frontier = np.flatnonzero(level)
+    raise SerializationError("compiled node table contains a cycle")
+
+
+def validate_node_tables(
+    *,
+    feature: np.ndarray,
+    threshold: np.ndarray,
+    left: np.ndarray,
+    right: np.ndarray,
+    leaf_value: np.ndarray,
+    roots: np.ndarray,
+    depth: int,
+    classes: np.ndarray | None = None,
+    leaf_proba: np.ndarray | None = None,
+    leaf_weight: np.ndarray | None = None,
+) -> None:
+    """Structural validation of a node table from an untrusted source.
+
+    Checks array-length agreement, index bounds, leaf-value dtype, the
+    recorded depth against an actual frontier walk (which also rejects
+    cyclic tables) and the probability/weight row shapes.  Raises
+    :class:`~repro.exceptions.SerializationError` on the first problem;
+    messages are stable — the persistence tests pin them.
+    """
+    n_nodes = feature.shape[0]
+    arrays_consistent = (
+        threshold.shape[0] == n_nodes
+        and left.shape[0] == n_nodes
+        and right.shape[0] == n_nodes
+        and leaf_value.shape[0] == n_nodes
+    )
+    if not arrays_consistent:
+        raise SerializationError("compiled node arrays disagree on length")
+    for name, indices in (("roots", roots), ("left", left), ("right", right)):
+        if n_nodes == 0 or indices.min() < 0 or indices.max() >= n_nodes:
+            raise SerializationError(
+                f"compiled {name} indices fall outside the node table"
+            )
+    actual_depth = table_depth(feature, left, right, roots)
+    if int(depth) != actual_depth:
+        raise SerializationError(
+            f"compiled depth {int(depth)} disagrees with the node table "
+            f"(actual {actual_depth})"
+        )
+    if leaf_value.dtype not in (np.dtype(np.int64), np.dtype(np.float64)):
+        raise SerializationError(
+            f"compiled leaf_value_dtype must be 'int64' or 'float64', "
+            f"got {leaf_value.dtype.name!r}"
+        )
+    if classes is not None:
+        classes = np.asarray(classes)
+    for name, rows in (("leaf_proba", leaf_proba), ("leaf_weight", leaf_weight)):
+        if rows is None:
+            continue
+        rows = np.asarray(rows)
+        if classes is None:
+            raise SerializationError(
+                f"compiled {name} requires a classes array"
+            )
+        if rows.shape != (n_nodes, classes.shape[0]):
+            raise SerializationError(
+                f"compiled {name} must have shape "
+                f"({n_nodes}, {classes.shape[0]}), got {rows.shape}"
+            )
+
+
+def table_to_node(
+    feature: np.ndarray,
+    threshold: np.ndarray,
+    left: np.ndarray,
+    right: np.ndarray,
+    root_index: int,
+    make_leaf,
+    make_internal=None,
+):
+    """Rebuild the object tree rooted at table row ``root_index``.
+
+    The inverse of :func:`flatten_tree`: every internal row becomes an
+    :class:`~repro.trees.node.InternalNode` (or whatever
+    ``make_internal(index, left_child, right_child)`` builds) and every
+    leaf row becomes ``make_leaf(index)``.  The traversal is iterative —
+    children are constructed before their parents by walking the
+    pre-order node list in reverse — so arbitrarily deep trees rebuild
+    without touching the recursion limit.  A row visited twice (a cyclic
+    or node-sharing table) raises :class:`SerializationError`.
+    """
+    if make_internal is None:
+        def make_internal(index, left_child, right_child):
+            return InternalNode(
+                feature=int(feature[index]),
+                threshold=float(threshold[index]),
+                left=left_child,
+                right=right_child,
+            )
+
+    n_nodes = feature.shape[0]
+    order: list[int] = []
+    stack = [int(root_index)]
+    while stack:
+        index = stack.pop()
+        order.append(index)
+        if len(order) > n_nodes:
+            raise SerializationError(
+                "compiled node table revisits a node during reconstruction "
+                "(cycle or shared subtree)"
+            )
+        if feature[index] >= 0:
+            stack.append(int(right[index]))
+            stack.append(int(left[index]))
+    built: dict[int, object] = {}
+    for index in reversed(order):
+        if feature[index] < 0:
+            built[index] = make_leaf(index)
+        else:
+            built[index] = make_internal(
+                index, built[int(left[index])], built[int(right[index])]
+            )
+    return built[int(root_index)]
+
+
+def classification_leaf_builder(leaf_value, classes, leaf_weight=None):
+    """A ``make_leaf`` for :func:`table_to_node` producing :class:`Leaf`.
+
+    With a ``leaf_weight`` section the leaf's ``class_weights`` dict is
+    rebuilt exactly (labels in ``classes`` order, zero-mass labels
+    omitted — the same shape :func:`repro.trees.growth` emits); without
+    it leaves come back with empty ``class_weights``, like hand-built
+    trees.
+    """
+    labels = [int(c) for c in classes] if classes is not None else []
+
+    def make_leaf(index: int) -> Leaf:
+        weights: dict[int, float] = {}
+        if leaf_weight is not None:
+            row = leaf_weight[index]
+            weights = {
+                labels[c]: float(row[c])
+                for c in range(len(labels))
+                if row[c] > 0
+            }
+        return Leaf(prediction=int(leaf_value[index]), class_weights=weights)
+
+    return make_leaf
 
 
 # ----------------------------------------------------------------------
@@ -400,6 +617,63 @@ class CompiledTree:
                 "recompile with classes to enable predict_proba"
             )
         return self.leaf_proba[self.apply(X)]
+
+    # -- the canonical tables contract ---------------------------------
+
+    def to_tables(self) -> dict:
+        """The node table as a plain dict of arrays (plus scalars).
+
+        The keys mirror the dataclass fields with an implicit
+        single-tree ``roots = [0]``; the dict round-trips through
+        :meth:`from_tables`.
+        """
+        return {
+            "feature": self.feature,
+            "threshold": self.threshold,
+            "left": self.left,
+            "right": self.right,
+            "leaf_value": self.leaf_value,
+            "depth": int(self.depth),
+            "classes": self.classes,
+            "leaf_proba": self.leaf_proba,
+        }
+
+    @classmethod
+    def from_tables(cls, tables: dict) -> "CompiledTree":
+        """Build (and validate) a tree engine from a tables dict."""
+        feature = np.asarray(tables["feature"], dtype=np.int64)
+        validate_node_tables(
+            feature=feature,
+            threshold=np.asarray(tables["threshold"], dtype=np.float64),
+            left=np.asarray(tables["left"], dtype=np.int64),
+            right=np.asarray(tables["right"], dtype=np.int64),
+            leaf_value=np.asarray(tables["leaf_value"]),
+            roots=np.zeros(1, dtype=np.int64),
+            depth=int(tables["depth"]),
+            classes=tables.get("classes"),
+            leaf_proba=tables.get("leaf_proba"),
+        )
+        return cls(
+            feature=feature,
+            threshold=np.asarray(tables["threshold"], dtype=np.float64),
+            left=np.asarray(tables["left"], dtype=np.int64),
+            right=np.asarray(tables["right"], dtype=np.int64),
+            leaf_value=np.asarray(tables["leaf_value"]),
+            depth=int(tables["depth"]),
+            classes=tables.get("classes"),
+            leaf_proba=tables.get("leaf_proba"),
+        )
+
+    def to_node(self, leaf_weight=None) -> TreeNode:
+        """Rebuild the classification object tree this table encodes."""
+        return table_to_node(
+            self.feature,
+            self.threshold,
+            self.left,
+            self.right,
+            0,
+            classification_leaf_builder(self.leaf_value, self.classes, leaf_weight),
+        )
 
 
 def compile_tree(

@@ -197,3 +197,86 @@ class TestSecretRoundtrip:
         path.write_text("{not json")
         with pytest.raises(SerializationError, match="invalid JSON"):
             load_json(path)
+
+
+class TestDeepTrees:
+    """The serializers must be iterative — a pathological chain tree far
+    past Python's recursion limit goes through round-trip unharmed."""
+
+    DEPTH = 5000
+
+    @staticmethod
+    def _chain(depth):
+        node = Leaf(prediction=1)
+        for level in reversed(range(depth)):
+            node = InternalNode(
+                feature=0,
+                threshold=float(level),
+                left=node,
+                right=Leaf(prediction=-1),
+            )
+        return node
+
+    def test_depth_5000_roundtrip(self):
+        import sys
+
+        root = self._chain(self.DEPTH)
+        assert self.DEPTH > sys.getrecursionlimit()
+        restored = node_from_dict(node_to_dict(root))
+        # Verify iteratively: identical structure down the left spine.
+        ours, theirs = root, restored
+        depth = 0
+        while not ours.is_leaf:
+            assert not theirs.is_leaf
+            assert theirs.feature == ours.feature
+            assert theirs.threshold == ours.threshold
+            assert theirs.right.prediction == ours.right.prediction
+            ours, theirs = ours.left, theirs.left
+            depth += 1
+        assert theirs.is_leaf
+        assert theirs.prediction == ours.prediction
+        assert depth == self.DEPTH
+
+    def test_depth_5000_regression_tree(self):
+        from repro.persistence.serialize import (
+            regression_node_from_dict,
+            regression_node_to_dict,
+        )
+        from repro.trees.regression import _RegLeaf, _RegNode
+
+        node = _RegLeaf(value=0.5)
+        for level in reversed(range(self.DEPTH)):
+            node = _RegNode(
+                feature=0,
+                threshold=float(level),
+                left=node,
+                right=_RegLeaf(value=-0.5),
+            )
+        restored = regression_node_from_dict(regression_node_to_dict(node))
+        depth = 0
+        while isinstance(restored, _RegNode):
+            assert restored.right.value == -0.5
+            restored = restored.left
+            depth += 1
+        assert restored.value == 0.5
+        assert depth == self.DEPTH
+
+
+class TestVectorisedThresholds:
+    """compiled_to_dict's threshold column is vectorised; its output must
+    be element-for-element identical to the per-node reference loop."""
+
+    def test_exact_equivalence_with_reference_loop(self, bc_forest):
+        from repro.ensemble.compiled import compile_forest
+        from repro.persistence.serialize import compiled_to_dict
+
+        engine = compile_forest(bc_forest)
+        payload = compiled_to_dict(engine)
+        reference = [
+            None if not np.isfinite(value) else float(value)
+            for value in engine.threshold
+        ]
+        assert payload["threshold"] == reference
+        # Finite entries keep exact float identity (no rounding drift).
+        finite = [v for v in payload["threshold"] if v is not None]
+        assert all(isinstance(v, float) for v in finite)

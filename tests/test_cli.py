@@ -209,3 +209,79 @@ class TestModuleEntryPoint:
         setup_py = (Path(SRC_DIR).parent / "setup.py").read_text()
         assert "console_scripts" in setup_py
         assert "repro = repro.cli:main" in setup_py
+
+
+class TestExportConvert:
+    @pytest.fixture(scope="class")
+    def binary_artifacts(self, tmp_path_factory):
+        out_dir = tmp_path_factory.mktemp("cli-binary-artifacts")
+        code = main(
+            [
+                "watermark",
+                "--dataset", "breast-cancer",
+                "--samples", "240",
+                "--trees", "8",
+                "--trigger-size", "5",
+                "--max-depth", "8",
+                "--format", "binary",
+                "--out-dir", str(out_dir),
+            ]
+        )
+        assert code == 0
+        return out_dir
+
+    def test_watermark_writes_rfbin(self, binary_artifacts):
+        assert (binary_artifacts / "model.rfbin").exists()
+        assert not (binary_artifacts / "model.json").exists()
+
+    def test_verify_reads_binary_artifact(self, binary_artifacts, capsys):
+        code = main(
+            [
+                "verify",
+                "--model", str(binary_artifacts / "model.rfbin"),
+                "--secret", str(binary_artifacts / "secret.json"),
+                "--commitment", str(binary_artifacts / "commitment.json"),
+            ]
+        )
+        assert code == 0
+        assert "ACCEPTED" in capsys.readouterr().out
+
+    def test_export_convert_chain_preserves_watermark(
+        self, binary_artifacts, tmp_path, capsys
+    ):
+        json_path = tmp_path / "model.json"
+        rfbin_path = tmp_path / "model2.rfbin"
+        assert main(
+            [
+                "export",
+                "--model", str(binary_artifacts / "model.rfbin"),
+                "--out", str(json_path),
+            ]
+        ) == 0
+        assert json_path.exists()
+        assert main(["convert", str(json_path), str(rfbin_path)]) == 0
+        code = main(
+            [
+                "verify",
+                "--model", str(rfbin_path),
+                "--secret", str(binary_artifacts / "secret.json"),
+                "--commitment", str(binary_artifacts / "commitment.json"),
+            ]
+        )
+        assert code == 0
+        assert "ACCEPTED" in capsys.readouterr().out
+
+    def test_export_ensemble_only_strips_secret(self, binary_artifacts, tmp_path):
+        out = tmp_path / "ensemble.rfbin"
+        assert main(
+            [
+                "export",
+                "--model", str(binary_artifacts / "model.rfbin"),
+                "--out", str(out),
+                "--ensemble-only",
+            ]
+        ) == 0
+        from repro.ensemble import RandomForestClassifier
+        from repro.persistence import load
+
+        assert isinstance(load(out), RandomForestClassifier)
