@@ -29,6 +29,7 @@ converted to plain Python numbers.
 from __future__ import annotations
 
 import json
+import math
 import os
 from pathlib import Path
 
@@ -44,12 +45,18 @@ def _env_quick() -> bool:
 
 
 def _plain(value):
-    """Coerce numpy scalars (and anything item()-able) to plain Python."""
+    """Coerce numpy scalars (and anything item()-able) to plain Python.
+
+    Non-finite floats become ``None``: the JSON artefact is consumed by
+    strict parsers, and ``Infinity``/``NaN`` are not valid JSON.
+    """
     if hasattr(value, "item") and not isinstance(value, (str, bytes)):
         try:
-            return value.item()
+            value = value.item()
         except (AttributeError, ValueError):  # pragma: no cover - defensive
             return str(value)
+    if isinstance(value, float) and not math.isfinite(value):
+        return None
     return value
 
 
@@ -91,5 +98,5 @@ def emit(
         "text": text,
     }
     (RESULTS_DIR / f"{name}.json").write_text(
-        json.dumps(payload, indent=2) + "\n", encoding="utf-8"
+        json.dumps(payload, indent=2, allow_nan=False) + "\n", encoding="utf-8"
     )

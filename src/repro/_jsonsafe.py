@@ -1,0 +1,57 @@
+"""Strict JSON serialization helpers.
+
+RFC 8259 has no representation for ``inf``/``nan``, but Python's
+:func:`json.dumps` happily emits the JavaScript literals ``Infinity`` and
+``NaN`` unless told otherwise — and downstream parsers (``jq``, browsers,
+strict ``json.loads`` consumers) then reject the document.  Every dumps
+call in this package goes through :func:`dumps` (or passes
+``allow_nan=False`` explicitly) so a non-finite float is a loud error at
+the producer, never a silently invalid artefact.  Values that are
+*legitimately* non-finite (a queries-per-second rate over a zero-elapsed
+replay, a sequential-test statistic before the first checkpoint) are
+clamped to ``null`` via :func:`finite_or_none` / :func:`json_safe` before
+they reach the encoder.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from typing import Any
+
+import numpy as np
+
+__all__ = ["dumps", "finite_or_none", "json_safe"]
+
+
+def finite_or_none(value: Any) -> float | None:
+    """``float(value)`` if finite, else ``None`` (serialized as ``null``)."""
+    if value is None:
+        return None
+    value = float(value)
+    return value if math.isfinite(value) else None
+
+
+def json_safe(value: Any) -> Any:
+    """Recursively convert *value* into strictly-JSON-serializable types.
+
+    numpy scalars become Python scalars, arrays become lists, dict keys
+    become strings, and non-finite floats become ``None``.
+    """
+    if isinstance(value, np.ndarray):
+        value = value.tolist()
+    elif isinstance(value, np.generic):
+        value = value.item()
+    if isinstance(value, float):
+        return value if math.isfinite(value) else None
+    if isinstance(value, dict):
+        return {str(key): json_safe(val) for key, val in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [json_safe(item) for item in value]
+    return value
+
+
+def dumps(data: Any, **kwargs: Any) -> str:
+    """``json.dumps`` with ``allow_nan=False`` as the default."""
+    kwargs.setdefault("allow_nan", False)
+    return json.dumps(data, **kwargs)

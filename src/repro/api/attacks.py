@@ -32,6 +32,7 @@ from typing import ClassVar, Protocol, runtime_checkable
 
 import numpy as np
 
+from .._jsonsafe import json_safe
 from .._validation import check_random_state, check_X_y
 from ..attacks.detection import detection_report
 from ..attacks.extraction import extract_surrogate
@@ -65,16 +66,13 @@ __all__ = [
 
 
 def _json_safe(value):
-    """Recursively convert a result value into JSON-serialisable types."""
-    if isinstance(value, np.generic):
-        return value.item()
-    if isinstance(value, np.ndarray):
-        return value.tolist()
-    if isinstance(value, dict):
-        return {str(key): _json_safe(item) for key, item in value.items()}
-    if isinstance(value, (list, tuple)):
-        return [_json_safe(item) for item in value]
-    return value
+    """Recursively convert a result value into *strictly* JSON-safe types.
+
+    Delegates to :func:`repro._jsonsafe.json_safe`, which also clamps
+    non-finite floats to ``None`` so ``--json`` output never contains
+    the invalid ``Infinity``/``NaN`` literals.
+    """
+    return json_safe(value)
 
 
 @dataclass(frozen=True)

@@ -30,6 +30,10 @@ Four subcommands cover the owner/judge/attacker lifecycle end to end::
     repro traffic --list
     repro traffic --scenario verification-probe --queries 20000 --json
 
+    # Operator: serve saved model artefacts over HTTP (micro-batched
+    # predict/predict_all plus a judge-facing /verify endpoint).
+    repro serve --model demo=./artifacts/model.rfbin --port 8080
+
 (``repro`` is the installed console script; ``python -m repro`` and
 ``python -m repro.cli`` are equivalent.)  The CLI works on the
 synthetic stand-in datasets; library users with real data call
@@ -39,12 +43,13 @@ synthetic stand-in datasets; library users with real data call
 from __future__ import annotations
 
 import argparse
-import json
+import os
 import sys
 from pathlib import Path
 
 import numpy as np
 
+from ._jsonsafe import dumps
 from .api import available_attacks, make_attack
 from .core import (
     WatermarkSecret,
@@ -217,6 +222,33 @@ def build_parser() -> argparse.ArgumentParser:
     cmd_traffic.add_argument("--seed", type=int, default=None,
                              help="override the experiment config seed")
 
+    cmd_serve = commands.add_parser(
+        "serve",
+        help="serve saved model artefacts over HTTP with request "
+        "micro-batching and a judge-facing verification endpoint",
+    )
+    cmd_serve.add_argument("--model", action="append", required=True,
+                           metavar="NAME=PATH", dest="models",
+                           help="artefact to host, as name=path; repeat to "
+                           "host several (.rfbin artefacts are mmap-loaded)")
+    cmd_serve.add_argument("--host", default="127.0.0.1")
+    cmd_serve.add_argument("--port", type=int, default=8080,
+                           help="TCP port (0 picks an ephemeral port, "
+                           "printed on startup)")
+    cmd_serve.add_argument("--flush-window", type=float, default=0.002,
+                           help="seconds a request may wait for co-batched "
+                           "neighbours (default 2ms; 0 disables coalescing)")
+    cmd_serve.add_argument("--max-batch-rows", type=int, default=512,
+                           help="rows that force an immediate flush")
+    cmd_serve.add_argument("--max-queue-rows", type=int, default=8192,
+                           help="per-model backlog before requests are "
+                           "rejected with 429 + Retry-After")
+    cmd_serve.add_argument("--max-concurrent-batches", type=int, default=2,
+                           help="fused predict_all calls in flight per model")
+    cmd_serve.add_argument("--alpha", type=float, default=0.05,
+                           help="false-alarm budget of the per-model "
+                           "traffic observer")
+
     return parser
 
 
@@ -358,7 +390,7 @@ def _cmd_attack(args) -> int:
         config, attacks=(attack,), strengths=strengths, datasets=(args.dataset,)
     )
     if args.json:
-        print(json.dumps([cell.to_dict() for cell in cells], indent=2))
+        print(dumps([cell.to_dict() for cell in cells], indent=2))
     else:
         print(
             format_table(
@@ -403,7 +435,10 @@ def _cmd_traffic(args) -> int:
         alpha=args.alpha,
     )
     if args.json:
-        print(json.dumps(report.to_dict(), indent=2))
+        # One line of strict JSON: pipeline-friendly (`... --json | head -1`
+        # stays parseable) and free of Infinity/NaN literals even when a
+        # zero-elapsed replay makes queries_per_second non-finite.
+        print(dumps(report.to_dict()))
         return 0
 
     print(f"scenario    {args.scenario} — {scenario_description(args.scenario)}")
@@ -421,8 +456,63 @@ def _cmd_traffic(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    import asyncio
+
+    from .serve import ModelRegistry, ServingDaemon
+
+    registry = ModelRegistry()
+    for spec in args.models:
+        name, sep, path = spec.partition("=")
+        if not sep or not name or not path:
+            raise ValidationError(f"--model expects NAME=PATH, got {spec!r}")
+        registry.load(name, Path(path), alpha=args.alpha)
+
+    daemon = ServingDaemon(
+        registry,
+        host=args.host,
+        port=args.port,
+        flush_window=args.flush_window,
+        max_batch_rows=args.max_batch_rows,
+        max_queue_rows=args.max_queue_rows,
+        max_concurrent_batches=args.max_concurrent_batches,
+    )
+    return asyncio.run(_serve_forever(daemon, registry))
+
+
+async def _serve_forever(daemon, registry) -> int:
+    import asyncio
+    import signal
+
+    await daemon.start()
+    host, port = daemon.address
+    for served in registry:
+        print(f"model {served.name}: {served.describe()}", flush=True)
+    print(f"listening on http://{host}:{port}", flush=True)
+
+    stop = asyncio.Event()
+    loop = asyncio.get_running_loop()
+    for signum in (signal.SIGTERM, signal.SIGINT):
+        try:
+            loop.add_signal_handler(signum, stop.set)
+        except NotImplementedError:  # pragma: no cover - non-unix loops
+            pass
+    await stop.wait()
+    print("draining: refusing new connections, flushing in-flight batches",
+          flush=True)
+    await daemon.drain()
+    print("drained cleanly", flush=True)
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
-    """CLI entry point; returns a process exit code."""
+    """CLI entry point; returns a process exit code.
+
+    Exit codes follow unix conventions: 0 success, 1 semantic failure
+    (e.g. rejected verification), 2 usage/``ReproError``, 130 on
+    SIGINT.  ``BrokenPipeError`` is silenced so ``--json`` output can be
+    piped through ``head`` without a traceback.
+    """
     args = build_parser().parse_args(argv)
     handlers = {
         "watermark": _cmd_watermark,
@@ -432,12 +522,26 @@ def main(argv: list[str] | None = None) -> int:
         "experiment": _cmd_experiment,
         "attack": _cmd_attack,
         "traffic": _cmd_traffic,
+        "serve": _cmd_serve,
     }
     try:
         return handlers[args.command](args)
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    except BrokenPipeError:
+        # The reader (`head`, a closed pager) went away mid-write —
+        # normal pipeline behaviour, not an error.  Re-point stdout at
+        # devnull so the interpreter's shutdown flush cannot raise a
+        # second time, and exit quietly.
+        try:
+            os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        except (OSError, ValueError):
+            pass
+        return 0
+    except KeyboardInterrupt:
+        print("interrupted", file=sys.stderr)
+        return 130
 
 
 if __name__ == "__main__":

@@ -41,7 +41,9 @@ def _canonical_bytes(secret: WatermarkSecret) -> bytes:
         "trigger_X": [[float(v).hex() for v in row] for row in secret.trigger_X],
         "trigger_y": [int(v) for v in secret.trigger_y],
     }
-    return json.dumps(payload, sort_keys=True, separators=(",", ":")).encode("utf-8")
+    return json.dumps(
+        payload, sort_keys=True, separators=(",", ":"), allow_nan=False
+    ).encode("utf-8")
 
 
 @dataclass(frozen=True)

@@ -19,7 +19,7 @@ from .._validation import (
     check_X_y,
 )
 from ..exceptions import NotFittedError, ValidationError
-from ..trees.compiled import ensure_compiled, lazy_compiled
+from ..trees.compiled import ensure_compiled, lazy_compiled, model_lock
 from ..trees.regression import RegressionTree
 from .compiled import CompiledEnsemble, compile_boosted
 
@@ -111,28 +111,31 @@ class GradientBoostingClassifier:
     def _materialize_trees(self) -> None:
         from ..exceptions import SerializationError
 
-        engine = self._compiled_
-        assert engine is not None  # _adopt_lazy always installs one
-        roots = engine.to_roots()
-        trees = []
-        for root in roots:
-            tree = RegressionTree(
-                max_depth=self.max_depth,
-                min_samples_leaf=self.min_samples_leaf,
-            )
-            tree.root_ = root
-            tree.n_features_in_ = self.n_features_in_
-            trees.append(tree)
-        probe = np.random.default_rng(0).standard_normal((8, self.n_features_in_))
-        expected = np.stack([tree.predict(probe) for tree in trees])
-        if not np.array_equal(engine.predict_all(probe), expected):
-            raise SerializationError(
-                "compiled node table disagrees with its reconstructed object "
-                "graph on a probe batch; refusing to materialise it"
-            )
-        self._trees_ = trees
-        self._lazy_key_ = None
-        self._compiled_sources_ = tuple(tree.root_ for tree in trees)
+        with model_lock(self):
+            if self._trees_ is not None:  # another thread won the race
+                return
+            engine = self._compiled_
+            assert engine is not None  # _adopt_lazy always installs one
+            roots = engine.to_roots()
+            trees = []
+            for root in roots:
+                tree = RegressionTree(
+                    max_depth=self.max_depth,
+                    min_samples_leaf=self.min_samples_leaf,
+                )
+                tree.root_ = root
+                tree.n_features_in_ = self.n_features_in_
+                trees.append(tree)
+            probe = np.random.default_rng(0).standard_normal((8, self.n_features_in_))
+            expected = np.stack([tree.predict(probe) for tree in trees])
+            if not np.array_equal(engine.predict_all(probe), expected):
+                raise SerializationError(
+                    "compiled node table disagrees with its reconstructed object "
+                    "graph on a probe batch; refusing to materialise it"
+                )
+            self._trees_ = trees
+            self._lazy_key_ = None
+            self._compiled_sources_ = tuple(tree.root_ for tree in trees)
 
     def __getstate__(self) -> dict:
         if self._mmap_source_ is not None and self._trees_ is None:

@@ -24,7 +24,7 @@ from .._validation import (
 )
 from ..exceptions import NotFittedError, ValidationError
 from ..parallel import partition, resolve_n_jobs, run_batches, shared_payload
-from ..trees.compiled import adopt_compiled, ensure_compiled, lazy_compiled
+from ..trees.compiled import adopt_compiled, ensure_compiled, lazy_compiled, model_lock
 from ..trees.presort import adopt_presort, presorted_dataset
 from ..trees.export import ensemble_structure
 from ..trees.tree import DecisionTreeClassifier
@@ -415,14 +415,17 @@ class RandomForestClassifier:
         return trees
 
     def _materialize_trees(self) -> None:
-        engine = self._compiled_
-        assert engine is not None  # _adopt_lazy always installs one
-        trees = self._trees_from_engine(engine)
-        self._trees_ = trees
-        self._lazy_key_ = None
-        # Re-pin the engine cache to the real roots so it stays fresh
-        # across the materialisation boundary.
-        adopt_compiled(self, tuple(tree.root_ for tree in trees), engine)
+        with model_lock(self):
+            if self._trees_ is not None:  # another thread won the race
+                return
+            engine = self._compiled_
+            assert engine is not None  # _adopt_lazy always installs one
+            trees = self._trees_from_engine(engine)
+            self._trees_ = trees
+            self._lazy_key_ = None
+            # Re-pin the engine cache to the real roots so it stays fresh
+            # across the materialisation boundary.
+            adopt_compiled(self, tuple(tree.root_ for tree in trees), engine)
 
     def compile(self) -> CompiledEnsemble:
         """Pack all trees into one compiled node table (cached).

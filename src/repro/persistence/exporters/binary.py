@@ -99,7 +99,9 @@ def _model_sections(model) -> tuple[list[tuple[str, np.ndarray]], dict]:
         sections.append(("trigger_X", np.ascontiguousarray(model.trigger.X, dtype=np.float64)))
         sections.append(("trigger_y", np.ascontiguousarray(model.trigger.y, dtype=np.int64)))
         sections.append(("trigger_idx", np.ascontiguousarray(model.trigger.indices, dtype=np.int64)))
-        secret = json.dumps({"signature": model.signature.to_string()}).encode("utf-8")
+        secret = json.dumps(
+            {"signature": model.signature.to_string()}, allow_nan=False
+        ).encode("utf-8")
         sections.append(("secret_json", np.frombuffer(secret, dtype=np.uint8)))
         return sections, trailer
     if isinstance(model, RandomForestClassifier):
@@ -203,7 +205,9 @@ class BinaryExporter(Exporter):
                 }
             )
             offset = _aligned(offset + len(data))
-        trailer_bytes = json.dumps(trailer, sort_keys=True).encode("utf-8")
+        trailer_bytes = json.dumps(trailer, sort_keys=True, allow_nan=False).encode(
+            "utf-8"
+        )
         trailer_offset = offset
 
         table = b"".join(

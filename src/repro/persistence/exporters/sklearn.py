@@ -150,7 +150,8 @@ class SklearnExporter(Exporter):
                 f"the sklearn exporter cannot serialise {type(model).__name__!r}"
             )
         arrays["meta_json"] = np.frombuffer(
-            json.dumps(meta, sort_keys=True).encode("utf-8"), dtype=np.uint8
+            json.dumps(meta, sort_keys=True, allow_nan=False).encode("utf-8"),
+            dtype=np.uint8,
         )
         with open(path, "wb") as fh:
             np.savez(fh, **arrays)

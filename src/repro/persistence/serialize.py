@@ -512,7 +512,11 @@ def secret_from_dict(data: dict) -> WatermarkSecret:
 
 def save_json(data: dict, path) -> None:
     """Write a serialised artefact to disk."""
-    Path(path).write_text(json.dumps(data), encoding="utf-8")
+    # allow_nan=False: artefacts must be strict RFC 8259 JSON.  The
+    # node-table serializers already map non-finite sentinels (the +inf
+    # leaf threshold) to null, so a non-finite float here is a bug in
+    # the caller, not a representable value.
+    Path(path).write_text(json.dumps(data, allow_nan=False), encoding="utf-8")
 
 
 def load_json(path) -> dict:

@@ -1,0 +1,28 @@
+"""Verification-as-a-service: serve watermarked ensembles over HTTP.
+
+The paper's deployment made concrete — an asyncio daemon hosting a
+registry of models behind the per-tree ``predict.all`` interface, with
+request micro-batching onto the compiled engine, per-model backpressure,
+a streaming Table-2 observer over everything served, and a judge-facing
+``/verify`` endpoint.  See :mod:`repro.serve.http` for the wire surface
+and ``docs/serving.md`` for the deployment-vs-paper mapping.
+"""
+
+from .batching import Backpressure, MicroBatcher
+from .client import ServeClient, ServeClientError, ServingUnavailable
+from .http import HTTPError, ServingDaemon
+from .registry import ModelRegistry, ServedModel
+from .testing import BackgroundServer
+
+__all__ = [
+    "Backpressure",
+    "BackgroundServer",
+    "HTTPError",
+    "MicroBatcher",
+    "ModelRegistry",
+    "ServeClient",
+    "ServeClientError",
+    "ServedModel",
+    "ServingDaemon",
+    "ServingUnavailable",
+]

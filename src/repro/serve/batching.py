@@ -1,0 +1,185 @@
+"""Request micro-batching onto single compiled ``predict_all`` calls.
+
+The compiled engine's descent cost is per *level*, not per row: one
+fused call over 256 coalesced rows costs barely more than one call over
+a single row.  The :class:`MicroBatcher` exploits that — concurrent
+requests enqueue their row blocks, and everything that arrives within
+``flush_window`` seconds (or until ``max_batch_rows`` accumulate) runs
+through the runner as one matrix, each request getting back its own
+column slice of the ``(n_trees, rows)`` result.
+
+Backpressure is row-based: when the backlog (queued + executing rows)
+exceeds ``max_queue_rows``, :meth:`submit` raises :class:`Backpressure`
+immediately instead of letting latency grow without bound; the HTTP
+layer translates that into ``429`` + ``Retry-After``.  ``max_concurrent``
+bounds fused engine calls in flight so a single model cannot monopolise
+the executor.
+
+All coordination state lives on the event loop (submit/flush run only
+there); the blocking engine call is pushed to a thread executor.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import math
+
+import numpy as np
+
+__all__ = ["Backpressure", "MicroBatcher"]
+
+
+class Backpressure(Exception):
+    """Raised by :meth:`MicroBatcher.submit` when the backlog is full."""
+
+    def __init__(self, retry_after: float, depth: int) -> None:
+        super().__init__(
+            f"backlog full ({depth} rows queued); retry in {retry_after:.3f}s"
+        )
+        self.retry_after = float(retry_after)
+        self.depth = int(depth)
+
+    @property
+    def retry_after_seconds(self) -> int:
+        """``Retry-After`` header value (whole seconds, at least 1)."""
+        return max(1, math.ceil(self.retry_after))
+
+
+class MicroBatcher:
+    """Coalesce concurrent row blocks into fused runner calls.
+
+    ``runner`` maps an ``(n, n_features)`` matrix to an ``(n_trees, n)``
+    per-tree prediction matrix; it executes on ``executor`` (the loop's
+    default thread pool when ``None``).  ``flush_window <= 0`` disables
+    coalescing: every request flushes immediately (the "naive" serving
+    baseline the benchmark compares against).
+    """
+
+    def __init__(
+        self,
+        runner,
+        *,
+        flush_window: float = 0.002,
+        max_batch_rows: int = 512,
+        max_queue_rows: int = 8192,
+        max_concurrent: int = 2,
+        executor=None,
+    ) -> None:
+        self._runner = runner
+        self._flush_window = float(flush_window)
+        self._max_batch_rows = max(1, int(max_batch_rows))
+        self._max_queue_rows = max(1, int(max_queue_rows))
+        self._executor = executor
+        self._semaphore = asyncio.Semaphore(max(1, int(max_concurrent)))
+
+        self._pending: list[tuple[np.ndarray, asyncio.Future]] = []
+        self._pending_rows = 0
+        self._inflight_rows = 0
+        self._flush_handle: asyncio.TimerHandle | None = None
+        self._tasks: set[asyncio.Task] = set()
+
+        # Telemetry for /v1/models and the benchmark table.
+        self.n_requests = 0
+        self.n_calls = 0
+        self.n_rows = 0
+        self.n_rejected = 0
+
+    # -- introspection --------------------------------------------------
+
+    @property
+    def backlog_rows(self) -> int:
+        """Rows queued or executing right now."""
+        return self._pending_rows + self._inflight_rows
+
+    @property
+    def coalescing(self) -> float:
+        """Mean rows per fused engine call so far (1.0 = no batching)."""
+        return self.n_rows / self.n_calls if self.n_calls else 0.0
+
+    def stats(self) -> dict:
+        return {
+            "n_requests": self.n_requests,
+            "n_calls": self.n_calls,
+            "n_rows": self.n_rows,
+            "n_rejected": self.n_rejected,
+            "backlog_rows": self.backlog_rows,
+            "rows_per_call": self.coalescing,
+        }
+
+    # -- the hot path ---------------------------------------------------
+
+    async def submit(self, X: np.ndarray) -> np.ndarray:
+        """Enqueue ``X`` and await its ``(n_trees, len(X))`` result slice.
+
+        Raises :class:`Backpressure` without queueing when the backlog
+        cannot absorb the block.
+        """
+        n = int(X.shape[0])
+        if n == 0:
+            raise ValueError("cannot submit an empty batch")
+        if self.backlog_rows + n > self._max_queue_rows:
+            self.n_rejected += 1
+            raise Backpressure(
+                retry_after=max(2.0 * self._flush_window, 0.05),
+                depth=self.backlog_rows,
+            )
+        loop = asyncio.get_running_loop()
+        future: asyncio.Future = loop.create_future()
+        self._pending.append((X, future))
+        self._pending_rows += n
+        self.n_requests += 1
+
+        if self._pending_rows >= self._max_batch_rows or self._flush_window <= 0:
+            self._flush_now()
+        elif self._flush_handle is None:
+            self._flush_handle = loop.call_later(self._flush_window, self._flush_now)
+        return await future
+
+    def _flush_now(self) -> None:
+        if self._flush_handle is not None:
+            self._flush_handle.cancel()
+            self._flush_handle = None
+        if not self._pending:
+            return
+        pending = self._pending
+        rows = self._pending_rows
+        self._pending = []
+        self._pending_rows = 0
+        self._inflight_rows += rows
+        task = asyncio.ensure_future(self._run(pending, rows))
+        self._tasks.add(task)
+        task.add_done_callback(self._tasks.discard)
+
+    async def _run(self, pending, rows: int) -> None:
+        try:
+            async with self._semaphore:
+                loop = asyncio.get_running_loop()
+                if len(pending) == 1:
+                    X = pending[0][0]
+                else:
+                    X = np.concatenate([block for block, _ in pending], axis=0)
+                try:
+                    y_all = await loop.run_in_executor(
+                        self._executor, self._runner, X
+                    )
+                except Exception as exc:  # noqa: BLE001 - forwarded per request
+                    for _, future in pending:
+                        if not future.done():
+                            future.set_exception(exc)
+                    return
+                self.n_calls += 1
+                self.n_rows += rows
+                offset = 0
+                for block, future in pending:
+                    stop = offset + block.shape[0]
+                    if not future.done():
+                        future.set_result(y_all[:, offset:stop])
+                    offset = stop
+        finally:
+            self._inflight_rows -= rows
+
+    async def drain(self) -> None:
+        """Flush the queue and wait for every in-flight call to finish."""
+        self._flush_now()
+        while self._tasks:
+            await asyncio.gather(*tuple(self._tasks), return_exceptions=True)

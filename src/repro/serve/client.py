@@ -1,0 +1,125 @@
+"""Minimal blocking client for the serving daemon.
+
+Built on :mod:`http.client` (stdlib, keep-alive reused connection) so
+tests, CI smoke scripts and the serving benchmark can talk to the
+daemon without any HTTP dependency.  Library consumers integrating a
+real service should use their own client stack; this one exists so the
+repo is self-contained.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+
+from .._jsonsafe import dumps
+from ..exceptions import ReproError
+
+__all__ = ["ServeClient", "ServingUnavailable", "ServeClientError"]
+
+
+class ServeClientError(ReproError):
+    """The daemon answered with a non-success status."""
+
+    def __init__(self, status: int, payload: dict) -> None:
+        message = payload.get("error", "") if isinstance(payload, dict) else ""
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = int(status)
+        self.payload = payload
+
+
+class ServingUnavailable(ServeClientError):
+    """429 backpressure: retry after ``retry_after`` seconds."""
+
+    def __init__(self, status: int, payload: dict, retry_after: float) -> None:
+        super().__init__(status, payload)
+        self.retry_after = float(retry_after)
+
+
+class ServeClient:
+    """One persistent connection to a :class:`~repro.serve.ServingDaemon`."""
+
+    def __init__(self, host: str, port: int, timeout: float = 30.0) -> None:
+        self.host = host
+        self.port = int(port)
+        self._conn = http.client.HTTPConnection(host, int(port), timeout=timeout)
+
+    # -- transport ------------------------------------------------------
+
+    def request(
+        self, method: str, path: str, payload: dict | None = None
+    ) -> tuple[int, dict, dict]:
+        """One round trip; returns ``(status, body, headers)`` raw."""
+        body = None
+        headers = {}
+        if payload is not None:
+            body = dumps(payload)
+            headers["Content-Type"] = "application/json"
+        self._conn.request(method, path, body=body, headers=headers)
+        response = self._conn.getresponse()
+        raw = response.read()
+        data = json.loads(raw.decode("utf-8")) if raw else {}
+        return response.status, data, dict(response.getheaders())
+
+    def _checked(self, method: str, path: str, payload: dict | None = None) -> dict:
+        status, data, headers = self.request(method, path, payload)
+        if status == 429:
+            retry_after = float(headers.get("Retry-After", 1))
+            raise ServingUnavailable(status, data, retry_after)
+        if status >= 400:
+            raise ServeClientError(status, data)
+        return data
+
+    def close(self) -> None:
+        self._conn.close()
+
+    def __enter__(self) -> "ServeClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- endpoints ------------------------------------------------------
+
+    def health(self) -> dict:
+        return self._checked("GET", "/healthz")
+
+    def models(self) -> list[dict]:
+        return self._checked("GET", "/v1/models")["models"]
+
+    def predict(self, name: str, rows) -> dict:
+        return self._checked(
+            "POST", f"/v1/models/{name}/predict", {"rows": _listify(rows)}
+        )
+
+    def predict_all(self, name: str, rows) -> dict:
+        return self._checked(
+            "POST", f"/v1/models/{name}/predict_all", {"rows": _listify(rows)}
+        )
+
+    def verify(
+        self,
+        name: str,
+        signature: str,
+        *,
+        strategy: str = "bands",
+        mode: str = "strict",
+        trigger_rows=None,
+        trigger_labels=None,
+    ) -> dict:
+        payload: dict = {"signature": signature, "strategy": strategy, "mode": mode}
+        if trigger_rows is not None:
+            payload["trigger_rows"] = _listify(trigger_rows)
+            payload["trigger_labels"] = _listify(trigger_labels)
+        return self._checked("POST", f"/v1/models/{name}/verify", payload)
+
+    def calibrate(self, name: str, rows) -> dict:
+        return self._checked(
+            "POST", f"/v1/models/{name}/calibrate", {"rows": _listify(rows)}
+        )
+
+
+def _listify(value):
+    """numpy arrays → nested lists; anything else passes through."""
+    tolist = getattr(value, "tolist", None)
+    return tolist() if callable(tolist) else value

@@ -1,0 +1,487 @@
+"""Asyncio HTTP/1.1 serving daemon — stdlib only, no framework.
+
+The deployment surface the paper's threat model assumes: the owner
+hosts watermarked forests behind a per-tree query interface, millions of
+black-box queries stream through it, and the judge can run the Table-2
+verification protocol over exactly that served traffic.
+
+Endpoints (all JSON; strict RFC 8259 — never ``Infinity``/``NaN``):
+
+``GET  /healthz``
+    Liveness + drain state.
+``GET  /v1/models``
+    Registry listing with per-model batcher statistics.
+``POST /v1/models/{name}/predict``
+    ``{"rows": [[...], ...]}`` → majority-vote labels.
+``POST /v1/models/{name}/predict_all``
+    ``{"rows": [[...], ...]}`` → per-tree label matrix
+    (``(n_trees, n_rows)``) — the ``predict.all`` interface.
+``POST /v1/models/{name}/verify``
+    Judge protocol: ``{"signature": "0101...", "strategy": "bands",
+    "mode": "strict", "trigger_rows": [[...]], "trigger_labels":
+    [...]}``.  Trigger probes are served through the same micro-batched
+    path as any other traffic (they *are* traffic); the response carries
+    the trigger-set ownership report and the Table-2 detection verdict
+    over everything the model has served.
+``POST /v1/models/{name}/calibrate``
+    ``{"rows": [[...]]}`` → calibrate the streaming observer's benign
+    baseline so its sequential alarm becomes meaningful.
+
+Framing is hand-rolled over ``asyncio`` streams: request line, headers,
+``Content-Length`` body, persistent connections.  Engine calls run on a
+thread executor via the per-model :class:`~repro.serve.batching.MicroBatcher`,
+which also provides row-based backpressure (full backlog → ``429`` with
+``Retry-After``).  :meth:`ServingDaemon.drain` implements graceful
+shutdown: stop accepting, flush every batcher, let in-flight responses
+complete, then close lingering connections.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+import numpy as np
+
+from .._jsonsafe import dumps, finite_or_none, json_safe
+from ..attacks.detection import DetectionResult
+from ..core.signature import Signature
+from ..core.verification import match_signature
+from ..exceptions import ReproError, ValidationError
+from .batching import Backpressure, MicroBatcher
+from .registry import ModelRegistry, ServedModel
+
+__all__ = ["HTTPError", "ServingDaemon"]
+
+_REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    409: "Conflict",
+    413: "Payload Too Large",
+    429: "Too Many Requests",
+    431: "Request Header Fields Too Large",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+_MAX_HEADERS = 100
+
+
+class HTTPError(Exception):
+    """A request failure with a definite status code."""
+
+    def __init__(self, status: int, message: str, headers: tuple = ()) -> None:
+        super().__init__(message)
+        self.status = int(status)
+        self.message = message
+        self.headers = tuple(headers)
+
+
+async def _read_request(reader: asyncio.StreamReader, *, max_body: int):
+    """Parse one request; ``None`` when the peer closed the connection."""
+    # One await for the whole request head: at thousands of requests
+    # per second the per-await event-loop hop is a measurable cost, so
+    # the request line and headers are read with a single ``readuntil``
+    # (the reader's buffer limit bounds the head size → 431 beyond it).
+    try:
+        head = await reader.readuntil(b"\r\n\r\n")
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None
+        raise HTTPError(400, "truncated request head") from None
+    except asyncio.LimitOverrunError:
+        raise HTTPError(431, "request head too large") from None
+    except ConnectionResetError:
+        return None
+    lines = head[:-4].split(b"\r\n")
+    try:
+        method, target, _version = lines[0].decode("latin-1").split()
+    except ValueError:
+        raise HTTPError(400, "malformed request line") from None
+    if len(lines) - 1 > _MAX_HEADERS:
+        raise HTTPError(431, "too many header fields")
+
+    headers: dict[str, str] = {}
+    for raw in lines[1:]:
+        name, sep, value = raw.decode("latin-1").partition(":")
+        if sep:
+            headers[name.strip().lower()] = value.strip()
+
+    try:
+        length = int(headers.get("content-length", "0"))
+    except ValueError:
+        raise HTTPError(400, "bad Content-Length") from None
+    if length < 0:
+        raise HTTPError(400, "bad Content-Length")
+    if length > max_body:
+        raise HTTPError(413, f"body of {length} bytes exceeds limit {max_body}")
+    body = b""
+    if length:
+        try:
+            body = await reader.readexactly(length)
+        except (ConnectionResetError, asyncio.IncompleteReadError):
+            return None
+    return method.upper(), target, headers, body
+
+
+def _encode_response(
+    status: int, payload: dict, *, keep_alive: bool, extra: tuple = ()
+) -> bytes:
+    try:
+        # Fast path: handlers build plain-typed payloads, and strict
+        # ``dumps`` (allow_nan=False) rejects anything that is not —
+        # the ``json_safe`` walk is only paid on the rare payload that
+        # still carries numpy scalars or non-finite floats.
+        body = dumps(payload).encode("utf-8")
+    except (TypeError, ValueError):
+        body = dumps(json_safe(payload)).encode("utf-8")
+    lines = [
+        f"HTTP/1.1 {status} {_REASONS.get(status, 'OK')}",
+        "Content-Type: application/json",
+        f"Content-Length: {len(body)}",
+        f"Connection: {'keep-alive' if keep_alive else 'close'}",
+    ]
+    lines.extend(f"{name}: {value}" for name, value in extra)
+    return ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1") + body
+
+
+def _parse_json(body: bytes) -> dict:
+    try:
+        data = json.loads(body.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise HTTPError(400, f"request body is not valid JSON: {exc}") from None
+    if not isinstance(data, dict):
+        raise HTTPError(400, "request body must be a JSON object")
+    return data
+
+
+def _parse_rows(data: dict, served: ServedModel, key: str = "rows") -> np.ndarray:
+    if key not in data:
+        raise HTTPError(400, f"request needs a {key!r} array")
+    try:
+        X = np.asarray(data[key], dtype=np.float64)
+    except (TypeError, ValueError) as exc:
+        raise HTTPError(400, f"{key!r} is not a numeric matrix: {exc}") from None
+    if X.ndim == 1:
+        X = X.reshape(1, -1)
+    if X.ndim != 2 or X.shape[0] == 0:
+        raise HTTPError(400, f"{key!r} must be a non-empty 2-D matrix")
+    if served.n_features is not None and X.shape[1] != served.n_features:
+        raise HTTPError(
+            400,
+            f"model {served.name!r} expects {served.n_features} features, "
+            f"rows have {X.shape[1]}",
+        )
+    return X
+
+
+def _detection_to_dict(result: DetectionResult) -> dict:
+    return {
+        "strategy": result.strategy,
+        "statistic": result.statistic,
+        "mean": finite_or_none(result.mean),
+        "std": finite_or_none(result.std),
+        "predicted": list(result.predicted),
+        "n_correct": int(result.n_correct),
+        "n_wrong": int(result.n_wrong),
+        "n_uncertain": int(result.n_uncertain),
+        "recovery_rate": finite_or_none(result.recovery_rate),
+    }
+
+
+class ServingDaemon:
+    """Serve a :class:`~repro.serve.registry.ModelRegistry` over HTTP."""
+
+    def __init__(
+        self,
+        registry: ModelRegistry,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        flush_window: float = 0.002,
+        max_batch_rows: int = 512,
+        max_queue_rows: int = 8192,
+        max_concurrent_batches: int = 2,
+        max_body_bytes: int = 16 << 20,
+        drain_grace: float = 5.0,
+    ) -> None:
+        if len(registry) == 0:
+            raise ValidationError("the registry hosts no models")
+        self.registry = registry
+        self._host = host
+        self._port = int(port)
+        self._flush_window = float(flush_window)
+        self._max_batch_rows = int(max_batch_rows)
+        self._max_queue_rows = int(max_queue_rows)
+        self._max_concurrent = int(max_concurrent_batches)
+        self._max_body_bytes = int(max_body_bytes)
+        self._drain_grace = float(drain_grace)
+
+        self._server: asyncio.AbstractServer | None = None
+        self._batchers: dict[str, MicroBatcher] = {}
+        self._connections: set[asyncio.StreamWriter] = set()
+        self._busy: set[asyncio.StreamWriter] = set()
+        self._handlers: set[asyncio.Task] = set()
+        self._draining = False
+
+    # -- lifecycle ------------------------------------------------------
+
+    async def start(self) -> None:
+        for served in self.registry:
+            self._batchers[served.name] = MicroBatcher(
+                served.serve_batch,
+                flush_window=self._flush_window,
+                max_batch_rows=self._max_batch_rows,
+                max_queue_rows=self._max_queue_rows,
+                max_concurrent=self._max_concurrent,
+            )
+        self._server = await asyncio.start_server(
+            self._handle_connection, self._host, self._port
+        )
+
+    @property
+    def address(self) -> tuple[str, int]:
+        """The bound ``(host, port)`` — resolves ``port=0`` ephemera."""
+        assert self._server is not None, "daemon not started"
+        name = self._server.sockets[0].getsockname()
+        return name[0], name[1]
+
+    @property
+    def draining(self) -> bool:
+        return self._draining
+
+    def batcher(self, name: str) -> MicroBatcher:
+        return self._batchers[name]
+
+    async def drain(self) -> None:
+        """Graceful shutdown: refuse, flush, finish, close.
+
+        Stops accepting connections, flushes every model's pending
+        micro-batches, gives in-flight requests ``drain_grace`` seconds
+        to write their responses, then closes whatever remains.
+        """
+        self._draining = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        for batcher in self._batchers.values():
+            await batcher.drain()
+        loop = asyncio.get_running_loop()
+        deadline = loop.time() + self._drain_grace
+        while True:
+            # Idle keep-alive connections are parked in readline();
+            # close them so only in-flight requests hold the drain.
+            for writer in list(self._connections):
+                if writer not in self._busy:
+                    writer.close()
+            if not self._busy or loop.time() >= deadline:
+                break
+            await asyncio.sleep(0.02)
+        for writer in list(self._connections):
+            writer.close()
+        # Closed transports wake their parked handlers; wait for them so
+        # the caller can stop the loop without destroying pending tasks.
+        if self._handlers:
+            await asyncio.wait(tuple(self._handlers), timeout=2.0)
+
+    # -- connection handling --------------------------------------------
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._handlers.add(task)
+            task.add_done_callback(self._handlers.discard)
+        self._connections.add(writer)
+        try:
+            while True:
+                try:
+                    request = await _read_request(
+                        reader, max_body=self._max_body_bytes
+                    )
+                except HTTPError as exc:
+                    writer.write(
+                        _encode_response(
+                            exc.status,
+                            {"error": exc.message},
+                            keep_alive=False,
+                            extra=exc.headers,
+                        )
+                    )
+                    await writer.drain()
+                    break
+                if request is None:
+                    break
+                method, target, headers, body = request
+                self._busy.add(writer)
+                try:
+                    keep_alive = (
+                        not self._draining
+                        and headers.get("connection", "keep-alive").lower()
+                        != "close"
+                    )
+                    status, payload, extra = await self._respond(
+                        method, target, body
+                    )
+                    writer.write(
+                        _encode_response(
+                            status, payload, keep_alive=keep_alive, extra=extra
+                        )
+                    )
+                    await writer.drain()
+                finally:
+                    self._busy.discard(writer)
+                if not keep_alive:
+                    break
+        except (ConnectionResetError, BrokenPipeError, asyncio.IncompleteReadError):
+            pass
+        finally:
+            self._connections.discard(writer)
+            self._busy.discard(writer)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+
+    async def _respond(self, method: str, target: str, body: bytes):
+        """Dispatch and translate failures into status codes."""
+        try:
+            payload = await self._dispatch(method, target, body)
+            return 200, payload, ()
+        except HTTPError as exc:
+            return exc.status, {"error": exc.message}, exc.headers
+        except Backpressure as exc:
+            payload = {"error": str(exc), "retry_after": exc.retry_after}
+            return 429, payload, (("Retry-After", str(exc.retry_after_seconds)),)
+        except ReproError as exc:
+            return 400, {"error": str(exc)}, ()
+        except Exception as exc:  # noqa: BLE001 - a 500 must not kill the loop
+            return 500, {"error": f"internal error: {exc!r}"}, ()
+
+    # -- routing --------------------------------------------------------
+
+    async def _dispatch(self, method: str, target: str, body: bytes) -> dict:
+        path = target.split("?", 1)[0].rstrip("/") or "/"
+        if path == "/healthz":
+            self._require(method, "GET")
+            return {
+                "status": "draining" if self._draining else "ok",
+                "models": self.registry.names(),
+            }
+        if path == "/v1/models":
+            self._require(method, "GET")
+            return {
+                "models": [
+                    {**served.info(), "batching": self._batchers[served.name].stats()}
+                    for served in self.registry
+                ]
+            }
+        parts = path.strip("/").split("/")
+        if len(parts) == 4 and parts[0] == "v1" and parts[1] == "models":
+            name, action = parts[2], parts[3]
+            try:
+                served = self.registry.get(name)
+            except ValidationError:
+                raise HTTPError(
+                    404,
+                    f"no model named {name!r}; hosting: {self.registry.names()}",
+                ) from None
+            if action == "predict":
+                self._require(method, "POST")
+                return await self._predict(served, body, per_tree=False)
+            if action == "predict_all":
+                self._require(method, "POST")
+                return await self._predict(served, body, per_tree=True)
+            if action == "verify":
+                self._require(method, "POST")
+                return await self._verify(served, body)
+            if action == "calibrate":
+                self._require(method, "POST")
+                return self._calibrate(served, body)
+        raise HTTPError(404, f"no route for {path!r}")
+
+    @staticmethod
+    def _require(method: str, expected: str) -> None:
+        if method != expected:
+            raise HTTPError(405, f"method {method} not allowed; use {expected}")
+
+    # -- handlers -------------------------------------------------------
+
+    async def _predict(self, served: ServedModel, body: bytes, *, per_tree: bool):
+        X = _parse_rows(_parse_json(body), served)
+        y_all = await self._batchers[served.name].submit(X)
+        if per_tree:
+            return {
+                "model": served.name,
+                "n_trees": int(y_all.shape[0]),
+                "n_rows": int(y_all.shape[1]),
+                "per_tree": y_all.tolist(),
+            }
+        labels = served.labels(y_all)
+        return {
+            "model": served.name,
+            "n_rows": int(labels.shape[0]),
+            "predictions": labels.tolist(),
+        }
+
+    async def _verify(self, served: ServedModel, body: bytes) -> dict:
+        data = _parse_json(body)
+        if "signature" not in data:
+            raise HTTPError(400, "verify needs a 'signature' bit string")
+        try:
+            signature = Signature.from_string(str(data["signature"]))
+        except ReproError as exc:
+            raise HTTPError(400, f"bad signature: {exc}") from None
+        strategy = str(data.get("strategy", "bands"))
+        mode = str(data.get("mode", "strict"))
+
+        response: dict = {
+            "model": served.name,
+            "signature_length": len(signature),
+        }
+
+        if "trigger_rows" in data or "trigger_labels" in data:
+            if "trigger_rows" not in data or "trigger_labels" not in data:
+                raise HTTPError(
+                    400, "trigger_rows and trigger_labels must come together"
+                )
+            X = _parse_rows(data, served, key="trigger_rows")
+            try:
+                y = np.asarray(data["trigger_labels"], dtype=np.int64)
+            except (TypeError, ValueError) as exc:
+                raise HTTPError(
+                    400, f"trigger_labels is not an integer vector: {exc}"
+                ) from None
+            # The judge's probe is traffic like any other: it goes
+            # through the micro-batched serving path and is folded into
+            # the streaming observer before the verdict below is taken.
+            y_all = await self._batchers[served.name].submit(X)
+            report = match_signature(y_all, y, signature, mode=mode)
+            response["ownership"] = {
+                "accepted": bool(report.accepted),
+                "mode": report.mode,
+                "n_matching": int(report.n_matching),
+                "n_trees": int(report.n_trees),
+                "per_tree_accuracy": report.per_tree_accuracy.tolist(),
+                "recovered_bits": list(report.recovered_bits),
+            }
+
+        if served.observer is not None and served.n_queries > 0:
+            result = served.detection(signature.bits, strategy)
+            response["traffic"] = _detection_to_dict(result)
+        response["observer"] = served.traffic_summary()
+        return response
+
+    def _calibrate(self, served: ServedModel, body: bytes) -> dict:
+        if served.observer is None:
+            raise HTTPError(
+                409,
+                f"model {served.name!r} has no traffic observer to calibrate",
+            )
+        X = _parse_rows(_parse_json(body), served)
+        served.calibrate(X)
+        return {"model": served.name, "calibrated": True, "n_reference": len(X)}

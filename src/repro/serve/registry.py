@@ -1,0 +1,228 @@
+"""Model registry for the serving daemon.
+
+A :class:`ServedModel` wraps one deployed ensemble with everything the
+daemon needs per model: the compiled inference engine, the per-tree
+query counters, and — when the label alphabet allows it — a streaming
+:class:`~repro.traffic.defenders.OnlineSuppressionDistinguisher` that
+folds every served batch into the Table-2 behavioural statistic.  This
+is the paper's deployment picture made literal: the owner serves
+``predict.all`` traffic, and the judge's verification protocol runs over
+exactly the queries the deployment answered.
+
+The observer state is mutated from the daemon's executor threads, so it
+is guarded by its own lock; the engine itself is immutable after
+compilation (the thread-safe lazy-compile path in
+:mod:`repro.trees.compiled` guarantees a single engine per model).
+"""
+
+from __future__ import annotations
+
+import threading
+from pathlib import Path
+
+import numpy as np
+
+from .._validation import check_X
+from ..attacks.detection import DetectionResult
+from ..ensemble.voting import majority_vote
+from ..exceptions import ValidationError
+from ..traffic.defenders import OnlineSuppressionDistinguisher
+
+__all__ = ["ModelRegistry", "ServedModel"]
+
+#: The label alphabet the streaming observer understands (the paper's
+#: binary classification setting).  Models over other alphabets are
+#: served without an observer: predict/predict_all still work, but the
+#: judge-facing traffic statistic is unavailable.
+_OBSERVER_CLASSES = np.array([-1, 1], dtype=np.int64)
+
+
+class ServedModel:
+    """One deployed model: compiled engine, counters, traffic observer."""
+
+    def __init__(
+        self,
+        name: str,
+        model,
+        *,
+        source: str | None = None,
+        alpha: float = 0.05,
+    ) -> None:
+        if not name or "/" in name:
+            raise ValidationError(
+                f"model name must be non-empty and slash-free, got {name!r}"
+            )
+        self.name = name
+        self.model = model
+        # A WatermarkedModel exposes its forest as ``.ensemble``; bare
+        # ensembles are served as-is.
+        self.ensemble = getattr(model, "ensemble", model)
+        compile_to_engine = getattr(self.ensemble, "compile", None)
+        if not callable(compile_to_engine):
+            raise ValidationError(
+                f"model {name!r} has no compile(); cannot serve it"
+            )
+        self.engine = compile_to_engine()
+        self.source = source
+        self.alpha = float(alpha)
+        self.n_features = int(getattr(self.ensemble, "n_features_in_", 0)) or None
+
+        self._observer_lock = threading.Lock()
+        self.observer: OnlineSuppressionDistinguisher | None = None
+        self.calibrated = False
+        if self.engine.classes is not None and np.array_equal(
+            np.sort(np.asarray(self.engine.classes)), _OBSERVER_CLASSES
+        ):
+            # Uncalibrated zeros baseline: the streaming *statistic*
+            # (rates / detection_result) is exact regardless; only the
+            # sequential alarm needs a benign baseline, so its verdict
+            # is reported iff ``calibrated``.
+            self.observer = OnlineSuppressionDistinguisher(
+                baseline_rates=np.zeros(self.engine.n_trees), alpha=alpha
+            )
+
+        self.n_queries = 0
+        self.n_batches = 0
+
+    # -- traffic --------------------------------------------------------
+
+    def serve_batch(self, X: np.ndarray) -> np.ndarray:
+        """Answer one fused per-tree query batch, observer watching.
+
+        This is the batcher's runner: it executes on daemon executor
+        threads, so the observer fold and counters sit behind a lock.
+        """
+        y_all = self.engine.predict_all(X)
+        with self._observer_lock:
+            if self.observer is not None:
+                self.observer.observe(X, y_all)
+            self.n_queries += X.shape[0]
+            self.n_batches += 1
+        return y_all
+
+    def labels(self, y_all: np.ndarray) -> np.ndarray:
+        """Majority-vote labels for a per-tree prediction matrix."""
+        if self.engine.classes is None:
+            raise ValidationError(
+                f"model {self.name!r} exposes no class labels "
+                "(boosted stage values); use predict_all"
+            )
+        return majority_vote(y_all, self.engine.classes)
+
+    def calibrate(self, X_reference) -> None:
+        """Install a benign-traffic baseline so the alarm can fire."""
+        X_reference = check_X(X_reference, name="X_reference")
+        observer = OnlineSuppressionDistinguisher.calibrate(
+            self.engine, X_reference, alpha=self.alpha
+        )
+        with self._observer_lock:
+            self.observer = observer
+            self.calibrated = True
+
+    def traffic_summary(self) -> dict:
+        """Observer standing over everything served so far (JSON-safe)."""
+        with self._observer_lock:
+            summary: dict = {
+                "n_queries": int(self.n_queries),
+                "n_batches": int(self.n_batches),
+                "observer": self.observer.name if self.observer else None,
+                "calibrated": bool(self.calibrated),
+            }
+            if self.observer is not None and self.n_queries > 0:
+                summary["rates"] = self.observer.rates().tolist()
+            if self.calibrated:
+                summary["alarm"] = self.observer.verdict().to_dict()
+        return summary
+
+    def detection(self, true_bits, strategy: str = "bands") -> DetectionResult:
+        """Table-2 detection over the served traffic (judge protocol)."""
+        if self.observer is None:
+            raise ValidationError(
+                f"model {self.name!r} has no traffic observer "
+                "(non-binary label alphabet)"
+            )
+        with self._observer_lock:
+            if self.n_queries == 0:
+                raise ValidationError(
+                    f"model {self.name!r} has served no traffic yet"
+                )
+            return self.observer.detection_result(true_bits, strategy)
+
+    # -- description ----------------------------------------------------
+
+    def info(self) -> dict:
+        """Registry-listing entry (JSON-safe)."""
+        return {
+            "name": self.name,
+            "n_trees": int(self.engine.n_trees),
+            "n_features": self.n_features,
+            "classes": (
+                None
+                if self.engine.classes is None
+                else [int(c) for c in self.engine.classes]
+            ),
+            "watermarked": self.model is not self.ensemble,
+            "source": self.source,
+            "n_queries": int(self.n_queries),
+            "observer": self.observer.name if self.observer else None,
+            "calibrated": bool(self.calibrated),
+        }
+
+    def describe(self) -> str:
+        """One-line human description for startup logs."""
+        kind = "watermarked" if self.model is not self.ensemble else "plain"
+        origin = f" from {self.source}" if self.source else ""
+        return (
+            f"{kind} ensemble, {self.engine.n_trees} trees, "
+            f"{self.n_features or '?'} features{origin}"
+        )
+
+
+class ModelRegistry:
+    """Named collection of :class:`ServedModel`\\ s hosted by one daemon."""
+
+    def __init__(self) -> None:
+        self._models: dict[str, ServedModel] = {}
+
+    def add(self, name: str, model, *, source: str | None = None,
+            alpha: float = 0.05) -> ServedModel:
+        """Register an in-memory model under ``name``."""
+        if name in self._models:
+            raise ValidationError(f"model {name!r} is already registered")
+        served = ServedModel(name, model, source=source, alpha=alpha)
+        self._models[name] = served
+        return served
+
+    def load(self, name: str, path, *, alpha: float = 0.05) -> ServedModel:
+        """Load an artefact and register it under ``name``.
+
+        Binary ``.rfbin`` artefacts are mapped zero-copy
+        (``mmap_mode="r"``): the daemon serves straight from the
+        file-backed node tables and worker processes share one page
+        cache.  Formats that cannot map fall back to a normal load.
+        """
+        from ..persistence import load as load_model
+
+        path = Path(path)
+        model = load_model(path, mmap_mode="r")
+        return self.add(name, model, source=str(path), alpha=alpha)
+
+    def get(self, name: str) -> ServedModel:
+        try:
+            return self._models[name]
+        except KeyError:
+            raise ValidationError(
+                f"no model named {name!r}; hosting: {sorted(self._models)}"
+            ) from None
+
+    def names(self) -> list[str]:
+        return sorted(self._models)
+
+    def __len__(self) -> int:
+        return len(self._models)
+
+    def __iter__(self):
+        return iter(self._models.values())
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._models

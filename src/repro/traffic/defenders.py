@@ -39,6 +39,7 @@ from statistics import NormalDist
 
 import numpy as np
 
+from .._jsonsafe import finite_or_none
 from .._validation import check_X
 from ..attacks.detection import behavioural_rates, detect_bits
 from ..ensemble.voting import majority_vote, vote_margin
@@ -73,12 +74,14 @@ class Verdict:
     fired_at: int | None = None
 
     def to_dict(self) -> dict:
+        # statistic/threshold are NaN before the first checkpoint;
+        # strict JSON has no NaN literal, so they serialize as null.
         return {
             "defender": self.defender,
             "fired": bool(self.fired),
             "n_queries": int(self.n_queries),
-            "statistic": float(self.statistic),
-            "threshold": float(self.threshold),
+            "statistic": finite_or_none(self.statistic),
+            "threshold": finite_or_none(self.threshold),
             "fired_at": None if self.fired_at is None else int(self.fired_at),
         }
 

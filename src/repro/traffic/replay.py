@@ -16,6 +16,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from .._jsonsafe import finite_or_none
 from ..exceptions import ValidationError
 from .base import QueryStream
 from .defenders import Verdict
@@ -54,6 +55,9 @@ class TrafficReport:
         )
 
     def to_dict(self) -> dict:
+        # ``queries_per_second`` is ``inf`` on zero-elapsed replays
+        # (empty streams, coarse clocks); JSON has no Infinity literal,
+        # so non-finite rates serialize as null.
         return {
             "stream": self.stream,
             "n_queries": int(self.n_queries),
@@ -61,7 +65,7 @@ class TrafficReport:
             "n_trigger_queries": int(self.n_trigger_queries),
             "source_counts": {k: int(v) for k, v in self.source_counts.items()},
             "elapsed_seconds": float(self.elapsed_seconds),
-            "queries_per_second": float(self.queries_per_second),
+            "queries_per_second": finite_or_none(self.queries_per_second),
             "verdicts": [verdict.to_dict() for verdict in self.verdicts],
         }
 

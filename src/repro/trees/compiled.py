@@ -46,6 +46,8 @@ prediction back through the object-graph traversal.
 from __future__ import annotations
 
 import os
+import threading
+import weakref
 from collections import deque
 from contextlib import contextmanager
 from dataclasses import dataclass
@@ -70,6 +72,7 @@ __all__ = [
     "lazy_compiled",
     "ensure_compiled",
     "adopt_compiled",
+    "model_lock",
     "get_inference_backend",
     "set_inference_backend",
     "inference_backend",
@@ -136,6 +139,35 @@ def inference_backend(name: str):
 # refits replace root objects rather than mutating nodes in place, so
 # replaced roots are detected, and holding strong references means a
 # recycled ``id()`` can never alias a dead root.
+#
+# Compilation and cache adoption are serialized per model: the serving
+# daemon (and any caller using threads) can land several first-touch
+# predictions on one freshly-loaded model at once, and without a lock
+# each would compile its own engine and race on the ``_compiled_`` /
+# ``_compiled_sources_`` pair.  The locks live in a module-level weak
+# mapping rather than on the instances because estimators are pickled
+# into worker processes (``__getstate__`` ships ``__dict__``) and lock
+# objects cannot cross that boundary.
+
+_MODEL_LOCKS: "weakref.WeakKeyDictionary" = weakref.WeakKeyDictionary()
+_MODEL_LOCKS_GUARD = threading.Lock()
+
+
+def model_lock(model) -> threading.RLock:
+    """The per-model lock serializing compile/materialize for ``model``.
+
+    Reentrant because compiling can re-enter through the same model: a
+    lazy-restored forest's ``builder()`` touches ``trees_``, which
+    triggers ``_materialize_trees`` under the same lock.
+    """
+    lock = _MODEL_LOCKS.get(model)
+    if lock is None:
+        with _MODEL_LOCKS_GUARD:
+            lock = _MODEL_LOCKS.get(model)
+            if lock is None:
+                lock = threading.RLock()
+                _MODEL_LOCKS[model] = lock
+    return lock
 
 
 def cached_engine(model, sources: tuple):
@@ -160,10 +192,18 @@ def adopt_compiled(model, sources: tuple, engine):
 
 
 def ensure_compiled(model, sources: tuple, builder):
-    """The cached engine, compiling via ``builder()`` if stale/absent."""
+    """The cached engine, compiling via ``builder()`` if stale/absent.
+
+    Thread-safe: concurrent callers double-check under the per-model
+    lock, so exactly one thread runs ``builder()`` and the losers adopt
+    the winner's engine.
+    """
     engine = cached_engine(model, sources)
     if engine is None:
-        engine = adopt_compiled(model, sources, builder())
+        with model_lock(model):
+            engine = cached_engine(model, sources)
+            if engine is None:
+                engine = adopt_compiled(model, sources, builder())
     return engine
 
 
@@ -173,6 +213,7 @@ def lazy_compiled(model, sources: tuple, n_rows: int, builder):
     Lazily compiles on the first batch of at least
     :data:`MIN_COMPILE_ROWS` rows; smaller batches fall back to the
     object-graph traversal unless an engine is already cached.
+    Compilation is serialized per model, like :func:`ensure_compiled`.
     """
     if get_inference_backend() != "compiled":
         return None
@@ -181,7 +222,11 @@ def lazy_compiled(model, sources: tuple, n_rows: int, builder):
         return engine
     if n_rows < MIN_COMPILE_ROWS:
         return None
-    return adopt_compiled(model, sources, builder())
+    with model_lock(model):
+        engine = cached_engine(model, sources)
+        if engine is None:
+            engine = adopt_compiled(model, sources, builder())
+    return engine
 
 
 # ----------------------------------------------------------------------

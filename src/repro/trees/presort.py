@@ -39,6 +39,7 @@ cached — true everywhere in this library, where re-weighting changes
 
 from __future__ import annotations
 
+import threading
 import weakref
 
 import numpy as np
@@ -283,6 +284,14 @@ def partition_ordering(
 _CACHE: list[SortedDataset] = []
 _STATS = {"hits": 0, "misses": 0, "adopted": 0}
 
+#: Serializes every cache lookup/insert: concurrent fits (the serving
+#: daemon's executor threads, user thread pools) must not race on the
+#: LRU list, and a miss holds the lock through the sort so the same
+#: matrix is presorted exactly once.  Reentrant because eviction runs
+#: from ``weakref.finalize`` callbacks, which a garbage-collection pass
+#: can trigger while the owning thread already holds the lock.
+_CACHE_LOCK = threading.RLock()
+
 
 def _make_ref(obj):
     """A callable resolving to ``obj`` — weakly when the type allows it.
@@ -298,7 +307,8 @@ def _make_ref(obj):
 
 
 def _prune_dead() -> None:
-    _CACHE[:] = [entry for entry in _CACHE if entry.X is not None]
+    with _CACHE_LOCK:
+        _CACHE[:] = [entry for entry in _CACHE if entry.X is not None]
 
 
 def presorted_dataset(X: np.ndarray) -> SortedDataset:
@@ -308,23 +318,27 @@ def presorted_dataset(X: np.ndarray) -> SortedDataset:
     exact, and the natural key for the repo's pipelines, which validate
     once and pass one array object through every retraining round.
     Entries whose training matrix has been garbage-collected are pruned.
+    Thread-safe: a miss keeps the cache lock through the sort, so eight
+    threads first-touching the same matrix build one presort, not eight.
     """
-    _prune_dead()
-    for position, entry in enumerate(_CACHE):
-        if entry.X is X:
-            if position:
-                _CACHE.insert(0, _CACHE.pop(position))
-            _STATS["hits"] += 1
-            return entry
-    entry = SortedDataset(X)
-    _insert(entry, X)
-    _STATS["misses"] += 1
-    return entry
+    with _CACHE_LOCK:
+        _prune_dead()
+        for position, entry in enumerate(_CACHE):
+            if entry.X is X:
+                if position:
+                    _CACHE.insert(0, _CACHE.pop(position))
+                _STATS["hits"] += 1
+                return entry
+        entry = SortedDataset(X)
+        _insert(entry, X)
+        _STATS["misses"] += 1
+        return entry
 
 
 def _insert(entry: SortedDataset, source) -> None:
-    _CACHE.insert(0, entry)
-    del _CACHE[_MAX_CACHED:]
+    with _CACHE_LOCK:
+        _CACHE.insert(0, entry)
+        del _CACHE[_MAX_CACHED:]
     try:
         # Evict eagerly when the training matrix dies, not just on the
         # next lookup — a fit-and-forget caller should leak nothing.
@@ -348,22 +362,25 @@ def adopt_presort(shared: object, X: np.ndarray) -> SortedDataset | None:
     """
     if not isinstance(shared, SortedDataset):
         return None
-    for entry in _CACHE:
-        if entry.X is X:
-            return entry
-    if not shared.matches(X):
-        return None
-    adopted = SortedDataset._from_tables(X, shared)
-    _insert(adopted, X)
-    _STATS["adopted"] += 1
-    return adopted
+    with _CACHE_LOCK:
+        for entry in _CACHE:
+            if entry.X is X:
+                return entry
+        if not shared.matches(X):
+            return None
+        adopted = SortedDataset._from_tables(X, shared)
+        _insert(adopted, X)
+        _STATS["adopted"] += 1
+        return adopted
 
 
 def clear_presort_cache() -> None:
     """Drop every cached presort (tests and cold-cache benchmarking)."""
-    _CACHE.clear()
+    with _CACHE_LOCK:
+        _CACHE.clear()
 
 
 def presort_cache_stats() -> dict[str, int]:
     """Counters (``hits`` / ``misses`` / ``adopted``) since import."""
-    return dict(_STATS)
+    with _CACHE_LOCK:
+        return dict(_STATS)

@@ -1,0 +1,171 @@
+"""Concurrency stress tests for the lazy compile/materialize paths.
+
+The serving daemon answers queries from executor threads, so the first
+concurrent batches on a freshly-loaded model all race into lazy
+compilation (fitted models) or tree materialisation (mmap restores).
+These tests hammer those first-touch paths from 8 threads and assert
+the double-checked locking contract: exactly one compile / one
+materialisation / one presort, with every thread seeing bitwise-equal
+outputs.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+import pytest
+
+import repro.ensemble.forest as forest_mod
+import repro.trees.presort as presort_mod
+from repro.datasets import breast_cancer_like
+from repro.ensemble import RandomForestClassifier
+from repro.persistence import load, save
+from repro.trees.presort import clear_presort_cache, presorted_dataset
+
+N_THREADS = 8
+
+
+def _hammer(worker, n_threads: int = N_THREADS) -> list:
+    """Run ``worker(slot)`` on ``n_threads`` barrier-synchronised threads."""
+    barrier = threading.Barrier(n_threads)
+    results: list = [None] * n_threads
+    errors: list = []
+
+    def run(slot: int) -> None:
+        try:
+            barrier.wait(timeout=30)
+            results[slot] = worker(slot)
+        except BaseException as exc:  # noqa: BLE001 - surfaced below
+            errors.append(exc)
+
+    threads = [threading.Thread(target=run, args=(i,)) for i in range(n_threads)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=60)
+    assert not errors, f"worker raised: {errors[0]!r}"
+    return results
+
+
+@pytest.fixture()
+def fitted_forest():
+    ds = breast_cancer_like(220, random_state=7)
+    return RandomForestClassifier(
+        n_estimators=8, max_depth=6, random_state=7
+    ).fit(ds.X, ds.y), ds.X
+
+
+class TestConcurrentLazyCompile:
+    def test_first_predict_all_compiles_exactly_once(
+        self, fitted_forest, monkeypatch
+    ):
+        forest, X = fitted_forest
+        calls: list[int] = []
+        real_compile = forest_mod.compile_forest
+
+        def counting(model):
+            calls.append(1)
+            return real_compile(model)
+
+        monkeypatch.setattr(forest_mod, "compile_forest", counting)
+        results = _hammer(lambda slot: forest.predict_all(X))
+
+        assert len(calls) == 1
+        for result in results[1:]:
+            assert np.array_equal(result, results[0])
+
+    def test_mixed_predict_predict_proba_single_compile(
+        self, fitted_forest, monkeypatch
+    ):
+        forest, X = fitted_forest
+        calls: list[int] = []
+        real_compile = forest_mod.compile_forest
+
+        def counting(model):
+            calls.append(1)
+            return real_compile(model)
+
+        monkeypatch.setattr(forest_mod, "compile_forest", counting)
+
+        def worker(slot: int):
+            if slot % 2:
+                return ("proba", forest.predict_proba(X))
+            return ("labels", forest.predict(X))
+
+        results = _hammer(worker)
+        assert len(calls) == 1
+        labels = [r[1] for r in results if r[0] == "labels"]
+        probas = [r[1] for r in results if r[0] == "proba"]
+        for other in labels[1:]:
+            assert np.array_equal(other, labels[0])
+        for other in probas[1:]:
+            assert np.array_equal(other, probas[0])
+
+
+class TestConcurrentLazyMaterialize:
+    @pytest.fixture()
+    def lazy_forest(self, fitted_forest, tmp_path):
+        forest, X = fitted_forest
+        path = tmp_path / "forest.rfbin"
+        save(forest, path, format="binary")
+        restored = load(path, mmap_mode="r")
+        assert restored._trees_ is None and restored._lazy_key_ is not None
+        return restored, X
+
+    def test_first_touch_materialises_exactly_once(self, lazy_forest, monkeypatch):
+        restored, X = lazy_forest
+        builds: list[int] = []
+        real_build = RandomForestClassifier._trees_from_engine
+
+        def counting(self, engine):
+            builds.append(1)
+            return real_build(self, engine)
+
+        monkeypatch.setattr(
+            RandomForestClassifier, "_trees_from_engine", counting
+        )
+        expected_all = restored._compiled_.predict_all(X)
+
+        def worker(slot: int):
+            # Threads mix engine-served queries with object-tree access:
+            # every trees_ touch funnels through _materialize_trees.
+            if slot % 2:
+                assert restored.trees_ is not None
+            return restored.predict_all(X), restored.predict_proba(X)
+
+        results = _hammer(worker)
+        assert len(builds) == 1
+        assert restored._trees_ is not None and restored._lazy_key_ is None
+        for y_all, proba in results:
+            assert np.array_equal(y_all, expected_all)
+            assert np.array_equal(proba, results[0][1])
+
+    def test_materialised_forest_still_serves_same_engine(self, lazy_forest):
+        restored, X = lazy_forest
+        engine = restored._compiled_
+        _hammer(lambda slot: restored.trees_)
+        # Losers adopted the winner's engine: same object, re-pinned.
+        assert restored._compiled_ is engine
+
+
+class TestConcurrentPresort:
+    def test_concurrent_first_fit_presorts_once(self, monkeypatch):
+        clear_presort_cache()
+        builds: list[int] = []
+        real_init = presort_mod.SortedDataset.__init__
+
+        def counting(self, X):
+            builds.append(1)
+            real_init(self, X)
+
+        monkeypatch.setattr(presort_mod.SortedDataset, "__init__", counting)
+        rng = np.random.default_rng(3)
+        X = rng.standard_normal((300, 12))
+        try:
+            results = _hammer(lambda slot: presorted_dataset(X))
+            assert len(builds) == 1
+            for entry in results[1:]:
+                assert entry is results[0]
+        finally:
+            clear_presort_cache()

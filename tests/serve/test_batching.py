@@ -1,0 +1,178 @@
+"""MicroBatcher semantics: coalescing, equivalence, backpressure."""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+
+import numpy as np
+import pytest
+
+from repro.serve.batching import Backpressure, MicroBatcher
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+def make_runner(calls):
+    """A fake engine: per-"tree" rows are (row_sum, row_max)."""
+
+    def runner(X):
+        calls.append(X.shape[0])
+        return np.stack([X.sum(axis=1), X.max(axis=1)], axis=0)
+
+    return runner
+
+
+class TestCoalescing:
+    def test_concurrent_submits_fuse_into_one_call(self):
+        calls: list[int] = []
+        rng = np.random.default_rng(0)
+        blocks = [rng.standard_normal((n, 4)) for n in (1, 3, 2, 5, 1)]
+
+        async def scenario():
+            batcher = MicroBatcher(
+                make_runner(calls), flush_window=0.02, max_batch_rows=64
+            )
+            return await asyncio.gather(
+                *(batcher.submit(block) for block in blocks)
+            )
+
+        results = run(scenario())
+        # All five requests arrived within one flush window -> one call.
+        assert calls == [sum(b.shape[0] for b in blocks)]
+        for block, result in zip(blocks, results):
+            expected = np.stack(
+                [block.sum(axis=1), block.max(axis=1)], axis=0
+            )
+            assert np.array_equal(result, expected)
+
+    def test_fused_result_equals_direct_call(self):
+        calls: list[int] = []
+        rng = np.random.default_rng(1)
+        X = rng.standard_normal((24, 6))
+        blocks = [X[i : i + 4] for i in range(0, 24, 4)]
+        runner = make_runner(calls)
+
+        async def scenario():
+            batcher = MicroBatcher(runner, flush_window=0.02, max_batch_rows=64)
+            return await asyncio.gather(
+                *(batcher.submit(block) for block in blocks)
+            )
+
+        results = run(scenario())
+        direct = runner(X)
+        assert np.array_equal(np.concatenate(results, axis=1), direct)
+
+    def test_max_batch_rows_forces_immediate_flush(self):
+        calls: list[int] = []
+
+        async def scenario():
+            batcher = MicroBatcher(
+                make_runner(calls), flush_window=10.0, max_batch_rows=4
+            )
+            X = np.ones((4, 3))
+            return await asyncio.wait_for(batcher.submit(X), timeout=1.0)
+
+        run(scenario())  # would hang for 10s without the row-cap flush
+        assert calls == [4]
+
+    def test_zero_flush_window_disables_coalescing(self):
+        calls: list[int] = []
+
+        async def scenario():
+            batcher = MicroBatcher(make_runner(calls), flush_window=0.0)
+            for _ in range(3):
+                await batcher.submit(np.ones((2, 3)))
+
+        run(scenario())
+        assert calls == [2, 2, 2]
+
+
+class TestFailureAndBackpressure:
+    def test_runner_exception_propagates_to_every_request(self):
+        async def scenario():
+            def boom(X):
+                raise RuntimeError("engine exploded")
+
+            batcher = MicroBatcher(boom, flush_window=0.005)
+            futures = [batcher.submit(np.ones((1, 2))) for _ in range(3)]
+            return await asyncio.gather(*futures, return_exceptions=True)
+
+        results = run(scenario())
+        assert len(results) == 3
+        assert all(isinstance(r, RuntimeError) for r in results)
+
+    def test_backlog_overflow_raises_backpressure(self):
+        release = threading.Event()
+
+        def slow_runner(X):
+            release.wait(timeout=10)
+            return np.zeros((1, X.shape[0]))
+
+        async def scenario():
+            batcher = MicroBatcher(
+                slow_runner,
+                flush_window=0.0,
+                max_batch_rows=4,
+                max_queue_rows=6,
+                max_concurrent=1,
+            )
+            first = asyncio.ensure_future(batcher.submit(np.ones((4, 2))))
+            await asyncio.sleep(0.05)  # first batch now occupies the engine
+            with pytest.raises(Backpressure) as excinfo:
+                await batcher.submit(np.ones((4, 2)))
+            assert excinfo.value.retry_after > 0
+            assert excinfo.value.retry_after_seconds >= 1
+            assert batcher.n_rejected == 1
+            release.set()
+            await first
+            await batcher.drain()
+
+        run(scenario())
+
+    def test_empty_batch_rejected(self):
+        async def scenario():
+            batcher = MicroBatcher(make_runner([]))
+            with pytest.raises(ValueError):
+                await batcher.submit(np.empty((0, 3)))
+
+        run(scenario())
+
+
+class TestDrain:
+    def test_drain_flushes_pending_and_waits(self):
+        calls: list[int] = []
+
+        async def scenario():
+            batcher = MicroBatcher(
+                make_runner(calls), flush_window=30.0, max_batch_rows=64
+            )
+            pending = asyncio.ensure_future(batcher.submit(np.ones((2, 3))))
+            await asyncio.sleep(0.01)
+            assert calls == []  # still parked in the flush window
+            await batcher.drain()
+            result = await asyncio.wait_for(pending, timeout=1.0)
+            assert result.shape == (2, 2)
+
+        run(scenario())
+        assert calls == [2]
+
+    def test_stats_track_coalescing(self):
+        calls: list[int] = []
+
+        async def scenario():
+            batcher = MicroBatcher(
+                make_runner(calls), flush_window=0.02, max_batch_rows=64
+            )
+            await asyncio.gather(
+                *(batcher.submit(np.ones((2, 3))) for _ in range(4))
+            )
+            return batcher.stats()
+
+        stats = run(scenario())
+        assert stats["n_requests"] == 4
+        assert stats["n_rows"] == 8
+        assert stats["n_calls"] < 4  # coalesced
+        assert stats["rows_per_call"] > 1.0

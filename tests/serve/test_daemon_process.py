@@ -1,0 +1,119 @@
+"""The ``repro serve`` CLI daemon as a real subprocess.
+
+Builds a watermarked ``.rfbin`` artefact with the CLI, boots the daemon
+on an ephemeral port, talks to it over real sockets, and checks the
+SIGTERM path drains cleanly — the same lifecycle the CI smoke step runs.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.persistence import load
+from repro.persistence.serialize import secret_from_dict
+from repro.serve import ServeClient
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+@pytest.fixture(scope="module")
+def artefacts(tmp_path_factory):
+    out_dir = tmp_path_factory.mktemp("serve-cli")
+    rc = main(
+        [
+            "watermark",
+            "--dataset", "breast-cancer",
+            "--samples", "240",
+            "--trees", "8",
+            "--trigger-size", "6",
+            "--max-depth", "8",
+            "--format", "binary",
+            "--seed", "5",
+            "--out-dir", str(out_dir),
+        ]
+    )
+    assert rc == 0 and (out_dir / "model.rfbin").exists()
+    return out_dir
+
+
+@pytest.fixture(scope="module")
+def daemon(artefacts):
+    env = {**os.environ, "PYTHONPATH": str(REPO_ROOT / "src")}
+    process = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro", "serve",
+            "--model", f"demo={artefacts / 'model.rfbin'}",
+            "--port", "0",
+        ],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+        env=env,
+        cwd=REPO_ROOT,
+    )
+    try:
+        host = port = None
+        deadline = time.monotonic() + 30
+        while time.monotonic() < deadline:
+            line = process.stdout.readline()
+            if not line:
+                break
+            if line.startswith("listening on http://"):
+                address = line.strip().rsplit("/", 1)[-1]
+                host, port = address.rsplit(":", 1)
+                break
+        if host is None:
+            process.kill()
+            pytest.fail("daemon never printed its listening address")
+        yield process, host, int(port)
+    finally:
+        if process.poll() is None:
+            process.kill()
+            process.wait(timeout=10)
+
+
+def test_daemon_serves_and_verifies(daemon, artefacts):
+    process, host, port = daemon
+    forest = load(artefacts / "model.rfbin")
+    secret = secret_from_dict(
+        json.loads((artefacts / "secret.json").read_text())
+    )
+
+    with ServeClient(host, port) as client:
+        assert client.health()["status"] == "ok"
+        assert client.models()[0]["name"] == "demo"
+
+        X = secret.trigger_X
+        out = client.predict("demo", X)
+        assert out["predictions"] == forest.predict(X).tolist()
+
+        out = client.predict_all("demo", X)
+        assert np.array_equal(np.asarray(out["per_tree"]), forest.predict_all(X))
+
+        out = client.verify(
+            "demo",
+            secret.signature.to_string(),
+            trigger_rows=secret.trigger_X,
+            trigger_labels=secret.trigger_y,
+        )
+        assert out["ownership"]["accepted"] is True
+        assert out["observer"]["n_queries"] > 0
+
+
+def test_sigterm_drains_cleanly(daemon):
+    process, _host, _port = daemon
+    process.send_signal(signal.SIGTERM)
+    rc = process.wait(timeout=30)
+    tail = process.stdout.read()
+    assert rc == 0, f"daemon exited {rc}: {tail}"
+    assert "drained cleanly" in tail

@@ -285,3 +285,115 @@ class TestExportConvert:
         from repro.persistence import load
 
         assert isinstance(load(out), RandomForestClassifier)
+
+
+class TestServeParser:
+    def test_serve_args(self):
+        args = build_parser().parse_args(
+            ["serve", "--model", "a=/tmp/a.rfbin", "--model", "b=/tmp/b.rfbin"]
+        )
+        assert args.command == "serve"
+        assert args.models == ["a=/tmp/a.rfbin", "b=/tmp/b.rfbin"]
+        assert args.host == "127.0.0.1"
+        assert args.port == 8080
+        assert args.flush_window == pytest.approx(0.002)
+        assert args.max_batch_rows == 512
+        assert args.max_queue_rows == 8192
+        assert args.max_concurrent_batches == 2
+
+    def test_serve_requires_a_model(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve"])
+
+    def test_bad_model_spec_is_a_repro_error(self, capsys):
+        assert main(["serve", "--model", "no-equals-sign"]) == 2
+        assert "NAME=PATH" in capsys.readouterr().err
+
+
+class TestExitCodes:
+    """The POSIX-pipeline contract: 130 on ^C, silence on EPIPE."""
+
+    def test_keyboard_interrupt_exits_130(self, monkeypatch, capsys):
+        def interrupted(args):
+            raise KeyboardInterrupt
+
+        monkeypatch.setattr("repro.cli._cmd_traffic", interrupted)
+        assert main(["traffic", "--list"]) == 130
+        assert "interrupted" in capsys.readouterr().err
+
+    def test_broken_pipe_exits_quietly(self, monkeypatch, capsys):
+        def head_went_away(args):
+            raise BrokenPipeError
+
+        monkeypatch.setattr("repro.cli._cmd_traffic", head_went_away)
+        assert main(["traffic", "--list"]) == 0
+        assert capsys.readouterr().err == ""
+
+    def test_repro_error_still_exits_2(self, monkeypatch, capsys):
+        from repro.exceptions import ValidationError
+
+        def broken(args):
+            raise ValidationError("no such thing")
+
+        monkeypatch.setattr("repro.cli._cmd_traffic", broken)
+        assert main(["traffic", "--list"]) == 2
+        assert "no such thing" in capsys.readouterr().err
+
+
+class TestTrafficStrictJSON:
+    def test_zero_elapsed_replay_emits_parseable_json(self, monkeypatch, capsys):
+        """qps=inf and NaN verdicts must still serialize as strict JSON."""
+        from types import SimpleNamespace
+
+        from repro.traffic.defenders import Verdict
+        from repro.traffic.replay import TrafficReport
+
+        report = TrafficReport(
+            stream="legit",
+            n_queries=64,
+            n_batches=1,
+            n_trigger_queries=0,
+            source_counts={"legit": 64},
+            elapsed_seconds=0.0,
+            queries_per_second=float("inf"),
+            verdicts=(
+                Verdict(
+                    defender="suppression-distinguisher",
+                    fired=False,
+                    n_queries=64,
+                    statistic=float("nan"),
+                    threshold=float("nan"),
+                ),
+            ),
+        )
+        monkeypatch.setattr(
+            "repro.experiments.scenarios.build_attack_target",
+            lambda config, dataset: SimpleNamespace(model=None, X_train=None),
+        )
+        monkeypatch.setattr(
+            "repro.traffic.replay_scenario", lambda *a, **k: report
+        )
+        assert main(["traffic", "--scenario", "legit", "--json"]) == 0
+        out = capsys.readouterr().out
+        assert len(out.strip().splitlines()) == 1  # `| head -1` safe
+
+        def reject_constants(value):
+            raise AssertionError(f"non-standard JSON constant {value!r}")
+
+        data = json.loads(out, parse_constant=reject_constants)
+        assert data["queries_per_second"] is None
+        assert data["verdicts"][0]["statistic"] is None
+
+    def test_piped_traffic_json_first_line_parses(self):
+        """Acceptance: `repro traffic --json | head -1` is loadable."""
+        result = subprocess.run(
+            f"{sys.executable} -m repro traffic --scenario verification-probe "
+            "--queries 2048 --json | head -1",
+            shell=True,
+            capture_output=True,
+            text=True,
+            env={**os.environ, "PYTHONPATH": SRC_DIR},
+        )
+        assert result.returncode == 0, result.stderr
+        report = json.loads(result.stdout)
+        assert report["stream"] == "mixed" or report["n_queries"] == 2048
