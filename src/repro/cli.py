@@ -248,6 +248,19 @@ def build_parser() -> argparse.ArgumentParser:
     cmd_serve.add_argument("--alpha", type=float, default=0.05,
                            help="false-alarm budget of the per-model "
                            "traffic observer")
+    cmd_serve.add_argument("--request-timeout", type=float, default=30.0,
+                           help="seconds an engine call may run before the "
+                           "request answers 504 (0 disables the bound)")
+    cmd_serve.add_argument("--read-timeout", type=float, default=30.0,
+                           help="seconds a peer may take to send its request "
+                           "before the connection is cut (slow-loris "
+                           "defence; 0 disables)")
+    cmd_serve.add_argument("--failure-budget", type=int, default=5,
+                           help="engine failures inside a 30s window before "
+                           "a model is quarantined")
+    cmd_serve.add_argument("--quarantine", type=float, default=5.0,
+                           help="seconds a quarantined model answers 503 + "
+                           "Retry-After before traffic probes it again")
 
     return parser
 
@@ -461,7 +474,10 @@ def _cmd_serve(args) -> int:
 
     from .serve import ModelRegistry, ServingDaemon
 
-    registry = ModelRegistry()
+    registry = ModelRegistry(
+        max_failures=args.failure_budget,
+        quarantine_seconds=args.quarantine,
+    )
     for spec in args.models:
         name, sep, path = spec.partition("=")
         if not sep or not name or not path:
@@ -476,6 +492,8 @@ def _cmd_serve(args) -> int:
         max_batch_rows=args.max_batch_rows,
         max_queue_rows=args.max_queue_rows,
         max_concurrent_batches=args.max_concurrent_batches,
+        request_timeout=args.request_timeout or None,
+        read_timeout=args.read_timeout or None,
     )
     return asyncio.run(_serve_forever(daemon, registry))
 

@@ -1,0 +1,49 @@
+"""Deterministic fault injection for the serving stack.
+
+The ROADMAP's deployment picture — heavy traffic from millions of
+users — makes failure a certainty, not an exception: engine calls hang,
+artefacts get half-written, connections drop mid-response.  This
+package makes those failures a first-class, *seeded* input to the
+system, the same way :mod:`repro.traffic` made adversarial queries one:
+a :class:`FaultPlan` is a pure function of its seed (block-indexed like
+the traffic generators, byte-identical across runs) that compiles to a
+:class:`FaultInjector` threaded into the serving layers via explicit
+``fault_injector=`` hooks.  The production default everywhere is
+``None`` — no injector object, no per-call branch cost beyond one
+``is not None`` check.
+
+Injection sites (see :data:`SITES`):
+
+``engine.call``
+    Latency spikes and exceptions inside the fused engine call
+    (:meth:`repro.serve.registry.ServedModel.serve_batch`).
+``batcher.flush``
+    Exceptions at the micro-batcher's fused-call boundary — every
+    request in the flush observes the failure.
+``registry.load``
+    Artefact load / hot-reload failures in the model registry.
+``artefact.corrupt``
+    Corrupt artefact bytes on reload: the injector serves a copy of the
+    artefact with one bit flipped, which the loader's CRC check must
+    refuse before the old engine is replaced.
+``conn.reset``
+    The daemon drops the connection instead of writing the response
+    (the response may already have been computed — exactly the case
+    idempotency keys exist for).
+``conn.slow``
+    The daemon trickles the response out after a delay (a slow peer),
+    exercising client timeouts and retries.
+"""
+
+from .injector import FaultInjector, InjectedFault, corrupted_copy
+from .plan import SITES, FaultDecision, FaultPlan, FaultSpec
+
+__all__ = [
+    "SITES",
+    "FaultDecision",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultSpec",
+    "InjectedFault",
+    "corrupted_copy",
+]

@@ -1,0 +1,116 @@
+"""The stateful side of fault injection: counters, firing, telemetry.
+
+A :class:`FaultInjector` wraps a :class:`~repro.faults.plan.FaultPlan`
+with one event counter per site.  ``decide(site)`` advances the
+counter and returns the plan's decision for that event; ``fire(site)``
+additionally *executes* latency/error decisions (sleep / raise), which
+is all most call sites need.  Counters sit behind a lock because the
+daemon consults the injector from executor threads and the event loop
+alike.
+
+Call sites hold ``fault_injector=None`` in production: the only cost a
+deployed daemon pays for this subsystem is an ``is not None`` branch.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from pathlib import Path
+
+from ..exceptions import ReproError
+
+__all__ = ["FaultInjector", "InjectedFault", "corrupted_copy"]
+
+
+class InjectedFault(ReproError, RuntimeError):
+    """An error deliberately raised by the fault plan.
+
+    Typed so the chaos battery can tell injected failures from real
+    bugs: a chaos run may see any number of ``InjectedFault``\\ s, but
+    any *other* exception is a test failure.
+    """
+
+    def __init__(self, decision) -> None:
+        super().__init__(
+            f"injected fault at {decision.site!r} "
+            f"(event {decision.index}, kind {decision.kind})"
+        )
+        self.decision = decision
+
+
+class FaultInjector:
+    """Thread-safe event counters over an immutable plan."""
+
+    def __init__(self, plan) -> None:
+        self.plan = plan
+        self._lock = threading.Lock()
+        self._counters: dict[str, int] = {}
+        self._fired: dict[str, int] = {}
+
+    def decide(self, site: str):
+        """Advance ``site``'s counter; return its decision (or ``None``)."""
+        if site not in self.plan.specs:
+            return None
+        with self._lock:
+            index = self._counters.get(site, 0)
+            self._counters[site] = index + 1
+        decision = self.plan.decision(site, index)
+        if decision is not None:
+            with self._lock:
+                self._fired[site] = self._fired.get(site, 0) + 1
+        return decision
+
+    def fire(self, site: str) -> None:
+        """Execute the next decision at ``site`` in blocking code.
+
+        ``latency`` sleeps, ``error`` raises :class:`InjectedFault`;
+        other kinds are returned to nobody — use :meth:`decide` when
+        the call site needs to interpret the decision itself.
+        """
+        decision = self.decide(site)
+        if decision is None:
+            return
+        if decision.kind == "latency":
+            time.sleep(decision.delay)
+        elif decision.kind == "error":
+            raise InjectedFault(decision)
+
+    def counts(self) -> dict:
+        """Telemetry: per-site ``{"events": n, "fired": m}``."""
+        with self._lock:
+            return {
+                site: {
+                    "events": self._counters.get(site, 0),
+                    "fired": self._fired.get(site, 0),
+                }
+                for site in sorted(self.plan.specs)
+            }
+
+    def reset(self) -> None:
+        """Rewind every site to event 0 (replay the same fault stream)."""
+        with self._lock:
+            self._counters.clear()
+            self._fired.clear()
+
+
+def corrupted_copy(path, decision, target_dir=None) -> Path:
+    """A copy of ``path`` with one deterministically-chosen bit flipped.
+
+    Used by the registry's hot-reload path when the ``artefact.corrupt``
+    site fires: loading the corrupted copy must fail the format's CRC
+    check, proving a half-written or damaged artefact can never replace
+    a serving engine.  The flipped bit is picked from the decision's
+    salt, skipping the first 16 bytes so the format magic stays intact
+    (a wrong magic would test dispatch, not integrity checking).
+    """
+    path = Path(path)
+    data = bytearray(path.read_bytes())
+    if len(data) <= 16:
+        raise ReproError(f"artefact {path} too small to corrupt")
+    position = 16 + decision.salt % (len(data) - 16)
+    data[position] ^= 1 << (decision.salt % 8)
+    target_dir = Path(target_dir) if target_dir is not None else path.parent
+    target = target_dir / (path.name + f".corrupt-{decision.index}")
+    target.write_bytes(bytes(data))
+    return target

@@ -1,0 +1,197 @@
+"""Seeded fault plans: which call fails, how, decided ahead of time.
+
+A :class:`FaultPlan` follows the :mod:`repro.traffic` seeding contract:
+every injection site owns an independent sub-stream derived purely from
+``(root entropy, site name, block index)`` via
+:func:`repro.traffic.base.child_seed`, and decisions inside a block are
+drawn vectorised.  Consequences, regression-tested in
+``tests/faults/``:
+
+- same seed ⇒ byte-identical decision sequences at every site,
+  regardless of how the other sites are consumed;
+- the ``i``-th event at a site always receives the same decision, so a
+  chaos run is replayable from ``(plan parameters, seed)`` alone;
+- ``block_size`` is part of the plan's identity, exactly as it is for
+  traffic generators.
+
+The plan itself is immutable; :meth:`FaultPlan.compile` produces the
+stateful (counter-carrying, thread-safe) :class:`FaultInjector` that
+the serving layers consult.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..exceptions import ValidationError
+from ..traffic.base import as_seed_sequence, child_seed
+
+__all__ = ["SITES", "FaultDecision", "FaultPlan", "FaultSpec"]
+
+#: Every injection site the serving stack consults, with the fault
+#: kinds that make sense there.  A plan may cover any subset; sites it
+#: does not cover never fire.
+SITES: dict[str, tuple[str, ...]] = {
+    "engine.call": ("latency", "error"),
+    "batcher.flush": ("error",),
+    "registry.load": ("error",),
+    "artefact.corrupt": ("corrupt",),
+    "conn.reset": ("reset",),
+    "conn.slow": ("slow",),
+}
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """How one injection site misbehaves.
+
+    ``rate`` is the per-event firing probability; ``kinds`` (drawn
+    uniformly when the event fires) must be allowed for the site;
+    ``max_delay`` bounds the latency drawn for ``latency``/``slow``
+    kinds (uniform over ``(0, max_delay]``-ish; exact zero delays are
+    avoided so a fired delay is always observable).
+    """
+
+    site: str
+    rate: float
+    kinds: tuple[str, ...] = ()
+    max_delay: float = 0.02
+
+    def __post_init__(self) -> None:
+        if self.site not in SITES:
+            raise ValidationError(
+                f"unknown fault site {self.site!r}; known sites: "
+                f"{sorted(SITES)}"
+            )
+        if not 0.0 <= self.rate <= 1.0:
+            raise ValidationError(
+                f"fault rate must be in [0, 1], got {self.rate}"
+            )
+        kinds = self.kinds or SITES[self.site]
+        for kind in kinds:
+            if kind not in SITES[self.site]:
+                raise ValidationError(
+                    f"fault kind {kind!r} is not valid at site "
+                    f"{self.site!r} (allowed: {SITES[self.site]})"
+                )
+        object.__setattr__(self, "kinds", tuple(kinds))
+        if self.max_delay <= 0:
+            raise ValidationError(
+                f"max_delay must be positive, got {self.max_delay}"
+            )
+
+
+@dataclass(frozen=True)
+class FaultDecision:
+    """What happens to one event at one site.
+
+    ``index`` is the event's position in the site's stream; ``salt`` is
+    a deterministic per-decision integer the corrupt-artefact path uses
+    to pick which bit to flip.
+    """
+
+    site: str
+    index: int
+    kind: str
+    delay: float = 0.0
+    salt: int = 0
+
+
+class FaultPlan:
+    """An immutable, seeded schedule of failures across named sites."""
+
+    def __init__(self, specs, seed=None, block_size: int = 1024) -> None:
+        if block_size < 1:
+            raise ValidationError(f"block_size must be >= 1, got {block_size}")
+        specs = tuple(specs)
+        names = [spec.site for spec in specs]
+        if len(set(names)) != len(names):
+            raise ValidationError(f"duplicate fault sites in plan: {names}")
+        self.specs: dict[str, FaultSpec] = {spec.site: spec for spec in specs}
+        self.seed = as_seed_sequence(seed)
+        self.block_size = int(block_size)
+        # Site sub-streams are keyed by the site's position in the
+        # *sorted* site list, so the decision stream at a site depends
+        # only on (entropy, site name, block) — not on spec order.
+        self._site_index = {
+            site: i for i, site in enumerate(sorted(SITES))
+        }
+
+    @classmethod
+    def chaos(
+        cls,
+        seed,
+        rate: float = 0.2,
+        *,
+        sites=("engine.call", "conn.reset", "conn.slow"),
+        max_delay: float = 0.02,
+        block_size: int = 1024,
+    ) -> "FaultPlan":
+        """A uniform-rate plan over ``sites`` — the chaos-battery default."""
+        return cls(
+            [FaultSpec(site=s, rate=rate, max_delay=max_delay) for s in sites],
+            seed=seed,
+            block_size=block_size,
+        )
+
+    # -- decision streams ------------------------------------------------
+
+    def _block(self, spec: FaultSpec, block_index: int):
+        """Vectorised decisions for one block of one site's stream."""
+        site_seed = child_seed(self.seed, self._site_index[spec.site])
+        rng = np.random.default_rng(child_seed(site_seed, block_index))
+        n = self.block_size
+        fired = rng.random(n) < spec.rate
+        kind_idx = rng.integers(0, len(spec.kinds), size=n)
+        # Delays in (0, max_delay]: 1 - U[0, 1) never collapses to 0.
+        delays = (1.0 - rng.random(n)) * spec.max_delay
+        salts = rng.integers(0, 2**31 - 1, size=n)
+        return fired, kind_idx, delays, salts
+
+    def decision(self, site: str, index: int) -> FaultDecision | None:
+        """The decision for event ``index`` at ``site`` (pure function)."""
+        spec = self.specs.get(site)
+        if spec is None or index < 0:
+            return None
+        block, offset = divmod(int(index), self.block_size)
+        fired, kind_idx, delays, salts = self._block(spec, block)
+        if not fired[offset]:
+            return None
+        kind = spec.kinds[kind_idx[offset]]
+        return FaultDecision(
+            site=site,
+            index=int(index),
+            kind=kind,
+            delay=float(delays[offset]) if kind in ("latency", "slow") else 0.0,
+            salt=int(salts[offset]),
+        )
+
+    def preview(self, site: str, n: int) -> list:
+        """The first ``n`` decisions at ``site`` (``None`` = no fault).
+
+        Non-mutating — the injector's counters are untouched — so two
+        plans can be compared for byte-identity without running them.
+        """
+        return [self.decision(site, i) for i in range(int(n))]
+
+    def compile(self) -> "FaultInjector":
+        """The stateful injector the serving layers consult."""
+        from .injector import FaultInjector
+
+        return FaultInjector(self)
+
+    def describe(self) -> dict:
+        """JSON-safe summary (for logs and benchmark artefacts)."""
+        return {
+            "block_size": self.block_size,
+            "sites": {
+                site: {
+                    "rate": spec.rate,
+                    "kinds": list(spec.kinds),
+                    "max_delay": spec.max_delay,
+                }
+                for site, spec in sorted(self.specs.items())
+            },
+        }

@@ -1,0 +1,57 @@
+"""Crash-safe artefact writes: temp file + fsync + atomic rename.
+
+Every exporter funnels its bytes through :func:`atomic_write`.  The
+contract: at any instant — including mid-write power loss or a crashed
+process — the destination path holds either the complete previous
+artefact or the complete new one, never a truncated hybrid.  This is
+what makes the daemon's hot-reload story sound end to end: the registry
+CRC-verifies what it loads, and the writer guarantees there is never a
+half-written file at the published path to verify in the first place.
+
+Mechanics (the classic POSIX recipe):
+
+1. write into a ``NamedTemporaryFile``-style sibling in the *same
+   directory* (``os.replace`` must not cross filesystems);
+2. ``flush`` + ``os.fsync`` so the bytes are durable before the rename
+   publishes them;
+3. ``os.replace`` — atomic on POSIX and Windows — swings the name;
+4. on any failure the temp file is unlinked and the destination is left
+   exactly as it was.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import os
+import tempfile
+from pathlib import Path
+
+__all__ = ["atomic_write"]
+
+
+@contextlib.contextmanager
+def atomic_write(path, mode: str = "wb"):
+    """Context manager yielding a file handle that lands atomically.
+
+    ``mode`` must be a write mode (``"wb"`` or ``"w"``).  Text mode
+    writes UTF-8.  The handle supports everything a normal ``open``
+    handle does — ``np.savez``, ``json.dump`` and manual ``write``
+    calls all work unchanged.
+    """
+    if "w" not in mode:
+        raise ValueError(f"atomic_write needs a write mode, got {mode!r}")
+    path = Path(path)
+    fd, tmp_name = tempfile.mkstemp(
+        dir=path.parent or Path("."), prefix=f".{path.name}.", suffix=".tmp"
+    )
+    encoding = None if "b" in mode else "utf-8"
+    try:
+        with os.fdopen(fd, mode, encoding=encoding) as fh:
+            yield fh
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp_name, path)
+    except BaseException:
+        with contextlib.suppress(OSError):
+            os.unlink(tmp_name)
+        raise

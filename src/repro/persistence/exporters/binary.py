@@ -31,6 +31,7 @@ from pathlib import Path
 import numpy as np
 
 from ...exceptions import SerializationError
+from ..atomic import atomic_write
 from ..serialize import FORMAT_VERSION, _report_from_dict, _report_to_dict
 from .base import Exporter, register
 
@@ -236,7 +237,11 @@ class BinaryExporter(Exporter):
             zlib.crc32(trailer_bytes),
             zlib.crc32(table),
         )
-        with open(path, "wb") as fh:
+        # Crash-safe: the artefact is assembled in a temp sibling and
+        # atomically renamed into place, so the published path never
+        # holds a truncated file (a reader would otherwise fail its CRC
+        # check at best, or mmap garbage at worst).
+        with atomic_write(path, "wb") as fh:
             fh.write(header)
             fh.write(table)
             position = _HEADER.size + len(table)

@@ -6,6 +6,11 @@ load unchanged, and forests saved here are byte-identical to what
 ``save_json(forest_to_dict(...))`` produced before.  JSON is the format
 for audits and ownership disputes — every node of every tree is
 human-readable — not for serving (see :mod:`.binary` for that).
+
+Writes go through :func:`~repro.persistence.serialize.save_json`, which
+publishes via :func:`~repro.persistence.atomic.atomic_write` — a crash
+mid-save leaves the previous complete artefact at the path, never a
+truncated one.
 """
 
 from __future__ import annotations

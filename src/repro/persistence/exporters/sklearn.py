@@ -20,6 +20,7 @@ from pathlib import Path
 import numpy as np
 
 from ...exceptions import SerializationError
+from ..atomic import atomic_write
 from .base import Exporter, register
 
 __all__ = ["SklearnExporter"]
@@ -153,7 +154,8 @@ class SklearnExporter(Exporter):
             json.dumps(meta, sort_keys=True, allow_nan=False).encode("utf-8"),
             dtype=np.uint8,
         )
-        with open(path, "wb") as fh:
+        # Crash-safe: assembled in a temp sibling, renamed atomically.
+        with atomic_write(path, "wb") as fh:
             np.savez(fh, **arrays)
 
     def load(self, path, mmap_mode: str | None = None):

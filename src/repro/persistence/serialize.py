@@ -14,6 +14,7 @@ from pathlib import Path
 import numpy as np
 
 from ..core.protocol import WatermarkSecret
+from .atomic import atomic_write
 from ..core.signature import Signature
 from ..ensemble.boosting import GradientBoostingClassifier
 from ..ensemble.compiled import CompiledEnsemble
@@ -511,12 +512,20 @@ def secret_from_dict(data: dict) -> WatermarkSecret:
 
 
 def save_json(data: dict, path) -> None:
-    """Write a serialised artefact to disk."""
+    """Write a serialised artefact to disk (crash-safe).
+
+    The JSON is rendered in memory first and published via
+    :func:`~repro.persistence.atomic.atomic_write`: a crash mid-write
+    leaves the destination holding the previous complete artefact, not
+    a truncated one.
+    """
     # allow_nan=False: artefacts must be strict RFC 8259 JSON.  The
     # node-table serializers already map non-finite sentinels (the +inf
     # leaf threshold) to null, so a non-finite float here is a bug in
     # the caller, not a representable value.
-    Path(path).write_text(json.dumps(data, allow_nan=False), encoding="utf-8")
+    text = json.dumps(data, allow_nan=False)
+    with atomic_write(path, "w") as fh:
+        fh.write(text)
 
 
 def load_json(path) -> dict:

@@ -6,22 +6,51 @@ request micro-batching onto the compiled engine, per-model backpressure,
 a streaming Table-2 observer over everything served, and a judge-facing
 ``/verify`` endpoint.  See :mod:`repro.serve.http` for the wire surface
 and ``docs/serving.md`` for the deployment-vs-paper mapping.
+
+The resilience layer (PR 9) lives in :mod:`repro.serve.resilience`:
+client-side retry/backoff and circuit breaking, server-side failure
+budgets and idempotency dedup, with typed errors throughout.  See
+``docs/resilience.md`` for the failure-mode contract and
+:mod:`repro.faults` for the seeded fault-injection harness that tests
+it.
 """
 
 from .batching import Backpressure, MicroBatcher
-from .client import ServeClient, ServeClientError, ServingUnavailable
+from .client import (
+    ServeClient,
+    ServeClientError,
+    ServeConnectionError,
+    ServeTimeout,
+    ServingUnavailable,
+)
 from .http import HTTPError, ServingDaemon
 from .registry import ModelRegistry, ServedModel
+from .resilience import (
+    CircuitBreaker,
+    CircuitOpen,
+    FailureBudget,
+    IdempotencyCache,
+    RequestAbandoned,
+    RetryPolicy,
+)
 from .testing import BackgroundServer
 
 __all__ = [
     "Backpressure",
     "BackgroundServer",
+    "CircuitBreaker",
+    "CircuitOpen",
+    "FailureBudget",
     "HTTPError",
+    "IdempotencyCache",
     "MicroBatcher",
     "ModelRegistry",
+    "RequestAbandoned",
+    "RetryPolicy",
     "ServeClient",
     "ServeClientError",
+    "ServeConnectionError",
+    "ServeTimeout",
     "ServedModel",
     "ServingDaemon",
     "ServingUnavailable",

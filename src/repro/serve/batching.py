@@ -64,8 +64,15 @@ class MicroBatcher:
         max_queue_rows: int = 8192,
         max_concurrent: int = 2,
         executor=None,
+        fault_injector=None,
     ) -> None:
         self._runner = runner
+        #: Optional :class:`repro.faults.FaultInjector`; ``None`` in
+        #: production.  Fires at the fused-call boundary
+        #: (``batcher.flush``), so an injected failure is observed by
+        #: every request coalesced into the flush — the exact fan-out
+        #: path a real engine crash takes.
+        self._fault_injector = fault_injector
         self._flush_window = float(flush_window)
         self._max_batch_rows = max(1, int(max_batch_rows))
         self._max_queue_rows = max(1, int(max_queue_rows))
@@ -159,6 +166,8 @@ class MicroBatcher:
                 else:
                     X = np.concatenate([block for block, _ in pending], axis=0)
                 try:
+                    if self._fault_injector is not None:
+                        self._fault_injector.fire("batcher.flush")
                     y_all = await loop.run_in_executor(
                         self._executor, self._runner, X
                     )

@@ -1,21 +1,49 @@
-"""Minimal blocking client for the serving daemon.
+"""Blocking client for the serving daemon, with failure-aware plumbing.
 
 Built on :mod:`http.client` (stdlib, keep-alive reused connection) so
-tests, CI smoke scripts and the serving benchmark can talk to the
-daemon without any HTTP dependency.  Library consumers integrating a
-real service should use their own client stack; this one exists so the
-repo is self-contained.
+tests, CI smoke scripts and the serving benchmarks can talk to the
+daemon without any HTTP dependency.  The transport layer is hardened
+for the chaos battery's world:
+
+- every connection carries a finite socket timeout (a hung daemon can
+  no longer block the client forever); timeouts surface as the typed
+  :class:`ServeTimeout`, dropped/refused connections as
+  :class:`ServeConnectionError` — both :class:`~repro.exceptions.ReproError`\\ s;
+- an optional :class:`~repro.serve.resilience.RetryPolicy` retries
+  transient failures (transport errors, 429, 5xx) with seeded
+  full-jitter backoff honouring ``Retry-After``, under a wall-clock
+  deadline budget;
+- retried POSTs carry an ``Idempotency-Key`` header, so the daemon
+  serves each *logical* request exactly once no matter how many wire
+  attempts it took — the streamed suppression statistic never counts a
+  retry twice;
+- an optional :class:`~repro.serve.resilience.CircuitBreaker` fails
+  fast (typed :class:`~repro.serve.resilience.CircuitOpen`) while the
+  daemon is known-bad, with half-open probing.
+
+Without a retry policy the client behaves exactly as before: one
+attempt, typed errors.
 """
 
 from __future__ import annotations
 
 import http.client
 import json
+import socket
+import time
+import uuid
 
 from .._jsonsafe import dumps
 from ..exceptions import ReproError
+from .resilience import CircuitBreaker, RetryPolicy, retry_rng
 
-__all__ = ["ServeClient", "ServingUnavailable", "ServeClientError"]
+__all__ = [
+    "ServeClient",
+    "ServeClientError",
+    "ServeConnectionError",
+    "ServeTimeout",
+    "ServingUnavailable",
+]
 
 
 class ServeClientError(ReproError):
@@ -36,39 +64,200 @@ class ServingUnavailable(ServeClientError):
         self.retry_after = float(retry_after)
 
 
-class ServeClient:
-    """One persistent connection to a :class:`~repro.serve.ServingDaemon`."""
+class ServeConnectionError(ReproError, ConnectionError):
+    """The connection to the daemon was refused, reset or dropped."""
 
-    def __init__(self, host: str, port: int, timeout: float = 30.0) -> None:
+
+class ServeTimeout(ServeConnectionError, TimeoutError):
+    """The daemon did not answer within the socket timeout."""
+
+
+#: Statuses a retry policy treats as transient.  4xx responses (other
+#: than 429) are definitive — retrying a malformed request cannot help.
+_RETRYABLE_STATUSES = frozenset({429, 500, 502, 503, 504})
+
+
+class ServeClient:
+    """One persistent connection to a :class:`~repro.serve.ServingDaemon`.
+
+    ``timeout`` is the per-request socket timeout (finite by default —
+    pass ``None`` explicitly to wait forever, at your own risk).
+    ``retry`` enables the resilient path; ``retry_seed`` makes its
+    jitter schedule replayable; ``breaker`` adds client-side
+    fail-fast.
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        timeout: float | None = 30.0,
+        *,
+        retry: RetryPolicy | None = None,
+        retry_seed=None,
+        breaker: CircuitBreaker | None = None,
+    ) -> None:
         self.host = host
         self.port = int(port)
+        self.timeout = timeout
+        self.retry = retry
+        self.breaker = breaker
+        self._rng = retry_rng(retry_seed)
         self._conn = http.client.HTTPConnection(host, int(port), timeout=timeout)
+        # Telemetry the chaos battery and benchmark report on.
+        self.n_attempts = 0
+        self.n_retries = 0
 
     # -- transport ------------------------------------------------------
 
     def request(
-        self, method: str, path: str, payload: dict | None = None
+        self,
+        method: str,
+        path: str,
+        payload: dict | None = None,
+        *,
+        headers: dict | None = None,
+        timeout: float | None = None,
     ) -> tuple[int, dict, dict]:
-        """One round trip; returns ``(status, body, headers)`` raw."""
+        """One round trip; returns ``(status, body, headers)`` raw.
+
+        ``timeout`` overrides the connection's socket timeout for this
+        request only.  Transport failures close the (keep-alive)
+        connection so the next attempt reconnects cleanly, and surface
+        as :class:`ServeTimeout` / :class:`ServeConnectionError`.
+        """
         body = None
-        headers = {}
+        send_headers = dict(headers or {})
         if payload is not None:
             body = dumps(payload)
-            headers["Content-Type"] = "application/json"
-        self._conn.request(method, path, body=body, headers=headers)
-        response = self._conn.getresponse()
-        raw = response.read()
+            send_headers.setdefault("Content-Type", "application/json")
+        previous_timeout = self._conn.timeout
+        if timeout is not None:
+            self._conn.timeout = timeout
+            if self._conn.sock is not None:
+                self._conn.sock.settimeout(timeout)
+        self.n_attempts += 1
+        try:
+            self._conn.request(method, path, body=body, headers=send_headers)
+            response = self._conn.getresponse()
+            raw = response.read()
+        except TimeoutError as exc:  # socket.timeout is an alias since 3.10
+            self._conn.close()
+            raise ServeTimeout(
+                f"{method} {path} timed out after "
+                f"{timeout if timeout is not None else self.timeout}s"
+            ) from exc
+        except (ConnectionError, http.client.HTTPException, socket.error) as exc:
+            # RemoteDisconnected subclasses both branches; either way the
+            # keep-alive socket is poisoned — drop it and report typed.
+            self._conn.close()
+            raise ServeConnectionError(
+                f"{method} {path} failed mid-flight: {exc!r}"
+            ) from exc
+        finally:
+            if timeout is not None:
+                self._conn.timeout = previous_timeout
+                if self._conn.sock is not None:
+                    self._conn.sock.settimeout(previous_timeout)
         data = json.loads(raw.decode("utf-8")) if raw else {}
         return response.status, data, dict(response.getheaders())
 
-    def _checked(self, method: str, path: str, payload: dict | None = None) -> dict:
-        status, data, headers = self.request(method, path, payload)
+    def _raise_for_status(self, status: int, data: dict, headers: dict) -> dict:
         if status == 429:
             retry_after = float(headers.get("Retry-After", 1))
             raise ServingUnavailable(status, data, retry_after)
         if status >= 400:
             raise ServeClientError(status, data)
         return data
+
+    def _checked(
+        self,
+        method: str,
+        path: str,
+        payload: dict | None = None,
+        *,
+        idempotent: bool = False,
+        timeout: float | None = None,
+    ) -> dict:
+        if self.retry is None:
+            if self.breaker is not None:
+                self.breaker.allow()
+            try:
+                result = self._raise_for_status(
+                    *self.request(method, path, payload, timeout=timeout)
+                )
+            except (ServeConnectionError, ServeClientError) as exc:
+                if self.breaker is not None:
+                    status = getattr(exc, "status", None)
+                    if status is None or status >= 500:
+                        self.breaker.record_failure()
+                    else:
+                        self.breaker.record_success()
+                raise
+            if self.breaker is not None:
+                self.breaker.record_success()
+            return result
+        return self._resilient(
+            method, path, payload, idempotent=idempotent, timeout=timeout
+        )
+
+    def _resilient(
+        self,
+        method: str,
+        path: str,
+        payload: dict | None,
+        *,
+        idempotent: bool,
+        timeout: float | None,
+    ) -> dict:
+        """The retry loop: backoff, Retry-After, idempotency, breaker."""
+        policy = self.retry
+        headers = {}
+        if idempotent:
+            # One key per *logical* operation: every wire attempt below
+            # shares it, so the daemon deduplicates retries server-side.
+            headers["Idempotency-Key"] = uuid.uuid4().hex
+        started = time.monotonic()
+        last_error: ReproError | None = None
+        for attempt in range(policy.max_attempts):
+            if self.breaker is not None:
+                self.breaker.allow()
+            retry_after = 0.0
+            try:
+                status, data, resp_headers = self.request(
+                    method, path, payload, headers=headers, timeout=timeout
+                )
+            except ServeConnectionError as exc:
+                if self.breaker is not None:
+                    self.breaker.record_failure()
+                last_error = exc
+            else:
+                if status not in _RETRYABLE_STATUSES:
+                    if self.breaker is not None:
+                        self.breaker.record_success()
+                    return self._raise_for_status(status, data, resp_headers)
+                if self.breaker is not None:
+                    if status >= 500:
+                        self.breaker.record_failure()
+                    else:  # 429 is load, not damage
+                        self.breaker.record_success()
+                retry_after = float(resp_headers.get("Retry-After", 0.0))
+                try:
+                    self._raise_for_status(status, data, resp_headers)
+                except ServeClientError as exc:
+                    last_error = exc
+            if attempt + 1 >= policy.max_attempts:
+                break
+            delay = policy.backoff(attempt + 1, self._rng, retry_after)
+            if policy.deadline is not None:
+                elapsed = time.monotonic() - started
+                if elapsed + delay >= policy.deadline:
+                    break  # the budget cannot absorb another attempt
+            if delay > 0:
+                time.sleep(delay)
+            self.n_retries += 1
+        assert last_error is not None
+        raise last_error
 
     def close(self) -> None:
         self._conn.close()
@@ -87,14 +276,22 @@ class ServeClient:
     def models(self) -> list[dict]:
         return self._checked("GET", "/v1/models")["models"]
 
-    def predict(self, name: str, rows) -> dict:
+    def predict(self, name: str, rows, *, timeout: float | None = None) -> dict:
         return self._checked(
-            "POST", f"/v1/models/{name}/predict", {"rows": _listify(rows)}
+            "POST",
+            f"/v1/models/{name}/predict",
+            {"rows": _listify(rows)},
+            idempotent=True,
+            timeout=timeout,
         )
 
-    def predict_all(self, name: str, rows) -> dict:
+    def predict_all(self, name: str, rows, *, timeout: float | None = None) -> dict:
         return self._checked(
-            "POST", f"/v1/models/{name}/predict_all", {"rows": _listify(rows)}
+            "POST",
+            f"/v1/models/{name}/predict_all",
+            {"rows": _listify(rows)},
+            idempotent=True,
+            timeout=timeout,
         )
 
     def verify(
@@ -106,16 +303,32 @@ class ServeClient:
         mode: str = "strict",
         trigger_rows=None,
         trigger_labels=None,
+        timeout: float | None = None,
     ) -> dict:
         payload: dict = {"signature": signature, "strategy": strategy, "mode": mode}
         if trigger_rows is not None:
             payload["trigger_rows"] = _listify(trigger_rows)
             payload["trigger_labels"] = _listify(trigger_labels)
-        return self._checked("POST", f"/v1/models/{name}/verify", payload)
+        return self._checked(
+            "POST",
+            f"/v1/models/{name}/verify",
+            payload,
+            idempotent=True,
+            timeout=timeout,
+        )
 
     def calibrate(self, name: str, rows) -> dict:
         return self._checked(
-            "POST", f"/v1/models/{name}/calibrate", {"rows": _listify(rows)}
+            "POST",
+            f"/v1/models/{name}/calibrate",
+            {"rows": _listify(rows)},
+            idempotent=True,
+        )
+
+    def reload(self, name: str, path) -> dict:
+        """Hot-swap ``name`` to the artefact at ``path`` (admin surface)."""
+        return self._checked(
+            "POST", "/admin/reload", {"model": name, "path": str(path)}
         )
 
 

@@ -27,6 +27,12 @@ Endpoints (all JSON; strict RFC 8259 — never ``Infinity``/``NaN``):
     ``{"rows": [[...]]}`` → calibrate the streaming observer's benign
     baseline so its sequential alarm becomes meaningful.
 
+``POST /admin/reload``
+    ``{"model": "name", "path": "new.rfbin"}`` → hot-swap the served
+    engine.  The artefact is fully loaded and CRC-verified *before*
+    the swap; a corrupt or missing file answers ``409`` and the old
+    engine keeps serving.
+
 Framing is hand-rolled over ``asyncio`` streams: request line, headers,
 ``Content-Length`` body, persistent connections.  Engine calls run on a
 thread executor via the per-model :class:`~repro.serve.batching.MicroBatcher`,
@@ -34,12 +40,34 @@ which also provides row-based backpressure (full backlog → ``429`` with
 ``Retry-After``).  :meth:`ServingDaemon.drain` implements graceful
 shutdown: stop accepting, flush every batcher, let in-flight responses
 complete, then close lingering connections.
+
+Failure modes are first-class (PR 9):
+
+- ``read_timeout`` bounds how long a peer may dribble its request head
+  or body (slow-loris defence); ``request_timeout`` bounds each engine
+  call, answering an honest ``503`` when the executor hangs;
+- engine failures are charged to the model's
+  :class:`~repro.serve.resilience.FailureBudget` — a repeatedly-failing
+  model is quarantined (``503`` + ``Retry-After`` for that model only;
+  ``/healthz`` reports ``healthy``/``degraded``/``quarantined`` per
+  model) instead of taking the daemon down;
+- requests carrying an ``Idempotency-Key`` header are deduplicated via
+  an :class:`~repro.serve.resilience.IdempotencyCache`: concurrent
+  duplicates coalesce onto the original's outcome and retries replay
+  the stored response, so a retried ``predict_all``/``verify`` is
+  served exactly once and the streamed suppression statistic is never
+  double-counted;
+- a seeded :class:`repro.faults.FaultInjector` can be threaded through
+  ``fault_injector=`` (daemon → batchers, registry → models) to make
+  all of the above deterministically testable; the production default
+  is ``None`` — no overhead.
 """
 
 from __future__ import annotations
 
 import asyncio
 import json
+import math
 
 import numpy as np
 
@@ -50,6 +78,7 @@ from ..core.verification import match_signature
 from ..exceptions import ReproError, ValidationError
 from .batching import Backpressure, MicroBatcher
 from .registry import ModelRegistry, ServedModel
+from .resilience import IdempotencyCache, RequestAbandoned
 
 __all__ = ["HTTPError", "ServingDaemon"]
 
@@ -58,12 +87,14 @@ _REASONS = {
     400: "Bad Request",
     404: "Not Found",
     405: "Method Not Allowed",
+    408: "Request Timeout",
     409: "Conflict",
     413: "Payload Too Large",
     429: "Too Many Requests",
     431: "Request Header Fields Too Large",
     500: "Internal Server Error",
     503: "Service Unavailable",
+    504: "Gateway Timeout",
 }
 
 _MAX_HEADERS = 100
@@ -206,6 +237,10 @@ class ServingDaemon:
         max_concurrent_batches: int = 2,
         max_body_bytes: int = 16 << 20,
         drain_grace: float = 5.0,
+        request_timeout: float | None = 30.0,
+        read_timeout: float | None = 30.0,
+        fault_injector=None,
+        idempotency_entries: int = 4096,
     ) -> None:
         if len(registry) == 0:
             raise ValidationError("the registry hosts no models")
@@ -218,6 +253,14 @@ class ServingDaemon:
         self._max_concurrent = int(max_concurrent_batches)
         self._max_body_bytes = int(max_body_bytes)
         self._drain_grace = float(drain_grace)
+        self._request_timeout = (
+            None if request_timeout is None else float(request_timeout)
+        )
+        self._read_timeout = (
+            None if read_timeout is None else float(read_timeout)
+        )
+        self._fault_injector = fault_injector
+        self._idempotency = IdempotencyCache(max_entries=idempotency_entries)
 
         self._server: asyncio.AbstractServer | None = None
         self._batchers: dict[str, MicroBatcher] = {}
@@ -236,6 +279,7 @@ class ServingDaemon:
                 max_batch_rows=self._max_batch_rows,
                 max_queue_rows=self._max_queue_rows,
                 max_concurrent=self._max_concurrent,
+                fault_injector=self._fault_injector,
             )
         self._server = await asyncio.start_server(
             self._handle_connection, self._host, self._port
@@ -299,9 +343,16 @@ class ServingDaemon:
         try:
             while True:
                 try:
-                    request = await _read_request(
-                        reader, max_body=self._max_body_bytes
+                    # The read timeout bounds the whole request head +
+                    # body: a slow-loris peer dribbling one header per
+                    # minute (or an idle keep-alive connection) is cut
+                    # off instead of holding a handler forever.
+                    request = await asyncio.wait_for(
+                        _read_request(reader, max_body=self._max_body_bytes),
+                        timeout=self._read_timeout,
                     )
+                except asyncio.TimeoutError:
+                    break
                 except HTTPError as exc:
                     writer.write(
                         _encode_response(
@@ -324,13 +375,14 @@ class ServingDaemon:
                         != "close"
                     )
                     status, payload, extra = await self._respond(
-                        method, target, body
+                        method, target, body, headers
                     )
-                    writer.write(
-                        _encode_response(
-                            status, payload, keep_alive=keep_alive, extra=extra
-                        )
+                    encoded = _encode_response(
+                        status, payload, keep_alive=keep_alive, extra=extra
                     )
+                    if await self._maybe_break_connection(writer, encoded):
+                        break
+                    writer.write(encoded)
                     await writer.drain()
                 finally:
                     self._busy.discard(writer)
@@ -347,8 +399,67 @@ class ServingDaemon:
             except (ConnectionResetError, BrokenPipeError):
                 pass
 
-    async def _respond(self, method: str, target: str, body: bytes):
-        """Dispatch and translate failures into status codes."""
+    async def _maybe_break_connection(self, writer, encoded: bytes) -> bool:
+        """Connection-level fault injection (reset / slow peer).
+
+        ``conn.reset`` writes half the response and aborts the
+        transport — the client sees a reset mid-body, the canonical
+        "did my request happen?" ambiguity idempotency keys resolve.
+        ``conn.slow`` stalls before writing, exercising client read
+        timeouts.  Returns True when the connection was torn down.
+        """
+        if self._fault_injector is None:
+            return False
+        decision = self._fault_injector.decide("conn.reset")
+        if decision is not None:
+            writer.write(encoded[: max(1, len(encoded) // 2)])
+            transport = writer.transport
+            if transport is not None:
+                transport.abort()
+            return True
+        decision = self._fault_injector.decide("conn.slow")
+        if decision is not None:
+            await asyncio.sleep(decision.delay)
+        return False
+
+    async def _respond(
+        self, method: str, target: str, body: bytes, headers: dict | None = None
+    ):
+        """Dispatch and translate failures into status codes.
+
+        Requests carrying an ``Idempotency-Key`` go through the dedup
+        cache: the first arrival executes, concurrent duplicates await
+        its outcome, and later retries replay the stored response —
+        the model's engine and traffic observer see each logical
+        request at most once.
+        """
+        key = (headers or {}).get("idempotency-key")
+        if not key:
+            return await self._respond_once(method, target, body)
+        # Scope the key by route so one client key cannot collide
+        # across endpoints.
+        scoped = f"{method} {target} {key}"
+        while True:
+            state, value = self._idempotency.claim(scoped)
+            if state == "replay":
+                return value
+            if state == "await":
+                try:
+                    return await asyncio.shield(value)
+                except RequestAbandoned:
+                    continue  # the original died without a response; re-claim
+            try:
+                response = await self._respond_once(method, target, body)
+            except BaseException:
+                # _respond_once only raises on cancellation (it maps
+                # ordinary failures to status tuples): release the key
+                # so a retry can re-execute.
+                self._idempotency.abandon(scoped)
+                raise
+            self._idempotency.complete(scoped, response)
+            return response
+
+    async def _respond_once(self, method: str, target: str, body: bytes):
         try:
             payload = await self._dispatch(method, target, body)
             return 200, payload, ()
@@ -368,10 +479,23 @@ class ServingDaemon:
         path = target.split("?", 1)[0].rstrip("/") or "/"
         if path == "/healthz":
             self._require(method, "GET")
-            return {
-                "status": "draining" if self._draining else "ok",
-                "models": self.registry.names(),
+            health = {
+                served.name: served.health_state() for served in self.registry
             }
+            if self._draining:
+                status = "draining"
+            elif all(state == "healthy" for state in health.values()):
+                status = "ok"
+            else:
+                status = "degraded"
+            return {
+                "status": status,
+                "models": self.registry.names(),
+                "model_health": health,
+            }
+        if path == "/admin/reload":
+            self._require(method, "POST")
+            return await self._reload(body)
         if path == "/v1/models":
             self._require(method, "GET")
             return {
@@ -411,9 +535,78 @@ class ServingDaemon:
 
     # -- handlers -------------------------------------------------------
 
+    async def _serve_rows(self, served: ServedModel, X) -> np.ndarray:
+        """One guarded engine call: quarantine gate, timeout, budget.
+
+        Engine failures and timeouts answer an *honest* 5xx (the
+        request definitively did not produce a served answer — the
+        observer never saw it) and are charged to the model's failure
+        budget; once the budget is spent the model is quarantined and
+        requests fail fast with 503 + ``Retry-After`` until the
+        cooldown lapses, leaving the daemon and its other models up.
+        """
+        if served.health_state() == "quarantined":
+            retry_after = max(1, math.ceil(served.budget.retry_after()))
+            raise HTTPError(
+                503,
+                f"model {served.name!r} is quarantined after repeated "
+                "engine failures",
+                headers=(("Retry-After", str(retry_after)),),
+            )
+        try:
+            y_all = await asyncio.wait_for(
+                self._batchers[served.name].submit(X),
+                timeout=self._request_timeout,
+            )
+        except Backpressure:
+            raise
+        except asyncio.TimeoutError:
+            served.budget.record_failure()
+            raise HTTPError(
+                504,
+                f"engine call for model {served.name!r} exceeded the "
+                f"{self._request_timeout}s request timeout",
+                headers=(("Retry-After", "1"),),
+            ) from None
+        except Exception as exc:  # noqa: BLE001 - engine failure → honest 5xx
+            served.budget.record_failure()
+            raise HTTPError(
+                503,
+                f"engine call for model {served.name!r} failed: {exc}",
+                headers=(("Retry-After", "1"),),
+            ) from exc
+        served.budget.record_success()
+        return y_all
+
+    async def _reload(self, body: bytes) -> dict:
+        data = _parse_json(body)
+        for field in ("model", "path"):
+            if field not in data:
+                raise HTTPError(400, f"reload needs a {field!r} field")
+        name = str(data["model"])
+        if name not in self.registry:
+            raise HTTPError(
+                404,
+                f"no model named {name!r}; hosting: {self.registry.names()}",
+            )
+        loop = asyncio.get_running_loop()
+        try:
+            # Loading + CRC verification + compile is blocking disk and
+            # CPU work — keep it off the event loop.  The swap happens
+            # only after the artefact proved loadable, so any failure
+            # here leaves the old engine serving.
+            served = await loop.run_in_executor(
+                None, self.registry.reload, name, str(data["path"])
+            )
+        except ReproError as exc:
+            raise HTTPError(
+                409, f"reload of {name!r} rejected, old engine kept: {exc}"
+            ) from exc
+        return {"reloaded": True, **served.info()}
+
     async def _predict(self, served: ServedModel, body: bytes, *, per_tree: bool):
         X = _parse_rows(_parse_json(body), served)
-        y_all = await self._batchers[served.name].submit(X)
+        y_all = await self._serve_rows(served, X)
         if per_tree:
             return {
                 "model": served.name,
@@ -457,9 +650,10 @@ class ServingDaemon:
                     400, f"trigger_labels is not an integer vector: {exc}"
                 ) from None
             # The judge's probe is traffic like any other: it goes
-            # through the micro-batched serving path and is folded into
-            # the streaming observer before the verdict below is taken.
-            y_all = await self._batchers[served.name].submit(X)
+            # through the micro-batched serving path (guarded like any
+            # other engine call) and is folded into the streaming
+            # observer before the verdict below is taken.
+            y_all = await self._serve_rows(served, X)
             report = match_signature(y_all, y, signature, mode=mode)
             response["ownership"] = {
                 "accepted": bool(report.accepted),

@@ -13,6 +13,17 @@ The observer state is mutated from the daemon's executor threads, so it
 is guarded by its own lock; the engine itself is immutable after
 compilation (the thread-safe lazy-compile path in
 :mod:`repro.trees.compiled` guarantees a single engine per model).
+
+Resilience (PR 9): each served model carries a
+:class:`~repro.serve.resilience.FailureBudget` — repeated engine
+failures quarantine *that model* (503 + ``Retry-After``) instead of
+taking the daemon down — and the registry supports CRC-verified hot
+reloads: :meth:`ModelRegistry.reload` fully loads and integrity-checks
+the new artefact *before* atomically swapping it in, so a corrupt or
+half-written file can never replace a serving engine.  Both the
+registry and its models accept an explicit ``fault_injector=`` hook
+(:class:`repro.faults.FaultInjector`); the production default is
+``None`` — no injector, no overhead.
 """
 
 from __future__ import annotations
@@ -25,8 +36,9 @@ import numpy as np
 from .._validation import check_X
 from ..attacks.detection import DetectionResult
 from ..ensemble.voting import majority_vote
-from ..exceptions import ValidationError
+from ..exceptions import SerializationError, ValidationError
 from ..traffic.defenders import OnlineSuppressionDistinguisher
+from .resilience import FailureBudget
 
 __all__ = ["ModelRegistry", "ServedModel"]
 
@@ -47,42 +59,71 @@ class ServedModel:
         *,
         source: str | None = None,
         alpha: float = 0.05,
+        fault_injector=None,
+        max_failures: int = 5,
+        failure_window: float = 30.0,
+        quarantine_seconds: float = 5.0,
     ) -> None:
         if not name or "/" in name:
             raise ValidationError(
                 f"model name must be non-empty and slash-free, got {name!r}"
             )
         self.name = name
-        self.model = model
-        # A WatermarkedModel exposes its forest as ``.ensemble``; bare
-        # ensembles are served as-is.
-        self.ensemble = getattr(model, "ensemble", model)
-        compile_to_engine = getattr(self.ensemble, "compile", None)
-        if not callable(compile_to_engine):
-            raise ValidationError(
-                f"model {name!r} has no compile(); cannot serve it"
-            )
-        self.engine = compile_to_engine()
         self.source = source
         self.alpha = float(alpha)
-        self.n_features = int(getattr(self.ensemble, "n_features_in_", 0)) or None
-
+        self.fault_injector = fault_injector
         self._observer_lock = threading.Lock()
-        self.observer: OnlineSuppressionDistinguisher | None = None
-        self.calibrated = False
-        if self.engine.classes is not None and np.array_equal(
-            np.sort(np.asarray(self.engine.classes)), _OBSERVER_CLASSES
+        self.budget = FailureBudget(
+            max_failures=max_failures,
+            window=failure_window,
+            quarantine_seconds=quarantine_seconds,
+        )
+        self._install(model, source)
+
+    def _install(self, model, source: str | None) -> None:
+        """Compile and adopt ``model`` as the served engine.
+
+        Used both at construction and by :meth:`replace_model` (hot
+        reload): the observer and counters restart at zero because the
+        streamed Table-2 statistic is a property of one engine's
+        traffic — mixing two engines' answers would bias the verdict.
+        """
+        # A WatermarkedModel exposes its forest as ``.ensemble``; bare
+        # ensembles are served as-is.
+        ensemble = getattr(model, "ensemble", model)
+        compile_to_engine = getattr(ensemble, "compile", None)
+        if not callable(compile_to_engine):
+            raise ValidationError(
+                f"model {self.name!r} has no compile(); cannot serve it"
+            )
+        engine = compile_to_engine()
+        observer = None
+        if engine.classes is not None and np.array_equal(
+            np.sort(np.asarray(engine.classes)), _OBSERVER_CLASSES
         ):
             # Uncalibrated zeros baseline: the streaming *statistic*
             # (rates / detection_result) is exact regardless; only the
             # sequential alarm needs a benign baseline, so its verdict
             # is reported iff ``calibrated``.
-            self.observer = OnlineSuppressionDistinguisher(
-                baseline_rates=np.zeros(self.engine.n_trees), alpha=alpha
+            observer = OnlineSuppressionDistinguisher(
+                baseline_rates=np.zeros(engine.n_trees), alpha=self.alpha
             )
+        with self._observer_lock:
+            self.model = model
+            self.ensemble = ensemble
+            self.engine = engine
+            self.source = source
+            self.n_features = (
+                int(getattr(ensemble, "n_features_in_", 0)) or None
+            )
+            self.observer = observer
+            self.calibrated = False
+            self.n_queries = 0
+            self.n_batches = 0
 
-        self.n_queries = 0
-        self.n_batches = 0
+    def replace_model(self, model, source: str | None = None) -> None:
+        """Atomically swap in a new (already loaded and verified) model."""
+        self._install(model, source)
 
     # -- traffic --------------------------------------------------------
 
@@ -91,10 +132,16 @@ class ServedModel:
 
         This is the batcher's runner: it executes on daemon executor
         threads, so the observer fold and counters sit behind a lock.
+        The fault hook fires *before* the engine call and the observer
+        fold: an injected failure means the batch was never served, so
+        it must never be counted.
         """
-        y_all = self.engine.predict_all(X)
+        if self.fault_injector is not None:
+            self.fault_injector.fire("engine.call")
+        engine = self.engine  # one read: a concurrent reload swaps atomically
+        y_all = engine.predict_all(X)
         with self._observer_lock:
-            if self.observer is not None:
+            if self.observer is not None and engine is self.engine:
                 self.observer.observe(X, y_all)
             self.n_queries += X.shape[0]
             self.n_batches += 1
@@ -150,6 +197,10 @@ class ServedModel:
 
     # -- description ----------------------------------------------------
 
+    def health_state(self) -> str:
+        """``healthy`` / ``degraded`` / ``quarantined`` right now."""
+        return self.budget.state()
+
     def info(self) -> dict:
         """Registry-listing entry (JSON-safe)."""
         return {
@@ -166,6 +217,7 @@ class ServedModel:
             "n_queries": int(self.n_queries),
             "observer": self.observer.name if self.observer else None,
             "calibrated": bool(self.calibrated),
+            "health": self.health_state(),
         }
 
     def describe(self) -> str:
@@ -179,21 +231,66 @@ class ServedModel:
 
 
 class ModelRegistry:
-    """Named collection of :class:`ServedModel`\\ s hosted by one daemon."""
+    """Named collection of :class:`ServedModel`\\ s hosted by one daemon.
 
-    def __init__(self) -> None:
+    ``fault_injector`` (default ``None``: production, zero overhead)
+    and the failure-budget parameters are inherited by every model the
+    registry hosts, unless overridden per ``add``/``load`` call.
+    """
+
+    def __init__(
+        self,
+        *,
+        fault_injector=None,
+        max_failures: int = 5,
+        failure_window: float = 30.0,
+        quarantine_seconds: float = 5.0,
+    ) -> None:
         self._models: dict[str, ServedModel] = {}
+        self.fault_injector = fault_injector
+        self._budget_defaults = {
+            "max_failures": max_failures,
+            "failure_window": failure_window,
+            "quarantine_seconds": quarantine_seconds,
+        }
 
     def add(self, name: str, model, *, source: str | None = None,
-            alpha: float = 0.05) -> ServedModel:
+            alpha: float = 0.05, **budget) -> ServedModel:
         """Register an in-memory model under ``name``."""
         if name in self._models:
             raise ValidationError(f"model {name!r} is already registered")
-        served = ServedModel(name, model, source=source, alpha=alpha)
+        served = ServedModel(
+            name,
+            model,
+            source=source,
+            alpha=alpha,
+            fault_injector=self.fault_injector,
+            **{**self._budget_defaults, **budget},
+        )
         self._models[name] = served
         return served
 
-    def load(self, name: str, path, *, alpha: float = 0.05) -> ServedModel:
+    def _load_model(self, path):
+        """Load + integrity-check one artefact (fault hooks armed)."""
+        from ..persistence import load as load_model
+
+        path = Path(path)
+        if self.fault_injector is not None:
+            self.fault_injector.fire("registry.load")
+            decision = self.fault_injector.decide("artefact.corrupt")
+            if decision is not None:
+                # Serve a bit-flipped copy of the artefact: the loader's
+                # CRC check below must refuse it, proving integrity
+                # checking guards the swap.
+                from ..faults.injector import corrupted_copy
+
+                path = corrupted_copy(path, decision)
+        # Buffered load: every payload byte passes its section CRC (the
+        # mmap fast path skips payload CRCs, which is the wrong trade
+        # for an artefact about to replace a serving engine).
+        return load_model(path)
+
+    def load(self, name: str, path, *, alpha: float = 0.05, **budget) -> ServedModel:
         """Load an artefact and register it under ``name``.
 
         Binary ``.rfbin`` artefacts are mapped zero-copy
@@ -204,8 +301,29 @@ class ModelRegistry:
         from ..persistence import load as load_model
 
         path = Path(path)
+        if self.fault_injector is not None:
+            self.fault_injector.fire("registry.load")
         model = load_model(path, mmap_mode="r")
-        return self.add(name, model, source=str(path), alpha=alpha)
+        return self.add(name, model, source=str(path), alpha=alpha, **budget)
+
+    def reload(self, name: str, path) -> ServedModel:
+        """Hot-swap ``name``'s engine from a freshly verified artefact.
+
+        The new artefact is fully loaded — with payload CRC
+        verification for the binary format — *before* the served model
+        is touched; any failure (missing file, corrupt bytes, injected
+        fault) leaves the old engine serving untouched.
+        """
+        served = self.get(name)
+        path = Path(path)
+        try:
+            model = self._load_model(path)
+        except OSError as exc:
+            raise SerializationError(
+                f"cannot reload {name!r} from {path}: {exc}"
+            ) from exc
+        served.replace_model(model, source=str(path))
+        return served
 
     def get(self, name: str) -> ServedModel:
         try:

@@ -1,0 +1,348 @@
+"""Resilience primitives for the serving stack.
+
+Client side
+-----------
+:class:`RetryPolicy` — exponential backoff with *seeded* full jitter
+(the retry schedule is as replayable as the fault plan that provoked
+it) honouring server ``Retry-After`` hints, bounded by an attempt count
+and an optional wall-clock deadline budget.
+:class:`CircuitBreaker` — consecutive transport/5xx failures open the
+circuit; while open, calls fail fast with the typed
+:class:`CircuitOpen`; after a cooldown exactly one half-open probe is
+admitted, and its outcome closes or re-opens the circuit.
+
+Server side
+-----------
+:class:`FailureBudget` — a sliding-window failure counter per served
+model.  Inside the window, failures mark the model ``degraded``;
+exceeding the budget quarantines it for a cooldown (requests answer
+503 + ``Retry-After`` instead of taking the daemon down), after which
+traffic is admitted again.
+:class:`IdempotencyCache` — event-loop-confined dedup of retried
+requests.  A request carrying an ``Idempotency-Key`` claims an
+in-flight slot; concurrent duplicates await the original's outcome and
+completed successes are replayed from an LRU — so a retried ``/verify``
+or ``predict_all`` batch is served *once*, and the streamed suppression
+statistic is never double-counted (a correctness requirement: retries
+must not bias the Table-2 verdict).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+import time
+from collections import OrderedDict
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..exceptions import ReproError, ValidationError
+
+__all__ = [
+    "CircuitBreaker",
+    "CircuitOpen",
+    "FailureBudget",
+    "IdempotencyCache",
+    "RequestAbandoned",
+    "RetryPolicy",
+]
+
+
+class RequestAbandoned(ReproError, RuntimeError):
+    """The original holder of an idempotency key exited without a response."""
+
+
+class CircuitOpen(ReproError, RuntimeError):
+    """Fail-fast rejection while the client's circuit breaker is open."""
+
+    def __init__(self, retry_after: float) -> None:
+        super().__init__(
+            f"circuit breaker open; retry in {retry_after:.3f}s"
+        )
+        self.retry_after = float(retry_after)
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded retries with exponential backoff and full jitter.
+
+    The delay before attempt ``k`` (0-based; attempt 0 has no delay) is
+    ``max(retry_after_hint, U(0, min(max_delay, base_delay * 2**(k-1))))``
+    — AWS-style full jitter with the server's ``Retry-After`` as a
+    floor.  ``deadline`` bounds the *whole* logical operation: a retry
+    whose backoff would overrun the budget is not attempted.
+    """
+
+    max_attempts: int = 5
+    base_delay: float = 0.05
+    max_delay: float = 2.0
+    deadline: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValidationError(
+                f"max_attempts must be >= 1, got {self.max_attempts}"
+            )
+        if self.base_delay < 0 or self.max_delay < 0:
+            raise ValidationError("backoff delays must be non-negative")
+        if self.deadline is not None and self.deadline <= 0:
+            raise ValidationError(
+                f"deadline budget must be positive, got {self.deadline}"
+            )
+
+    def backoff(self, attempt: int, rng, retry_after: float = 0.0) -> float:
+        """Seconds to wait before retry number ``attempt`` (1-based)."""
+        ceiling = min(self.max_delay, self.base_delay * 2 ** (attempt - 1))
+        jitter = float(rng.uniform(0.0, ceiling)) if ceiling > 0 else 0.0
+        return max(float(retry_after), jitter)
+
+
+class CircuitBreaker:
+    """Closed → open on repeated failures → one half-open probe.
+
+    Thread-safe; shared by every request a client issues.  States:
+
+    ``closed``
+        Normal operation; ``failure_threshold`` *consecutive* failures
+        trip the breaker.
+    ``open``
+        Calls raise :class:`CircuitOpen` immediately for
+        ``reset_timeout`` seconds.
+    ``half-open``
+        After the cooldown, exactly one probe call is admitted; its
+        success closes the circuit, its failure re-opens it (fresh
+        cooldown).  Concurrent calls during the probe still fail fast.
+    """
+
+    def __init__(
+        self,
+        failure_threshold: int = 5,
+        reset_timeout: float = 1.0,
+        clock=time.monotonic,
+    ) -> None:
+        if failure_threshold < 1:
+            raise ValidationError(
+                f"failure_threshold must be >= 1, got {failure_threshold}"
+            )
+        self.failure_threshold = int(failure_threshold)
+        self.reset_timeout = float(reset_timeout)
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._failures = 0
+        self._opened_at: float | None = None
+        self._probing = False
+
+    @property
+    def state(self) -> str:
+        with self._lock:
+            return self._state_locked()
+
+    def _state_locked(self) -> str:
+        if self._opened_at is None:
+            return "closed"
+        if self._clock() - self._opened_at >= self.reset_timeout:
+            return "half-open"
+        return "open"
+
+    def allow(self) -> None:
+        """Admit a call or raise :class:`CircuitOpen` (typed fail-fast)."""
+        with self._lock:
+            state = self._state_locked()
+            if state == "closed":
+                return
+            if state == "half-open" and not self._probing:
+                self._probing = True  # this caller is the probe
+                return
+            remaining = max(
+                0.0, self.reset_timeout - (self._clock() - self._opened_at)
+            )
+            raise CircuitOpen(retry_after=remaining or self.reset_timeout)
+
+    def record_success(self) -> None:
+        with self._lock:
+            self._failures = 0
+            self._opened_at = None
+            self._probing = False
+
+    def record_failure(self) -> None:
+        with self._lock:
+            if self._probing:
+                # The half-open probe failed: re-open with a fresh cooldown.
+                self._probing = False
+                self._opened_at = self._clock()
+                return
+            self._failures += 1
+            if self._failures >= self.failure_threshold:
+                self._opened_at = self._clock()
+
+
+class FailureBudget:
+    """Per-model failure accounting: healthy → degraded → quarantined.
+
+    Failures inside the sliding ``window`` accumulate; reaching
+    ``max_failures`` quarantines the model for ``quarantine_seconds``
+    (the daemon answers 503 + ``Retry-After`` for it, other models keep
+    serving).  When the quarantine lapses the budget resets and traffic
+    probes the model again.  Successes decay the window so a model that
+    recovered stops reading as degraded.
+    """
+
+    def __init__(
+        self,
+        max_failures: int = 5,
+        window: float = 30.0,
+        quarantine_seconds: float = 5.0,
+        clock=time.monotonic,
+    ) -> None:
+        if max_failures < 1:
+            raise ValidationError(
+                f"max_failures must be >= 1, got {max_failures}"
+            )
+        self.max_failures = int(max_failures)
+        self.window = float(window)
+        self.quarantine_seconds = float(quarantine_seconds)
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._failure_times: list[float] = []
+        self._quarantined_until: float | None = None
+        self.n_failures = 0
+        self.n_quarantines = 0
+
+    def _prune_locked(self, now: float) -> None:
+        horizon = now - self.window
+        self._failure_times = [t for t in self._failure_times if t > horizon]
+        if (
+            self._quarantined_until is not None
+            and now >= self._quarantined_until
+        ):
+            self._quarantined_until = None
+            self._failure_times.clear()
+
+    def record_failure(self) -> None:
+        with self._lock:
+            now = self._clock()
+            self.n_failures += 1
+            self._prune_locked(now)
+            self._failure_times.append(now)
+            if (
+                self._quarantined_until is None
+                and len(self._failure_times) >= self.max_failures
+            ):
+                self._quarantined_until = now + self.quarantine_seconds
+                self.n_quarantines += 1
+
+    def record_success(self) -> None:
+        with self._lock:
+            self._prune_locked(self._clock())
+            if self._failure_times:
+                self._failure_times.pop(0)
+
+    def state(self) -> str:
+        with self._lock:
+            now = self._clock()
+            self._prune_locked(now)
+            if self._quarantined_until is not None:
+                return "quarantined"
+            return "degraded" if self._failure_times else "healthy"
+
+    def retry_after(self) -> float:
+        """Seconds until the quarantine lapses (0 when not quarantined)."""
+        with self._lock:
+            if self._quarantined_until is None:
+                return 0.0
+            return max(0.0, self._quarantined_until - self._clock())
+
+
+class IdempotencyCache:
+    """Dedup retried requests by their ``Idempotency-Key``.
+
+    Confined to the daemon's event loop (no locks needed).  For each
+    key the cache is in exactly one state: *in-flight* (an
+    ``asyncio.Future`` duplicates await) or *completed* (the stored
+    response, replayed verbatim).  Only definitive responses are
+    stored: 2xx results and 4xx client errors are replayed, and so is
+    504 — an executor timeout means the engine call is *still running*
+    (a thread cannot be cancelled) and will be counted by the traffic
+    observer when it lands, so a retry that re-executed would serve
+    and count the batch twice.  Transient failures (429, 500, 503,
+    transport drops) never touched the observer and are forgotten so a
+    retry re-executes.  Completed entries live in a bounded LRU.
+    """
+
+    #: 429 is transient by definition — never replay it.
+    _TRANSIENT = frozenset({429})
+
+    @classmethod
+    def _cacheable(cls, status: int) -> bool:
+        if status in cls._TRANSIENT:
+            return False
+        return 200 <= status < 500 or status == 504
+
+    def __init__(self, max_entries: int = 4096) -> None:
+        if max_entries < 1:
+            raise ValidationError(
+                f"max_entries must be >= 1, got {max_entries}"
+            )
+        self.max_entries = int(max_entries)
+        self._inflight: dict[str, asyncio.Future] = {}
+        self._completed: OrderedDict[str, tuple] = OrderedDict()
+        self.n_replayed = 0
+        self.n_coalesced = 0
+
+    def claim(self, key: str):
+        """``("replay", response)`` | ``("await", future)`` | ``("run", future)``.
+
+        ``run`` means the caller owns the execution and must resolve the
+        returned future via :meth:`complete` (or :meth:`abandon` on an
+        unexpected exit).
+        """
+        if key in self._completed:
+            self._completed.move_to_end(key)
+            self.n_replayed += 1
+            return "replay", self._completed[key]
+        if key in self._inflight:
+            self.n_coalesced += 1
+            return "await", self._inflight[key]
+        future: asyncio.Future = asyncio.get_running_loop().create_future()
+        self._inflight[key] = future
+        return "run", future
+
+    def complete(self, key: str, response: tuple) -> None:
+        """Resolve ``key``'s in-flight future and maybe store the response."""
+        future = self._inflight.pop(key, None)
+        if future is not None and not future.done():
+            future.set_result(response)
+        status = response[0]
+        if self._cacheable(status):
+            self._completed[key] = response
+            self._completed.move_to_end(key)
+            while len(self._completed) > self.max_entries:
+                self._completed.popitem(last=False)
+
+    def abandon(self, key: str) -> None:
+        """Release ``key``'s in-flight slot without a response.
+
+        Waiters see :class:`RequestAbandoned` (a normal exception, so a
+        waiter can tell "the original died" from its *own*
+        cancellation) and the key becomes claimable again.
+        """
+        future = self._inflight.pop(key, None)
+        if future is not None and not future.done():
+            future.set_exception(RequestAbandoned(key))
+            # Mark retrieved so a waiter-less abandon does not log
+            # "exception was never retrieved" at GC time.
+            future.exception()
+
+    def stats(self) -> dict:
+        return {
+            "inflight": len(self._inflight),
+            "completed": len(self._completed),
+            "n_replayed": self.n_replayed,
+            "n_coalesced": self.n_coalesced,
+        }
+
+
+def retry_rng(seed) -> np.random.Generator:
+    """The client's jitter stream (seeded ⇒ replayable backoff schedule)."""
+    return np.random.default_rng(seed)

@@ -90,9 +90,11 @@ class BackgroundServer:
 
     # -- conveniences ---------------------------------------------------
 
-    def client(self, timeout: float = 30.0) -> ServeClient:
+    def client(self, timeout: float = 30.0, **kwargs) -> ServeClient:
+        """A connected client; kwargs reach :class:`ServeClient` (e.g.
+        ``retry=``, ``retry_seed=``, ``breaker=`` for resilient runs)."""
         assert self.host is not None and self.port is not None
-        return ServeClient(self.host, self.port, timeout=timeout)
+        return ServeClient(self.host, self.port, timeout=timeout, **kwargs)
 
     def run_on_loop(self, coro_factory):
         """Run ``coro_factory()`` on the daemon's loop, blocking for it."""

@@ -1,0 +1,237 @@
+"""FaultPlan / FaultInjector determinism and validation battery.
+
+The fault harness is only useful if a chaos run is replayable from
+``(plan parameters, seed)`` alone — these tests pin that contract the
+same way ``tests/traffic`` pins it for the query generators.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.faults import (
+    SITES,
+    FaultDecision,
+    FaultInjector,
+    FaultPlan,
+    FaultSpec,
+    InjectedFault,
+    corrupted_copy,
+)
+
+
+def chaos_plan(seed=123, rate=0.3, **kwargs):
+    return FaultPlan.chaos(seed, rate=rate, **kwargs)
+
+
+class TestSpecValidation:
+    def test_unknown_site_rejected(self):
+        with pytest.raises(ValidationError, match="unknown fault site"):
+            FaultSpec(site="engine.warp", rate=0.1)
+
+    def test_rate_out_of_range_rejected(self):
+        with pytest.raises(ValidationError, match="rate"):
+            FaultSpec(site="engine.call", rate=1.5)
+        with pytest.raises(ValidationError, match="rate"):
+            FaultSpec(site="engine.call", rate=-0.1)
+
+    def test_kind_must_match_site(self):
+        with pytest.raises(ValidationError, match="not valid at site"):
+            FaultSpec(site="conn.reset", rate=0.1, kinds=("latency",))
+
+    def test_kinds_default_to_site_alphabet(self):
+        spec = FaultSpec(site="engine.call", rate=0.1)
+        assert spec.kinds == SITES["engine.call"]
+
+    def test_nonpositive_delay_rejected(self):
+        with pytest.raises(ValidationError, match="max_delay"):
+            FaultSpec(site="engine.call", rate=0.1, max_delay=0.0)
+
+    def test_duplicate_sites_rejected(self):
+        specs = [
+            FaultSpec(site="engine.call", rate=0.1),
+            FaultSpec(site="engine.call", rate=0.2),
+        ]
+        with pytest.raises(ValidationError, match="duplicate"):
+            FaultPlan(specs, seed=1)
+
+    def test_bad_block_size_rejected(self):
+        with pytest.raises(ValidationError, match="block_size"):
+            FaultPlan([], seed=1, block_size=0)
+
+
+class TestDeterminism:
+    def test_same_seed_same_decisions(self):
+        a = chaos_plan(seed=42)
+        b = chaos_plan(seed=42)
+        for site in a.specs:
+            assert a.preview(site, 500) == b.preview(site, 500)
+
+    def test_different_seeds_differ(self):
+        a, b = chaos_plan(seed=1), chaos_plan(seed=2)
+        assert any(
+            a.preview(site, 200) != b.preview(site, 200) for site in a.specs
+        )
+
+    def test_sites_are_independent_streams(self):
+        """Dropping a site leaves every other site's stream untouched."""
+        full = chaos_plan(seed=7)
+        partial = FaultPlan(
+            [FaultSpec(site="conn.reset", rate=0.3)], seed=7
+        )
+        assert full.preview("conn.reset", 300) == partial.preview(
+            "conn.reset", 300
+        )
+
+    def test_decision_is_pure_and_order_free(self):
+        plan = chaos_plan(seed=11)
+        forward = [plan.decision("engine.call", i) for i in range(200)]
+        backward = [
+            plan.decision("engine.call", i) for i in reversed(range(200))
+        ]
+        assert forward == list(reversed(backward))
+
+    def test_block_size_is_part_of_identity(self):
+        a = chaos_plan(seed=3, block_size=64)
+        b = chaos_plan(seed=3, block_size=1024)
+        assert a.preview("engine.call", 300) != b.preview("engine.call", 300)
+
+    def test_decisions_cross_block_boundaries(self):
+        plan = chaos_plan(seed=5, block_size=16)
+        events = plan.preview("engine.call", 100)
+        fired = [d for d in events if d is not None]
+        assert fired, "rate 0.3 over 100 events must fire at least once"
+        assert any(d.index >= 16 for d in fired)
+
+    def test_rate_extremes(self):
+        never = FaultPlan(
+            [FaultSpec(site="engine.call", rate=0.0)], seed=1
+        )
+        always = FaultPlan(
+            [FaultSpec(site="engine.call", rate=1.0)], seed=1
+        )
+        assert all(d is None for d in never.preview("engine.call", 100))
+        assert all(d is not None for d in always.preview("engine.call", 100))
+
+    def test_uncovered_site_never_fires(self):
+        plan = FaultPlan([FaultSpec(site="conn.slow", rate=1.0)], seed=1)
+        assert plan.decision("engine.call", 0) is None
+
+    def test_observed_rate_tracks_spec(self):
+        plan = FaultPlan([FaultSpec(site="engine.call", rate=0.25)], seed=9)
+        fired = sum(
+            d is not None for d in plan.preview("engine.call", 4000)
+        )
+        assert 0.2 < fired / 4000 < 0.3
+
+    def test_delays_bounded_and_positive(self):
+        plan = FaultPlan(
+            [
+                FaultSpec(
+                    site="conn.slow", rate=1.0, max_delay=0.01
+                )
+            ],
+            seed=2,
+        )
+        for decision in plan.preview("conn.slow", 200):
+            assert 0.0 < decision.delay <= 0.01
+
+    def test_describe_is_json_safe(self):
+        import json
+
+        plan = chaos_plan(seed=1)
+        round_tripped = json.loads(json.dumps(plan.describe()))
+        assert round_tripped["block_size"] == plan.block_size
+        assert set(round_tripped["sites"]) == set(plan.specs)
+
+
+class TestInjector:
+    def test_counters_advance_and_reset_replays(self):
+        injector = chaos_plan(seed=21).compile()
+        first = [injector.decide("engine.call") for _ in range(50)]
+        counts = injector.counts()
+        assert counts["engine.call"]["events"] == 50
+        assert counts["engine.call"]["fired"] == sum(
+            d is not None for d in first
+        )
+        injector.reset()
+        second = [injector.decide("engine.call") for _ in range(50)]
+        assert first == second
+
+    def test_fire_raises_typed_error(self):
+        plan = FaultPlan(
+            [FaultSpec(site="engine.call", rate=1.0, kinds=("error",))],
+            seed=4,
+        )
+        injector = plan.compile()
+        with pytest.raises(InjectedFault) as excinfo:
+            injector.fire("engine.call")
+        assert excinfo.value.decision.site == "engine.call"
+        assert excinfo.value.decision.kind == "error"
+
+    def test_fire_on_uncovered_site_is_noop(self):
+        injector = FaultPlan([], seed=1).compile()
+        injector.fire("engine.call")  # must not raise
+        assert injector.counts() == {}
+
+    def test_injector_matches_plan_preview(self):
+        plan = chaos_plan(seed=33)
+        injector = plan.compile()
+        consumed = [injector.decide("conn.reset") for _ in range(100)]
+        assert consumed == plan.preview("conn.reset", 100)
+
+    def test_thread_safety_counts_every_event(self):
+        import threading
+
+        injector = chaos_plan(seed=8).compile()
+
+        def spin():
+            for _ in range(500):
+                injector.decide("engine.call")
+
+        threads = [threading.Thread(target=spin) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert injector.counts()["engine.call"]["events"] == 2000
+
+
+class TestCorruptedCopy:
+    def decision(self, salt=12345):
+        return FaultDecision(
+            site="artefact.corrupt", index=0, kind="corrupt", salt=salt
+        )
+
+    def test_flips_exactly_one_bit_after_magic(self, tmp_path):
+        path = tmp_path / "artefact.bin"
+        original = bytes(range(256)) * 4
+        path.write_bytes(original)
+        target = corrupted_copy(path, self.decision())
+        corrupted = target.read_bytes()
+        assert len(corrupted) == len(original)
+        assert corrupted[:16] == original[:16]
+        diff = [
+            i for i, (a, b) in enumerate(zip(original, corrupted)) if a != b
+        ]
+        assert len(diff) == 1
+        assert bin(original[diff[0]] ^ corrupted[diff[0]]).count("1") == 1
+
+    def test_deterministic_per_salt(self, tmp_path):
+        path = tmp_path / "artefact.bin"
+        path.write_bytes(np.arange(512, dtype=np.uint8).tobytes())
+        (tmp_path / "a").mkdir()
+        (tmp_path / "b").mkdir()
+        a = corrupted_copy(path, self.decision(), target_dir=tmp_path / "a")
+        b = corrupted_copy(path, self.decision(), target_dir=tmp_path / "b")
+        assert a.read_bytes() == b.read_bytes()
+
+    def test_tiny_artefact_refused(self, tmp_path):
+        from repro.exceptions import ReproError
+
+        path = tmp_path / "tiny.bin"
+        path.write_bytes(b"0123456789")
+        with pytest.raises(ReproError, match="too small"):
+            corrupted_copy(path, self.decision())

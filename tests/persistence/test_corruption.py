@@ -238,3 +238,67 @@ class TestStructuralDamage:
         artifact.write_bytes(bytes(blob))
         with pytest.raises(SerializationError, match="outside the node table"):
             load(artifact)
+
+
+class TestCrashSafeWrites:
+    """A crash mid-save must never corrupt the published artefact."""
+
+    @pytest.fixture()
+    def crash_on_publish(self, monkeypatch):
+        """Make the atomic rename explode — simulating a crash after the
+        temp file was written but before it replaced the destination."""
+        import repro.persistence.atomic as atomic_mod
+
+        def boom(src, dst):
+            raise OSError("simulated crash at publish time")
+
+        monkeypatch.setattr(atomic_mod.os, "replace", boom)
+
+    @pytest.mark.parametrize("suffix", [".rfbin", ".json", ".npz"])
+    def test_crash_leaves_previous_artifact_intact(
+        self, bc_forest, tmp_path, crash_on_publish, suffix
+    ):
+        path = tmp_path / f"model{suffix}"
+        original = b"previous complete artefact"
+        path.write_bytes(original)
+        with pytest.raises(OSError, match="simulated crash"):
+            save(bc_forest, path)
+        assert path.read_bytes() == original
+
+    @pytest.mark.parametrize("suffix", [".rfbin", ".json", ".npz"])
+    def test_crash_leaves_no_temp_litter(
+        self, bc_forest, tmp_path, crash_on_publish, suffix
+    ):
+        path = tmp_path / f"model{suffix}"
+        with pytest.raises(OSError, match="simulated crash"):
+            save(bc_forest, path)
+        assert not path.exists()
+        assert list(tmp_path.iterdir()) == []
+
+    def test_crash_during_write_leaves_destination_untouched(
+        self, bc_forest, tmp_path, monkeypatch
+    ):
+        # Crash *inside* the write (before fsync): np.savez raising is
+        # representative of any mid-body failure.
+        path = tmp_path / "model.rfbin"
+        original = b"previous complete artefact"
+        path.write_bytes(original)
+
+        import repro.persistence.exporters.binary as binary_mod
+
+        def boom(*args, **kwargs):
+            raise RuntimeError("simulated crash mid-body")
+
+        monkeypatch.setattr(binary_mod, "_model_sections", boom)
+        with pytest.raises(RuntimeError, match="mid-body"):
+            save(bc_forest, path, format="binary")
+        assert path.read_bytes() == original
+        assert list(tmp_path.iterdir()) == [path]
+
+    def test_successful_save_is_atomic_replacement(self, bc_forest, tmp_path):
+        path = tmp_path / "model.rfbin"
+        path.write_bytes(b"stale bytes")
+        save(bc_forest, path)
+        loaded = load(path)
+        assert loaded.predict(np.zeros((1, bc_forest.n_features_in_))) is not None
+        assert list(tmp_path.iterdir()) == [path]

@@ -176,3 +176,55 @@ class TestDrain:
         assert stats["n_rows"] == 8
         assert stats["n_calls"] < 4  # coalesced
         assert stats["rows_per_call"] > 1.0
+
+
+class TestShutdownAndFaults:
+    def test_drain_completes_when_runner_raises(self):
+        """A runner that dies during shutdown must not hang the drain."""
+
+        async def scenario():
+            def boom(X):
+                raise RuntimeError("engine died during shutdown")
+
+            batcher = MicroBatcher(boom, flush_window=30.0, max_batch_rows=64)
+            pending = [
+                asyncio.ensure_future(batcher.submit(np.ones((2, 3))))
+                for _ in range(3)
+            ]
+            await asyncio.sleep(0.01)  # parked in the flush window
+            await asyncio.wait_for(batcher.drain(), timeout=5.0)
+            results = await asyncio.gather(*pending, return_exceptions=True)
+            assert all(isinstance(r, RuntimeError) for r in results)
+            assert batcher.backlog_rows == 0
+
+        run(scenario())
+
+    def test_injected_flush_fault_fans_to_all_coalesced_requests(self):
+        from repro.faults import FaultPlan, FaultSpec, InjectedFault
+
+        plan = FaultPlan([FaultSpec(site="batcher.flush", rate=1.0)], seed=1)
+
+        async def scenario():
+            batcher = MicroBatcher(
+                make_runner([]),
+                flush_window=0.02,
+                fault_injector=plan.compile(),
+            )
+            return await asyncio.gather(
+                *(batcher.submit(np.ones((1, 2))) for _ in range(3)),
+                return_exceptions=True,
+            )
+
+        results = run(scenario())
+        assert all(isinstance(r, InjectedFault) for r in results)
+
+    def test_no_injector_means_no_faults(self):
+        calls: list[int] = []
+
+        async def scenario():
+            batcher = MicroBatcher(make_runner(calls), flush_window=0.0)
+            return await batcher.submit(np.ones((2, 3)))
+
+        result = run(scenario())
+        assert result.shape == (2, 2)
+        assert calls == [2]

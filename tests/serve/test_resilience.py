@@ -1,0 +1,299 @@
+"""Unit battery for the resilience primitives and typed client errors."""
+
+from __future__ import annotations
+
+import asyncio
+import socket
+import threading
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ReproError, ValidationError
+from repro.serve import (
+    CircuitBreaker,
+    CircuitOpen,
+    FailureBudget,
+    IdempotencyCache,
+    RequestAbandoned,
+    RetryPolicy,
+    ServeClient,
+    ServeConnectionError,
+    ServeTimeout,
+)
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.now = 1000.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+class TestRetryPolicy:
+    def test_backoff_ceiling_doubles_then_caps(self):
+        policy = RetryPolicy(base_delay=0.1, max_delay=0.5)
+
+        class Max:
+            def uniform(self, lo, hi):
+                return hi
+
+        rng = Max()
+        delays = [policy.backoff(k, rng) for k in range(1, 6)]
+        assert delays == [0.1, 0.2, 0.4, 0.5, 0.5]
+
+    def test_retry_after_floors_the_jitter(self):
+        policy = RetryPolicy(base_delay=0.01, max_delay=0.02)
+        rng = np.random.default_rng(0)
+        assert policy.backoff(1, rng, retry_after=3.0) == 3.0
+
+    def test_jitter_is_seed_replayable(self):
+        policy = RetryPolicy(base_delay=0.05)
+        a = [policy.backoff(k, np.random.default_rng(7)) for k in range(1, 4)]
+        b = [policy.backoff(k, np.random.default_rng(7)) for k in range(1, 4)]
+        # Same fresh generator per call -> identical first draw; the
+        # point is that a seeded client replays its whole schedule.
+        assert a[0] == b[0]
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ValidationError):
+            RetryPolicy(base_delay=-1.0)
+        with pytest.raises(ValidationError):
+            RetryPolicy(deadline=0.0)
+
+
+class TestCircuitBreaker:
+    def test_trips_after_consecutive_failures(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(failure_threshold=3, reset_timeout=1.0, clock=clock)
+        for _ in range(3):
+            breaker.allow()
+            breaker.record_failure()
+        assert breaker.state == "open"
+        with pytest.raises(CircuitOpen) as excinfo:
+            breaker.allow()
+        assert 0 < excinfo.value.retry_after <= 1.0
+
+    def test_success_resets_the_count(self):
+        breaker = CircuitBreaker(failure_threshold=2)
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        assert breaker.state == "closed"
+
+    def test_half_open_admits_exactly_one_probe(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(failure_threshold=1, reset_timeout=1.0, clock=clock)
+        breaker.record_failure()
+        clock.advance(1.5)
+        assert breaker.state == "half-open"
+        breaker.allow()  # the probe
+        with pytest.raises(CircuitOpen):
+            breaker.allow()  # concurrent call during the probe fails fast
+
+    def test_probe_success_closes(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(failure_threshold=1, reset_timeout=1.0, clock=clock)
+        breaker.record_failure()
+        clock.advance(1.1)
+        breaker.allow()
+        breaker.record_success()
+        assert breaker.state == "closed"
+        breaker.allow()
+
+    def test_probe_failure_reopens_with_fresh_cooldown(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(failure_threshold=1, reset_timeout=1.0, clock=clock)
+        breaker.record_failure()
+        clock.advance(1.1)
+        breaker.allow()
+        breaker.record_failure()
+        assert breaker.state == "open"
+        with pytest.raises(CircuitOpen):
+            breaker.allow()
+        clock.advance(1.1)
+        breaker.allow()  # next probe admitted after the fresh cooldown
+
+    def test_circuit_open_is_typed(self):
+        assert issubclass(CircuitOpen, ReproError)
+
+
+class TestFailureBudget:
+    def test_lifecycle_healthy_degraded_quarantined(self):
+        clock = FakeClock()
+        budget = FailureBudget(
+            max_failures=3, window=10.0, quarantine_seconds=5.0, clock=clock
+        )
+        assert budget.state() == "healthy"
+        budget.record_failure()
+        assert budget.state() == "degraded"
+        budget.record_failure()
+        budget.record_failure()
+        assert budget.state() == "quarantined"
+        assert budget.retry_after() == pytest.approx(5.0)
+        clock.advance(5.1)
+        assert budget.state() == "healthy"  # quarantine lapsed, budget reset
+        assert budget.retry_after() == 0.0
+
+    def test_old_failures_fall_out_of_window(self):
+        clock = FakeClock()
+        budget = FailureBudget(max_failures=2, window=10.0, clock=clock)
+        budget.record_failure()
+        clock.advance(11.0)
+        budget.record_failure()
+        assert budget.state() == "degraded"  # only one failure in window
+
+    def test_success_decays_the_window(self):
+        clock = FakeClock()
+        budget = FailureBudget(max_failures=5, window=30.0, clock=clock)
+        budget.record_failure()
+        budget.record_success()
+        assert budget.state() == "healthy"
+
+    def test_telemetry_counts(self):
+        clock = FakeClock()
+        budget = FailureBudget(max_failures=1, quarantine_seconds=1.0, clock=clock)
+        budget.record_failure()
+        assert budget.n_failures == 1
+        assert budget.n_quarantines == 1
+
+
+class TestIdempotencyCache:
+    def run(self, coro):
+        return asyncio.run(coro)
+
+    def test_claim_run_complete_replay(self):
+        async def scenario():
+            cache = IdempotencyCache()
+            state, future = cache.claim("k")
+            assert state == "run"
+            cache.complete("k", (200, {"ok": True}, ()))
+            assert future.result() == (200, {"ok": True}, ())
+            state, value = cache.claim("k")
+            assert state == "replay"
+            assert value == (200, {"ok": True}, ())
+            assert cache.stats()["n_replayed"] == 1
+
+        self.run(scenario())
+
+    def test_concurrent_duplicates_coalesce(self):
+        async def scenario():
+            cache = IdempotencyCache()
+            state, _ = cache.claim("k")
+            assert state == "run"
+            state, future = cache.claim("k")
+            assert state == "await"
+            cache.complete("k", (200, {}, ()))
+            assert await future == (200, {}, ())
+            assert cache.stats()["n_coalesced"] == 1
+
+        self.run(scenario())
+
+    @pytest.mark.parametrize("status", [429, 500, 503])
+    def test_transient_statuses_not_replayed(self, status):
+        async def scenario():
+            cache = IdempotencyCache()
+            cache.claim("k")
+            cache.complete("k", (status, {}, ()))
+            state, _ = cache.claim("k")
+            assert state == "run"  # the retry re-executes
+
+        self.run(scenario())
+
+    @pytest.mark.parametrize("status", [200, 400, 404, 504])
+    def test_definitive_statuses_replayed(self, status):
+        async def scenario():
+            cache = IdempotencyCache()
+            cache.claim("k")
+            cache.complete("k", (status, {}, ()))
+            state, _ = cache.claim("k")
+            assert state == "replay"
+
+        self.run(scenario())
+
+    def test_abandon_is_typed_and_reclaimable(self):
+        async def scenario():
+            cache = IdempotencyCache()
+            cache.claim("k")
+            state, future = cache.claim("k")
+            assert state == "await"
+            cache.abandon("k")
+            with pytest.raises(RequestAbandoned):
+                await future
+            state, _ = cache.claim("k")
+            assert state == "run"
+
+        self.run(scenario())
+
+    def test_lru_eviction(self):
+        async def scenario():
+            cache = IdempotencyCache(max_entries=2)
+            for key in ("a", "b", "c"):
+                cache.claim(key)
+                cache.complete(key, (200, {"key": key}, ()))
+            assert cache.claim("a")[0] == "run"  # evicted
+            assert cache.claim("b")[0] == "replay"
+            assert cache.claim("c")[0] == "replay"
+
+        self.run(scenario())
+
+
+class TestTypedClientErrors:
+    def test_timeout_surfaces_as_serve_timeout(self):
+        """A server that accepts but never answers -> ServeTimeout."""
+        listener = socket.create_server(("127.0.0.1", 0))
+        port = listener.getsockname()[1]
+        release = threading.Event()
+
+        def mute_server():
+            conn, _ = listener.accept()
+            release.wait(timeout=10)
+            conn.close()
+
+        thread = threading.Thread(target=mute_server, daemon=True)
+        thread.start()
+        try:
+            with ServeClient("127.0.0.1", port, timeout=0.2) as client:
+                with pytest.raises(ServeTimeout) as excinfo:
+                    client.health()
+            assert isinstance(excinfo.value, ReproError)
+            assert isinstance(excinfo.value, TimeoutError)
+        finally:
+            release.set()
+            listener.close()
+            thread.join(timeout=5)
+
+    def test_refused_connection_is_typed(self):
+        probe = socket.create_server(("127.0.0.1", 0))
+        port = probe.getsockname()[1]
+        probe.close()  # nobody listens here any more
+        with ServeClient("127.0.0.1", port, timeout=0.5) as client:
+            with pytest.raises(ServeConnectionError):
+                client.health()
+
+    def test_per_request_timeout_override(self):
+        listener = socket.create_server(("127.0.0.1", 0))
+        port = listener.getsockname()[1]
+        release = threading.Event()
+
+        def mute_server():
+            conn, _ = listener.accept()
+            release.wait(timeout=10)
+            conn.close()
+
+        thread = threading.Thread(target=mute_server, daemon=True)
+        thread.start()
+        try:
+            with ServeClient("127.0.0.1", port, timeout=30.0) as client:
+                with pytest.raises(ServeTimeout, match="0.2"):
+                    client.request("GET", "/healthz", timeout=0.2)
+        finally:
+            release.set()
+            listener.close()
+            thread.join(timeout=5)
