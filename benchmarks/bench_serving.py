@@ -41,7 +41,9 @@ def _requests_for(X: np.ndarray, per_connection: int) -> list[bytes]:
     """Pre-serialized keep-alive batch-1 POSTs (cycled per connection)."""
     payloads = []
     for i in range(8):
-        body = json.dumps({"rows": [X[i % len(X)].tolist()]}).encode()
+        body = json.dumps(
+            {"rows": [X[i % len(X)].tolist()]}, allow_nan=False
+        ).encode()
         payloads.append(
             b"POST /v1/models/bench/predict_all HTTP/1.1\r\n"
             b"Host: bench\r\n"

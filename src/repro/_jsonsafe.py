@@ -54,4 +54,5 @@ def json_safe(value: Any) -> Any:
 def dumps(data: Any, **kwargs: Any) -> str:
     """``json.dumps`` with ``allow_nan=False`` as the default."""
     kwargs.setdefault("allow_nan", False)
+    # repro: allow[RPR003] this *is* the sanctioned wrapper — setdefault above injects allow_nan=False
     return json.dumps(data, **kwargs)

@@ -1,0 +1,44 @@
+"""AST-based contract linter for the repo's own invariants.
+
+Nine PRs of this reproduction built bit-for-bit reproducibility out of
+conventions: block-seeded RNG streams, ``allow_nan=False`` JSON, atomic
+artefact publication, lock-guarded lazy state, fault hooks defaulting
+to ``None``.  This package turns those conventions into machine-checked
+contracts — a rule registry (``RPR0xx`` codes) over a shared analysis
+core (import-aware name resolution, ancestry/scope tracking, per-line
+suppressions with mandatory reasons), surfaced as ``repro lint``.
+
+>>> from repro.analysis import lint_source
+>>> lint_source("import json\\njson.dumps({})\\n")[0].code
+'RPR003'
+
+The rule catalogue, the *why* behind each contract, and the suppression
+syntax live in ``docs/analysis.md``; ``repro lint --explain RPR003``
+prints the same rationale at the terminal.
+"""
+
+from .context import FileContext, Finding, ImportMap, Suppression, parse_suppressions
+from .reporting import format_json, format_text
+from .rules import META_CODE, Rule, all_rules, explain, get_rule, known_codes, register
+from .runner import LintReport, lint_file, lint_paths, lint_source
+
+__all__ = [
+    "FileContext",
+    "Finding",
+    "ImportMap",
+    "LintReport",
+    "META_CODE",
+    "Rule",
+    "Suppression",
+    "all_rules",
+    "explain",
+    "format_json",
+    "format_text",
+    "get_rule",
+    "known_codes",
+    "lint_file",
+    "lint_paths",
+    "lint_source",
+    "parse_suppressions",
+    "register",
+]

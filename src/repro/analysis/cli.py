@@ -1,0 +1,77 @@
+"""``repro lint`` — the CLI face of the contract checker.
+
+Exit-code contract (mirrors the rest of the ``repro`` CLI):
+
+* ``0`` — every checked file is clean (suppressed findings allowed);
+* ``1`` — at least one unsuppressed finding;
+* ``2`` — usage error (unknown rule code, unreadable path, syntax
+  error in a checked file), raised as :class:`ValidationError` and
+  mapped by :func:`repro.cli.main`.
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from ..exceptions import ValidationError
+from .reporting import format_json, format_text
+from .rules import explain, known_codes
+from .runner import lint_paths
+
+__all__ = ["add_lint_parser", "run_lint"]
+
+
+def _code_list(value: str) -> list[str]:
+    """`--select RPR001,RPR003` and repeated flags both work."""
+    return [code.strip() for code in value.split(",") if code.strip()]
+
+
+def add_lint_parser(commands: argparse._SubParsersAction) -> None:
+    """Register the ``lint`` subcommand on the top-level CLI parser."""
+    cmd = commands.add_parser(
+        "lint",
+        help="statically check the tree against the repo's determinism, "
+        "JSON-safety, atomicity and concurrency contracts",
+        description="AST-based contract linter: every RPR0xx rule "
+        "mechanises a convention this repo documents and tests "
+        "(docs/analysis.md has the catalogue). Exit 0 clean, 1 findings, "
+        "2 usage.",
+    )
+    cmd.add_argument("paths", nargs="*", type=str, metavar="PATH",
+                     help="files or directories to lint (recursively)")
+    cmd.add_argument("--select", action="append", type=_code_list,
+                     default=None, metavar="CODES",
+                     help="run only these rule codes (comma list, repeatable)")
+    cmd.add_argument("--ignore", action="append", type=_code_list,
+                     default=None, metavar="CODES",
+                     help="skip these rule codes (comma list, repeatable)")
+    cmd.add_argument("--json", action="store_true",
+                     help="emit the report as one line of strict JSON")
+    cmd.add_argument("--show-suppressed", action="store_true",
+                     help="also list suppressed findings with their reasons")
+    cmd.add_argument("--explain", default=None, metavar="CODE",
+                     help="print a rule's rationale and sanctioned "
+                     "alternative, then exit")
+
+
+def run_lint(args: argparse.Namespace) -> int:
+    """Handler for ``repro lint`` (wired up in :mod:`repro.cli`)."""
+    if args.explain is not None:
+        print(explain(args.explain))  # unknown code -> ValidationError -> 2
+        return 0
+    if not args.paths:
+        raise ValidationError(
+            "lint needs at least one path (or --explain CODE); known rules: "
+            + ", ".join(known_codes())
+        )
+    flatten = lambda groups: [c for group in groups for c in group]  # noqa: E731
+    report = lint_paths(
+        args.paths,
+        select=flatten(args.select) if args.select else None,
+        ignore=flatten(args.ignore) if args.ignore else None,
+    )
+    if args.json:
+        print(format_json(report))
+    else:
+        print(format_text(report, show_suppressed=args.show_suppressed))
+    return 0 if report.clean else 1

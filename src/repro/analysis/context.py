@@ -1,0 +1,302 @@
+"""Shared analysis core: parsed source, name resolution, suppressions.
+
+Every rule in :mod:`repro.analysis.rules` sees the same
+:class:`FileContext`: the parsed AST, a parent map for ancestry walks
+(lock-enclosure checks, class membership), an :class:`ImportMap` that
+resolves local names through ``import``/``from``-import aliases to
+module-qualified dotted names, and the file's parsed suppression
+comments.  Centralising these is what lets each rule stay a small,
+declarative ``check`` — and what makes the checker more than a grep:
+``from numpy import random as rnd; rnd.shuffle(x)`` and
+``np.random.shuffle(x)`` resolve to the same banned name, while a local
+``def dumps(...)`` shadowing the stdlib is *not* mistaken for
+``json.dumps``.
+
+Suppression syntax
+------------------
+A finding is silenced in place with::
+
+    risky_call()  # repro: allow[RPR003] reason the contract is met anyway
+
+or, for multi-line statements, on a comment-only line immediately above
+the statement's first line.  The bracket takes a comma-separated code
+list.  The reason is mandatory: a bare suppression is itself a
+violation (``RPR000``), as is a suppression naming an unknown code —
+the waiver ledger must stay auditable.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterator
+
+__all__ = [
+    "FileContext",
+    "Finding",
+    "ImportMap",
+    "Suppression",
+    "dotted_parts",
+    "parse_context",
+    "parse_suppressions",
+]
+
+_SUPPRESSION_RE = re.compile(r"repro:\s*allow\[([^\]]*)\]\s*(.*)\Z")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    code: str
+    path: str
+    line: int
+    col: int
+    message: str
+    suppressed: bool = False
+    suppression_reason: str | None = None
+
+    def sort_key(self) -> tuple:
+        return (self.path, self.line, self.col, self.code)
+
+    def to_dict(self) -> dict:
+        data = {
+            "code": self.code,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+        }
+        if self.suppressed:
+            data["suppression_reason"] = self.suppression_reason
+        return data
+
+
+@dataclass(frozen=True)
+class Suppression:
+    """A parsed ``# repro: allow[...]`` comment."""
+
+    line: int
+    codes: tuple[str, ...]
+    reason: str
+    own_line: bool
+    """True when the comment is the only content on its line, which lets
+    it cover the statement starting on the *next* line (multi-line
+    calls)."""
+
+
+def parse_suppressions(source: str) -> list[Suppression]:
+    """All ``# repro: allow[...]`` comments in *source*, via tokenize.
+
+    Tokenizing (rather than regexing raw lines) means the marker inside
+    a string literal is never mistaken for a live suppression.
+    """
+    suppressions = []
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        for tok in tokens:
+            if tok.type != tokenize.COMMENT:
+                continue
+            match = _SUPPRESSION_RE.search(tok.string.lstrip("#").strip())
+            if match is None:
+                continue
+            codes = tuple(
+                code.strip() for code in match.group(1).split(",") if code.strip()
+            )
+            suppressions.append(
+                Suppression(
+                    line=tok.start[0],
+                    codes=codes,
+                    reason=match.group(2).strip(),
+                    own_line=tok.line[: tok.start[1]].strip() == "",
+                )
+            )
+    except tokenize.TokenError:  # unterminated string etc. — ast will complain
+        pass
+    return suppressions
+
+
+def dotted_parts(node: ast.expr) -> list[str] | None:
+    """``a.b.c`` as ``["a", "b", "c"]``; None for non-name chains."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return parts[::-1]
+    return None
+
+
+class ImportMap:
+    """Local name → module-qualified dotted name, from the file's imports.
+
+    ``import numpy as np`` maps ``np`` to ``numpy``; ``from ..traffic.base
+    import child_seed`` (inside ``repro.faults.plan``) maps ``child_seed``
+    to ``repro.traffic.base.child_seed``.  Names the file binds itself
+    (defs, classes, assignments, parameters) are *shadowed*: they never
+    resolve, so a local ``open``/``dumps`` helper cannot be confused
+    with the builtin or stdlib one.
+    """
+
+    def __init__(self, module: str):
+        self.module = module
+        self.aliases: dict[str, str] = {}
+        self.shadowed: set[str] = set()
+
+    # -- construction --------------------------------------------------
+
+    def collect(self, tree: ast.Module) -> "ImportMap":
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.asname:
+                        self.aliases[alias.asname] = alias.name
+                    else:
+                        # `import os.path` binds the *top* package name.
+                        top = alias.name.split(".")[0]
+                        self.aliases[top] = top
+            elif isinstance(node, ast.ImportFrom):
+                base = self._from_base(node)
+                for alias in node.names:
+                    if alias.name == "*":
+                        continue
+                    bound = alias.asname or alias.name
+                    self.aliases[bound] = (
+                        f"{base}.{alias.name}" if base else alias.name
+                    )
+            else:
+                self._collect_shadows(node)
+        return self
+
+    def _from_base(self, node: ast.ImportFrom) -> str:
+        if not node.level:
+            return node.module or ""
+        # Relative import: climb `level` packages from this module.
+        parts = self.module.split(".") if self.module else []
+        anchor = parts[: len(parts) - node.level] if parts else []
+        if node.module:
+            anchor.append(node.module)
+        return ".".join(anchor)
+
+    def _collect_shadows(self, node: ast.AST) -> None:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            self.shadowed.add(node.name)
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                args = node.args
+                for arg in (
+                    *args.posonlyargs, *args.args, *args.kwonlyargs,
+                    *filter(None, (args.vararg, args.kwarg)),
+                ):
+                    self.shadowed.add(arg.arg)
+        elif isinstance(node, ast.Lambda):
+            for arg in (*node.args.posonlyargs, *node.args.args, *node.args.kwonlyargs):
+                self.shadowed.add(arg.arg)
+        elif isinstance(node, (ast.Assign, ast.AnnAssign, ast.AugAssign,
+                               ast.For, ast.AsyncFor)):
+            targets = (
+                node.targets if isinstance(node, ast.Assign) else [node.target]
+            )
+            for target in targets:
+                for leaf in ast.walk(target):
+                    if isinstance(leaf, ast.Name):
+                        self.shadowed.add(leaf.id)
+        elif isinstance(node, (ast.With, ast.AsyncWith)):
+            for item in node.items:
+                if item.optional_vars is not None:
+                    for leaf in ast.walk(item.optional_vars):
+                        if isinstance(leaf, ast.Name):
+                            self.shadowed.add(leaf.id)
+
+    # -- resolution ----------------------------------------------------
+
+    def resolve(self, node: ast.expr) -> str | None:
+        """The module-qualified dotted name of a Name/Attribute chain.
+
+        ``np.random.default_rng`` → ``numpy.random.default_rng`` under
+        ``import numpy as np``; ``None`` when the head is not a module
+        name we can account for (``self.x``, shadowed locals, computed
+        expressions).
+        """
+        parts = dotted_parts(node)
+        if not parts:
+            return None
+        head = parts[0]
+        if head in self.aliases:
+            return ".".join([self.aliases[head], *parts[1:]])
+        if head in self.shadowed:
+            return None
+        # Unbound single names resolve to themselves: builtins (`open`)
+        # and names from enclosing scopes we choose not to model.
+        return ".".join(parts)
+
+
+@dataclass
+class FileContext:
+    """Everything a rule needs to know about one source file."""
+
+    path: Path
+    module: str
+    source: str
+    tree: ast.Module
+    imports: ImportMap
+    suppressions: list[Suppression]
+    parents: dict[ast.AST, ast.AST] = field(default_factory=dict)
+
+    # -- scope helpers -------------------------------------------------
+
+    def in_package(self, *prefixes: str) -> bool:
+        """Does this file's module live under any of *prefixes*?"""
+        return any(
+            self.module == p or self.module.startswith(p + ".") for p in prefixes
+        )
+
+    def ancestors(self, node: ast.AST) -> Iterator[ast.AST]:
+        while node in self.parents:
+            node = self.parents[node]
+            yield node
+
+    def enclosing_class(self, node: ast.AST) -> ast.ClassDef | None:
+        for ancestor in self.ancestors(node):
+            if isinstance(ancestor, ast.ClassDef):
+                return ancestor
+        return None
+
+    def under_lock(self, node: ast.AST) -> bool:
+        """Is *node* lexically inside a ``with <something lock-ish>:``?
+
+        Heuristic by design: any enclosing with-item whose expression
+        text mentions ``lock`` counts — ``with self._lock:``, ``with
+        model_lock(self):``, ``with self._cache_lock():`` all pass.
+        """
+        for ancestor in self.ancestors(node):
+            if isinstance(ancestor, (ast.With, ast.AsyncWith)):
+                for item in ancestor.items:
+                    if "lock" in ast.unparse(item.context_expr).lower():
+                        return True
+        return False
+
+    def resolve_call(self, node: ast.Call) -> str | None:
+        return self.imports.resolve(node.func)
+
+
+def parse_context(source: str, *, path: Path | str, module: str) -> FileContext:
+    """Parse *source* into a :class:`FileContext` (raises SyntaxError)."""
+    tree = ast.parse(source, filename=str(path))
+    parents: dict[ast.AST, ast.AST] = {}
+    for parent in ast.walk(tree):
+        for child in ast.iter_child_nodes(parent):
+            parents[child] = parent
+    return FileContext(
+        path=Path(path),
+        module=module,
+        source=source,
+        tree=tree,
+        imports=ImportMap(module).collect(tree),
+        suppressions=parse_suppressions(source),
+        parents=parents,
+    )

@@ -1,0 +1,40 @@
+"""Reporters: human-readable text and strict one-line JSON.
+
+The JSON reporter goes through :mod:`repro._jsonsafe` (RFC 8259 strict,
+``allow_nan=False``) and emits exactly one line, so ``repro lint --json
+| head -1`` is always parseable — the same pipeline contract the
+traffic and serve CLIs honour.
+"""
+
+from __future__ import annotations
+
+from .._jsonsafe import dumps as _dumps
+from .runner import LintReport
+
+__all__ = ["format_json", "format_text"]
+
+
+def format_text(report: LintReport, *, show_suppressed: bool = False) -> str:
+    """``path:line:col: CODE message`` per finding plus a summary line."""
+    lines = [
+        f"{f.path}:{f.line}:{f.col}: {f.code} {f.message}"
+        for f in report.unsuppressed
+    ]
+    if show_suppressed:
+        lines.extend(
+            f"{f.path}:{f.line}:{f.col}: {f.code} [suppressed: "
+            f"{f.suppression_reason}] {f.message}"
+            for f in report.suppressed
+        )
+    n = len(report.unsuppressed)
+    lines.append(
+        f"{n} finding{'s' if n != 1 else ''} "
+        f"({len(report.suppressed)} suppressed) in {report.n_files} file"
+        f"{'s' if report.n_files != 1 else ''}"
+    )
+    return "\n".join(lines)
+
+
+def format_json(report: LintReport) -> str:
+    """The report as one line of strict JSON (sorted keys, no NaN)."""
+    return _dumps(report.to_dict(), sort_keys=True)

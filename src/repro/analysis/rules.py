@@ -1,0 +1,676 @@
+"""The contract rule catalogue (``RPR0xx``) and its registry.
+
+Each rule mechanises one convention this repo already documents and
+regression-tests, so the docstrings double as the ``repro lint
+--explain`` output: every one states *why* the contract exists, what to
+write *instead*, and which PR/doc established it.  Rules are
+deliberately narrow — they encode the specific failure modes earlier
+PRs actually had to fix, not a general style guide.
+
+Scoping lives in :meth:`Rule.applies_to`: a rule fires only where its
+contract applies (``RPR002`` in result-producing packages, ``RPR004``
+in the persistence layer, ``RPR006`` where lazy state is shared across
+threads).  Everything else is a plain AST walk over the shared
+:class:`~repro.analysis.context.FileContext`.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..exceptions import ValidationError
+from .context import FileContext, Finding
+
+__all__ = [
+    "META_CODE",
+    "Rule",
+    "all_rules",
+    "explain",
+    "get_rule",
+    "known_codes",
+    "register",
+]
+
+#: Code of the suppression-hygiene meta rule (not suppressible itself).
+META_CODE = "RPR000"
+
+
+class Rule:
+    """Base class: subclass, set ``code``/``name``, implement ``check``."""
+
+    code: str = ""
+    name: str = ""
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        return True
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        raise NotImplementedError
+
+    def finding(self, ctx: FileContext, node: ast.AST, message: str) -> Finding:
+        return Finding(
+            code=self.code,
+            path=str(ctx.path),
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+            message=message,
+        )
+
+
+_REGISTRY: dict[str, "Rule"] = {}
+
+
+def register(cls: type[Rule]) -> type[Rule]:
+    """Class decorator adding a rule (by its ``code``) to the registry."""
+    rule = cls()
+    if not rule.code or not rule.name:
+        raise ValidationError(f"rule {cls.__name__} must define code and name")
+    if rule.code in _REGISTRY:
+        raise ValidationError(f"duplicate rule code {rule.code}")
+    _REGISTRY[rule.code] = rule
+    return cls
+
+
+def all_rules() -> list[Rule]:
+    return [_REGISTRY[code] for code in sorted(_REGISTRY)]
+
+
+def known_codes() -> tuple[str, ...]:
+    return tuple(sorted(_REGISTRY))
+
+
+def get_rule(code: str) -> Rule:
+    try:
+        return _REGISTRY[code]
+    except KeyError:
+        raise ValidationError(
+            f"unknown rule code {code!r} (known: {', '.join(sorted(_REGISTRY))})"
+        ) from None
+
+
+def explain(code: str) -> str:
+    """The ``--explain`` text: code, name, and the rule's docstring."""
+    rule = get_rule(code)
+    import inspect
+
+    doc = inspect.cleandoc(rule.__doc__ or "(no rationale recorded)")
+    return f"{rule.code} — {rule.name}\n\n{doc}"
+
+
+# ----------------------------------------------------------------------
+# RPR000 — suppression hygiene (meta rule; findings are produced by the
+# runner from parsed suppression comments, not from the AST).
+# ----------------------------------------------------------------------
+
+
+@register
+class SuppressionHygiene(Rule):
+    """Every suppression must carry a reason and name real rule codes.
+
+    Why:
+        A suppression is a signed waiver: the next reader (and the CI
+        log) must be able to tell why the contract does not apply at
+        this site.  A bare ``# repro: allow[RPR003]`` silences the
+        check while recording nothing; a typo'd code silences nothing
+        while *looking* like a waiver.  Both rot the ledger.
+
+    Instead:
+        ``# repro: allow[RPR003] <why this site is exempt>`` — and cite
+        the doc or PR that sanctions the exemption when one exists.
+        RPR000 itself cannot be suppressed.
+
+    Established by:
+        this linter's own contract (docs/analysis.md).
+    """
+
+    code = META_CODE
+    name = "suppression-hygiene"
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        known = known_codes()
+        for sup in ctx.suppressions:
+            def at(message: str, line: int = sup.line) -> Finding:
+                return Finding(
+                    code=self.code, path=str(ctx.path), line=line, col=0,
+                    message=message,
+                )
+
+            if not sup.codes:
+                yield at(
+                    "suppression names no rule codes — write "
+                    "`# repro: allow[RPR0xx] reason`"
+                )
+            for code in sup.codes:
+                if code == META_CODE:
+                    yield at("RPR000 (suppression hygiene) cannot be suppressed")
+                elif code not in known:
+                    yield at(
+                        f"suppression names unknown rule code {code!r} "
+                        f"(known: {', '.join(known)})"
+                    )
+            if not sup.reason:
+                yield at(
+                    "suppression carries no reason — a waiver must say why "
+                    "the contract does not apply here"
+                )
+
+
+# ----------------------------------------------------------------------
+# RPR001 — seeded-RNG discipline
+# ----------------------------------------------------------------------
+
+_STDLIB_RANDOM_OK = {"Random"}
+_NP_RANDOM_OK = {
+    "default_rng", "Generator", "SeedSequence", "RandomState",
+    "BitGenerator", "PCG64", "PCG64DXSM", "Philox", "MT19937", "SFC64",
+}
+_SPAWN_SCOPED = ("repro.traffic", "repro.faults")
+
+
+@register
+class SeededRngDiscipline(Rule):
+    """No global-state or unseeded RNG draws; no ``spawn`` in block-seeded code.
+
+    Why:
+        Verification is an ownership claim — it only convinces a judge
+        if it is bit-for-bit reproducible.  Module-level ``random.*`` /
+        ``np.random.*`` draws share hidden global state (any import
+        order or thread interleaving changes results), an unseeded
+        ``default_rng()`` is fresh entropy by definition, and inside
+        the block-seeded generators of ``repro.traffic``/``repro.faults``
+        even a *seeded* ``SeedSequence.spawn`` is banned: spawn mutates
+        the parent, so a stream's identity would depend on how many
+        siblings were derived before it (PR 6's chunking-invariance
+        contract forbids exactly that).
+
+    Instead:
+        Thread an explicit seed: ``np.random.default_rng(seed)`` or a
+        ``SeedSequence``; derive sub-streams with
+        ``repro.traffic.base.child_seed(seed, i)`` — a pure function of
+        ``(entropy, spawn_key, index)``.  ``seed=None`` meaning "caller
+        wants fresh entropy" is sanctioned only in the
+        ``check_random_state``/``as_seed_sequence`` funnels.
+
+    Established by:
+        PR 2 (per-tree SeedSequence streams), PR 6 (block-seeding
+        contract, docs/traffic.md), PR 9 (repro.faults site streams).
+    """
+
+    code = "RPR001"
+    name = "seeded-rng"
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        spawn_scoped = ctx.in_package(*_SPAWN_SCOPED)
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            qual = ctx.resolve_call(node)
+            if qual is not None:
+                yield from self._check_qualified(ctx, node, qual)
+            if spawn_scoped and isinstance(node.func, ast.Attribute) \
+                    and node.func.attr == "spawn":
+                yield self.finding(
+                    ctx, node,
+                    "SeedSequence.spawn mutates the parent: inside the "
+                    "block-seeded generators a stream must be a pure "
+                    "function of (seed, index) — use "
+                    "repro.traffic.base.child_seed(seed, i)",
+                )
+
+    def _check_qualified(
+        self, ctx: FileContext, node: ast.Call, qual: str
+    ) -> Iterator[Finding]:
+        parts = qual.split(".")
+        if parts[0] == "random" and len(parts) == 2 \
+                and parts[1] not in _STDLIB_RANDOM_OK:
+            yield self.finding(
+                ctx, node,
+                f"module-level {qual}() draws from the interpreter-global "
+                "RNG — seed an explicit np.random.default_rng(seed) "
+                "(or random.Random(seed)) instead",
+            )
+        elif parts[:2] == ["numpy", "random"] and len(parts) > 2:
+            tail = parts[2]
+            if tail not in _NP_RANDOM_OK:
+                yield self.finding(
+                    ctx, node,
+                    f"np.random.{tail}() uses numpy's hidden global "
+                    "RandomState — draw from an explicit, seeded "
+                    "np.random.default_rng(seed) generator",
+                )
+            elif tail in ("default_rng", "RandomState") and len(parts) == 3 \
+                    and not node.args and not node.keywords:
+                yield self.finding(
+                    ctx, node,
+                    f"unseeded np.random.{tail}() is fresh entropy — pass "
+                    "a seed (or accept one from the caller and funnel it "
+                    "through check_random_state)",
+                )
+
+
+# ----------------------------------------------------------------------
+# RPR002 — no wall-clock / entropy nondeterminism in result-producing code
+# ----------------------------------------------------------------------
+
+_RESULT_PACKAGES = (
+    "repro.core", "repro.trees", "repro.solver", "repro.traffic", "repro.faults",
+)
+_ENTROPY_CALLS = {
+    "time.time": "wall-clock time",
+    "time.time_ns": "wall-clock time",
+    "datetime.datetime.now": "wall-clock time",
+    "datetime.datetime.utcnow": "wall-clock time",
+    "datetime.datetime.today": "wall-clock time",
+    "datetime.date.today": "wall-clock time",
+    "os.urandom": "OS entropy",
+    "uuid.uuid1": "host/time-derived identity",
+    "uuid.uuid4": "OS entropy",
+    "secrets.token_bytes": "OS entropy",
+    "secrets.token_hex": "OS entropy",
+    "secrets.token_urlsafe": "OS entropy",
+    "secrets.randbits": "OS entropy",
+    "secrets.randbelow": "OS entropy",
+    "secrets.choice": "OS entropy",
+}
+
+
+@register
+class NoWallClockNondeterminism(Rule):
+    """No wall-clock or entropy sources in result-producing packages.
+
+    Why:
+        ``repro.core``/``trees``/``solver``/``traffic``/``faults``
+        produce the artefacts the ownership claim rests on: trained
+        forests, verdicts, forged instances, replayable streams.  A
+        ``time.time()`` or ``uuid4()`` folded into any of them makes
+        two runs of the same experiment diverge — silently, and only
+        sometimes.  Monotonic timers (``perf_counter``/``monotonic``)
+        are allowed: they feed throughput *reporting*, never results,
+        and serve-layer timeouts live outside this rule's scope.
+
+    Instead:
+        Derive anything random from the caller's seed
+        (``check_random_state`` / ``child_seed``); stamp wall-clock
+        metadata outside the result-producing call, at the edge that
+        owns it (CLI, benchmark emitter).
+
+    Established by:
+        PR 6 (byte-identical streams), PR 9 (seeded fault plans; serve
+        timeouts deliberately out of scope), docs/traffic.md.
+    """
+
+    code = "RPR002"
+    name = "no-wall-clock"
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        return ctx.in_package(*_RESULT_PACKAGES)
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            qual = ctx.resolve_call(node)
+            if qual in _ENTROPY_CALLS:
+                yield self.finding(
+                    ctx, node,
+                    f"{qual}() injects {_ENTROPY_CALLS[qual]} into a "
+                    "result-producing module — results must be a pure "
+                    "function of the caller's seed",
+                )
+
+
+# ----------------------------------------------------------------------
+# RPR003 — strict JSON
+# ----------------------------------------------------------------------
+
+
+@register
+class StrictJson(Rule):
+    """Every ``json.dumps``/``json.dump`` must pass ``allow_nan=False``.
+
+    Why:
+        RFC 8259 has no ``Infinity``/``NaN``; Python's encoder emits
+        the JavaScript literals unless told otherwise, and downstream
+        strict parsers (jq, browsers, ``json.loads`` with a pipeline in
+        between) then reject the artefact — far from the producer that
+        wrote it.  PR 8 audited every dumps call site after exactly
+        this bit a served response.
+
+    Instead:
+        Route through ``repro._jsonsafe.dumps`` (which defaults
+        ``allow_nan=False`` and pairs with ``finite_or_none``/
+        ``json_safe`` for legitimately non-finite values), or pass a
+        literal ``allow_nan=False``.
+
+    Established by:
+        PR 8 (repro._jsonsafe, "strict JSON everywhere" audit),
+        docs/serving.md.
+    """
+
+    code = "RPR003"
+    name = "strict-json"
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            qual = ctx.resolve_call(node)
+            if qual not in ("json.dumps", "json.dump"):
+                continue
+            if not self._strict(node):
+                yield self.finding(
+                    ctx, node,
+                    f"{qual}() without a literal allow_nan=False can emit "
+                    "non-RFC-8259 Infinity/NaN literals — pass "
+                    "allow_nan=False or use repro._jsonsafe.dumps",
+                )
+
+    @staticmethod
+    def _strict(node: ast.Call) -> bool:
+        for kw in node.keywords:
+            if kw.arg == "allow_nan":
+                return isinstance(kw.value, ast.Constant) and kw.value.value is False
+        return False
+
+
+# ----------------------------------------------------------------------
+# RPR004 — atomic artefact writes
+# ----------------------------------------------------------------------
+
+_WRITE_SUGAR = {"write_text", "write_bytes"}
+
+
+@register
+class AtomicArtefactWrites(Rule):
+    """No bare file writes in the persistence layer outside ``atomic.py``.
+
+    Why:
+        A crash (or injected fault) midway through ``open(path, "w")``
+        leaves a truncated artefact *at the published path* — the next
+        load fails, or worse, a CRC-less format half-parses.  PR 9 made
+        every exporter publish via same-directory tempfile + fsync +
+        ``os.replace`` so readers see either the old bytes or the new
+        bytes, never a prefix.
+
+    Instead:
+        ``repro.persistence.atomic.atomic_write(path, mode)`` — the one
+        place allowed to open artefact paths for writing (and the one
+        place that knows to fsync before renaming).
+
+    Established by:
+        PR 9 (crash-safe artefact writes, TestCrashSafeWrites),
+        docs/resilience.md.
+    """
+
+    code = "RPR004"
+    name = "atomic-writes"
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        return (
+            ctx.in_package("repro.persistence")
+            and ctx.module != "repro.persistence.atomic"
+        )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            qual = ctx.resolve_call(node)
+            if qual == "open" and self._writes(node):
+                yield self.finding(
+                    ctx, node,
+                    'bare open(path, "w") in the persistence layer can '
+                    "publish a torn artefact on crash — route through "
+                    "repro.persistence.atomic.atomic_write",
+                )
+            elif isinstance(node.func, ast.Attribute) \
+                    and node.func.attr in _WRITE_SUGAR:
+                yield self.finding(
+                    ctx, node,
+                    f".{node.func.attr}() publishes non-atomically — route "
+                    "through repro.persistence.atomic.atomic_write",
+                )
+
+    @staticmethod
+    def _writes(node: ast.Call) -> bool:
+        mode = None
+        if len(node.args) >= 2:
+            mode = node.args[1]
+        for kw in node.keywords:
+            if kw.arg == "mode":
+                mode = kw.value
+        if mode is None:
+            return False
+        if not (isinstance(mode, ast.Constant) and isinstance(mode.value, str)):
+            return True  # dynamic mode in persistence code: assume the worst
+        return any(flag in mode.value for flag in "wax+")
+
+
+# ----------------------------------------------------------------------
+# RPR005 — picklable-class lock hygiene
+# ----------------------------------------------------------------------
+
+_PICKLE_HOOKS = {"__getstate__", "__reduce__", "__reduce_ex__"}
+_LOCK_FACTORIES = {
+    "threading.Lock", "threading.RLock", "threading.Condition",
+    "threading.Semaphore", "threading.BoundedSemaphore", "threading.Event",
+    "multiprocessing.Lock", "multiprocessing.RLock",
+}
+
+
+@register
+class PicklableLockHygiene(Rule):
+    """No ``self.<attr> = threading.Lock()`` in classes that pickle themselves.
+
+    Why:
+        A lock stored in ``__dict__`` rides along into ``__getstate__``
+        and the process-pool pickle path — and locks don't pickle.  The
+        failure appears only when the class first crosses a pool
+        boundary, far from the line that added the lock (PR 8 hit this
+        wiring forests into the serving executor).
+
+    Instead:
+        Keep locks in a module-level ``weakref.WeakKeyDictionary`` side
+        table keyed by instance — see ``model_lock`` in
+        ``repro/trees/compiled.py`` — or exclude them explicitly in
+        ``__getstate__`` and re-create them in ``__setstate__``.
+
+    Established by:
+        PR 8 (per-model RLocks in a WeakKeyDictionary;
+        tests/ensemble/test_thread_safety.py).
+    """
+
+    code = "RPR005"
+    name = "picklable-locks"
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for cls in ast.walk(ctx.tree):
+            if not isinstance(cls, ast.ClassDef):
+                continue
+            hooks = {
+                stmt.name
+                for stmt in cls.body
+                if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef))
+            } & _PICKLE_HOOKS
+            if not hooks:
+                continue
+            for node in ast.walk(cls):
+                value = self._assigned_value(node)
+                if value is None or not isinstance(value, ast.Call):
+                    continue
+                qual = ctx.resolve_call(value)
+                if qual in _LOCK_FACTORIES:
+                    yield self.finding(
+                        ctx, node,
+                        f"{cls.name} defines {'/'.join(sorted(hooks))} but "
+                        f"stores a {qual}() on self — locks don't pickle; "
+                        "keep them in a WeakKeyDictionary side table "
+                        "(see model_lock in repro/trees/compiled.py)",
+                    )
+
+    @staticmethod
+    def _assigned_value(node: ast.AST) -> ast.expr | None:
+        if isinstance(node, ast.Assign):
+            targets = node.targets
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            targets = [node.target]
+        else:
+            return None
+        for target in targets:
+            if isinstance(target, ast.Attribute) \
+                    and isinstance(target.value, ast.Name) \
+                    and target.value.id == "self":
+                return node.value
+        return None
+
+
+# ----------------------------------------------------------------------
+# RPR006 — lazy-init race heuristic
+# ----------------------------------------------------------------------
+
+_LAZY_PACKAGES = ("repro.ensemble", "repro.trees", "repro.serve")
+
+
+@register
+class LazyInitRace(Rule):
+    """``if self._x is None: self._x = ...`` must sit under a lock here.
+
+    Why:
+        ``repro.ensemble``/``trees``/``serve`` state is touched by the
+        serving daemon's executor threads: an unguarded check-then-set
+        lets two threads both see ``None`` and both build — at best
+        duplicated work, at worst two engines alive with callers
+        holding references to each (PR 8 flushed exactly this out of
+        the lazy compile/materialize/presort paths).
+
+    Instead:
+        Double-check under the per-instance lock: take ``with
+        model_lock(self):`` (or the owning ``self._lock``), re-test,
+        then assign — see ``ensure_compiled`` in
+        ``repro/trees/compiled.py``.  State provably confined to one
+        thread (an asyncio event loop, a mutate-by-contract path) may
+        carry a reasoned suppression instead.
+
+    Established by:
+        PR 8 (thread-safe lazy compile/materialize/presort;
+        tests/ensemble/test_thread_safety.py).
+    """
+
+    code = "RPR006"
+    name = "lazy-init-race"
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        return ctx.in_package(*_LAZY_PACKAGES)
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.If):
+                continue
+            for attr in self._none_checked_attrs(node.test):
+                if self._body_assigns(node.body, attr) \
+                        and not ctx.under_lock(node):
+                    yield self.finding(
+                        ctx, node,
+                        f"unguarded lazy init of self.{attr}: two threads "
+                        "can both observe None and both build — "
+                        "double-check under the instance lock "
+                        "(ensure_compiled in repro/trees/compiled.py is "
+                        "the pattern)",
+                    )
+
+    @staticmethod
+    def _none_checked_attrs(test: ast.expr) -> list[str]:
+        attrs = []
+        for node in ast.walk(test):
+            if not isinstance(node, ast.Compare):
+                continue
+            if len(node.ops) == 1 and isinstance(node.ops[0], ast.Is) \
+                    and isinstance(node.comparators[0], ast.Constant) \
+                    and node.comparators[0].value is None \
+                    and isinstance(node.left, ast.Attribute) \
+                    and isinstance(node.left.value, ast.Name) \
+                    and node.left.value.id == "self":
+                attrs.append(node.left.attr)
+        return attrs
+
+    @staticmethod
+    def _body_assigns(body: list[ast.stmt], attr: str) -> bool:
+        for stmt in body:
+            for node in ast.walk(stmt):
+                if isinstance(node, ast.Assign):
+                    targets = node.targets
+                elif isinstance(node, (ast.AnnAssign, ast.AugAssign)):
+                    targets = [node.target]
+                else:
+                    continue
+                for target in targets:
+                    if isinstance(target, ast.Attribute) \
+                            and target.attr == attr \
+                            and isinstance(target.value, ast.Name) \
+                            and target.value.id == "self":
+                        return True
+        return False
+
+
+# ----------------------------------------------------------------------
+# RPR007 — fault-hook purity
+# ----------------------------------------------------------------------
+
+
+@register
+class FaultHookPurity(Rule):
+    """Every ``fault_injector`` parameter must default to ``None``.
+
+    Why:
+        Fault injection is a test-only instrument: the production
+        default at every site is "no injector, zero overhead", so a
+        deployment can never inherit chaos by omission.  A
+        ``fault_injector`` parameter with any other default — or none,
+        forcing callers to pass something — breaks that contract at
+        exactly the call sites too boring for anyone to re-read.
+
+    Instead:
+        ``def f(..., fault_injector=None)`` and guard every use with
+        ``if fault_injector is not None``.
+
+    Established by:
+        PR 9 (explicit fault hooks, production default None),
+        docs/resilience.md.
+    """
+
+    code = "RPR007"
+    name = "fault-hook-purity"
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                     ast.Lambda)):
+                continue
+            yield from self._check_args(ctx, node)
+
+    def _check_args(self, ctx, node) -> Iterator[Finding]:
+        args = node.args
+        positional = [*args.posonlyargs, *args.args]
+        defaults: list[ast.expr | None] = [None] * (
+            len(positional) - len(args.defaults)
+        ) + list(args.defaults)
+        pairs = list(zip(positional, defaults)) + list(
+            zip(args.kwonlyargs, args.kw_defaults)
+        )
+        for arg, default in pairs:
+            if arg.arg != "fault_injector":
+                continue
+            if default is None:
+                yield self.finding(
+                    ctx, arg,
+                    "fault_injector has no default — production call "
+                    "sites must be able to omit it (default None)",
+                )
+            elif not (isinstance(default, ast.Constant) and default.value is None):
+                yield self.finding(
+                    ctx, arg,
+                    "fault_injector must default to None (production = "
+                    "no injector, zero overhead) — got "
+                    f"{ast.unparse(default)}",
+                )

@@ -1,0 +1,204 @@
+"""Orchestration: walk paths, lint files, apply suppressions.
+
+The runner is deliberately pure and deterministic — files are visited
+in sorted order, findings are sorted by ``(path, line, col, code)``,
+and the same tree always produces the same report byte for byte (the
+JSON reporter is part of a CI artifact diff).
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from ..exceptions import ValidationError
+from .context import FileContext, Finding, Suppression, parse_context
+from .rules import META_CODE, all_rules, known_codes
+
+__all__ = ["LintReport", "lint_file", "lint_paths", "lint_source", "select_rules"]
+
+
+@dataclass
+class LintReport:
+    """Outcome of one lint run over a set of files."""
+
+    findings: list[Finding] = field(default_factory=list)
+    n_files: int = 0
+
+    @property
+    def unsuppressed(self) -> list[Finding]:
+        return [f for f in self.findings if not f.suppressed]
+
+    @property
+    def suppressed(self) -> list[Finding]:
+        return [f for f in self.findings if f.suppressed]
+
+    @property
+    def clean(self) -> bool:
+        return not self.unsuppressed
+
+    def to_dict(self) -> dict:
+        return {
+            "version": 1,
+            "files": self.n_files,
+            "findings": [f.to_dict() for f in self.unsuppressed],
+            "suppressed": [f.to_dict() for f in self.suppressed],
+            "counts": {
+                "findings": len(self.unsuppressed),
+                "suppressed": len(self.suppressed),
+            },
+        }
+
+
+def select_rules(
+    select: Sequence[str] | None = None, ignore: Sequence[str] | None = None
+):
+    """The active rule objects under ``--select``/``--ignore`` semantics.
+
+    ``select`` limits the run to the named codes (default: all),
+    ``ignore`` then removes codes.  Unknown codes are a usage error.
+    """
+    known = set(known_codes())
+    for code in (*(select or ()), *(ignore or ())):
+        if code not in known:
+            raise ValidationError(
+                f"unknown rule code {code!r} (known: {', '.join(sorted(known))})"
+            )
+    active = set(select) if select else known
+    active -= set(ignore or ())
+    return [rule for rule in all_rules() if rule.code in active]
+
+
+def module_name_for(path: Path) -> str:
+    """Best-effort dotted module name for *path*.
+
+    Files under a ``repro`` package directory get their real module
+    name (``repro.persistence.atomic``), which is what package-scoped
+    rules key on; anything else (benchmarks, examples, scripts) gets
+    its bare stem — outside every package scope by construction.
+    """
+    parts = list(path.resolve().with_suffix("").parts)
+    if "repro" in parts:
+        idx = len(parts) - 1 - parts[::-1].index("repro")
+        mod_parts = parts[idx:]
+        if mod_parts[-1] == "__init__":
+            mod_parts = mod_parts[:-1]
+        return ".".join(mod_parts)
+    return "" if path.stem == "__init__" else path.stem
+
+
+def iter_python_files(paths: Iterable[Path | str]) -> list[Path]:
+    """Expand *paths* (files or directories) into sorted ``.py`` files."""
+    files: set[Path] = set()
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            files.update(path.rglob("*.py"))
+        elif path.is_file():
+            files.add(path)
+        else:
+            raise ValidationError(f"no such file or directory: {path}")
+    return sorted(files)
+
+
+def _apply_suppressions(
+    findings: list[Finding], suppressions: list[Suppression]
+) -> list[Finding]:
+    """Mark findings covered by a same-line (or preceding own-line)
+    ``# repro: allow[...]`` comment.  RPR000 is never suppressible."""
+    by_line: dict[int, list[Suppression]] = {}
+    for sup in suppressions:
+        by_line.setdefault(sup.line, []).append(sup)
+
+    def matching(finding: Finding) -> Suppression | None:
+        for sup in by_line.get(finding.line, ()):
+            if finding.code in sup.codes:
+                return sup
+        for sup in by_line.get(finding.line - 1, ()):
+            if sup.own_line and finding.code in sup.codes:
+                return sup
+        return None
+
+    marked = []
+    for finding in findings:
+        sup = None if finding.code == META_CODE else matching(finding)
+        if sup is not None:
+            finding = Finding(
+                code=finding.code, path=finding.path, line=finding.line,
+                col=finding.col, message=finding.message, suppressed=True,
+                suppression_reason=sup.reason or None,
+            )
+        marked.append(finding)
+    return marked
+
+
+def lint_context(ctx: FileContext, rules=None) -> list[Finding]:
+    rules = all_rules() if rules is None else rules
+    findings: list[Finding] = []
+    for rule in rules:
+        if rule.applies_to(ctx):
+            findings.extend(rule.check(ctx))
+    findings = _apply_suppressions(findings, ctx.suppressions)
+    return sorted(findings, key=Finding.sort_key)
+
+
+def lint_source(
+    source: str,
+    *,
+    path: str | Path = "<string>",
+    module: str = "",
+    select: Sequence[str] | None = None,
+    ignore: Sequence[str] | None = None,
+) -> list[Finding]:
+    """Lint a source string (the test- and tool-facing entry point).
+
+    ``module`` positions the snippet for package-scoped rules, e.g.
+    ``module="repro.persistence.serialize"`` opts it into RPR004.
+    """
+    rules = select_rules(select, ignore)
+    ctx = parse_context(source, path=path, module=module)
+    return lint_context(ctx, rules)
+
+
+def lint_file(
+    path: Path | str,
+    *,
+    module: str | None = None,
+    select: Sequence[str] | None = None,
+    ignore: Sequence[str] | None = None,
+) -> list[Finding]:
+    path = Path(path)
+    try:
+        source = path.read_text(encoding="utf-8")
+    except OSError as exc:
+        raise ValidationError(f"cannot read {path}: {exc}") from exc
+    try:
+        return lint_source(
+            source,
+            path=path,
+            module=module_name_for(path) if module is None else module,
+            select=select,
+            ignore=ignore,
+        )
+    except SyntaxError as exc:
+        raise ValidationError(
+            f"{path} does not parse as Python: {exc.msg} (line {exc.lineno})"
+        ) from exc
+
+
+def lint_paths(
+    paths: Sequence[Path | str],
+    *,
+    select: Sequence[str] | None = None,
+    ignore: Sequence[str] | None = None,
+) -> LintReport:
+    """Lint every ``.py`` file under *paths*; the CLI entry point."""
+    select_rules(select, ignore)  # validate codes before touching files
+    report = LintReport()
+    for path in iter_python_files(paths):
+        report.findings.extend(lint_file(path, select=select, ignore=ignore))
+        report.n_files += 1
+    report.findings.sort(key=Finding.sort_key)
+    return report

@@ -34,6 +34,12 @@ Four subcommands cover the owner/judge/attacker lifecycle end to end::
     # predict/predict_all plus a judge-facing /verify endpoint).
     repro serve --model demo=./artifacts/model.rfbin --port 8080
 
+    # Maintainer: statically check the tree against the repo's own
+    # determinism/JSON/atomicity/concurrency contracts (exit 1 on
+    # findings; every suppression must carry a reason).
+    repro lint src benchmarks examples
+    repro lint --explain RPR003
+
 (``repro`` is the installed console script; ``python -m repro`` and
 ``python -m repro.cli`` are equivalent.)  The CLI works on the
 synthetic stand-in datasets; library users with real data call
@@ -50,6 +56,7 @@ from pathlib import Path
 import numpy as np
 
 from ._jsonsafe import dumps
+from .analysis.cli import add_lint_parser, run_lint
 from .api import available_attacks, make_attack
 from .core import (
     WatermarkSecret,
@@ -261,6 +268,8 @@ def build_parser() -> argparse.ArgumentParser:
     cmd_serve.add_argument("--quarantine", type=float, default=5.0,
                            help="seconds a quarantined model answers 503 + "
                            "Retry-After before traffic probes it again")
+
+    add_lint_parser(commands)
 
     return parser
 
@@ -541,6 +550,7 @@ def main(argv: list[str] | None = None) -> int:
         "attack": _cmd_attack,
         "traffic": _cmd_traffic,
         "serve": _cmd_serve,
+        "lint": run_lint,
     }
     try:
         return handlers[args.command](args)

@@ -69,6 +69,7 @@ def commit_secret(secret: WatermarkSecret, salt: bytes | None = None) -> SecretC
         production callers should leave it ``None`` for a random salt.
     """
     if salt is None:
+        # repro: allow[RPR002] the commitment's hiding property *requires* a fresh random salt (a deterministic salt would let Bob brute-force the secret from the digest); tests pass salt= explicitly
         salt = secrets.token_bytes(_SALT_BYTES)
     if len(salt) != _SALT_BYTES:
         raise ValidationError(f"salt must be {_SALT_BYTES} bytes, got {len(salt)}")

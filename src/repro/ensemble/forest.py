@@ -294,6 +294,7 @@ class RandomForestClassifier:
                 f"tree indices must be in [0, {len(trees)}), got "
                 f"[{indices.min()}, {indices.max()}]"
             )
+        # repro: allow[RPR006] refit_trees mutates trees_/feature_subsets_ wholesale — concurrent refit is outside the threading contract, so this one-shot fallback needs no lock
         if self._tree_seeds_ is None:
             # Restored/hand-assembled forest with no recorded streams:
             # fall back to fresh entropy (still correct, not replayable).

@@ -138,6 +138,7 @@ class MicroBatcher:
 
         if self._pending_rows >= self._max_batch_rows or self._flush_window <= 0:
             self._flush_now()
+        # repro: allow[RPR006] MicroBatcher state is event-loop-confined by design (docs/serving.md): every touch happens on the daemon's loop thread, so check-then-set cannot race
         elif self._flush_handle is None:
             self._flush_handle = loop.call_later(self._flush_window, self._flush_now)
         return await future

@@ -1,0 +1,114 @@
+"""The shared analysis core: import-aware name resolution, module-name
+derivation, and the lock-enclosure/ancestry helpers rules build on."""
+
+import ast
+from pathlib import Path
+
+from repro.analysis.context import ImportMap, parse_context
+from repro.analysis.runner import module_name_for
+
+
+def resolve(source, expr, module=""):
+    ctx = parse_context(source + f"\n_probe = {expr}\n", path="<t>", module=module)
+    probe = ctx.tree.body[-1]
+    assert isinstance(probe, ast.Assign)
+    return ctx.imports.resolve(probe.value)
+
+
+class TestImportResolution:
+    def test_plain_import(self):
+        assert resolve("import json", "json.dumps") == "json.dumps"
+
+    def test_aliased_import(self):
+        assert resolve("import numpy as np", "np.random.default_rng") \
+            == "numpy.random.default_rng"
+
+    def test_submodule_import_binds_top_name(self):
+        assert resolve("import os.path", "os.path.join") == "os.path.join"
+        assert resolve("import os.path", "os.urandom") == "os.urandom"
+
+    def test_from_import(self):
+        assert resolve("from datetime import datetime", "datetime.now") \
+            == "datetime.datetime.now"
+
+    def test_from_import_with_alias(self):
+        assert resolve("from numpy import random as rnd", "rnd.shuffle") \
+            == "numpy.random.shuffle"
+
+    def test_relative_import_resolves_against_module(self):
+        assert resolve(
+            "from ..traffic.base import child_seed", "child_seed",
+            module="repro.faults.plan",
+        ) == "repro.traffic.base.child_seed"
+
+    def test_single_level_relative_import(self):
+        assert resolve(
+            "from ._jsonsafe import dumps", "dumps", module="repro.cli"
+        ) == "repro._jsonsafe.dumps"
+
+    def test_unbound_name_resolves_to_itself(self):
+        assert resolve("", "open") == "open"
+
+    def test_locally_defined_names_are_shadowed(self):
+        assert resolve("def open(p):\n    return p", "open") is None
+        assert resolve("json = object()", "json.dumps") is None
+
+    def test_parameters_shadow(self):
+        src = "def f(json):\n    return json"
+        assert resolve(src, "json.dumps") is None
+
+    def test_computed_expressions_do_not_resolve(self):
+        ctx = parse_context("x = (a or b).dumps\n", path="<t>", module="")
+        assert ctx.imports.resolve(ctx.tree.body[0].value) is None
+
+
+class TestModuleNameDerivation:
+    def test_src_layout_maps_to_package_modules(self):
+        assert module_name_for(
+            Path("/repo/src/repro/persistence/atomic.py")
+        ) == "repro.persistence.atomic"
+
+    def test_package_init_maps_to_the_package(self):
+        assert module_name_for(
+            Path("/repo/src/repro/traffic/__init__.py")
+        ) == "repro.traffic"
+
+    def test_out_of_package_files_get_bare_stems(self):
+        assert module_name_for(Path("/repo/benchmarks/bench_serving.py")) \
+            == "bench_serving"
+        assert module_name_for(Path("/repo/examples/quickstart.py")) \
+            == "quickstart"
+
+
+class TestScopeHelpers:
+    def test_under_lock_sees_named_and_called_locks(self):
+        src = (
+            "class C:\n"
+            "    def f(self):\n"
+            "        with model_lock(self):\n"
+            "            x = 1\n"
+            "    def g(self):\n"
+            "        with self._lock:\n"
+            "            y = 1\n"
+            "    def h(self):\n"
+            "        with open('f') as fh:\n"
+            "            z = 1\n"
+        )
+        ctx = parse_context(src, path="<t>", module="")
+        assigns = [n for n in ast.walk(ctx.tree) if isinstance(n, ast.Assign)]
+        by_name = {n.targets[0].id: n for n in assigns}
+        assert ctx.under_lock(by_name["x"]) is True
+        assert ctx.under_lock(by_name["y"]) is True
+        assert ctx.under_lock(by_name["z"]) is False
+
+    def test_enclosing_class(self):
+        ctx = parse_context(
+            "class C:\n    def f(self):\n        x = 1\nq = 2\n",
+            path="<t>", module="",
+        )
+        assigns = {
+            n.targets[0].id: n
+            for n in ast.walk(ctx.tree) if isinstance(n, ast.Assign)
+        }
+        assert ctx.enclosing_class(assigns["x"]).name == "C"
+        assert ctx.enclosing_class(assigns["q"]) is None

@@ -1,0 +1,127 @@
+"""``repro lint`` CLI: exit-code contract (0 clean / 1 findings /
+2 usage), pipeline-safe JSON, --explain, and subcommand discovery."""
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main
+
+SRC_DIR = str(Path(__file__).resolve().parents[2] / "src")
+
+CLEAN = "import json\njson.dumps({}, allow_nan=False)\n"
+DIRTY = "import json\njson.dumps({})\n"
+
+
+def run_cli(*argv, **kwargs):
+    return subprocess.run(
+        [sys.executable, "-m", "repro", *argv],
+        capture_output=True,
+        text=True,
+        env={**os.environ, "PYTHONPATH": SRC_DIR},
+        **kwargs,
+    )
+
+
+@pytest.fixture
+def tree(tmp_path):
+    (tmp_path / "clean.py").write_text(CLEAN)
+    (tmp_path / "dirty.py").write_text(DIRTY)
+    return tmp_path
+
+
+class TestExitCodes:
+    def test_clean_file_exits_zero(self, tree):
+        result = run_cli("lint", str(tree / "clean.py"))
+        assert result.returncode == 0
+        assert "0 findings" in result.stdout
+
+    def test_findings_exit_one(self, tree):
+        result = run_cli("lint", str(tree / "dirty.py"))
+        assert result.returncode == 1
+        assert "RPR003" in result.stdout
+
+    def test_directory_walk_finds_the_dirty_file(self, tree):
+        result = run_cli("lint", str(tree))
+        assert result.returncode == 1
+        assert "dirty.py" in result.stdout
+        assert "in 2 files" in result.stdout
+
+    def test_missing_path_is_usage_error(self, tree):
+        result = run_cli("lint", str(tree / "absent.py"))
+        assert result.returncode == 2
+        assert "no such file" in result.stderr
+
+    def test_unknown_select_code_is_usage_error(self, tree):
+        result = run_cli("lint", "--select", "RPR999", str(tree / "clean.py"))
+        assert result.returncode == 2
+        assert "unknown rule code" in result.stderr
+
+    def test_no_paths_is_usage_error(self):
+        result = run_cli("lint")
+        assert result.returncode == 2
+        assert "at least one path" in result.stderr
+
+    def test_syntax_error_in_target_is_usage_error(self, tmp_path):
+        bad = tmp_path / "bad.py"
+        bad.write_text("def broken(:\n")
+        result = run_cli("lint", str(bad))
+        assert result.returncode == 2
+        assert "does not parse" in result.stderr
+
+    def test_ignore_can_silence_the_only_finding(self, tree):
+        result = run_cli("lint", "--ignore", "RPR003", str(tree / "dirty.py"))
+        assert result.returncode == 0
+
+
+class TestJsonOutput:
+    def test_json_survives_head_dash_one(self, tree):
+        # The exact CI/pipeline shape: `repro lint --json ... | head -1`.
+        pipeline = subprocess.run(
+            f"{sys.executable} -m repro lint --json {tree} | head -1",
+            shell=True,
+            capture_output=True,
+            text=True,
+            env={**os.environ, "PYTHONPATH": SRC_DIR},
+        )
+        payload = json.loads(pipeline.stdout)
+        assert payload["counts"]["findings"] == 1
+        assert payload["findings"][0]["code"] == "RPR003"
+
+    def test_json_exit_code_still_signals_findings(self, tree):
+        result = run_cli("lint", "--json", str(tree / "dirty.py"))
+        assert result.returncode == 1
+        json.loads(result.stdout)
+
+
+class TestExplain:
+    @pytest.mark.parametrize("code", [
+        "RPR000", "RPR001", "RPR002", "RPR003",
+        "RPR004", "RPR005", "RPR006", "RPR007",
+    ])
+    def test_every_rule_explains_itself(self, code, capsys):
+        assert main(["lint", "--explain", code]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith(code)
+        # The rationale format: a why and a sanctioned alternative.
+        assert "Why:" in out
+        assert "Instead:" in out
+
+    def test_explain_unknown_code_is_usage_error(self):
+        assert main(["lint", "--explain", "RPR999"]) == 2
+
+
+class TestDiscovery:
+    def test_lint_is_listed_in_top_level_help(self):
+        result = run_cli("--help")
+        assert result.returncode == 0
+        assert "lint" in result.stdout
+
+    def test_in_process_entry_point(self, tree, capsys):
+        assert main(["lint", str(tree / "clean.py")]) == 0
+        assert main(["lint", str(tree / "dirty.py")]) == 1
+        capsys.readouterr()

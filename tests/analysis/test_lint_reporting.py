@@ -1,0 +1,87 @@
+"""Reporter contracts: strict one-line JSON, deterministic ordering,
+and the text format's finding/summary shape."""
+
+import json
+
+from repro.analysis import format_json, format_text
+from repro.analysis.runner import LintReport, lint_source
+from repro.analysis.context import Finding
+
+
+def report_for(source, **kwargs):
+    findings = lint_source(source, **kwargs)
+    return LintReport(findings=findings, n_files=1)
+
+
+DIRTY = (
+    "import json\nimport numpy as np\n"
+    "json.dumps({})\n"
+    "rng = np.random.default_rng()  # repro: allow[RPR001] fixture entropy\n"
+)
+
+
+class TestJsonReporter:
+    def test_single_line_strict_json(self):
+        text = format_json(report_for(DIRTY))
+        assert "\n" not in text
+        payload = json.loads(text)  # strict parse must succeed
+        assert payload["version"] == 1
+        assert payload["counts"] == {"findings": 1, "suppressed": 1}
+
+    def test_findings_carry_full_coordinates(self):
+        payload = json.loads(format_json(report_for(DIRTY)))
+        (finding,) = payload["findings"]
+        assert finding["code"] == "RPR003"
+        assert finding["line"] == 3
+        assert set(finding) == {"code", "path", "line", "col", "message"}
+
+    def test_suppressed_findings_carry_their_reason(self):
+        payload = json.loads(format_json(report_for(DIRTY)))
+        (sup,) = payload["suppressed"]
+        assert sup["code"] == "RPR001"
+        assert sup["suppression_reason"] == "fixture entropy"
+
+    def test_clean_report_is_still_valid_json(self):
+        payload = json.loads(format_json(report_for("x = 1\n")))
+        assert payload["findings"] == []
+        assert payload["counts"] == {"findings": 0, "suppressed": 0}
+
+    def test_non_finite_values_cannot_leak(self):
+        # The reporter routes through repro._jsonsafe: a hypothetical
+        # non-finite field would raise at the producer, not emit NaN.
+        report = LintReport(
+            findings=[Finding(code="RPR001", path="p", line=1, col=0,
+                              message="m")],
+            n_files=1,
+        )
+        assert "NaN" not in format_json(report)
+
+    def test_ordering_is_deterministic(self):
+        src = (
+            "import json\n"
+            "json.dumps({})\n"
+            "json.dumps({})\n"
+        )
+        a = format_json(report_for(src))
+        b = format_json(report_for(src))
+        assert a == b
+        lines = [f["line"] for f in json.loads(a)["findings"]]
+        assert lines == sorted(lines)
+
+
+class TestTextReporter:
+    def test_text_lines_are_clickable_locations(self):
+        text = format_text(report_for(DIRTY))
+        assert "<string>:3:0: RPR003" in text
+        assert text.endswith("1 finding (1 suppressed) in 1 file")
+
+    def test_suppressed_hidden_by_default_shown_on_request(self):
+        report = report_for(DIRTY)
+        assert "RPR001" not in format_text(report)
+        shown = format_text(report, show_suppressed=True)
+        assert "RPR001" in shown
+        assert "fixture entropy" in shown
+
+    def test_clean_summary(self):
+        assert format_text(report_for("x = 1\n")) \
+            == "0 findings (0 suppressed) in 1 file"

@@ -1,0 +1,463 @@
+"""Per-rule fixture batteries: each of the seven contract rules is
+proven live (it fires on a minimal positive snippet), precise (it stays
+silent on the sanctioned alternative), suppressible (a reasoned
+``# repro: allow[...]`` silences it), and correctly scoped (it does not
+fire outside the package its contract covers)."""
+
+import textwrap
+
+import pytest
+
+from repro.analysis import lint_source
+
+
+def lint(source, *, module="", select=None):
+    return lint_source(textwrap.dedent(source), module=module, select=select)
+
+
+def codes(source, *, module="", select=None):
+    return [f.code for f in lint(source, module=module, select=select)
+            if not f.suppressed]
+
+
+class TestRPR001SeededRng:
+    def test_module_level_stdlib_random_draw_fires(self):
+        assert codes("import random\nx = random.random()\n") == ["RPR001"]
+
+    def test_module_level_numpy_draw_fires_through_alias(self):
+        assert codes(
+            "import numpy as np\nx = np.random.shuffle([1, 2])\n"
+        ) == ["RPR001"]
+
+    def test_np_random_seed_fires(self):
+        assert codes("import numpy as np\nnp.random.seed(0)\n") == ["RPR001"]
+
+    def test_unseeded_default_rng_fires(self):
+        assert codes(
+            "import numpy as np\nrng = np.random.default_rng()\n"
+        ) == ["RPR001"]
+
+    def test_from_import_alias_resolves(self):
+        assert codes(
+            "from numpy import random as rnd\nrng = rnd.default_rng()\n"
+        ) == ["RPR001"]
+
+    def test_seeded_default_rng_is_clean(self):
+        assert codes(
+            "import numpy as np\nrng = np.random.default_rng(42)\n"
+        ) == []
+
+    def test_seeded_random_class_is_clean(self):
+        assert codes("import random\nrng = random.Random(7)\n") == []
+
+    def test_draws_on_an_explicit_generator_are_clean(self):
+        assert codes(
+            """
+            import numpy as np
+            rng = np.random.default_rng(3)
+            x = rng.normal(size=10)
+            """
+        ) == []
+
+    def test_local_name_shadowing_random_is_not_mistaken(self):
+        assert codes(
+            """
+            class Box:
+                def random(self):
+                    return 4
+            def use(random):
+                return random.random()
+            """
+        ) == []
+
+    def test_spawn_fires_inside_traffic_package(self):
+        src = "def f(seq):\n    return seq.spawn(3)\n"
+        assert codes(src, module="repro.traffic.generators") == ["RPR001"]
+        assert codes(src, module="repro.faults.plan") == ["RPR001"]
+
+    def test_spawn_is_allowed_outside_block_seeded_packages(self):
+        src = "def f(seq):\n    return seq.spawn(3)\n"
+        assert codes(src, module="repro.ensemble.forest") == []
+        assert codes(src, module="repro._validation") == []
+
+    def test_suppression_with_reason_silences(self):
+        findings = lint(
+            "import numpy as np\n"
+            "rng = np.random.default_rng()  "
+            "# repro: allow[RPR001] fixture needs fresh entropy\n"
+        )
+        assert [f.code for f in findings] == ["RPR001"]
+        assert findings[0].suppressed
+        assert findings[0].suppression_reason == "fixture needs fresh entropy"
+
+
+class TestRPR002NoWallClock:
+    SNIPPETS = {
+        "time.time": "import time\nt = time.time()\n",
+        "from-import time": "from time import time\nt = time()\n",
+        "datetime.now": (
+            "from datetime import datetime\nt = datetime.now()\n"
+        ),
+        "os.urandom": "import os\nb = os.urandom(8)\n",
+        "uuid4": "import uuid\nu = uuid.uuid4()\n",
+        "secrets": "import secrets\nb = secrets.token_bytes(32)\n",
+    }
+
+    @pytest.mark.parametrize("name", sorted(SNIPPETS))
+    def test_entropy_sources_fire_in_result_producing_modules(self, name):
+        for module in ("repro.core.trigger", "repro.trees.growth",
+                       "repro.solver.sat", "repro.traffic.replay",
+                       "repro.faults.plan"):
+            assert codes(self.SNIPPETS[name], module=module) == ["RPR002"], (
+                f"{name} should fire in {module}"
+            )
+
+    @pytest.mark.parametrize("name", sorted(SNIPPETS))
+    def test_out_of_scope_modules_are_exempt(self, name):
+        # serve timeouts, benchmarks and the CLI legitimately read clocks.
+        for module in ("repro.serve.client", "repro.cli", "bench_serving", ""):
+            assert codes(self.SNIPPETS[name], module=module) == []
+
+    def test_monotonic_timers_are_allowed_in_scope(self):
+        src = (
+            "import time\n"
+            "t0 = time.perf_counter()\nt1 = time.monotonic()\n"
+        )
+        assert codes(src, module="repro.traffic.replay") == []
+
+    def test_suppression_with_reason_silences(self):
+        findings = lint(
+            "import secrets\n"
+            "# repro: allow[RPR002] commitment salts must be fresh entropy\n"
+            "b = secrets.token_bytes(32)\n",
+            module="repro.core.commitment",
+        )
+        assert [f.suppressed for f in findings] == [True]
+
+
+class TestRPR003StrictJson:
+    def test_bare_dumps_fires(self):
+        assert codes("import json\njson.dumps({})\n") == ["RPR003"]
+
+    def test_bare_dump_fires(self):
+        assert codes(
+            "import json\n\ndef w(fh):\n    json.dump({}, fh)\n"
+        ) == ["RPR003"]
+
+    def test_allow_nan_true_fires(self):
+        assert codes(
+            "import json\njson.dumps({}, allow_nan=True)\n"
+        ) == ["RPR003"]
+
+    def test_non_literal_allow_nan_fires(self):
+        assert codes(
+            "import json\n\ndef w(flag):\n    json.dumps({}, allow_nan=flag)\n"
+        ) == ["RPR003"]
+
+    def test_allow_nan_false_is_clean(self):
+        assert codes("import json\njson.dumps({}, allow_nan=False)\n") == []
+
+    def test_jsonsafe_dumps_is_clean(self):
+        assert codes(
+            "from repro._jsonsafe import dumps\ndumps({'a': 1})\n"
+        ) == []
+
+    def test_relative_jsonsafe_import_is_clean(self):
+        assert codes(
+            "from ._jsonsafe import dumps\ndumps({'a': 1})\n",
+            module="repro.cli",
+        ) == []
+
+    def test_local_dumps_helper_is_not_mistaken_for_json(self):
+        assert codes(
+            "def dumps(x):\n    return str(x)\n\ndumps({})\n"
+        ) == []
+
+    def test_fires_everywhere_including_benchmarks(self):
+        assert codes("import json\njson.dumps({})\n",
+                     module="bench_serving") == ["RPR003"]
+
+    def test_own_line_suppression_covers_multiline_call(self):
+        findings = lint(
+            """
+            import json
+            # repro: allow[RPR003] wire format pinned by an external consumer
+            payload = json.dumps(
+                {"a": 1},
+                indent=2,
+            )
+            """
+        )
+        assert [f.suppressed for f in findings] == [True]
+
+
+class TestRPR004AtomicWrites:
+    def test_bare_write_open_fires_in_persistence(self):
+        src = 'with open("artefact.json", "w") as fh:\n    fh.write("x")\n'
+        assert codes(src, module="repro.persistence.serialize") == ["RPR004"]
+
+    def test_append_and_exclusive_modes_fire(self):
+        for mode in ("a", "wb", "x", "r+"):
+            src = f'fh = open("artefact.bin", "{mode}")\n'
+            assert codes(src, module="repro.persistence.exporters.binary") \
+                == ["RPR004"], mode
+
+    def test_write_text_sugar_fires(self):
+        src = (
+            "from pathlib import Path\n"
+            'Path("artefact.json").write_text("{}")\n'
+        )
+        assert codes(src, module="repro.persistence.serialize") == ["RPR004"]
+
+    def test_read_open_is_clean(self):
+        src = 'with open("artefact.json") as fh:\n    fh.read()\n'
+        assert codes(src, module="repro.persistence.serialize") == []
+        src = 'with open("artefact.json", "rb") as fh:\n    fh.read()\n'
+        assert codes(src, module="repro.persistence.serialize") == []
+
+    def test_atomic_py_itself_is_exempt(self):
+        src = 'fh = open("artefact.tmp", "w")\n'
+        assert codes(src, module="repro.persistence.atomic") == []
+
+    def test_out_of_package_writes_are_exempt(self):
+        src = 'fh = open("notes.txt", "w")\n'
+        assert codes(src, module="repro.cli") == []
+        assert codes(src, module="bench_traffic") == []
+
+    def test_suppression_with_reason_silences(self):
+        findings = lint(
+            'fh = open("scratch.txt", "w")  '
+            "# repro: allow[RPR004] scratch file outside the artefact root\n",
+            module="repro.persistence.serialize",
+        )
+        assert [f.suppressed for f in findings] == [True]
+
+
+class TestRPR005PicklableLocks:
+    def test_lock_on_self_in_getstate_class_fires(self):
+        assert codes(
+            """
+            import threading
+
+            class Model:
+                def __init__(self):
+                    self._lock = threading.RLock()
+
+                def __getstate__(self):
+                    return dict(self.__dict__)
+            """
+        ) == ["RPR005"]
+
+    def test_reduce_counts_as_a_pickle_hook(self):
+        assert codes(
+            """
+            import threading
+
+            class Model:
+                def __init__(self):
+                    self.guard = threading.Lock()
+
+                def __reduce__(self):
+                    return (Model, ())
+            """
+        ) == ["RPR005"]
+
+    def test_lock_in_plain_class_is_clean(self):
+        assert codes(
+            """
+            import threading
+
+            class Observer:
+                def __init__(self):
+                    self._lock = threading.Lock()
+            """
+        ) == []
+
+    def test_side_table_pattern_is_clean(self):
+        assert codes(
+            """
+            import threading
+            import weakref
+
+            _LOCKS = weakref.WeakKeyDictionary()
+
+            class Model:
+                def __getstate__(self):
+                    return dict(self.__dict__)
+
+            def model_lock(model):
+                lock = _LOCKS.get(model)
+                if lock is None:
+                    lock = threading.RLock()
+                    _LOCKS[model] = lock
+                return lock
+            """
+        ) == []
+
+    def test_suppression_with_reason_silences(self):
+        findings = lint(
+            """
+            import threading
+
+            class Model:
+                def __init__(self):
+                    # repro: allow[RPR005] __getstate__ pops this attribute before pickling
+                    self._lock = threading.Lock()
+
+                def __getstate__(self):
+                    state = dict(self.__dict__)
+                    state.pop("_lock")
+                    return state
+            """
+        )
+        assert [f.suppressed for f in findings] == [True]
+
+
+class TestRPR006LazyInitRace:
+    POSITIVE = """
+    class Holder:
+        def engine(self):
+            if self._engine is None:
+                self._engine = build()
+            return self._engine
+    """
+
+    def test_unguarded_double_check_fires_in_scope(self):
+        for module in ("repro.ensemble.forest", "repro.trees.compiled",
+                       "repro.serve.registry"):
+            assert codes(self.POSITIVE, module=module) == ["RPR006"], module
+
+    def test_out_of_scope_modules_are_exempt(self):
+        for module in ("repro.core.embedding", "repro.solver.sat", ""):
+            assert codes(self.POSITIVE, module=module) == []
+
+    def test_with_lock_guard_is_clean(self):
+        assert codes(
+            """
+            class Holder:
+                def engine(self):
+                    with self._lock:
+                        if self._engine is None:
+                            self._engine = build()
+                    return self._engine
+            """,
+            module="repro.serve.registry",
+        ) == []
+
+    def test_model_lock_helper_counts_as_a_lock(self):
+        assert codes(
+            """
+            class Holder:
+                def engine(self):
+                    with model_lock(self):
+                        if self._engine is None:
+                            self._engine = build()
+                    return self._engine
+            """,
+            module="repro.trees.compiled",
+        ) == []
+
+    def test_guard_without_assignment_is_clean(self):
+        assert codes(
+            """
+            class Holder:
+                def engine(self):
+                    if self._engine is None:
+                        raise RuntimeError("not compiled")
+                    return self._engine
+            """,
+            module="repro.ensemble.forest",
+        ) == []
+
+    def test_assignment_to_other_attribute_is_clean(self):
+        assert codes(
+            """
+            class Holder:
+                def touch(self):
+                    if self._engine is None:
+                        self._hits = 0
+            """,
+            module="repro.ensemble.forest",
+        ) == []
+
+    def test_compound_test_still_fires(self):
+        assert codes(
+            """
+            class Holder:
+                def engine(self):
+                    if self._engine is None and self._key is not None:
+                        self._engine = build()
+            """,
+            module="repro.ensemble.forest",
+        ) == ["RPR006"]
+
+    def test_suppression_with_reason_silences(self):
+        findings = lint(
+            """
+            class Holder:
+                def engine(self):
+                    # repro: allow[RPR006] event-loop confined: only the daemon loop thread touches this
+                    if self._engine is None:
+                        self._engine = build()
+            """,
+            module="repro.serve.batching",
+        )
+        assert [f.suppressed for f in findings] == [True]
+
+
+class TestRPR007FaultHookPurity:
+    def test_non_none_default_fires(self):
+        assert codes(
+            "def serve(x, fault_injector=DEFAULT_INJECTOR):\n    pass\n"
+        ) == ["RPR007"]
+
+    def test_missing_default_fires(self):
+        assert codes("def serve(x, fault_injector):\n    pass\n") == ["RPR007"]
+
+    def test_keyword_only_without_default_fires(self):
+        assert codes(
+            "def serve(x, *, fault_injector):\n    pass\n"
+        ) == ["RPR007"]
+
+    def test_none_default_is_clean(self):
+        assert codes(
+            "def serve(x, fault_injector=None):\n    pass\n"
+        ) == []
+        assert codes(
+            "def serve(x, *, fault_injector=None):\n    pass\n"
+        ) == []
+
+    def test_fires_in_any_module(self):
+        src = "def serve(x, fault_injector):\n    pass\n"
+        assert codes(src, module="repro.serve.http") == ["RPR007"]
+        assert codes(src, module="bench_resilience") == ["RPR007"]
+
+    def test_other_parameters_are_unconstrained(self):
+        assert codes("def serve(x, injector=object()):\n    pass\n") == []
+
+    def test_suppression_with_reason_silences(self):
+        findings = lint(
+            "# repro: allow[RPR007] chaos-only helper, never imported by production code\n"
+            "def chaos_serve(x, fault_injector):\n"
+            "    pass\n"
+        )
+        assert [f.suppressed for f in findings] == [True]
+
+
+class TestSelectIgnore:
+    TWO_VIOLATIONS = (
+        "import json\nimport numpy as np\n"
+        "json.dumps({})\nrng = np.random.default_rng()\n"
+    )
+
+    def test_select_narrows_to_named_rules(self):
+        assert codes(self.TWO_VIOLATIONS, select=["RPR003"]) == ["RPR003"]
+
+    def test_default_runs_everything(self):
+        assert sorted(codes(self.TWO_VIOLATIONS)) == ["RPR001", "RPR003"]
+
+    def test_unknown_code_is_a_usage_error(self):
+        from repro.exceptions import ValidationError
+
+        with pytest.raises(ValidationError, match="unknown rule code"):
+            lint_source("x = 1\n", select=["RPR999"])

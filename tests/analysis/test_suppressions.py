@@ -1,0 +1,122 @@
+"""Suppression-comment mechanics: mandatory reasons, unknown-code
+rejection, placement rules, and the tokenizer-backed parser."""
+
+import textwrap
+
+from repro.analysis import Suppression, lint_source, parse_suppressions
+
+
+def lint(source, **kwargs):
+    return lint_source(textwrap.dedent(source), **kwargs)
+
+
+class TestParsing:
+    def test_basic_comment_parses(self):
+        sups = parse_suppressions(
+            "x = 1  # repro: allow[RPR003] wire format is externally pinned\n"
+        )
+        assert sups == [
+            Suppression(
+                line=1,
+                codes=("RPR003",),
+                reason="wire format is externally pinned",
+                own_line=False,
+            )
+        ]
+
+    def test_comma_separated_codes(self):
+        sups = parse_suppressions(
+            "x = 1  # repro: allow[RPR001, RPR002] fixture wants entropy\n"
+        )
+        assert sups[0].codes == ("RPR001", "RPR002")
+
+    def test_own_line_detection(self):
+        sups = parse_suppressions(
+            "# repro: allow[RPR003] covers the next statement\nx = 1\n"
+        )
+        assert sups[0].own_line is True
+
+    def test_marker_inside_a_string_is_not_a_suppression(self):
+        sups = parse_suppressions(
+            's = "# repro: allow[RPR003] not a real comment"\n'
+        )
+        assert sups == []
+
+    def test_non_matching_comments_are_ignored(self):
+        assert parse_suppressions("x = 1  # plain comment\n") == []
+
+
+class TestEnforcement:
+    def test_bare_suppression_is_itself_a_violation(self):
+        findings = lint(
+            """
+            import json
+            json.dumps({})  # repro: allow[RPR003]
+            """
+        )
+        # The RPR003 finding is suppressed, but the reasonless waiver
+        # surfaces as an unsuppressed RPR000 — the run stays dirty.
+        unsuppressed = [f for f in findings if not f.suppressed]
+        assert [f.code for f in unsuppressed] == ["RPR000"]
+        assert "reason" in unsuppressed[0].message
+
+    def test_unknown_code_in_suppression_is_rejected(self):
+        findings = lint("x = 1  # repro: allow[RPR999] best of intentions\n")
+        assert [f.code for f in findings] == ["RPR000"]
+        assert "unknown rule code 'RPR999'" in findings[0].message
+
+    def test_empty_bracket_is_rejected(self):
+        findings = lint("x = 1  # repro: allow[] because\n")
+        assert [f.code for f in findings] == ["RPR000"]
+
+    def test_rpr000_cannot_be_suppressed(self):
+        findings = lint(
+            "x = 1  # repro: allow[RPR000] trying to waive the waiver rule\n"
+        )
+        assert [(f.code, f.suppressed) for f in findings] == [("RPR000", False)]
+
+    def test_suppression_only_covers_named_codes(self):
+        findings = lint(
+            """
+            import json
+            import numpy as np
+            json.dumps({})  # repro: allow[RPR001] wrong code for this line
+            """
+        )
+        # RPR003 stays live: the waiver names a different rule.
+        assert [f.code for f in findings if not f.suppressed] == ["RPR003"]
+
+    def test_own_line_suppression_does_not_leak_past_next_line(self):
+        findings = lint(
+            """
+            import json
+            # repro: allow[RPR003] covers only the adjacent statement
+            x = 1
+            json.dumps({})
+            """
+        )
+        assert [f.code for f in findings if not f.suppressed] == ["RPR003"]
+
+    def test_trailing_suppression_on_wrong_line_does_not_cover(self):
+        findings = lint(
+            """
+            import json
+            x = 1  # repro: allow[RPR003] attached to the wrong statement
+            json.dumps({})
+            """
+        )
+        assert [f.code for f in findings if not f.suppressed] == ["RPR003"]
+
+    def test_one_line_can_carry_multiple_codes(self):
+        findings = lint(
+            """
+            import json
+            import numpy as np
+
+            def f():
+                # repro: allow[RPR001, RPR003] demo fixture exercising both contracts
+                return json.dumps({"x": float(np.random.default_rng().normal())})
+            """
+        )
+        assert findings and all(f.suppressed for f in findings)
+        assert sorted(f.code for f in findings) == ["RPR001", "RPR003"]
